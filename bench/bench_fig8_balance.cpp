@@ -1,0 +1,39 @@
+// Figure 8: per-partition memory balance on papers100M-like with 192
+// partitions, normalized to the largest partition, per sampling rate.
+// Expected shape: at p=1 a straggler forces ~20% extra memory while most
+// partitions sit below 60% of it; p=0.1/0.01 pack partitions above ~70%.
+
+#include <algorithm>
+
+#include "common.hpp"
+
+int main() {
+  using namespace bnsgcn;
+  bench::print_banner("Figure 8",
+                      "normalized per-partition memory, 192 partitions");
+
+  const Dataset ds = make_synthetic(papers_like(bench::bench_scale()));
+  auto cfg = bench::papers_config();
+  cfg.epochs = 3;
+  const auto part = metis_like(ds.graph, 192);
+
+  std::printf("%-8s %8s %8s %8s %8s %8s  (fraction of max partition)\n", "p",
+              "min", "p25", "median", "p75", "max");
+  for (const float p : {1.0f, 0.1f, 0.01f}) {
+    auto c = cfg;
+    c.sample_rate = p;
+    const auto r = core::BnsTrainer(ds, part, c).train();
+    std::vector<double> mem = r.memory.model_bytes;
+    const double mx = *std::max_element(mem.begin(), mem.end());
+    for (auto& v : mem) v /= mx;
+    std::sort(mem.begin(), mem.end());
+    const auto pct = [&](double q) {
+      return mem[static_cast<std::size_t>(q * (mem.size() - 1))];
+    };
+    std::printf("%-8.2f %8.3f %8.3f %8.3f %8.3f %8.3f\n", p, mem.front(),
+                pct(0.25), pct(0.5), pct(0.75), mem.back());
+  }
+  std::printf("\npaper shape check: p=1 spreads wide (straggler); p<1 "
+              "concentrates near 1.0.\n");
+  return 0;
+}

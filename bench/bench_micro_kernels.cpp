@@ -1,0 +1,86 @@
+// Micro-benchmarks (google-benchmark) for the kernels the trainer spends
+// its time in: GEMM, mean aggregation, boundary sampling/compaction, and
+// the METIS-like partitioner.
+
+#include <benchmark/benchmark.h>
+
+#include "core/boundary_sampler.hpp"
+#include "core/local_graph.hpp"
+#include "graph/generators.hpp"
+#include "nn/layer.hpp"
+#include "partition/metis_like.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace bnsgcn;
+
+void BM_GemmNN(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  Matrix a(n, 64), b(64, 64), c(n, 64);
+  a.randomize_gaussian(rng, 1.0f);
+  b.randomize_gaussian(rng, 1.0f);
+  for (auto _ : state) {
+    ops::gemm_nn(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64 * 2);
+}
+BENCHMARK(BM_GemmNN)->Arg(1024)->Arg(8192);
+
+void BM_MeanAggregate(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);
+  const Csr g = gen::rmat(n, static_cast<EdgeId>(n) * 16, rng);
+  nn::BipartiteCsr adj;
+  adj.n_dst = g.n;
+  adj.n_src = g.n;
+  adj.offsets = g.offsets;
+  adj.nbrs = g.nbrs;
+  std::vector<float> inv(static_cast<std::size_t>(g.n), 0.0f);
+  for (NodeId v = 0; v < g.n; ++v)
+    if (g.degree(v) > 0) inv[static_cast<std::size_t>(v)] = 1.0f / g.degree(v);
+  Matrix src(g.n, 64), out;
+  src.randomize_gaussian(rng, 1.0f);
+  for (auto _ : state) {
+    nn::mean_aggregate(adj, src, inv, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs() * 64);
+}
+BENCHMARK(BM_MeanAggregate)->Arg(4096)->Arg(32768);
+
+void BM_BoundarySamplerCompaction(benchmark::State& state) {
+  Rng rng(3);
+  const Csr g = gen::rmat(16384, 200000, rng);
+  const auto part = random_partition(g.n, 2, rng);
+  const auto lgs = core::build_local_graphs(g, part);
+  core::BoundarySampler sampler(
+      lgs[0], {.variant = core::SamplingVariant::kBns, .rate = 0.1f});
+  // Compaction only (the negotiation needs a fabric); empty_plan exercises
+  // the same CSR-rebuild path at the maximum drop rate.
+  for (auto _ : state) {
+    auto plan = sampler.empty_plan();
+    benchmark::DoNotOptimize(plan.adj.nbrs.data());
+  }
+}
+BENCHMARK(BM_BoundarySamplerCompaction);
+
+void BM_MetisLike(benchmark::State& state) {
+  Rng rng(4);
+  gen::PlantedPartitionParams pp;
+  pp.n = static_cast<NodeId>(state.range(0));
+  pp.m = static_cast<EdgeId>(pp.n) * 12;
+  pp.communities = 8;
+  const auto planted = gen::planted_partition(pp, rng);
+  for (auto _ : state) {
+    auto part = metis_like(planted.graph, 8);
+    benchmark::DoNotOptimize(part.owner.data());
+  }
+}
+BENCHMARK(BM_MetisLike)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Table 12: the boundary-node sampler's overhead (sampling time / epoch
+// time) across p and partition counts, against the per-batch samplers of
+// the minibatch methods.
+// Expected shape: BNS overhead is 0% at p∈{0,1} and a few percent
+// otherwise; minibatch samplers burn ~20%+ of training time.
+
+#include "baselines/minibatch.hpp"
+
+#include "common.hpp"
+
+int main() {
+  using namespace bnsgcn;
+  bench::print_banner("Table 12", "sampling overhead (% of training time)");
+
+  const Dataset ds = make_synthetic(reddit_like(0.4 * bench::bench_scale()));
+  auto cfg = bench::reddit_config();
+  cfg.epochs = 8;
+
+  std::printf("minibatch samplers (sampling / total wall time):\n");
+  baselines::BaselineConfig bcfg;
+  bcfg.num_layers = cfg.num_layers;
+  bcfg.hidden = cfg.hidden;
+  bcfg.epochs = 5;
+  bcfg.seed = 3;
+  bcfg.batch_size = std::max<NodeId>(256, ds.num_nodes() / 12);
+  bcfg.batches_per_epoch = 6;
+  std::printf("  %-22s %6.1f%%\n", "Node (GraphSAGE)",
+              100.0 * baselines::train_neighbor_sampling(ds, bcfg)
+                          .sampler_overhead());
+  std::printf("  %-22s %6.1f%%\n", "Layer (LADIES)",
+              100.0 * baselines::train_layer_sampling(ds, bcfg, true)
+                          .sampler_overhead());
+  std::printf("  %-22s %6.1f%%\n", "Subgraph (GraphSAINT)",
+              100.0 * baselines::train_graph_saint(ds, bcfg)
+                          .sampler_overhead());
+
+  std::printf("\nBNS-GCN sampler (sampling / simulated epoch time):\n");
+  std::printf("  %-8s", "p \\ m");
+  for (const PartId m : {2, 4, 8}) std::printf(" %8d", m);
+  std::printf("\n");
+  for (const float p : {1.0f, 0.1f, 0.01f, 0.0f}) {
+    std::printf("  %-8.2f", p);
+    for (const PartId m : {2, 4, 8}) {
+      const auto part = metis_like(ds.graph, m);
+      auto c = cfg;
+      c.sample_rate = p;
+      const auto r = core::BnsTrainer(ds, part, c).train();
+      std::printf(" %7.1f%%", 100.0 * r.sampler_overhead());
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape check: BNS 0%% at p=1/p=0, 0-7%% otherwise; "
+              "minibatch samplers ~20%%+.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 13 (Appendix E): test accuracy for sampling rates between 0.1 and
+// 1.0 — the "choice of p" study.
+// Expected shape: flat (±0.3) across 0.1..1.0, with a slight edge for small
+// p from the regularization effect; p=0.1 is the sweet spot once its
+// communication savings are counted.
+
+#include "common.hpp"
+
+int main() {
+  using namespace bnsgcn;
+  bench::print_banner("Table 13", "accuracy across p in [0.1, 1.0]");
+  const double s = bench::bench_scale();
+
+  struct Row {
+    const char* name;
+    Dataset ds;
+    core::TrainerConfig cfg;
+    PartId parts;
+  };
+  std::vector<Row> rows;
+  {
+    auto cfg = bench::reddit_config();
+    cfg.epochs = 100;
+    rows.push_back({"Reddit-like (2 parts)",
+                    make_synthetic(reddit_like(0.3 * s)), cfg, 2});
+  }
+  {
+    auto cfg = bench::products_config();
+    cfg.epochs = 100;
+    rows.push_back({"products-like (5 parts)",
+                    make_synthetic(products_like(0.2 * s)), cfg, 5});
+  }
+
+  std::printf("%-26s", "dataset \\ p");
+  for (const float p : {0.1f, 0.3f, 0.5f, 0.8f, 1.0f})
+    std::printf(" %8.1f", p);
+  std::printf("\n");
+  for (auto& row : rows) {
+    const auto part = metis_like(row.ds.graph, row.parts);
+    std::printf("%-26s", row.name);
+    for (const float p : {0.1f, 0.3f, 0.5f, 0.8f, 1.0f}) {
+      auto c = row.cfg;
+      c.sample_rate = p;
+      const auto r = core::BnsTrainer(row.ds, part, c).train();
+      std::printf(" %8.2f", 100.0 * r.final_test);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape check: scores flat across p (within a few "
+              "tenths), so pick small p for efficiency.\n");
+  return 0;
+}

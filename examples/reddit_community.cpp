@@ -1,0 +1,49 @@
+// Community prediction on a Reddit-like graph (the paper's motivating
+// workload): dense power-law graph, 41 communities. Compares vanilla
+// partition parallelism (p=1) against BNS-GCN (p=0.1/0.01) on throughput,
+// traffic, memory and accuracy — the whole paper in one program.
+
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "graph/dataset.hpp"
+#include "partition/metis_like.hpp"
+#include "partition/stats.hpp"
+
+int main() {
+  using namespace bnsgcn;
+
+  const Dataset ds = make_synthetic(reddit_like(0.3));
+  std::printf("Reddit-like: %d nodes, %lld arcs, avg degree %.1f\n",
+              ds.num_nodes(), static_cast<long long>(ds.graph.num_arcs()),
+              ds.graph.average_degree());
+
+  const Partitioning part = metis_like(ds.graph, 8);
+  const auto stats = compute_stats(ds.graph, part);
+  std::printf("8-way METIS-like partition: comm volume %lld, max "
+              "boundary/inner %.2f\n\n",
+              static_cast<long long>(stats.total_volume), stats.max_ratio());
+
+  core::TrainerConfig cfg;
+  cfg.num_layers = 4; // paper's Reddit model: 4 layers
+  cfg.hidden = 64;
+  cfg.dropout = 0.3f;
+  cfg.lr = 0.01f;
+  cfg.epochs = 90;
+
+  std::printf("%-14s %10s %12s %12s %10s\n", "config", "acc %", "comm MB/ep",
+              "mem red. %", "epochs/s");
+  for (const float p : {1.0f, 0.3f, 0.1f}) {
+    auto c = cfg;
+    c.sample_rate = p;
+    core::BnsTrainer trainer(ds, part, c);
+    const auto r = trainer.train();
+    std::printf("BNS p=%-8.2f %10.2f %12.2f %12.1f %10.2f\n", p,
+                100.0 * r.final_test,
+                static_cast<double>(r.mean_epoch().feature_bytes) / 1048576.0,
+                100.0 * r.memory.reduction_vs_full(), r.throughput_eps());
+  }
+  std::printf("\nBNS-GCN keeps the full-graph accuracy while cutting "
+              "communication ~1/p.\n");
+  return 0;
+}

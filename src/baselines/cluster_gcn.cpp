@@ -1,0 +1,77 @@
+#include <algorithm>
+
+#include "baselines/minibatch.hpp"
+#include "partition/metis_like.hpp"
+
+namespace bnsgcn::baselines {
+
+namespace {
+
+/// Turn an induced node set into the degenerate (src == dst) Batch used by
+/// subgraph-sampling methods. Loss lands on the contained train nodes.
+Batch subgraph_batch(const Dataset& ds, std::vector<NodeId> nodes,
+                     int num_layers) {
+  std::sort(nodes.begin(), nodes.end());
+  const auto sub = induced_subgraph(ds.graph, nodes);
+
+  Batch batch;
+  nn::BipartiteCsr adj;
+  adj.n_dst = sub.adj.n;
+  adj.n_src = sub.adj.n;
+  adj.offsets = sub.adj.offsets;
+  adj.nbrs = sub.adj.nbrs;
+  std::vector<float> inv(static_cast<std::size_t>(sub.adj.n), 0.0f);
+  for (NodeId v = 0; v < sub.adj.n; ++v) {
+    // ClusterGCN trains on the subgraph as-is: normalization uses the
+    // *subgraph* degree (this is exactly its approximation error source).
+    const NodeId d = sub.adj.degree(v);
+    inv[static_cast<std::size_t>(v)] =
+        d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
+  }
+  batch.adjs.assign(static_cast<std::size_t>(num_layers), adj);
+  batch.inv_deg.assign(static_cast<std::size_t>(num_layers), inv);
+  batch.input_nodes = sub.local_to_global;
+  batch.output_nodes = sub.local_to_global;
+
+  std::vector<char> is_train(static_cast<std::size_t>(ds.num_nodes()), 0);
+  for (const NodeId v : ds.train_nodes)
+    is_train[static_cast<std::size_t>(v)] = 1;
+  for (std::size_t i = 0; i < sub.local_to_global.size(); ++i)
+    if (is_train[static_cast<std::size_t>(sub.local_to_global[i])])
+      batch.loss_rows.push_back(static_cast<NodeId>(i));
+  return batch;
+}
+
+} // namespace
+
+BaselineResult train_cluster_gcn(const Dataset& ds,
+                                 const BaselineConfig& cfg) {
+  // One-time clustering (amortized, as in the original method).
+  MetisLikeOptions mopts;
+  mopts.seed = cfg.seed;
+  const Partitioning clusters =
+      metis_like(ds.graph, cfg.num_clusters, mopts);
+  const auto members = clusters.members();
+
+  const auto next_batch = [&](Rng& rng) {
+    // Random union of clusters (stochastic multiple partitions scheme).
+    std::vector<NodeId> picked = rng.sample_without_replacement(
+        cfg.num_clusters, std::min(cfg.clusters_per_batch, cfg.num_clusters));
+    std::vector<NodeId> nodes;
+    for (const NodeId c : picked) {
+      const auto& mem = members[static_cast<std::size_t>(c)];
+      nodes.insert(nodes.end(), mem.begin(), mem.end());
+    }
+    return subgraph_batch(ds, std::move(nodes), cfg.num_layers);
+  };
+
+  return run_minibatch_training(ds, cfg, next_batch);
+}
+
+/// Shared by graph_saint.cpp.
+Batch make_subgraph_batch(const Dataset& ds, std::vector<NodeId> nodes,
+                          int num_layers) {
+  return subgraph_batch(ds, std::move(nodes), num_layers);
+}
+
+} // namespace bnsgcn::baselines

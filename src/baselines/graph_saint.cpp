@@ -1,0 +1,43 @@
+#include "baselines/minibatch.hpp"
+#include "common/alias_table.hpp"
+
+namespace bnsgcn::baselines {
+
+// Defined in cluster_gcn.cpp (shared induced-subgraph batch builder).
+Batch make_subgraph_batch(const Dataset& ds, std::vector<NodeId> nodes,
+                          int num_layers);
+
+BaselineResult train_graph_saint(const Dataset& ds,
+                                 const BaselineConfig& cfg) {
+  // GraphSAINT node sampler: inclusion probability proportional to degree.
+  std::vector<double> weights(static_cast<std::size_t>(ds.num_nodes()));
+  for (NodeId v = 0; v < ds.num_nodes(); ++v)
+    weights[static_cast<std::size_t>(v)] =
+        static_cast<double>(ds.graph.degree(v)) + 1.0;
+  const AliasTable sampler(weights);
+
+  const auto next_batch = [&](Rng& rng) {
+    std::vector<char> taken(static_cast<std::size_t>(ds.num_nodes()), 0);
+    std::vector<NodeId> nodes;
+    nodes.reserve(static_cast<std::size_t>(cfg.saint_budget));
+    // Draw with replacement, keep distinct nodes, stop at the budget or
+    // after a bounded number of draws (heavy-tailed graphs resample hubs).
+    const std::int64_t max_draws =
+        static_cast<std::int64_t>(cfg.saint_budget) * 4;
+    for (std::int64_t t = 0;
+         t < max_draws &&
+         nodes.size() < static_cast<std::size_t>(cfg.saint_budget);
+         ++t) {
+      const NodeId v = sampler.sample(rng);
+      if (!taken[static_cast<std::size_t>(v)]) {
+        taken[static_cast<std::size_t>(v)] = 1;
+        nodes.push_back(v);
+      }
+    }
+    return make_subgraph_batch(ds, std::move(nodes), cfg.num_layers);
+  };
+
+  return run_minibatch_training(ds, cfg, next_batch);
+}
+
+} // namespace bnsgcn::baselines

@@ -1,0 +1,98 @@
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baselines/minibatch.hpp"
+
+namespace bnsgcn::baselines {
+
+namespace {
+
+std::vector<NodeId> draw_seeds(const Dataset& ds, NodeId batch_size,
+                               Rng& rng) {
+  const auto n_train = static_cast<NodeId>(ds.train_nodes.size());
+  const NodeId k = std::min(batch_size, n_train);
+  std::vector<NodeId> seeds;
+  seeds.reserve(static_cast<std::size_t>(k));
+  for (const NodeId idx : rng.sample_without_replacement(n_train, k))
+    seeds.push_back(ds.train_nodes[static_cast<std::size_t>(idx)]);
+  return seeds;
+}
+
+} // namespace
+
+BaselineResult train_layer_sampling(const Dataset& ds,
+                                    const BaselineConfig& cfg, bool ladies) {
+  const Csr& g = ds.graph;
+
+  const auto next_batch = [&, ladies](Rng& rng) {
+    Batch batch;
+    batch.output_nodes = draw_seeds(ds, cfg.batch_size, rng);
+    batch.adjs.resize(static_cast<std::size_t>(cfg.num_layers));
+    batch.inv_deg.resize(static_cast<std::size_t>(cfg.num_layers));
+
+    std::vector<NodeId> dsts = batch.output_nodes;
+    for (int l = cfg.num_layers - 1; l >= 0; --l) {
+      // Candidate pool: LADIES restricts to the neighbor set of the current
+      // destinations; FastGCN samples from the whole graph. Inclusion is
+      // Bernoulli(budget/|pool|) with inverse-probability edge weights, the
+      // importance-sampled unbiased estimator of Eq. 1.
+      std::vector<NodeId> pool;
+      if (ladies) {
+        std::unordered_set<NodeId> seen;
+        for (const NodeId v : dsts)
+          for (const NodeId u : g.neighbors(v))
+            if (seen.insert(u).second) pool.push_back(u);
+      } else {
+        pool.resize(static_cast<std::size_t>(g.n));
+        for (NodeId v = 0; v < g.n; ++v)
+          pool[static_cast<std::size_t>(v)] = v;
+      }
+      const double pi =
+          pool.empty()
+              ? 1.0
+              : std::min(1.0, static_cast<double>(cfg.layer_budget) /
+                                  static_cast<double>(pool.size()));
+      std::unordered_set<NodeId> kept;
+      for (const NodeId u : pool)
+        if (rng.next_bool(pi)) kept.insert(u);
+
+      std::vector<NodeId> srcs = dsts;
+      std::unordered_map<NodeId, NodeId> local;
+      for (std::size_t i = 0; i < srcs.size(); ++i)
+        local.emplace(srcs[i], static_cast<NodeId>(i));
+
+      auto& adj = batch.adjs[static_cast<std::size_t>(l)];
+      auto& inv = batch.inv_deg[static_cast<std::size_t>(l)];
+      adj.n_dst = static_cast<NodeId>(dsts.size());
+      adj.offsets.assign(dsts.size() + 1, 0);
+      inv.assign(dsts.size(), 0.0f);
+      const auto w = static_cast<float>(1.0 / pi);
+      for (std::size_t i = 0; i < dsts.size(); ++i) {
+        const auto nb = g.neighbors(dsts[i]);
+        for (const NodeId u : nb) {
+          if (!kept.contains(u)) continue;
+          auto [it, inserted] =
+              local.emplace(u, static_cast<NodeId>(srcs.size()));
+          if (inserted) srcs.push_back(u);
+          adj.nbrs.push_back(it->second);
+          adj.edge_scale.push_back(w);
+        }
+        adj.offsets[i + 1] = static_cast<EdgeId>(adj.nbrs.size());
+        // Normalize by the FULL degree: the 1/pi edge weights make the sum
+        // an unbiased estimate of the full-neighborhood sum.
+        if (!nb.empty()) inv[i] = 1.0f / static_cast<float>(nb.size());
+      }
+      adj.n_src = static_cast<NodeId>(srcs.size());
+      dsts = std::move(srcs);
+    }
+    batch.input_nodes = std::move(dsts);
+    batch.loss_rows.resize(batch.output_nodes.size());
+    for (std::size_t i = 0; i < batch.loss_rows.size(); ++i)
+      batch.loss_rows[i] = static_cast<NodeId>(i);
+    return batch;
+  };
+
+  return run_minibatch_training(ds, cfg, next_batch);
+}
+
+} // namespace bnsgcn::baselines

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "graph/dataset.hpp"
+#include "nn/layer.hpp"
+
+namespace bnsgcn::baselines {
+
+/// Shared knobs of the sampling-based baselines (Section 2 families).
+struct BaselineConfig {
+  int num_layers = 2;
+  std::int64_t hidden = 64;
+  float dropout = 0.0f;
+  float lr = 0.01f;
+  int epochs = 50;
+  int eval_every = 0;
+  std::uint64_t seed = 1;
+
+  NodeId batch_size = 1024;    // seed nodes per minibatch
+  int batches_per_epoch = 8;   // minibatch steps per epoch
+
+  int fanout = 10;             // GraphSAGE neighbor-sampling fanout
+  NodeId layer_budget = 512;   // FastGCN/LADIES per-layer sample size
+  int num_clusters = 32;       // ClusterGCN METIS clusters
+  int clusters_per_batch = 2;
+  NodeId saint_budget = 2000;  // GraphSAINT node budget per subgraph
+};
+
+struct BaselineResult {
+  std::vector<double> train_loss; // per epoch (mean over batches)
+  std::vector<core::EvalPoint> curve;
+  double final_val = 0.0;
+  double final_test = 0.0;
+  double wall_time_s = 0.0;   // Table 5: total train time
+  double epoch_time_s = 0.0;  // Table 11: mean per-epoch time
+  double sample_time_s = 0.0; // Table 12: total time in the sampler
+
+  [[nodiscard]] double sampler_overhead() const {
+    return wall_time_s > 0.0 ? sample_time_s / wall_time_s : 0.0;
+  }
+};
+
+/// Whole-graph adjacency in Layer form (n_dst == n_src == n, identity node
+/// order so "self features first" holds trivially).
+struct FullGraphContext {
+  nn::BipartiteCsr adj;
+  std::vector<float> inv_deg;
+};
+[[nodiscard]] FullGraphContext make_full_context(const Csr& g);
+
+/// Full-graph inference with the given layers (dropout off); returns
+/// {val metric, test metric} — accuracy or micro-F1 per the dataset.
+[[nodiscard]] std::pair<double, double> evaluate_full(
+    const Dataset& ds, const FullGraphContext& ctx,
+    std::vector<std::unique_ptr<nn::Layer>>& layers);
+
+/// One minibatch in layered (message-flow) form: level 0 holds the input
+/// nodes, level L the output nodes; every level's node list starts with the
+/// next level's destinations so Layer's "self rows first" layout holds.
+/// Subgraph methods (ClusterGCN / GraphSAINT) use the degenerate form where
+/// every level is the same node set.
+struct Batch {
+  std::vector<nn::BipartiteCsr> adjs;      // L entries (level l → l+1)
+  std::vector<std::vector<float>> inv_deg; // L entries
+  std::vector<NodeId> input_nodes;         // level-0 global ids
+  std::vector<NodeId> output_nodes;        // level-L global ids
+  std::vector<NodeId> loss_rows;           // rows of output carrying loss
+};
+
+/// Shared minibatch training loop: draws `batches_per_epoch` batches per
+/// epoch from `next_batch`, trains with Adam, and evaluates by full-graph
+/// inference (the standard protocol for sampling-based methods).
+[[nodiscard]] BaselineResult run_minibatch_training(
+    const Dataset& ds, const BaselineConfig& cfg,
+    const std::function<Batch(Rng&)>& next_batch);
+
+/// Single-process full-graph training (no partitioning, no sampling): the
+/// test oracle for BnsTrainer(p=1) and the "full-graph accuracy" reference.
+[[nodiscard]] BaselineResult train_full_graph(const Dataset& ds,
+                                              const core::TrainerConfig& cfg);
+
+/// GraphSAGE neighbor sampling (Hamilton et al. 2017).
+[[nodiscard]] BaselineResult train_neighbor_sampling(
+    const Dataset& ds, const BaselineConfig& cfg);
+
+/// Layer sampling: FastGCN (global candidate pool) or LADIES (pool
+/// restricted to the current layer's neighbor set), importance-weighted.
+[[nodiscard]] BaselineResult train_layer_sampling(const Dataset& ds,
+                                                  const BaselineConfig& cfg,
+                                                  bool ladies);
+
+/// ClusterGCN (Chiang et al. 2019): METIS clusters, random cluster unions.
+[[nodiscard]] BaselineResult train_cluster_gcn(const Dataset& ds,
+                                               const BaselineConfig& cfg);
+
+/// GraphSAINT node sampler (Zeng et al. 2020), simplified: degree-weighted
+/// node budget, induced subgraph, loss on contained train nodes.
+[[nodiscard]] BaselineResult train_graph_saint(const Dataset& ds,
+                                               const BaselineConfig& cfg);
+
+} // namespace bnsgcn::baselines

@@ -1,0 +1,77 @@
+#include <unordered_map>
+
+#include "baselines/minibatch.hpp"
+
+namespace bnsgcn::baselines {
+
+namespace {
+
+/// Draw `batch_size` distinct seeds from the train split.
+std::vector<NodeId> draw_seeds(const Dataset& ds, NodeId batch_size,
+                               Rng& rng) {
+  const auto n_train = static_cast<NodeId>(ds.train_nodes.size());
+  const NodeId k = std::min(batch_size, n_train);
+  std::vector<NodeId> seeds;
+  seeds.reserve(static_cast<std::size_t>(k));
+  for (const NodeId idx : rng.sample_without_replacement(n_train, k))
+    seeds.push_back(ds.train_nodes[static_cast<std::size_t>(idx)]);
+  return seeds;
+}
+
+} // namespace
+
+BaselineResult train_neighbor_sampling(const Dataset& ds,
+                                       const BaselineConfig& cfg) {
+  const Csr& g = ds.graph;
+
+  const auto next_batch = [&](Rng& rng) {
+    Batch batch;
+    batch.output_nodes = draw_seeds(ds, cfg.batch_size, rng);
+    batch.adjs.resize(static_cast<std::size_t>(cfg.num_layers));
+    batch.inv_deg.resize(static_cast<std::size_t>(cfg.num_layers));
+
+    // Build levels top-down: sources at level l = dsts(level l+1) ++ newly
+    // sampled neighbors (GraphSAGE samples `fanout` with replacement; the
+    // mean over the draws is the Hamilton et al. estimator).
+    std::vector<NodeId> dsts = batch.output_nodes;
+    for (int l = cfg.num_layers - 1; l >= 0; --l) {
+      std::vector<NodeId> srcs = dsts;
+      std::unordered_map<NodeId, NodeId> local; // global -> local
+      local.reserve(srcs.size() * 4);
+      for (std::size_t i = 0; i < srcs.size(); ++i)
+        local.emplace(srcs[i], static_cast<NodeId>(i));
+
+      auto& adj = batch.adjs[static_cast<std::size_t>(l)];
+      auto& inv = batch.inv_deg[static_cast<std::size_t>(l)];
+      adj.n_dst = static_cast<NodeId>(dsts.size());
+      adj.offsets.assign(dsts.size() + 1, 0);
+      inv.assign(dsts.size(), 0.0f);
+      for (std::size_t i = 0; i < dsts.size(); ++i) {
+        const auto nb = g.neighbors(dsts[i]);
+        const int k = nb.empty() ? 0 : cfg.fanout;
+        for (int t = 0; t < k; ++t) {
+          const NodeId u =
+              nb[static_cast<std::size_t>(rng.next_below(nb.size()))];
+          auto [it, inserted] =
+              local.emplace(u, static_cast<NodeId>(srcs.size()));
+          if (inserted) srcs.push_back(u);
+          adj.nbrs.push_back(it->second);
+        }
+        adj.offsets[i + 1] = static_cast<EdgeId>(adj.nbrs.size());
+        if (k > 0) inv[i] = 1.0f / static_cast<float>(k);
+      }
+      adj.n_src = static_cast<NodeId>(srcs.size());
+      dsts = std::move(srcs);
+    }
+    batch.input_nodes = std::move(dsts);
+    // All seeds are train nodes; loss on every output row.
+    batch.loss_rows.resize(batch.output_nodes.size());
+    for (std::size_t i = 0; i < batch.loss_rows.size(); ++i)
+      batch.loss_rows[i] = static_cast<NodeId>(i);
+    return batch;
+  };
+
+  return run_minibatch_training(ds, cfg, next_batch);
+}
+
+} // namespace bnsgcn::baselines

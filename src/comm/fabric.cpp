@@ -1,0 +1,204 @@
+#include "comm/fabric.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace bnsgcn::comm {
+
+std::int64_t RankStats::total_tx_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto b : tx_bytes) sum += b;
+  return sum;
+}
+
+std::int64_t RankStats::total_rx_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto b : rx_bytes) sum += b;
+  return sum;
+}
+
+double RankStats::sim_seconds(TrafficClass cls, const CostModel& cost) const {
+  const auto i = static_cast<int>(cls);
+  const double tx = static_cast<double>(tx_msgs[i]) * cost.latency_s +
+                    static_cast<double>(tx_bytes[i]) / cost.bytes_per_s;
+  const double rx = static_cast<double>(rx_msgs[i]) * cost.latency_s +
+                    static_cast<double>(rx_bytes[i]) / cost.bytes_per_s;
+  return std::max(tx, rx);
+}
+
+Fabric::Fabric(PartId nranks, CostModel cost)
+    : nranks_(nranks), cost_(cost),
+      barrier_(static_cast<std::size_t>(nranks)),
+      reduce_slots_(static_cast<std::size_t>(nranks)),
+      scalar_slots_(static_cast<std::size_t>(nranks), 0.0),
+      gather_slots_(static_cast<std::size_t>(nranks)) {
+  BNSGCN_CHECK(nranks >= 1);
+  mailboxes_.resize(static_cast<std::size_t>(nranks) *
+                    static_cast<std::size_t>(nranks));
+  for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
+  endpoints_.reserve(static_cast<std::size_t>(nranks));
+  for (PartId r = 0; r < nranks; ++r)
+    endpoints_.push_back(std::unique_ptr<Endpoint>(new Endpoint(*this, r)));
+}
+
+Endpoint& Fabric::endpoint(PartId rank) {
+  BNSGCN_CHECK(rank >= 0 && rank < nranks_);
+  return *endpoints_[static_cast<std::size_t>(rank)];
+}
+
+std::int64_t Fabric::total_rx_bytes(TrafficClass cls) const {
+  std::int64_t sum = 0;
+  for (const auto& ep : endpoints_)
+    sum += ep->stats().rx_bytes[static_cast<int>(cls)];
+  return sum;
+}
+
+void Fabric::reset_stats() {
+  for (auto& ep : endpoints_) ep->stats().reset();
+}
+
+Fabric::Message Fabric::take_matching(Mailbox& box, int tag) {
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    const auto it =
+        std::find_if(box.queue.begin(), box.queue.end(),
+                     [tag](const Message& m) { return m.tag == tag; });
+    if (it != box.queue.end()) {
+      Message msg = std::move(*it);
+      box.queue.erase(it);
+      return msg;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+PartId Endpoint::nranks() const { return fabric_.nranks(); }
+
+void Endpoint::send_floats(PartId to, int tag, std::vector<float> payload,
+                           TrafficClass cls) {
+  BNSGCN_CHECK(to >= 0 && to < fabric_.nranks() && to != rank_);
+  const auto bytes =
+      static_cast<std::int64_t>(payload.size() * sizeof(float));
+  stats_.tx_bytes[static_cast<int>(cls)] += bytes;
+  ++stats_.tx_msgs[static_cast<int>(cls)];
+  auto& peer = fabric_.endpoint(to).stats_;
+  // Receiver-side counters are written by the sender thread; the receiver
+  // only reads them after a barrier, so plain writes would race with other
+  // senders — guard with the mailbox lock below (same critical section).
+  auto& box = fabric_.mailbox(rank_, to);
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    peer.rx_bytes[static_cast<int>(cls)] += bytes;
+    ++peer.rx_msgs[static_cast<int>(cls)];
+    box.queue.push_back(
+        Fabric::Message{.tag = tag, .floats = std::move(payload), .ids = {}});
+  }
+  box.cv.notify_all();
+}
+
+std::vector<float> Endpoint::recv_floats(PartId from, int tag,
+                                         TrafficClass cls) {
+  (void)cls; // rx accounting happens on the sender side under the box lock
+  BNSGCN_CHECK(from >= 0 && from < fabric_.nranks() && from != rank_);
+  auto msg = fabric_.take_matching(fabric_.mailbox(from, rank_), tag);
+  return std::move(msg.floats);
+}
+
+void Endpoint::send_ids(PartId to, int tag, std::vector<NodeId> payload,
+                        TrafficClass cls) {
+  BNSGCN_CHECK(to >= 0 && to < fabric_.nranks() && to != rank_);
+  const auto bytes =
+      static_cast<std::int64_t>(payload.size() * sizeof(NodeId));
+  stats_.tx_bytes[static_cast<int>(cls)] += bytes;
+  ++stats_.tx_msgs[static_cast<int>(cls)];
+  auto& peer = fabric_.endpoint(to).stats_;
+  auto& box = fabric_.mailbox(rank_, to);
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    peer.rx_bytes[static_cast<int>(cls)] += bytes;
+    ++peer.rx_msgs[static_cast<int>(cls)];
+    box.queue.push_back(
+        Fabric::Message{.tag = tag, .floats = {}, .ids = std::move(payload)});
+  }
+  box.cv.notify_all();
+}
+
+std::vector<NodeId> Endpoint::recv_ids(PartId from, int tag,
+                                       TrafficClass cls) {
+  (void)cls;
+  BNSGCN_CHECK(from >= 0 && from < fabric_.nranks() && from != rank_);
+  auto msg = fabric_.take_matching(fabric_.mailbox(from, rank_), tag);
+  return std::move(msg.ids);
+}
+
+void Endpoint::barrier() { fabric_.barrier_.arrive_and_wait(); }
+
+void Endpoint::allreduce_sum(std::span<float> data, TrafficClass cls) {
+  auto& slot = fabric_.reduce_slots_[static_cast<std::size_t>(rank_)];
+  slot.assign(data.begin(), data.end());
+  barrier();
+  // Every rank reads all slots; writes finished before the barrier.
+  for (PartId r = 0; r < fabric_.nranks(); ++r) {
+    if (r == rank_) continue;
+    const auto& other = fabric_.reduce_slots_[static_cast<std::size_t>(r)];
+    BNSGCN_CHECK(other.size() == data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] += other[i];
+  }
+  // Ring-allreduce accounting: each rank moves 2*(n-1)/n of the payload.
+  const auto n = fabric_.nranks();
+  if (n > 1) {
+    const auto payload = static_cast<std::int64_t>(
+        2.0 * static_cast<double>(n - 1) / static_cast<double>(n) *
+        static_cast<double>(data.size() * sizeof(float)));
+    stats_.tx_bytes[static_cast<int>(cls)] += payload;
+    stats_.rx_bytes[static_cast<int>(cls)] += payload;
+    stats_.tx_msgs[static_cast<int>(cls)] += 2 * (n - 1);
+    stats_.rx_msgs[static_cast<int>(cls)] += 2 * (n - 1);
+  }
+  barrier(); // protect slots from the next collective
+}
+
+double Endpoint::allreduce_sum_scalar(double value) {
+  fabric_.scalar_slots_[static_cast<std::size_t>(rank_)] = value;
+  barrier();
+  double sum = 0.0;
+  for (const double v : fabric_.scalar_slots_) sum += v;
+  barrier();
+  return sum;
+}
+
+double Endpoint::allreduce_max_scalar(double value) {
+  fabric_.scalar_slots_[static_cast<std::size_t>(rank_)] = value;
+  barrier();
+  double mx = fabric_.scalar_slots_[0];
+  for (const double v : fabric_.scalar_slots_) mx = std::max(mx, v);
+  barrier();
+  return mx;
+}
+
+std::vector<std::vector<NodeId>> Endpoint::allgather_ids(
+    std::vector<NodeId> ids, TrafficClass cls) {
+  const auto own_bytes = static_cast<std::int64_t>(ids.size() * sizeof(NodeId));
+  fabric_.gather_slots_[static_cast<std::size_t>(rank_)] = std::move(ids);
+  barrier();
+  std::vector<std::vector<NodeId>> out(
+      static_cast<std::size_t>(fabric_.nranks()));
+  std::int64_t rx = 0;
+  for (PartId r = 0; r < fabric_.nranks(); ++r) {
+    out[static_cast<std::size_t>(r)] =
+        fabric_.gather_slots_[static_cast<std::size_t>(r)];
+    if (r != rank_)
+      rx += static_cast<std::int64_t>(out[static_cast<std::size_t>(r)].size() *
+                                      sizeof(NodeId));
+  }
+  const auto n = fabric_.nranks();
+  stats_.tx_bytes[static_cast<int>(cls)] += own_bytes * (n - 1);
+  stats_.rx_bytes[static_cast<int>(cls)] += rx;
+  stats_.tx_msgs[static_cast<int>(cls)] += n - 1;
+  stats_.rx_msgs[static_cast<int>(cls)] += n - 1;
+  barrier();
+  return out;
+}
+
+} // namespace bnsgcn::comm

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/types.hpp"
+#include "comm/cost_model.hpp"
+
+namespace bnsgcn::comm {
+
+/// Accounting category for traffic. The epoch breakdown (Fig. 5 / Table 6)
+/// separates boundary-feature exchange from gradient allreduce; the ROC and
+/// CAGNET proxies use their own classes so their extra traffic is visible.
+enum class TrafficClass : int {
+  kFeature = 0,   // boundary node features / feature gradients
+  kGradient = 1,  // model-gradient allreduce
+  kControl = 2,   // sampled-index broadcast and other metadata
+  kSwap = 3,      // ROC proxy: CPU<->GPU partition swaps
+  kBroadcast = 4, // CAGNET proxy: dense feature broadcast
+  kCount = 5
+};
+
+/// Per-rank traffic counters (bytes and messages per class, tx and rx).
+struct RankStats {
+  std::array<std::int64_t, static_cast<int>(TrafficClass::kCount)> tx_bytes{};
+  std::array<std::int64_t, static_cast<int>(TrafficClass::kCount)> rx_bytes{};
+  std::array<std::int64_t, static_cast<int>(TrafficClass::kCount)> tx_msgs{};
+  std::array<std::int64_t, static_cast<int>(TrafficClass::kCount)> rx_msgs{};
+
+  void reset() { *this = RankStats{}; }
+
+  [[nodiscard]] std::int64_t total_tx_bytes() const;
+  [[nodiscard]] std::int64_t total_rx_bytes() const;
+
+  /// Simulated seconds to move this traffic under `cost`, assuming full
+  /// duplex (send/recv overlap → max of the two directions).
+  [[nodiscard]] double sim_seconds(TrafficClass cls,
+                                   const CostModel& cost) const;
+};
+
+class Fabric;
+
+/// A rank's handle into the fabric. All calls are blocking and must be made
+/// from the thread owning the rank. Collectives must be entered by every
+/// rank (standard MPI-style contract).
+class Endpoint {
+ public:
+  [[nodiscard]] PartId rank() const { return rank_; }
+  [[nodiscard]] PartId nranks() const;
+
+  /// Tagged point-to-point. Payloads are moved through an in-process
+  /// mailbox; bytes are accounted on both ends.
+  void send_floats(PartId to, int tag, std::vector<float> payload,
+                   TrafficClass cls);
+  [[nodiscard]] std::vector<float> recv_floats(PartId from, int tag,
+                                               TrafficClass cls);
+  void send_ids(PartId to, int tag, std::vector<NodeId> payload,
+                TrafficClass cls);
+  [[nodiscard]] std::vector<NodeId> recv_ids(PartId from, int tag,
+                                             TrafficClass cls);
+
+  /// Collectives.
+  void barrier();
+  /// In-place sum across ranks; every rank ends with the same data.
+  void allreduce_sum(std::span<float> data,
+                     TrafficClass cls = TrafficClass::kGradient);
+  [[nodiscard]] double allreduce_sum_scalar(double value);
+  [[nodiscard]] double allreduce_max_scalar(double value);
+  /// Gather every rank's id list; result[r] is rank r's contribution.
+  [[nodiscard]] std::vector<std::vector<NodeId>> allgather_ids(
+      std::vector<NodeId> ids, TrafficClass cls = TrafficClass::kControl);
+
+  [[nodiscard]] RankStats& stats() { return stats_; }
+  [[nodiscard]] const RankStats& stats() const { return stats_; }
+
+ private:
+  friend class Fabric;
+  Endpoint(Fabric& fabric, PartId rank) : fabric_(fabric), rank_(rank) {}
+
+  Fabric& fabric_;
+  PartId rank_;
+  RankStats stats_;
+};
+
+/// In-process communication fabric over `nranks` logical ranks (one thread
+/// each). Substitutes for Gloo/NCCL; see DESIGN.md §1.
+class Fabric {
+ public:
+  explicit Fabric(PartId nranks, CostModel cost = CostModel::pcie3_x16());
+
+  [[nodiscard]] PartId nranks() const { return nranks_; }
+  [[nodiscard]] Endpoint& endpoint(PartId rank);
+  [[nodiscard]] const CostModel& cost_model() const { return cost_; }
+
+  /// Sum of a traffic class's rx bytes over all ranks (global volume).
+  [[nodiscard]] std::int64_t total_rx_bytes(TrafficClass cls) const;
+  void reset_stats();
+
+ private:
+  friend class Endpoint;
+
+  struct Message {
+    int tag = 0;
+    std::vector<float> floats;
+    std::vector<NodeId> ids;
+  };
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  Mailbox& mailbox(PartId from, PartId to) {
+    return *mailboxes_[static_cast<std::size_t>(from) *
+                           static_cast<std::size_t>(nranks_) +
+                       static_cast<std::size_t>(to)];
+  }
+  Message take_matching(Mailbox& box, int tag);
+
+  PartId nranks_;
+  CostModel cost_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+
+  // Collective scratch: per-rank contribution slots + two-phase barrier.
+  Barrier barrier_;
+  std::vector<std::vector<float>> reduce_slots_;
+  std::vector<double> scalar_slots_;
+  std::vector<std::vector<NodeId>> gather_slots_;
+};
+
+} // namespace bnsgcn::comm

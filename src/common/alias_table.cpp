@@ -1,0 +1,56 @@
+#include "common/alias_table.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace bnsgcn {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  BNSGCN_CHECK(n > 0);
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  BNSGCN_CHECK_MSG(total > 0.0, "alias table needs positive total weight");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  normalized_.resize(n);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BNSGCN_CHECK_MSG(weights[i] >= 0.0, "negative weight");
+    normalized_[i] = weights[i] / total;
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+
+  std::vector<NodeId> small;
+  std::vector<NodeId> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<NodeId>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const NodeId s = small.back();
+    small.pop_back();
+    const NodeId l = large.back();
+    large.pop_back();
+    prob_[static_cast<std::size_t>(s)] = scaled[static_cast<std::size_t>(s)];
+    alias_[static_cast<std::size_t>(s)] = l;
+    scaled[static_cast<std::size_t>(l)] =
+        scaled[static_cast<std::size_t>(l)] + scaled[static_cast<std::size_t>(s)] - 1.0;
+    (scaled[static_cast<std::size_t>(l)] < 1.0 ? small : large).push_back(l);
+  }
+  // Residual buckets are full due to floating-point rounding.
+  for (const NodeId i : large) prob_[static_cast<std::size_t>(i)] = 1.0;
+  for (const NodeId i : small) prob_[static_cast<std::size_t>(i)] = 1.0;
+}
+
+NodeId AliasTable::sample(Rng& rng) const {
+  const auto bucket =
+      static_cast<std::size_t>(rng.next_below(prob_.size()));
+  if (rng.next_double() < prob_[bucket]) return static_cast<NodeId>(bucket);
+  return alias_[bucket];
+}
+
+} // namespace bnsgcn

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace bnsgcn {
+
+/// Walker alias method: O(n) construction, O(1) sampling from a fixed
+/// discrete distribution. Used by the graph generators (degree-weighted
+/// endpoint selection) and by the importance samplers (FastGCN / LADIES).
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Build from non-negative weights. At least one weight must be > 0.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Sample an index with probability weights[i] / sum(weights).
+  [[nodiscard]] NodeId sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+  [[nodiscard]] bool empty() const { return prob_.empty(); }
+
+  /// Probability of index i (for inverse-probability reweighting).
+  [[nodiscard]] double probability(NodeId i) const {
+    return normalized_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  std::vector<double> prob_;       // acceptance probability per bucket
+  std::vector<NodeId> alias_;      // alias index per bucket
+  std::vector<double> normalized_; // original weights / sum
+};
+
+} // namespace bnsgcn

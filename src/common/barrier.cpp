@@ -1,0 +1,24 @@
+#include "common/barrier.hpp"
+
+#include "common/check.hpp"
+
+namespace bnsgcn {
+
+Barrier::Barrier(std::size_t parties) : parties_(parties) {
+  BNSGCN_CHECK(parties > 0);
+}
+
+bool Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::size_t gen = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return true;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen; });
+  return false;
+}
+
+} // namespace bnsgcn

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace bnsgcn {
+
+/// Reusable N-party barrier (generation-counted).
+///
+/// std::barrier exists in C++20 but its completion-function typing makes it
+/// awkward to store in containers; this minimal variant is sufficient and
+/// lets the fabric own one barrier per logical sync point.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties);
+
+  /// Blocks until all parties arrive. Returns true for exactly one caller
+  /// per generation (the "serial" thread), mirroring pthread_barrier.
+  bool arrive_and_wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t parties_;
+  std::size_t waiting_ = 0;
+  std::size_t generation_ = 0;
+};
+
+} // namespace bnsgcn

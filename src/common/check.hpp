@@ -1,0 +1,40 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bnsgcn {
+
+/// Thrown on violated preconditions / internal invariants.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+} // namespace detail
+} // namespace bnsgcn
+
+/// Always-on invariant check (library is used by tests that rely on it firing
+/// in release builds too).
+#define BNSGCN_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::bnsgcn::detail::check_failed(#expr, __FILE__, __LINE__, "");       \
+  } while (false)
+
+#define BNSGCN_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::bnsgcn::detail::check_failed(#expr, __FILE__, __LINE__, (msg));    \
+  } while (false)

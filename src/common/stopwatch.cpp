@@ -1,0 +1,5 @@
+#include "common/stopwatch.hpp"
+
+// Header-only in practice; this translation unit exists so the library has a
+// stable archive member and to keep the target layout uniform.
+namespace bnsgcn {} // namespace bnsgcn

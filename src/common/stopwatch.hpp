@@ -1,0 +1,51 @@
+#pragma once
+
+#include <chrono>
+
+namespace bnsgcn {
+
+/// Monotonic wall-clock stopwatch with pause/resume accumulation.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds since construction or last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop windows; used for the
+/// per-phase epoch breakdown (compute / communication / reduce / sample).
+class Accumulator {
+ public:
+  void start() { watch_.reset(); }
+  void stop() { total_s_ += watch_.elapsed_s(); }
+  void add(double seconds) { total_s_ += seconds; }
+  void reset() { total_s_ = 0.0; }
+  [[nodiscard]] double seconds() const { return total_s_; }
+
+ private:
+  Stopwatch watch_;
+  double total_s_ = 0.0;
+};
+
+/// RAII guard adding the scope's duration to an Accumulator.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Accumulator& acc) : acc_(acc) { acc_.start(); }
+  ~ScopedTimer() { acc_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Accumulator& acc_;
+};
+
+} // namespace bnsgcn

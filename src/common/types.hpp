@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+
+namespace bnsgcn {
+
+/// Node identifier. Graphs in this repo are bounded by the int32 range,
+/// matching the id width used by DGL/METIS for the paper's datasets.
+using NodeId = std::int32_t;
+
+/// Edge identifier / edge counts. Edge counts can exceed 2^31 for the
+/// papers100M-class presets, so they are 64-bit.
+using EdgeId = std::int64_t;
+
+/// Partition (rank) identifier.
+using PartId = std::int32_t;
+
+} // namespace bnsgcn

@@ -1,0 +1,192 @@
+#include "core/boundary_sampler.hpp"
+
+#include <algorithm>
+
+namespace bnsgcn::core {
+
+BoundarySampler::BoundarySampler(const LocalGraph& lg, const Options& opts)
+    : lg_(lg), opts_(opts), rng_(opts.seed) {
+  BNSGCN_CHECK(opts.rate >= 0.0f && opts.rate <= 1.0f);
+}
+
+EpochPlan BoundarySampler::plan_from_kept(
+    const std::vector<char>& halo_kept, const std::vector<char>* edge_kept) {
+  const NodeId n_in = lg_.n_inner();
+  const NodeId n_halo = lg_.n_halo();
+
+  EpochPlan plan;
+  // Compact halo ids: kept halo nodes keep their relative order.
+  std::vector<NodeId> compact(static_cast<std::size_t>(n_halo), -1);
+  NodeId next = 0;
+  for (NodeId h = 0; h < n_halo; ++h) {
+    if (halo_kept[static_cast<std::size_t>(h)]) {
+      compact[static_cast<std::size_t>(h)] = next++;
+      plan.kept_halo_idx.push_back(h);
+    }
+  }
+  plan.n_kept_halo = next;
+
+  // Compacted adjacency. Edge scaling (1/q) applies only to the edge
+  // variants; BNS scales whole received feature rows instead.
+  const bool edge_scaled =
+      edge_kept != nullptr && opts_.unbiased_scaling && opts_.rate > 0.0f;
+  const float q_inv = edge_scaled ? 1.0f / opts_.rate : 1.0f;
+
+  nn::BipartiteCsr& adj = plan.adj;
+  adj.n_dst = n_in;
+  adj.n_src = n_in + plan.n_kept_halo;
+  adj.offsets.assign(static_cast<std::size_t>(n_in) + 1, 0);
+  adj.nbrs.reserve(lg_.adj.nbrs.size());
+  const bool want_scale_vec = edge_kept != nullptr;
+  if (want_scale_vec) adj.edge_scale.reserve(lg_.adj.nbrs.size());
+
+  for (NodeId v = 0; v < n_in; ++v) {
+    const auto begin = static_cast<std::size_t>(
+        lg_.adj.offsets[static_cast<std::size_t>(v)]);
+    const auto end = static_cast<std::size_t>(
+        lg_.adj.offsets[static_cast<std::size_t>(v) + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const NodeId u = lg_.adj.nbrs[e];
+      if (edge_kept != nullptr && !(*edge_kept)[e]) continue; // dropped edge
+      if (u < n_in) {
+        adj.nbrs.push_back(u);
+        if (want_scale_vec)
+          adj.edge_scale.push_back(
+              (edge_kept != nullptr &&
+               opts_.variant == SamplingVariant::kDropEdge)
+                  ? q_inv
+                  : 1.0f);
+      } else {
+        const NodeId slot = compact[static_cast<std::size_t>(u - n_in)];
+        if (slot < 0) continue; // dropped halo node
+        adj.nbrs.push_back(n_in + slot);
+        if (want_scale_vec) adj.edge_scale.push_back(q_inv);
+      }
+    }
+    adj.offsets[static_cast<std::size_t>(v) + 1] =
+        static_cast<EdgeId>(adj.nbrs.size());
+  }
+  plan.dropped_edges =
+      static_cast<EdgeId>(lg_.adj.nbrs.size() - adj.nbrs.size());
+
+  // Per-peer send/recv lists are filled by sample_epoch (they need the
+  // negotiated kept positions); full_plan fills them structurally.
+  plan.send_rows.resize(static_cast<std::size_t>(lg_.nparts));
+  plan.recv_slots.resize(static_cast<std::size_t>(lg_.nparts));
+  for (PartId j = 0; j < lg_.nparts; ++j) {
+    for (const NodeId h : lg_.recv_halo[static_cast<std::size_t>(j)]) {
+      const NodeId slot = compact[static_cast<std::size_t>(h)];
+      if (slot >= 0)
+        plan.recv_slots[static_cast<std::size_t>(j)].push_back(slot);
+    }
+  }
+  return plan;
+}
+
+EpochPlan BoundarySampler::sample_epoch(comm::Endpoint& ep, int tag) {
+  const NodeId n_halo = lg_.n_halo();
+  std::vector<char> halo_kept(static_cast<std::size_t>(n_halo), 1);
+  std::vector<char> edge_kept;
+  const std::vector<char>* edge_kept_ptr = nullptr;
+
+  switch (opts_.variant) {
+    case SamplingVariant::kBns: {
+      // Algorithm 1 line 4: keep each boundary node with probability p.
+      for (NodeId h = 0; h < n_halo; ++h)
+        halo_kept[static_cast<std::size_t>(h)] =
+            rng_.next_bool(opts_.rate) ? 1 : 0;
+      break;
+    }
+    case SamplingVariant::kBoundaryEdge: {
+      // Keep each *boundary* edge with probability q; a halo node survives
+      // iff at least one incident edge survives (Section 4.3).
+      edge_kept.assign(lg_.adj.nbrs.size(), 1);
+      std::fill(halo_kept.begin(), halo_kept.end(), 0);
+      for (std::size_t e = 0; e < lg_.adj.nbrs.size(); ++e) {
+        const NodeId u = lg_.adj.nbrs[e];
+        if (u < lg_.n_inner()) continue; // inner edges untouched
+        if (rng_.next_bool(opts_.rate)) {
+          halo_kept[static_cast<std::size_t>(u - lg_.n_inner())] = 1;
+        } else {
+          edge_kept[e] = 0;
+        }
+      }
+      edge_kept_ptr = &edge_kept;
+      break;
+    }
+    case SamplingVariant::kDropEdge: {
+      // Keep every edge (inner ones too) with probability q.
+      edge_kept.assign(lg_.adj.nbrs.size(), 1);
+      std::fill(halo_kept.begin(), halo_kept.end(), 0);
+      for (std::size_t e = 0; e < lg_.adj.nbrs.size(); ++e) {
+        if (!rng_.next_bool(opts_.rate)) {
+          edge_kept[e] = 0;
+          continue;
+        }
+        const NodeId u = lg_.adj.nbrs[e];
+        if (u >= lg_.n_inner())
+          halo_kept[static_cast<std::size_t>(u - lg_.n_inner())] = 1;
+      }
+      edge_kept_ptr = &edge_kept;
+      break;
+    }
+  }
+
+  EpochPlan plan = plan_from_kept(halo_kept, edge_kept_ptr);
+  plan.halo_scale = (opts_.variant == SamplingVariant::kBns &&
+                     opts_.unbiased_scaling && opts_.rate > 0.0f)
+                        ? 1.0f / opts_.rate
+                        : 1.0f;
+
+  // Algorithm 1 lines 6-7: tell each owner which of its rows we kept.
+  // Both sides order the structural halo list identically (sorted by global
+  // id), so positions index straight into the owner's send set.
+  for (PartId j = 0; j < lg_.nparts; ++j) {
+    const auto& structural = lg_.recv_halo[static_cast<std::size_t>(j)];
+    if (structural.empty()) continue;
+    std::vector<NodeId> kept_positions;
+    kept_positions.reserve(structural.size());
+    for (std::size_t t = 0; t < structural.size(); ++t) {
+      if (halo_kept[static_cast<std::size_t>(structural[t])])
+        kept_positions.push_back(static_cast<NodeId>(t));
+    }
+    ep.send_ids(j, tag, std::move(kept_positions),
+                comm::TrafficClass::kControl);
+  }
+  for (PartId j = 0; j < lg_.nparts; ++j) {
+    const auto& our_rows = lg_.send_sets[static_cast<std::size_t>(j)];
+    if (our_rows.empty()) continue;
+    const auto positions = ep.recv_ids(j, tag, comm::TrafficClass::kControl);
+    auto& rows = plan.send_rows[static_cast<std::size_t>(j)];
+    rows.reserve(positions.size());
+    for (const NodeId t : positions) {
+      BNSGCN_CHECK(t >= 0 &&
+                   t < static_cast<NodeId>(our_rows.size()));
+      rows.push_back(our_rows[static_cast<std::size_t>(t)]);
+    }
+  }
+  return plan;
+}
+
+EpochPlan BoundarySampler::empty_plan() {
+  const std::vector<char> none(static_cast<std::size_t>(lg_.n_halo()), 0);
+  EpochPlan plan = plan_from_kept(none, nullptr);
+  plan.halo_scale = 1.0f;
+  return plan;
+}
+
+EpochPlan BoundarySampler::full_plan() const {
+  EpochPlan plan;
+  plan.adj = lg_.adj;
+  plan.n_kept_halo = lg_.n_halo();
+  plan.kept_halo_idx.resize(static_cast<std::size_t>(lg_.n_halo()));
+  for (NodeId h = 0; h < lg_.n_halo(); ++h)
+    plan.kept_halo_idx[static_cast<std::size_t>(h)] = h;
+  plan.halo_scale = 1.0f;
+  plan.send_rows = lg_.send_sets;
+  plan.recv_slots = lg_.recv_halo; // slot == halo index when nothing dropped
+  plan.dropped_edges = 0;
+  return plan;
+}
+
+} // namespace bnsgcn::core

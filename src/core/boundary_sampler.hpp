@@ -1,0 +1,70 @@
+#pragma once
+
+#include "comm/fabric.hpp"
+#include "core/local_graph.hpp"
+
+namespace bnsgcn::core {
+
+/// Which random subgraph is drawn each epoch (Section 3.2 / Section 4.3).
+enum class SamplingVariant {
+  kBns,          // the paper's method: drop boundary *nodes* w.p. 1-p
+  kBoundaryEdge, // BES ablation: drop boundary *edges* w.p. 1-q (Table 9)
+  kDropEdge,     // DropEdge ablation: drop *any* edge w.p. 1-q (Table 9)
+};
+
+/// One epoch's sampled exchange plan (Algorithm 1 lines 4-7 materialized):
+/// the compacted local adjacency plus, per peer, which inner rows to send
+/// and which compact halo slots the received rows land in.
+struct EpochPlan {
+  nn::BipartiteCsr adj;      // n_src = n_inner + n_kept_halo (compacted)
+  NodeId n_kept_halo = 0;
+  /// Original halo index of each compact slot (monotone; inspection/tests).
+  std::vector<NodeId> kept_halo_idx;
+  float halo_scale = 1.0f;   // 1/p applied to received features (BNS only)
+  std::vector<std::vector<NodeId>> send_rows;  // per peer: inner local rows
+  std::vector<std::vector<NodeId>> recv_slots; // per peer: halo slot in
+                                               // [0, n_kept_halo), ordered to
+                                               // match the sender's rows
+  /// Dropped (arc) count vs the full local graph — reporting for Table 9.
+  EdgeId dropped_edges = 0;
+};
+
+/// Per-rank boundary sampler. `sample_epoch` is a collective: every rank
+/// must call it in the same epoch order because the kept-index lists are
+/// exchanged through the fabric (Algorithm 1 line 6).
+class BoundarySampler {
+ public:
+  struct Options {
+    SamplingVariant variant = SamplingVariant::kBns;
+    float rate = 1.0f;           // p (kBns) or edge keep-rate q (others)
+    bool unbiased_scaling = true;// scale kept contributions by 1/rate
+    std::uint64_t seed = 1;      // split per rank by the caller
+  };
+
+  BoundarySampler(const LocalGraph& lg, const Options& opts);
+
+  /// Draw this epoch's plan and negotiate send/recv lists with all peers.
+  /// `tag` must be identical across ranks for the same epoch and unique
+  /// across exchanges (the trainer's phase counter).
+  [[nodiscard]] EpochPlan sample_epoch(comm::Endpoint& ep, int tag);
+
+  /// Unsampled plan (p=1): used for evaluation and as the fast path.
+  /// Needs no negotiation, which is why vanilla partition parallelism has
+  /// zero sampling overhead (Table 12, p=1 row).
+  [[nodiscard]] EpochPlan full_plan() const;
+
+  /// Fully isolated plan (p=0): every boundary node dropped, no exchange.
+  [[nodiscard]] EpochPlan empty_plan();
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+ private:
+  [[nodiscard]] EpochPlan plan_from_kept(const std::vector<char>& halo_kept,
+                                         const std::vector<char>* edge_kept);
+
+  const LocalGraph& lg_;
+  Options opts_;
+  Rng rng_;
+};
+
+} // namespace bnsgcn::core

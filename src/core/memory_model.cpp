@@ -1,0 +1,25 @@
+#include "core/memory_model.hpp"
+
+#include <algorithm>
+
+namespace bnsgcn::core {
+
+double MemoryReport::max_model_bytes() const {
+  double mx = 0.0;
+  for (const double b : model_bytes) mx = std::max(mx, b);
+  return mx;
+}
+
+std::int64_t MemoryReport::max_full_bytes() const {
+  std::int64_t mx = 0;
+  for (const std::int64_t b : full_bytes) mx = std::max(mx, b);
+  return mx;
+}
+
+double MemoryReport::reduction_vs_full() const {
+  const auto full = static_cast<double>(max_full_bytes());
+  if (full <= 0.0) return 0.0;
+  return 1.0 - max_model_bytes() / full;
+}
+
+} // namespace bnsgcn::core

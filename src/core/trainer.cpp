@@ -1,0 +1,564 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/stopwatch.hpp"
+#include "nn/adam.hpp"
+#include "nn/gat_layer.hpp"
+#include "nn/loss.hpp"
+#include "nn/sage_layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace bnsgcn::core {
+
+namespace {
+
+using comm::TrafficClass;
+
+/// Layer input dimensions of the configured stack (for Eq. 4).
+std::vector<std::int64_t> layer_input_dims(const TrainerConfig& cfg,
+                                           std::int64_t feat_dim) {
+  std::vector<std::int64_t> dims;
+  dims.push_back(feat_dim);
+  for (int l = 1; l < cfg.num_layers; ++l) dims.push_back(cfg.hidden);
+  return dims;
+}
+
+} // namespace
+
+std::vector<std::unique_ptr<nn::Layer>> build_model(const TrainerConfig& cfg,
+                                                    std::int64_t feat_dim,
+                                                    int num_classes,
+                                                    PartId rank) {
+  // Every rank seeds an identical stream so replicated weights start equal;
+  // dropout streams are split per (rank, layer) so masks are independent.
+  Rng init_rng(cfg.seed);
+  Rng dropout_base(cfg.seed ^ 0x5EEDFACEULL);
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  for (int l = 0; l < cfg.num_layers; ++l) {
+    const std::int64_t d_in = (l == 0) ? feat_dim : cfg.hidden;
+    const std::int64_t d_out =
+        (l == cfg.num_layers - 1) ? num_classes : cfg.hidden;
+    const bool last = (l == cfg.num_layers - 1);
+    if (cfg.model == ModelKind::kSage) {
+      auto layer = std::make_unique<nn::SageLayer>(
+          d_in, d_out,
+          nn::SageLayer::Options{.relu = !last,
+                                 .dropout = last ? 0.0f : cfg.dropout},
+          init_rng);
+      layer->set_dropout_rng(dropout_base.split(
+          static_cast<std::uint64_t>(rank) * 131 + static_cast<std::uint64_t>(l)));
+      layers.push_back(std::move(layer));
+    } else {
+      auto layer = std::make_unique<nn::GatLayer>(
+          d_in, d_out,
+          nn::GatLayer::Options{.heads = last ? 1 : cfg.gat_heads,
+                                .relu = !last,
+                                .dropout = last ? 0.0f : cfg.dropout},
+          init_rng);
+      layer->set_dropout_rng(dropout_base.split(
+          static_cast<std::uint64_t>(rank) * 131 + static_cast<std::uint64_t>(l)));
+      layers.push_back(std::move(layer));
+    }
+  }
+  return layers;
+}
+
+namespace {
+
+/// Delta of two traffic snapshots.
+comm::RankStats diff_stats(const comm::RankStats& now,
+                           const comm::RankStats& before) {
+  comm::RankStats d;
+  for (int c = 0; c < static_cast<int>(TrafficClass::kCount); ++c) {
+    d.tx_bytes[c] = now.tx_bytes[c] - before.tx_bytes[c];
+    d.rx_bytes[c] = now.rx_bytes[c] - before.rx_bytes[c];
+    d.tx_msgs[c] = now.tx_msgs[c] - before.tx_msgs[c];
+    d.rx_msgs[c] = now.rx_msgs[c] - before.rx_msgs[c];
+  }
+  return d;
+}
+
+/// Cross-thread scratch for per-epoch reductions (ranks write their slot,
+/// barrier, rank 0 reduces). Guarded purely by the fabric barriers.
+struct EpochScratch {
+  std::vector<double> compute_s, comm_s, reduce_s, sample_s, swap_s;
+  std::vector<std::int64_t> feature_rx, grad_rx, control_rx;
+  std::vector<std::int64_t> kept_halo;
+  std::vector<double> scalar; // generic slot (loss, metric sums)
+
+  explicit EpochScratch(PartId m)
+      : compute_s(static_cast<std::size_t>(m)),
+        comm_s(static_cast<std::size_t>(m)),
+        reduce_s(static_cast<std::size_t>(m)),
+        sample_s(static_cast<std::size_t>(m)),
+        swap_s(static_cast<std::size_t>(m)),
+        feature_rx(static_cast<std::size_t>(m)),
+        grad_rx(static_cast<std::size_t>(m)),
+        control_rx(static_cast<std::size_t>(m)),
+        kept_halo(static_cast<std::size_t>(m)),
+        scalar(static_cast<std::size_t>(m)) {}
+};
+
+/// Per-rank training state and logic. One instance per thread.
+class RankWorker {
+ public:
+  RankWorker(const Dataset& ds, const TrainerConfig& cfg,
+             const LocalGraph& lg, comm::Endpoint& ep, EpochScratch& scratch,
+             TrainResult& result)
+      : ds_(ds), cfg_(cfg), lg_(lg), ep_(ep), scratch_(scratch),
+        result_(result) {
+    const NodeId n_in = lg_.n_inner();
+    x_local_ = slice_rows(ds.features, lg_.inner_global);
+    if (ds.multilabel) {
+      targets_local_ = slice_rows(ds.multilabels, lg_.inner_global);
+    } else {
+      labels_local_.resize(static_cast<std::size_t>(n_in));
+      for (NodeId i = 0; i < n_in; ++i)
+        labels_local_[static_cast<std::size_t>(i)] =
+            ds.labels[static_cast<std::size_t>(
+                lg_.inner_global[static_cast<std::size_t>(i)])];
+    }
+    train_rows_ = local_rows_of(lg_, ds.train_nodes);
+    val_rows_ = local_rows_of(lg_, ds.val_nodes);
+    test_rows_ = local_rows_of(lg_, ds.test_nodes);
+
+    layers_ = build_model(cfg_, ds.feat_dim(), ds.num_classes, ep_.rank());
+    std::vector<Matrix*> params, grads;
+    for (auto& l : layers_) {
+      for (Matrix* p : l->params()) params.push_back(p);
+      for (Matrix* g : l->grads()) grads.push_back(g);
+    }
+    adam_.emplace(std::move(params), std::move(grads),
+                  nn::Adam::Options{.lr = cfg_.lr});
+
+    BoundarySampler::Options so;
+    so.variant = cfg_.variant;
+    so.rate = cfg_.sample_rate;
+    // GAT renormalizes attention over the kept neighbors — no 1/p scaling.
+    so.unbiased_scaling =
+        cfg_.unbiased_scaling && cfg_.model == ModelKind::kSage;
+    so.seed = Rng(cfg_.seed ^ 0xB01DFACEULL)
+                  .split(static_cast<std::uint64_t>(ep_.rank()))
+                  .next_u64();
+    sampler_.emplace(lg_, so);
+    full_plan_ = sampler_->full_plan();
+
+    const float n_train_global = static_cast<float>(ds.train_nodes.size());
+    inv_total_ = ds.multilabel
+                     ? 1.0f / (n_train_global *
+                               static_cast<float>(ds.num_classes))
+                     : 1.0f / n_train_global;
+  }
+
+  void run() {
+    if (ep_.rank() == 0) {
+      result_.train_loss.reserve(static_cast<std::size_t>(cfg_.epochs));
+      result_.epochs.reserve(static_cast<std::size_t>(cfg_.epochs));
+    }
+    ep_.barrier();
+    snap_ = ep_.stats();
+    ep_.barrier(); // no rank starts epoch 0 before all snapshots are read
+
+    for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+      const double loss = run_train_epoch(epoch);
+      if (ep_.rank() == 0) result_.train_loss.push_back(loss);
+
+      const bool last = (epoch == cfg_.epochs - 1);
+      if (last || (cfg_.eval_every > 0 && (epoch + 1) % cfg_.eval_every == 0)) {
+        const auto [val, test] = evaluate();
+        // Exclude evaluation traffic from the next epoch's breakdown: the
+        // first barrier orders every rank's eval sends before the snapshot
+        // reads, the second keeps next-epoch sends out of the reads.
+        ep_.barrier();
+        snap_ = ep_.stats();
+        ep_.barrier();
+        if (ep_.rank() == 0) {
+          result_.curve.push_back(
+              {.epoch = epoch + 1, .val = val, .test = test,
+               .train_loss = loss});
+          if (last) {
+            result_.final_val = val;
+            result_.final_test = test;
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  int next_tag() { return tag_seq_++; }
+
+  /// Gather + send this layer's rows, receive the (scaled) halo block and
+  /// return the assembled source-feature matrix [inner; halo].
+  Matrix exchange_forward(const Matrix& h_inner, const EpochPlan& plan,
+                          float scale, int tag) {
+    const std::int64_t d = h_inner.cols();
+    Matrix feats(lg_.n_inner() + plan.n_kept_halo, d);
+    std::copy(h_inner.data(), h_inner.data() + h_inner.size(), feats.data());
+
+    for (PartId j = 0; j < ep_.nranks(); ++j) {
+      const auto& rows = plan.send_rows[static_cast<std::size_t>(j)];
+      if (rows.empty()) continue;
+      std::vector<float> payload(rows.size() * static_cast<std::size_t>(d));
+      for (std::size_t t = 0; t < rows.size(); ++t) {
+        const float* s =
+            h_inner.data() + static_cast<std::int64_t>(rows[t]) * d;
+        std::copy(s, s + d, payload.data() + t * static_cast<std::size_t>(d));
+      }
+      ep_.send_floats(j, tag, std::move(payload), TrafficClass::kFeature);
+    }
+    for (PartId j = 0; j < ep_.nranks(); ++j) {
+      const auto& slots = plan.recv_slots[static_cast<std::size_t>(j)];
+      if (slots.empty()) continue;
+      const auto payload = ep_.recv_floats(j, tag, TrafficClass::kFeature);
+      BNSGCN_CHECK(payload.size() == slots.size() * static_cast<std::size_t>(d));
+      for (std::size_t t = 0; t < slots.size(); ++t) {
+        float* dst = feats.data() +
+                     (static_cast<std::int64_t>(lg_.n_inner()) +
+                      static_cast<std::int64_t>(slots[t])) * d;
+        const float* src = payload.data() + t * static_cast<std::size_t>(d);
+        for (std::int64_t c = 0; c < d; ++c) dst[c] = scale * src[c];
+      }
+    }
+    return feats;
+  }
+
+  /// Send halo-feature gradients back to their owners; returns the inner
+  /// gradient block with remote contributions scatter-added.
+  Matrix exchange_backward(const Matrix& dfeats, const EpochPlan& plan,
+                           float scale, int tag) {
+    const std::int64_t d = dfeats.cols();
+    const NodeId n_in = lg_.n_inner();
+
+    for (PartId j = 0; j < ep_.nranks(); ++j) {
+      const auto& slots = plan.recv_slots[static_cast<std::size_t>(j)];
+      if (slots.empty()) continue;
+      std::vector<float> payload(slots.size() * static_cast<std::size_t>(d));
+      for (std::size_t t = 0; t < slots.size(); ++t) {
+        const float* src =
+            dfeats.data() + (static_cast<std::int64_t>(n_in) +
+                             static_cast<std::int64_t>(slots[t])) * d;
+        float* dst = payload.data() + t * static_cast<std::size_t>(d);
+        for (std::int64_t c = 0; c < d; ++c) dst[c] = scale * src[c];
+      }
+      ep_.send_floats(j, tag, std::move(payload), TrafficClass::kFeature);
+    }
+
+    Matrix dh(n_in, d);
+    std::copy(dfeats.data(), dfeats.data() + static_cast<std::int64_t>(n_in) * d,
+              dh.data());
+    for (PartId j = 0; j < ep_.nranks(); ++j) {
+      const auto& rows = plan.send_rows[static_cast<std::size_t>(j)];
+      if (rows.empty()) continue;
+      const auto payload = ep_.recv_floats(j, tag, TrafficClass::kFeature);
+      BNSGCN_CHECK(payload.size() == rows.size() * static_cast<std::size_t>(d));
+      for (std::size_t t = 0; t < rows.size(); ++t) {
+        float* dst = dh.data() + static_cast<std::int64_t>(rows[t]) * d;
+        const float* src = payload.data() + t * static_cast<std::size_t>(d);
+        for (std::int64_t c = 0; c < d; ++c) dst[c] += src[c];
+      }
+    }
+    return dh;
+  }
+
+  /// ROC proxy: stage a layer activation block through the host, paying
+  /// PCIe-class traffic in both directions.
+  void host_swap(const Matrix& block) {
+    swap_staging_ = block; // real copy, as ROC pays a real transfer
+    auto& st = ep_.stats();
+    st.tx_bytes[static_cast<int>(TrafficClass::kSwap)] += block.bytes();
+    st.rx_bytes[static_cast<int>(TrafficClass::kSwap)] += block.bytes();
+    ++st.tx_msgs[static_cast<int>(TrafficClass::kSwap)];
+    ++st.rx_msgs[static_cast<int>(TrafficClass::kSwap)];
+  }
+
+  double run_train_epoch(int epoch) {
+    (void)epoch;
+    // Snapshots chain across epochs: a fast peer may begin its next epoch's
+    // sends before this rank reads a fresh snapshot, so "now" is never read
+    // at epoch *start* — each delta runs from the previous epoch's end.
+    const comm::RankStats before = snap_;
+    Accumulator compute_acc, sample_acc;
+
+    // ---- Sampling (Algorithm 1 lines 4-7) -----------------------------
+    EpochPlan sampled_plan;
+    const EpochPlan* plan_ptr = nullptr;
+    {
+      ScopedTimer t(sample_acc);
+      if (cfg_.variant == SamplingVariant::kBns && cfg_.sample_rate >= 1.0f) {
+        plan_ptr = &full_plan_; // vanilla partition parallelism: no overhead
+      } else if (cfg_.variant == SamplingVariant::kBns &&
+                 cfg_.sample_rate <= 0.0f) {
+        sampled_plan = sampler_->empty_plan();
+        plan_ptr = &sampled_plan;
+      } else {
+        sampled_plan = sampler_->sample_epoch(ep_, next_tag());
+        plan_ptr = &sampled_plan;
+      }
+    }
+    const EpochPlan& plan = *plan_ptr;
+    kept_halo_accum_ += plan.n_kept_halo;
+    ++epochs_run_;
+
+    // ---- Forward (Algorithm 1 lines 8-11) -----------------------------
+    const int L = cfg_.num_layers;
+    std::vector<Matrix> h(static_cast<std::size_t>(L) + 1);
+    h[0] = x_local_;
+    for (int l = 0; l < L; ++l) {
+      const int tag = next_tag();
+      Matrix feats = exchange_forward(h[static_cast<std::size_t>(l)], plan,
+                                      plan.halo_scale, tag);
+      if (cfg_.simulate_host_swap) host_swap(h[static_cast<std::size_t>(l)]);
+      {
+        ScopedTimer t(compute_acc);
+        h[static_cast<std::size_t>(l) + 1] =
+            layers_[static_cast<std::size_t>(l)]->forward(
+                plan.adj, feats, lg_.inv_full_degree, /*training=*/true);
+      }
+      if (cfg_.simulate_host_swap)
+        host_swap(h[static_cast<std::size_t>(l) + 1]);
+    }
+
+    // ---- Loss (line 12) ------------------------------------------------
+    Matrix dlogits;
+    double local_loss = 0.0;
+    {
+      ScopedTimer t(compute_acc);
+      const Matrix& logits = h[static_cast<std::size_t>(L)];
+      local_loss =
+          ds_.multilabel
+              ? nn::sigmoid_bce(logits, targets_local_, train_rows_,
+                                inv_total_, dlogits)
+              : nn::softmax_xent(logits, labels_local_, train_rows_,
+                                 inv_total_, dlogits);
+    }
+
+    // ---- Backward (line 13) ---------------------------------------------
+    for (auto& l : layers_) l->zero_grads();
+    Matrix grad = std::move(dlogits);
+    for (int l = L - 1; l >= 0; --l) {
+      Matrix dfeats;
+      {
+        ScopedTimer t(compute_acc);
+        dfeats = layers_[static_cast<std::size_t>(l)]->backward(
+            plan.adj, grad, lg_.inv_full_degree);
+      }
+      if (l == 0) break; // input-feature gradients are not needed
+      const int tag = next_tag();
+      grad = exchange_backward(dfeats, plan, plan.halo_scale, tag);
+    }
+
+    // ---- Gradient allreduce + update (lines 14-15) ----------------------
+    const comm::RankStats before_reduce = ep_.stats();
+    auto flat = nn::flatten_grads(layers_);
+    ep_.allreduce_sum(flat, TrafficClass::kGradient);
+    nn::apply_flat_grads(flat, layers_);
+    {
+      ScopedTimer t(compute_acc);
+      adam_->step();
+    }
+
+    const double loss_total = ep_.allreduce_sum_scalar(local_loss);
+
+    // ---- Per-epoch accounting -------------------------------------------
+    const comm::RankStats after = ep_.stats();
+    snap_ = after;
+    const comm::RankStats delta = diff_stats(after, before);
+    const comm::RankStats delta_reduce = diff_stats(after, before_reduce);
+    const PartId r = ep_.rank();
+    scratch_.compute_s[static_cast<std::size_t>(r)] = compute_acc.seconds();
+    scratch_.sample_s[static_cast<std::size_t>(r)] = sample_acc.seconds();
+    scratch_.comm_s[static_cast<std::size_t>(r)] =
+        delta.sim_seconds(TrafficClass::kFeature, cfg_.cost);
+    scratch_.reduce_s[static_cast<std::size_t>(r)] =
+        delta_reduce.sim_seconds(TrafficClass::kGradient, cfg_.cost);
+    scratch_.swap_s[static_cast<std::size_t>(r)] =
+        delta.sim_seconds(TrafficClass::kSwap, cfg_.cost);
+    scratch_.feature_rx[static_cast<std::size_t>(r)] =
+        delta.rx_bytes[static_cast<int>(TrafficClass::kFeature)];
+    scratch_.grad_rx[static_cast<std::size_t>(r)] =
+        delta.rx_bytes[static_cast<int>(TrafficClass::kGradient)];
+    scratch_.control_rx[static_cast<std::size_t>(r)] =
+        delta.rx_bytes[static_cast<int>(TrafficClass::kControl)];
+    ep_.barrier();
+    if (r == 0) {
+      EpochBreakdown eb;
+      const PartId m = ep_.nranks();
+      for (PartId i = 0; i < m; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        eb.compute_s = std::max(eb.compute_s, scratch_.compute_s[s]);
+        eb.comm_s = std::max(eb.comm_s, scratch_.comm_s[s]);
+        eb.reduce_s = std::max(eb.reduce_s, scratch_.reduce_s[s]);
+        eb.sample_s = std::max(eb.sample_s, scratch_.sample_s[s]);
+        eb.swap_s = std::max(eb.swap_s, scratch_.swap_s[s]);
+        eb.feature_bytes += scratch_.feature_rx[s];
+        eb.grad_bytes += scratch_.grad_rx[s];
+        eb.control_bytes += scratch_.control_rx[s];
+      }
+      result_.epochs.push_back(eb);
+    }
+    ep_.barrier();
+    return loss_total;
+  }
+
+  /// Full-exchange, no-dropout forward; distributed metric reduction.
+  std::pair<double, double> evaluate() {
+    const int L = cfg_.num_layers;
+    Matrix h = x_local_;
+    for (int l = 0; l < L; ++l) {
+      const int tag = next_tag();
+      Matrix feats = exchange_forward(h, full_plan_, 1.0f, tag);
+      h = layers_[static_cast<std::size_t>(l)]->forward(
+          full_plan_.adj, feats, lg_.inv_full_degree, /*training=*/false);
+    }
+    if (ds_.multilabel) {
+      const auto v = nn::f1_counts(h, targets_local_, val_rows_);
+      const auto t = nn::f1_counts(h, targets_local_, test_rows_);
+      const double vtp = ep_.allreduce_sum_scalar(static_cast<double>(v.tp));
+      const double vfp = ep_.allreduce_sum_scalar(static_cast<double>(v.fp));
+      const double vfn = ep_.allreduce_sum_scalar(static_cast<double>(v.fn));
+      const double ttp = ep_.allreduce_sum_scalar(static_cast<double>(t.tp));
+      const double tfp = ep_.allreduce_sum_scalar(static_cast<double>(t.fp));
+      const double tfn = ep_.allreduce_sum_scalar(static_cast<double>(t.fn));
+      const auto f1 = [](double tp, double fp, double fn) {
+        const double denom = 2 * tp + fp + fn;
+        return denom == 0.0 ? 0.0 : 2.0 * tp / denom;
+      };
+      return {f1(vtp, vfp, vfn), f1(ttp, tfp, tfn)};
+    }
+    const auto [vc, vt] = nn::accuracy_counts(h, labels_local_, val_rows_);
+    const auto [tc, tt] = nn::accuracy_counts(h, labels_local_, test_rows_);
+    const double val_correct = ep_.allreduce_sum_scalar(static_cast<double>(vc));
+    const double val_total = ep_.allreduce_sum_scalar(static_cast<double>(vt));
+    const double test_correct = ep_.allreduce_sum_scalar(static_cast<double>(tc));
+    const double test_total = ep_.allreduce_sum_scalar(static_cast<double>(tt));
+    return {val_total > 0 ? val_correct / val_total : 0.0,
+            test_total > 0 ? test_correct / test_total : 0.0};
+  }
+
+  const Dataset& ds_;
+  const TrainerConfig& cfg_;
+  const LocalGraph& lg_;
+  comm::Endpoint& ep_;
+  EpochScratch& scratch_;
+  TrainResult& result_;
+
+  Matrix x_local_;
+  std::vector<int> labels_local_;
+  Matrix targets_local_;
+  std::vector<NodeId> train_rows_, val_rows_, test_rows_;
+  std::vector<std::unique_ptr<nn::Layer>> layers_;
+  std::optional<nn::Adam> adam_;
+  std::optional<BoundarySampler> sampler_;
+  EpochPlan full_plan_;
+  Matrix swap_staging_;
+  float inv_total_ = 1.0f;
+  int tag_seq_ = 0;
+  double kept_halo_accum_ = 0.0;
+  int epochs_run_ = 0;
+  comm::RankStats snap_;
+
+ public:
+  [[nodiscard]] double mean_kept_halo() const {
+    return epochs_run_ > 0 ? kept_halo_accum_ / epochs_run_ : 0.0;
+  }
+};
+
+} // namespace
+
+EpochBreakdown TrainResult::mean_epoch() const {
+  EpochBreakdown mean;
+  if (epochs.empty()) return mean;
+  for (const auto& e : epochs) {
+    mean.compute_s += e.compute_s;
+    mean.comm_s += e.comm_s;
+    mean.reduce_s += e.reduce_s;
+    mean.sample_s += e.sample_s;
+    mean.swap_s += e.swap_s;
+    mean.feature_bytes += e.feature_bytes;
+    mean.grad_bytes += e.grad_bytes;
+    mean.control_bytes += e.control_bytes;
+  }
+  const auto n = static_cast<double>(epochs.size());
+  mean.compute_s /= n;
+  mean.comm_s /= n;
+  mean.reduce_s /= n;
+  mean.sample_s /= n;
+  mean.swap_s /= n;
+  mean.feature_bytes = static_cast<std::int64_t>(mean.feature_bytes / n);
+  mean.grad_bytes = static_cast<std::int64_t>(mean.grad_bytes / n);
+  mean.control_bytes = static_cast<std::int64_t>(mean.control_bytes / n);
+  return mean;
+}
+
+double TrainResult::sampler_overhead() const {
+  const auto mean = mean_epoch();
+  const double total = mean.total_s();
+  return total > 0.0 ? mean.sample_s / total : 0.0;
+}
+
+double TrainResult::throughput_eps() const {
+  const double t = mean_epoch().total_s();
+  return t > 0.0 ? 1.0 / t : 0.0;
+}
+
+BnsTrainer::BnsTrainer(const Dataset& ds, const Partitioning& part,
+                       TrainerConfig cfg)
+    : ds_(ds), cfg_(cfg), part_(part) {
+  BNSGCN_CHECK(cfg.num_layers >= 1);
+  BNSGCN_CHECK(cfg.sample_rate >= 0.0f && cfg.sample_rate <= 1.0f);
+  local_graphs_ = build_local_graphs(ds.graph, part_);
+}
+
+TrainResult BnsTrainer::train() {
+  const PartId m = part_.nparts;
+  comm::Fabric fabric(m, cfg_.cost);
+  EpochScratch scratch(m);
+  TrainResult result;
+
+  Stopwatch wall;
+  std::vector<std::unique_ptr<RankWorker>> workers(
+      static_cast<std::size_t>(m));
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(m));
+  threads.reserve(static_cast<std::size_t>(m));
+  for (PartId r = 0; r < m; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        workers[static_cast<std::size_t>(r)] = std::make_unique<RankWorker>(
+            ds_, cfg_, local_graphs_[static_cast<std::size_t>(r)],
+            fabric.endpoint(r), scratch, result);
+        workers[static_cast<std::size_t>(r)]->run();
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  result.wall_time_s = wall.elapsed_s();
+
+  // Memory report (Eq. 4): per rank, at the mean sampled halo and at full.
+  const auto dims = layer_input_dims(cfg_, ds_.feat_dim());
+  result.memory.model_bytes.assign(static_cast<std::size_t>(m), 0.0);
+  result.memory.full_bytes.assign(static_cast<std::size_t>(m), 0);
+  for (PartId r = 0; r < m; ++r) {
+    const auto& lg = local_graphs_[static_cast<std::size_t>(r)];
+    const double kept = workers[static_cast<std::size_t>(r)]->mean_kept_halo();
+    double model = 0.0;
+    for (const std::int64_t d : dims) {
+      model += (3.0 * lg.n_inner() + kept) * static_cast<double>(d) *
+               static_cast<double>(sizeof(float));
+    }
+    result.memory.model_bytes[static_cast<std::size_t>(r)] = model;
+    result.memory.full_bytes[static_cast<std::size_t>(r)] =
+        MemoryModel::epoch_bytes(lg.n_inner(), lg.n_halo(), dims);
+  }
+  return result;
+}
+
+} // namespace bnsgcn::core

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "comm/fabric.hpp"
+#include "core/boundary_sampler.hpp"
+#include "core/local_graph.hpp"
+#include "core/memory_model.hpp"
+#include "graph/dataset.hpp"
+
+namespace bnsgcn::core {
+
+enum class ModelKind { kSage, kGat };
+
+/// Configuration of a partition-parallel training run (Algorithm 1).
+struct TrainerConfig {
+  int num_layers = 2;
+  std::int64_t hidden = 64;
+  ModelKind model = ModelKind::kSage;
+  int gat_heads = 1;
+  float dropout = 0.0f;
+  float lr = 0.01f;
+  int epochs = 100;
+
+  /// Boundary sampling: p for kBns (p=1 → vanilla partition parallelism,
+  /// p=0 → fully isolated training), edge keep-rate q for the ablations.
+  float sample_rate = 1.0f;
+  SamplingVariant variant = SamplingVariant::kBns;
+  /// 1/p (or 1/q) unbiased rescaling of sampled contributions.
+  bool unbiased_scaling = true;
+
+  /// Evaluate val/test every k epochs (0 = final epoch only). Evaluation
+  /// always uses the full, unsampled exchange.
+  int eval_every = 0;
+
+  std::uint64_t seed = 1;
+  /// Compute-normalized PCIe model by default (see CostModel::scaled_pcie3).
+  comm::CostModel cost = comm::CostModel::scaled_pcie3();
+
+  /// ROC proxy: stage each layer's inner activations through a host swap
+  /// channel (kSwap traffic), reproducing Fig. 1(b)'s CPU-GPU swaps.
+  bool simulate_host_swap = false;
+};
+
+/// Per-epoch timing/traffic breakdown (Fig. 5 / Table 6 quantities).
+/// Times are bulk-synchronous: max over ranks per phase. `compute_s` is
+/// measured wall time of the local math; comm/reduce/swap are simulated
+/// from exact byte counts via the CostModel (DESIGN.md §1).
+struct EpochBreakdown {
+  double compute_s = 0.0;
+  double comm_s = 0.0;    // boundary feature/gradient exchange
+  double reduce_s = 0.0;  // model-gradient allreduce
+  double sample_s = 0.0;  // sampler: draw + index negotiation + compaction
+  double swap_s = 0.0;    // ROC proxy only
+  std::int64_t feature_bytes = 0; // global rx over all ranks
+  std::int64_t grad_bytes = 0;
+  std::int64_t control_bytes = 0;
+
+  [[nodiscard]] double total_s() const {
+    return compute_s + comm_s + reduce_s + sample_s + swap_s;
+  }
+};
+
+struct EvalPoint {
+  int epoch = 0;
+  double val = 0.0;  // accuracy or micro-F1 (dataset-dependent)
+  double test = 0.0;
+  double train_loss = 0.0;
+};
+
+struct TrainResult {
+  std::vector<double> train_loss;          // one per epoch (global mean)
+  std::vector<EvalPoint> curve;            // eval_every snapshots
+  double final_val = 0.0;
+  double final_test = 0.0;
+  std::vector<EpochBreakdown> epochs;
+  MemoryReport memory;
+  double wall_time_s = 0.0;
+
+  [[nodiscard]] EpochBreakdown mean_epoch() const;
+  /// Table 12 quantity: sampler time / total epoch time.
+  [[nodiscard]] double sampler_overhead() const;
+  /// Fig. 4 quantity under the cost model: epochs per simulated second.
+  [[nodiscard]] double throughput_eps() const;
+};
+
+/// Construct the configured layer stack (replicated per rank; all ranks and
+/// the single-process oracle build bit-identical initial weights for a given
+/// seed). Exposed so the baselines share the exact model definition.
+[[nodiscard]] std::vector<std::unique_ptr<nn::Layer>> build_model(
+    const TrainerConfig& cfg, std::int64_t feat_dim, int num_classes,
+    PartId rank);
+
+/// BNS-GCN: partition-parallel full-graph training with random boundary-node
+/// sampling (the paper's core contribution, Algorithm 1). Runs one thread
+/// per partition over an in-process Fabric.
+class BnsTrainer {
+ public:
+  BnsTrainer(const Dataset& ds, const Partitioning& part, TrainerConfig cfg);
+
+  [[nodiscard]] TrainResult train();
+
+  [[nodiscard]] const std::vector<LocalGraph>& local_graphs() const {
+    return local_graphs_;
+  }
+
+ private:
+  const Dataset& ds_;
+  TrainerConfig cfg_;
+  Partitioning part_;
+  std::vector<LocalGraph> local_graphs_;
+};
+
+} // namespace bnsgcn::core

@@ -1,0 +1,182 @@
+#include "core/variance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace bnsgcn::core {
+
+namespace {
+
+/// Exact mean aggregation z_v for the target nodes.
+Matrix exact_aggregation(const Csr& g, const Matrix& x,
+                         std::span<const NodeId> targets) {
+  const std::int64_t d = x.cols();
+  Matrix z(static_cast<std::int64_t>(targets.size()), d);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const NodeId v = targets[i];
+    float* o = z.data() + static_cast<std::int64_t>(i) * d;
+    const auto nb = g.neighbors(v);
+    if (nb.empty()) continue;
+    for (const NodeId u : nb) {
+      const float* s = x.data() + static_cast<std::int64_t>(u) * d;
+      for (std::int64_t c = 0; c < d; ++c) o[c] += s[c];
+    }
+    const float inv = 1.0f / static_cast<float>(nb.size());
+    for (std::int64_t c = 0; c < d; ++c) o[c] *= inv;
+  }
+  return z;
+}
+
+double frob_sq_diff(const Matrix& a, const Matrix& b) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const double diff = static_cast<double>(a.data()[i]) - b.data()[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+} // namespace
+
+VarianceReport measure_variance(const Csr& g, const Matrix& x,
+                                const Partitioning& part, PartId part_id,
+                                float p, int trials, std::uint64_t seed) {
+  BNSGCN_CHECK(p > 0.0f && p <= 1.0f);
+  BNSGCN_CHECK(trials > 0);
+  Rng rng(seed);
+  const std::int64_t d = x.cols();
+
+  // Target set V_i, boundary set B_i, neighbor set N_i.
+  std::vector<NodeId> targets;
+  for (NodeId v = 0; v < g.n; ++v)
+    if (part.owner[static_cast<std::size_t>(v)] == part_id)
+      targets.push_back(v);
+  std::vector<char> in_part(static_cast<std::size_t>(g.n), 0);
+  for (const NodeId v : targets) in_part[static_cast<std::size_t>(v)] = 1;
+
+  std::vector<NodeId> boundary;  // remote sources
+  std::vector<NodeId> neighbors; // all sources (N_i)
+  {
+    std::vector<char> seen(static_cast<std::size_t>(g.n), 0);
+    for (const NodeId v : targets) {
+      for (const NodeId u : g.neighbors(v)) {
+        if (seen[static_cast<std::size_t>(u)]) continue;
+        seen[static_cast<std::size_t>(u)] = 1;
+        neighbors.push_back(u);
+        if (!in_part[static_cast<std::size_t>(u)]) boundary.push_back(u);
+      }
+    }
+  }
+  std::vector<char> is_boundary(static_cast<std::size_t>(g.n), 0);
+  for (const NodeId u : boundary) is_boundary[static_cast<std::size_t>(u)] = 1;
+
+  const Matrix z_exact = exact_aggregation(g, x, targets);
+  const auto n_targets = static_cast<double>(targets.size());
+
+  VarianceReport rep;
+  rep.boundary_size = static_cast<NodeId>(boundary.size());
+  rep.neighbor_size = static_cast<NodeId>(neighbors.size());
+  rep.global_size = g.n;
+  rep.budget = std::max<NodeId>(
+      1, static_cast<NodeId>(std::lround(p * static_cast<double>(boundary.size()))));
+  const auto s = static_cast<double>(rep.budget);
+
+  Matrix z_hat(z_exact.rows(), z_exact.cols());
+
+  // ---- BNS: Bernoulli(p) over the boundary, inner sources exact ---------
+  {
+    std::vector<char> kept(static_cast<std::size_t>(g.n), 0);
+    double acc = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      for (const NodeId u : boundary)
+        kept[static_cast<std::size_t>(u)] = rng.next_bool(p) ? 1 : 0;
+      z_hat.zero();
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        const NodeId v = targets[i];
+        const auto nb = g.neighbors(v);
+        if (nb.empty()) continue;
+        float* o = z_hat.data() + static_cast<std::int64_t>(i) * d;
+        for (const NodeId u : nb) {
+          const float* sx = x.data() + static_cast<std::int64_t>(u) * d;
+          if (!is_boundary[static_cast<std::size_t>(u)]) {
+            for (std::int64_t c = 0; c < d; ++c) o[c] += sx[c];
+          } else if (kept[static_cast<std::size_t>(u)]) {
+            const float w = 1.0f / p;
+            for (std::int64_t c = 0; c < d; ++c) o[c] += w * sx[c];
+          }
+        }
+        const float inv = 1.0f / static_cast<float>(nb.size());
+        for (std::int64_t c = 0; c < d; ++c) o[c] *= inv;
+      }
+      acc += frob_sq_diff(z_hat, z_exact);
+    }
+    rep.bns = acc / trials / n_targets;
+  }
+
+  // ---- Layer sampling (LADIES-like over N_i, FastGCN-like over V) -------
+  const auto layer_sampled_variance = [&](const std::vector<NodeId>& pool) {
+    const double pi = std::min(1.0, s / static_cast<double>(pool.size()));
+    std::vector<char> kept(static_cast<std::size_t>(g.n), 0);
+    double acc = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      for (const NodeId u : pool)
+        kept[static_cast<std::size_t>(u)] = rng.next_bool(pi) ? 1 : 0;
+      z_hat.zero();
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        const NodeId v = targets[i];
+        const auto nb = g.neighbors(v);
+        if (nb.empty()) continue;
+        float* o = z_hat.data() + static_cast<std::int64_t>(i) * d;
+        const float w = static_cast<float>(1.0 / pi);
+        for (const NodeId u : nb) {
+          if (!kept[static_cast<std::size_t>(u)]) continue;
+          const float* sx = x.data() + static_cast<std::int64_t>(u) * d;
+          for (std::int64_t c = 0; c < d; ++c) o[c] += w * sx[c];
+        }
+        const float inv = 1.0f / static_cast<float>(nb.size());
+        for (std::int64_t c = 0; c < d; ++c) o[c] *= inv;
+      }
+      acc += frob_sq_diff(z_hat, z_exact);
+      for (const NodeId u : pool) kept[static_cast<std::size_t>(u)] = 0;
+    }
+    return acc / trials / n_targets;
+  };
+  rep.ladies_like = layer_sampled_variance(neighbors);
+  {
+    std::vector<NodeId> all(static_cast<std::size_t>(g.n));
+    for (NodeId v = 0; v < g.n; ++v) all[static_cast<std::size_t>(v)] = v;
+    rep.fastgcn_like = layer_sampled_variance(all);
+  }
+
+  // ---- GraphSAGE-like neighbor sampling ---------------------------------
+  {
+    const auto fanout = std::max<std::int64_t>(
+        1, std::llround(s / std::max(1.0, n_targets)));
+    double acc = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      z_hat.zero();
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        const NodeId v = targets[i];
+        const auto nb = g.neighbors(v);
+        if (nb.empty()) continue;
+        float* o = z_hat.data() + static_cast<std::int64_t>(i) * d;
+        for (std::int64_t k = 0; k < fanout; ++k) {
+          const NodeId u = nb[static_cast<std::size_t>(
+              rng.next_below(nb.size()))];
+          const float* sx = x.data() + static_cast<std::int64_t>(u) * d;
+          for (std::int64_t c = 0; c < d; ++c) o[c] += sx[c];
+        }
+        const float inv = 1.0f / static_cast<float>(fanout);
+        for (std::int64_t c = 0; c < d; ++c) o[c] *= inv;
+      }
+      acc += frob_sq_diff(z_hat, z_exact);
+    }
+    rep.sage_like = acc / trials / n_targets;
+  }
+  return rep;
+}
+
+} // namespace bnsgcn::core

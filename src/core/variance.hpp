@@ -1,0 +1,38 @@
+#pragma once
+
+#include "graph/csr.hpp"
+#include "partition/partitioning.hpp"
+#include "tensor/matrix.hpp"
+
+namespace bnsgcn::core {
+
+/// Empirical counterpart of the paper's Table 2: the feature-approximation
+/// variance E‖ẑ − z‖²_F / |V_i| of one mean-aggregation layer on partition
+/// `part_id`, under four sampling families at a matched sampling budget
+/// (expected sampled-node count = p·|B_i|):
+///  - BNS: keep each boundary node w.p. p, scale kept features by 1/p;
+///  - LADIES-like layer sampling: draw s nodes from the *neighbor set* N_i
+///    (all aggregation sources of V_i), inverse-probability weighted;
+///  - FastGCN-like layer sampling: draw s nodes from the *global* node set;
+///  - GraphSAGE-like neighbor sampling: per-node fanout k ≈ s/|V_i| drawn
+///    with replacement from each node's neighbor list.
+/// The paper's ordering Var(BNS) ≤ Var(LADIES) ≤ Var(FastGCN) follows from
+/// B_i ⊆ N_i ⊆ V; this module verifies it numerically.
+struct VarianceReport {
+  double bns = 0.0;
+  double ladies_like = 0.0;
+  double fastgcn_like = 0.0;
+  double sage_like = 0.0;
+  NodeId budget = 0;        // expected sampled nodes per method
+  NodeId boundary_size = 0; // |B_i|
+  NodeId neighbor_size = 0; // |N_i|
+  NodeId global_size = 0;   // |V|
+};
+
+[[nodiscard]] VarianceReport measure_variance(const Csr& g,
+                                              const Matrix& features,
+                                              const Partitioning& part,
+                                              PartId part_id, float p,
+                                              int trials, std::uint64_t seed);
+
+} // namespace bnsgcn::core

@@ -1,0 +1,101 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace bnsgcn {
+
+bool Csr::has_edge(NodeId u, NodeId v) const {
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+void Csr::validate() const {
+  BNSGCN_CHECK(static_cast<NodeId>(offsets.size()) == n + 1);
+  BNSGCN_CHECK(offsets.front() == 0);
+  BNSGCN_CHECK(offsets.back() == static_cast<EdgeId>(nbrs.size()));
+  for (NodeId v = 0; v < n; ++v) {
+    BNSGCN_CHECK(offsets[static_cast<std::size_t>(v)] <=
+                 offsets[static_cast<std::size_t>(v) + 1]);
+    const auto nb = neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      BNSGCN_CHECK(nb[i] >= 0 && nb[i] < n);
+      if (i > 0) BNSGCN_CHECK_MSG(nb[i - 1] < nb[i], "unsorted or duplicate");
+    }
+  }
+}
+
+void CooBuilder::add_edge(NodeId u, NodeId v) {
+  BNSGCN_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+  edges_.emplace_back(u, v);
+}
+
+Csr CooBuilder::build(const Options& opts) {
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  arcs.reserve(edges_.size() * (opts.symmetrize ? 2 : 1));
+  for (const auto& [u, v] : edges_) {
+    if (opts.drop_self_loops && u == v) continue;
+    arcs.emplace_back(u, v);
+    if (opts.symmetrize && u != v) arcs.emplace_back(v, u);
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+  Csr g;
+  g.n = n_;
+  g.offsets.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& [u, v] : arcs) {
+    (void)v;
+    ++g.offsets[static_cast<std::size_t>(u) + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets.size(); ++i)
+    g.offsets[i] += g.offsets[i - 1];
+  g.nbrs.resize(arcs.size());
+  for (std::size_t i = 0; i < arcs.size(); ++i) g.nbrs[i] = arcs[i].second;
+  return g;
+}
+
+InducedSubgraph induced_subgraph(const Csr& g, std::span<const NodeId> nodes) {
+  std::vector<NodeId> global_to_local(static_cast<std::size_t>(g.n), -1);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    BNSGCN_CHECK(nodes[i] >= 0 && nodes[i] < g.n);
+    BNSGCN_CHECK_MSG(global_to_local[static_cast<std::size_t>(nodes[i])] == -1,
+                     "duplicate node in induced set");
+    global_to_local[static_cast<std::size_t>(nodes[i])] =
+        static_cast<NodeId>(i);
+  }
+
+  InducedSubgraph out;
+  out.local_to_global.assign(nodes.begin(), nodes.end());
+  Csr& sg = out.adj;
+  sg.n = static_cast<NodeId>(nodes.size());
+  sg.offsets.assign(nodes.size() + 1, 0);
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (const NodeId u : g.neighbors(nodes[i])) {
+      if (global_to_local[static_cast<std::size_t>(u)] >= 0)
+        ++sg.offsets[i + 1];
+    }
+  }
+  for (std::size_t i = 1; i < sg.offsets.size(); ++i)
+    sg.offsets[i] += sg.offsets[i - 1];
+  sg.nbrs.resize(static_cast<std::size_t>(sg.offsets.back()));
+  std::vector<EdgeId> cursor(sg.offsets.begin(), sg.offsets.end() - 1);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (const NodeId u : g.neighbors(nodes[i])) {
+      const NodeId lu = global_to_local[static_cast<std::size_t>(u)];
+      if (lu >= 0) sg.nbrs[static_cast<std::size_t>(cursor[i]++)] = lu;
+    }
+  }
+  // Neighbor lists inherit sortedness only if the local ids are monotone in
+  // the global order, which `nodes` need not be — sort each list.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::sort(sg.nbrs.begin() + static_cast<std::ptrdiff_t>(sg.offsets[i]),
+              sg.nbrs.begin() + static_cast<std::ptrdiff_t>(sg.offsets[i + 1]));
+  }
+  return out;
+}
+
+} // namespace bnsgcn

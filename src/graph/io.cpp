@@ -1,0 +1,137 @@
+#include "graph/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace bnsgcn {
+
+namespace {
+
+constexpr std::uint32_t kCsrMagic = 0x42475243;     // "CRGB"
+constexpr std::uint32_t kDatasetMagic = 0x42475244; // "DRGB"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  BNSGCN_CHECK_MSG(static_cast<bool>(is), "truncated file");
+  return value;
+}
+
+template <typename T>
+void write_vec(std::ofstream& os, const std::vector<T>& v) {
+  write_pod(os, static_cast<std::uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::ifstream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  std::vector<T> v(static_cast<std::size_t>(n));
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  BNSGCN_CHECK_MSG(static_cast<bool>(is), "truncated file");
+  return v;
+}
+
+void write_matrix(std::ofstream& os, const Matrix& m) {
+  write_pod(os, m.rows());
+  write_pod(os, m.cols());
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+Matrix read_matrix(std::ifstream& is) {
+  const auto rows = read_pod<std::int64_t>(is);
+  const auto cols = read_pod<std::int64_t>(is);
+  BNSGCN_CHECK(rows >= 0 && cols >= 0);
+  Matrix m(rows, cols);
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(float)));
+  BNSGCN_CHECK_MSG(static_cast<bool>(is), "truncated file");
+  return m;
+}
+
+void write_csr_body(std::ofstream& os, const Csr& g) {
+  write_pod(os, g.n);
+  write_vec(os, g.offsets);
+  write_vec(os, g.nbrs);
+}
+
+Csr read_csr_body(std::ifstream& is) {
+  Csr g;
+  g.n = read_pod<NodeId>(is);
+  g.offsets = read_vec<EdgeId>(is);
+  g.nbrs = read_vec<NodeId>(is);
+  g.validate();
+  return g;
+}
+
+} // namespace
+
+void save_csr(const Csr& g, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  BNSGCN_CHECK_MSG(static_cast<bool>(os), "cannot open " + path);
+  write_pod(os, kCsrMagic);
+  write_pod(os, kVersion);
+  write_csr_body(os, g);
+  BNSGCN_CHECK_MSG(static_cast<bool>(os), "write failed: " + path);
+}
+
+Csr load_csr(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  BNSGCN_CHECK_MSG(static_cast<bool>(is), "cannot open " + path);
+  BNSGCN_CHECK_MSG(read_pod<std::uint32_t>(is) == kCsrMagic, "bad magic");
+  BNSGCN_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion, "bad version");
+  return read_csr_body(is);
+}
+
+void save_dataset(const Dataset& ds, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  BNSGCN_CHECK_MSG(static_cast<bool>(os), "cannot open " + path);
+  write_pod(os, kDatasetMagic);
+  write_pod(os, kVersion);
+  write_vec(os, std::vector<char>(ds.name.begin(), ds.name.end()));
+  write_csr_body(os, ds.graph);
+  write_matrix(os, ds.features);
+  write_pod(os, ds.num_classes);
+  write_pod(os, static_cast<std::uint8_t>(ds.multilabel ? 1 : 0));
+  write_vec(os, ds.labels);
+  write_matrix(os, ds.multilabels);
+  write_vec(os, ds.train_nodes);
+  write_vec(os, ds.val_nodes);
+  write_vec(os, ds.test_nodes);
+  BNSGCN_CHECK_MSG(static_cast<bool>(os), "write failed: " + path);
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  BNSGCN_CHECK_MSG(static_cast<bool>(is), "cannot open " + path);
+  BNSGCN_CHECK_MSG(read_pod<std::uint32_t>(is) == kDatasetMagic, "bad magic");
+  BNSGCN_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion, "bad version");
+  Dataset ds;
+  const auto name = read_vec<char>(is);
+  ds.name.assign(name.begin(), name.end());
+  ds.graph = read_csr_body(is);
+  ds.features = read_matrix(is);
+  ds.num_classes = read_pod<int>(is);
+  ds.multilabel = read_pod<std::uint8_t>(is) != 0;
+  ds.labels = read_vec<int>(is);
+  ds.multilabels = read_matrix(is);
+  ds.train_nodes = read_vec<NodeId>(is);
+  ds.val_nodes = read_vec<NodeId>(is);
+  ds.test_nodes = read_vec<NodeId>(is);
+  ds.validate();
+  return ds;
+}
+
+} // namespace bnsgcn

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "graph/dataset.hpp"
+
+namespace bnsgcn {
+
+/// Binary serialization for graphs and datasets (preprocessing — graph
+/// generation and METIS partitioning — is meant to run once and be reused
+/// across training runs, as in the paper's artifact).
+///
+/// Format: little-endian, a small magic/version header, then raw arrays.
+/// Not portable across endianness; intended for local caching.
+
+void save_csr(const Csr& g, const std::string& path);
+[[nodiscard]] Csr load_csr(const std::string& path);
+
+void save_dataset(const Dataset& ds, const std::string& path);
+[[nodiscard]] Dataset load_dataset(const std::string& path);
+
+} // namespace bnsgcn

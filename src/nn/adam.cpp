@@ -1,0 +1,52 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace bnsgcn::nn {
+
+Adam::Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads,
+           const Options& opts)
+    : opts_(opts), params_(std::move(params)), grads_(std::move(grads)) {
+  BNSGCN_CHECK(params_.size() == grads_.size());
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Matrix* p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const auto t = static_cast<float>(t_);
+  const float bias1 = 1.0f - std::pow(opts_.beta1, t);
+  const float bias2 = 1.0f - std::pow(opts_.beta2, t);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Matrix& p = *params_[i];
+    const Matrix& g = *grads_[i];
+    BNSGCN_CHECK(p.size() == g.size());
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    float* pp = p.data();
+    const float* pg = g.data();
+    float* pm = m.data();
+    float* pv = v.data();
+    const std::int64_t n = p.size();
+    for (std::int64_t j = 0; j < n; ++j) {
+      float grad = pg[j] + opts_.weight_decay * pp[j];
+      pm[j] = opts_.beta1 * pm[j] + (1.0f - opts_.beta1) * grad;
+      pv[j] = opts_.beta2 * pv[j] + (1.0f - opts_.beta2) * grad * grad;
+      const float mhat = pm[j] / bias1;
+      const float vhat = pv[j] / bias2;
+      pp[j] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
+    }
+  }
+}
+
+void Adam::zero_grads() {
+  for (Matrix* g : grads_) g->zero();
+}
+
+} // namespace bnsgcn::nn

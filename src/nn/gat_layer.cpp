@@ -1,0 +1,213 @@
+#include "nn/gat_layer.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace bnsgcn::nn {
+
+GatLayer::GatLayer(std::int64_t d_in, std::int64_t d_out, const Options& opts,
+                   Rng& rng)
+    : Layer(d_in, d_out), opts_(opts), dropout_rng_(rng.next_u64()) {
+  BNSGCN_CHECK(opts.heads >= 1 && d_out % opts.heads == 0);
+  d_head_ = d_out / opts.heads;
+  heads_.resize(static_cast<std::size_t>(opts.heads));
+  for (auto& h : heads_) {
+    h.w.resize(d_in, d_head_);
+    ops::glorot_init(h.w, rng);
+    h.a_src.resize(d_head_, 1);
+    h.a_dst.resize(d_head_, 1);
+    ops::glorot_init(h.a_src, rng);
+    ops::glorot_init(h.a_dst, rng);
+    h.dw.resize(d_in, d_head_);
+    h.da_src.resize(d_head_, 1);
+    h.da_dst.resize(d_head_, 1);
+  }
+}
+
+std::vector<Matrix*> GatLayer::params() {
+  std::vector<Matrix*> out;
+  for (auto& h : heads_) {
+    out.push_back(&h.w);
+    out.push_back(&h.a_src);
+    out.push_back(&h.a_dst);
+  }
+  return out;
+}
+
+std::vector<Matrix*> GatLayer::grads() {
+  std::vector<Matrix*> out;
+  for (auto& h : heads_) {
+    out.push_back(&h.dw);
+    out.push_back(&h.da_src);
+    out.push_back(&h.da_dst);
+  }
+  return out;
+}
+
+Matrix GatLayer::forward(const BipartiteCsr& adj, const Matrix& feats,
+                         std::span<const float> inv_deg, bool training) {
+  (void)inv_deg; // attention renormalizes; see class comment
+  BNSGCN_CHECK(feats.cols() == d_in_ && feats.rows() == adj.n_src);
+  cached_training_ = training;
+  feats_cache_ = feats;
+
+  const std::size_t n_entries =
+      static_cast<std::size_t>(adj.num_edges()) +
+      static_cast<std::size_t>(adj.n_dst);
+  Matrix out(adj.n_dst, d_out_);
+
+  for (std::size_t hi = 0; hi < heads_.size(); ++hi) {
+    Head& h = heads_[hi];
+    h.wh.resize(adj.n_src, d_head_);
+    ops::gemm_nn(feats, h.w, h.wh);
+
+    h.s_src.assign(static_cast<std::size_t>(adj.n_src), 0.0f);
+    h.s_dst.assign(static_cast<std::size_t>(adj.n_dst), 0.0f);
+    for (NodeId u = 0; u < adj.n_src; ++u) {
+      const float* row = h.wh.data() + static_cast<std::int64_t>(u) * d_head_;
+      float acc = 0.0f;
+      for (std::int64_t c = 0; c < d_head_; ++c)
+        acc += row[c] * h.a_src.data()[c];
+      h.s_src[static_cast<std::size_t>(u)] = acc;
+    }
+    for (NodeId v = 0; v < adj.n_dst; ++v) {
+      const float* row = h.wh.data() + static_cast<std::int64_t>(v) * d_head_;
+      float acc = 0.0f;
+      for (std::int64_t c = 0; c < d_head_; ++c)
+        acc += row[c] * h.a_dst.data()[c];
+      h.s_dst[static_cast<std::size_t>(v)] = acc;
+    }
+
+    h.alpha.assign(n_entries, 0.0f);
+    h.slope.assign(n_entries, 0.0f);
+
+    for (NodeId v = 0; v < adj.n_dst; ++v) {
+      const auto nb = adj.neighbors(v);
+      const std::size_t base = entry_offset(adj, v);
+      const std::size_t cnt = nb.size() + 1; // + self
+      // scores
+      float mx = -1e30f;
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const NodeId u = (i < nb.size()) ? nb[i] : v;
+        float e = h.s_src[static_cast<std::size_t>(u)] +
+                  h.s_dst[static_cast<std::size_t>(v)];
+        if (e > 0.0f) {
+          h.slope[base + i] = 1.0f;
+        } else {
+          e *= opts_.leaky_slope;
+          h.slope[base + i] = opts_.leaky_slope;
+        }
+        h.alpha[base + i] = e;
+        mx = std::max(mx, e);
+      }
+      // softmax
+      float sum = 0.0f;
+      for (std::size_t i = 0; i < cnt; ++i) {
+        h.alpha[base + i] = std::exp(h.alpha[base + i] - mx);
+        sum += h.alpha[base + i];
+      }
+      const float inv = 1.0f / sum;
+      for (std::size_t i = 0; i < cnt; ++i) h.alpha[base + i] *= inv;
+      // weighted combine
+      float* o = out.data() + static_cast<std::int64_t>(v) * d_out_ +
+                 static_cast<std::int64_t>(hi) * d_head_;
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const NodeId u = (i < nb.size()) ? nb[i] : v;
+        const float a = h.alpha[base + i];
+        const float* s = h.wh.data() + static_cast<std::int64_t>(u) * d_head_;
+        for (std::int64_t c = 0; c < d_head_; ++c) o[c] += a * s[c];
+      }
+    }
+  }
+
+  if (opts_.relu) ops::relu_forward(out, relu_mask_);
+  if (training && opts_.dropout > 0.0f) {
+    ops::dropout_forward(out, dropout_mask_, opts_.dropout, dropout_rng_);
+  } else {
+    dropout_mask_.resize(0, 0);
+  }
+  return out;
+}
+
+Matrix GatLayer::backward(const BipartiteCsr& adj, const Matrix& dout,
+                          std::span<const float> inv_deg) {
+  (void)inv_deg;
+  BNSGCN_CHECK(dout.rows() == adj.n_dst && dout.cols() == d_out_);
+  Matrix g = dout;
+  if (cached_training_ && !dropout_mask_.empty())
+    ops::dropout_backward(g, dropout_mask_);
+  if (opts_.relu) ops::relu_backward(g, relu_mask_);
+
+  Matrix dfeats(adj.n_src, d_in_);
+
+  for (std::size_t hi = 0; hi < heads_.size(); ++hi) {
+    Head& h = heads_[hi];
+    Matrix dwh(adj.n_src, d_head_);
+    std::vector<float> ds_src(static_cast<std::size_t>(adj.n_src), 0.0f);
+    std::vector<float> ds_dst(static_cast<std::size_t>(adj.n_dst), 0.0f);
+
+    for (NodeId v = 0; v < adj.n_dst; ++v) {
+      const auto nb = adj.neighbors(v);
+      const std::size_t base = entry_offset(adj, v);
+      const std::size_t cnt = nb.size() + 1;
+      const float* gv = g.data() + static_cast<std::int64_t>(v) * d_out_ +
+                        static_cast<std::int64_t>(hi) * d_head_;
+
+      // dα_vu = <g_v, Wh_u>; also the α·g contribution to dWh_u.
+      float dot_sum = 0.0f; // Σ_k α_vk dα_vk for softmax backward
+      // First pass: compute dα and accumulate α-weighted dWh.
+      // (store dα temporarily in a small stack buffer)
+      std::vector<float> dalpha(cnt);
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const NodeId u = (i < nb.size()) ? nb[i] : v;
+        const float* whu =
+            h.wh.data() + static_cast<std::int64_t>(u) * d_head_;
+        float da = 0.0f;
+        for (std::int64_t c = 0; c < d_head_; ++c) da += gv[c] * whu[c];
+        dalpha[i] = da;
+        dot_sum += h.alpha[base + i] * da;
+        float* t = dwh.data() + static_cast<std::int64_t>(u) * d_head_;
+        const float a = h.alpha[base + i];
+        for (std::int64_t c = 0; c < d_head_; ++c) t[c] += a * gv[c];
+      }
+      // Softmax + LeakyReLU backward into the score sums.
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const NodeId u = (i < nb.size()) ? nb[i] : v;
+        const float de =
+            h.alpha[base + i] * (dalpha[i] - dot_sum) * h.slope[base + i];
+        ds_src[static_cast<std::size_t>(u)] += de;
+        ds_dst[static_cast<std::size_t>(v)] += de;
+      }
+    }
+
+    // s_src[u] = <Wh_u, a_src> → da_src = Whᵀ ds_src; dWh_u += ds_src[u]·a_src
+    for (NodeId u = 0; u < adj.n_src; ++u) {
+      const float d = ds_src[static_cast<std::size_t>(u)];
+      if (d == 0.0f) continue;
+      const float* whu = h.wh.data() + static_cast<std::int64_t>(u) * d_head_;
+      float* t = dwh.data() + static_cast<std::int64_t>(u) * d_head_;
+      for (std::int64_t c = 0; c < d_head_; ++c) {
+        h.da_src.data()[c] += d * whu[c];
+        t[c] += d * h.a_src.data()[c];
+      }
+    }
+    for (NodeId v = 0; v < adj.n_dst; ++v) {
+      const float d = ds_dst[static_cast<std::size_t>(v)];
+      if (d == 0.0f) continue;
+      const float* whv = h.wh.data() + static_cast<std::int64_t>(v) * d_head_;
+      float* t = dwh.data() + static_cast<std::int64_t>(v) * d_head_;
+      for (std::int64_t c = 0; c < d_head_; ++c) {
+        h.da_dst.data()[c] += d * whv[c];
+        t[c] += d * h.a_dst.data()[c];
+      }
+    }
+
+    // Wh = feats·W → dW += featsᵀ·dWh; dfeats += dWh·Wᵀ
+    ops::gemm_tn(feats_cache_, dwh, h.dw, 1.0f, 1.0f);
+    ops::gemm_nt(dwh, h.w, dfeats, 1.0f, 1.0f);
+  }
+  return dfeats;
+}
+
+} // namespace bnsgcn::nn

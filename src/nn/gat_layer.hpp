@@ -1,0 +1,73 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace bnsgcn::nn {
+
+/// Graph attention layer (Veličković et al. 2017), used by the paper's
+/// Table 10 to show BNS-GCN generalizes beyond GraphSAGE.
+///
+/// Per head: e_vu = LeakyReLU(a_srcᵀ W h_u + a_dstᵀ W h_v) over u ∈ N(v)∪{v},
+/// α = softmax(e), out_v = Σ_u α_vu W h_u; heads are concatenated.
+///
+/// Under boundary-node sampling the softmax renormalizes over the kept
+/// neighbors, so no 1/p correction is applied (the estimator is the standard
+/// subsampled-attention one; `inv_deg` is ignored).
+class GatLayer final : public Layer {
+ public:
+  struct Options {
+    int heads = 1;
+    bool relu = true;      // activation on the concatenated output
+    float dropout = 0.0f;
+    float leaky_slope = 0.2f;
+  };
+
+  /// d_out must be divisible by heads; each head produces d_out/heads dims.
+  GatLayer(std::int64_t d_in, std::int64_t d_out, const Options& opts,
+           Rng& rng);
+
+  Matrix forward(const BipartiteCsr& adj, const Matrix& feats,
+                 std::span<const float> inv_deg, bool training) override;
+  Matrix backward(const BipartiteCsr& adj, const Matrix& dout,
+                  std::span<const float> inv_deg) override;
+
+  std::vector<Matrix*> params() override;
+  std::vector<Matrix*> grads() override;
+
+  void set_dropout_rng(Rng rng) { dropout_rng_ = rng; }
+
+ private:
+  struct Head {
+    Matrix w;      // (d_in, d_head)
+    Matrix a_src;  // (d_head, 1)
+    Matrix a_dst;  // (d_head, 1)
+    Matrix dw, da_src, da_dst;
+
+    // caches
+    Matrix wh;                  // (n_src, d_head)
+    std::vector<float> alpha;   // per (dst, nbr∪self) entry
+    std::vector<float> slope;   // LeakyReLU derivative per entry
+    std::vector<float> s_src;   // n_src
+    std::vector<float> s_dst;   // n_dst
+  };
+
+  /// Entry offset of dst v in the per-edge arrays (each dst owns deg+1
+  /// slots, self last).
+  [[nodiscard]] static std::size_t entry_offset(const BipartiteCsr& adj,
+                                                NodeId v) {
+    return static_cast<std::size_t>(
+        adj.offsets[static_cast<std::size_t>(v)] + v);
+  }
+
+  Options opts_;
+  std::int64_t d_head_;
+  std::vector<Head> heads_;
+  Rng dropout_rng_;
+
+  Matrix feats_cache_;
+  Matrix relu_mask_;
+  Matrix dropout_mask_;
+  bool cached_training_ = false;
+};
+
+} // namespace bnsgcn::nn

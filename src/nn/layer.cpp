@@ -1,0 +1,102 @@
+#include "nn/layer.hpp"
+
+namespace bnsgcn::nn {
+
+void BipartiteCsr::validate() const {
+  BNSGCN_CHECK(static_cast<NodeId>(offsets.size()) == n_dst + 1);
+  BNSGCN_CHECK(offsets.front() == 0);
+  BNSGCN_CHECK(offsets.back() == static_cast<EdgeId>(nbrs.size()));
+  for (const NodeId u : nbrs) BNSGCN_CHECK(u >= 0 && u < n_src);
+  for (std::size_t i = 1; i < offsets.size(); ++i)
+    BNSGCN_CHECK(offsets[i - 1] <= offsets[i]);
+  BNSGCN_CHECK(edge_scale.empty() || edge_scale.size() == nbrs.size());
+}
+
+void mean_aggregate(const BipartiteCsr& adj, const Matrix& src,
+                    std::span<const float> inv_deg, Matrix& out) {
+  BNSGCN_CHECK(src.rows() == adj.n_src);
+  BNSGCN_CHECK(static_cast<NodeId>(inv_deg.size()) == adj.n_dst);
+  const std::int64_t d = src.cols();
+  out.resize(adj.n_dst, d);
+  const bool weighted = !adj.edge_scale.empty();
+  for (NodeId v = 0; v < adj.n_dst; ++v) {
+    float* o = out.data() + static_cast<std::int64_t>(v) * d;
+    const float w = inv_deg[static_cast<std::size_t>(v)];
+    if (w == 0.0f) continue;
+    const auto begin = static_cast<std::size_t>(
+        adj.offsets[static_cast<std::size_t>(v)]);
+    const auto end = static_cast<std::size_t>(
+        adj.offsets[static_cast<std::size_t>(v) + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const NodeId u = adj.nbrs[e];
+      const float es = weighted ? adj.edge_scale[e] : 1.0f;
+      const float* s = src.data() + static_cast<std::int64_t>(u) * d;
+      for (std::int64_t c = 0; c < d; ++c) o[c] += es * s[c];
+    }
+    for (std::int64_t c = 0; c < d; ++c) o[c] *= w;
+  }
+}
+
+void mean_aggregate_backward(const BipartiteCsr& adj, const Matrix& dout,
+                             std::span<const float> inv_deg, Matrix& dsrc) {
+  BNSGCN_CHECK(dout.rows() == adj.n_dst);
+  BNSGCN_CHECK(dsrc.rows() == adj.n_src && dsrc.cols() == dout.cols());
+  const std::int64_t d = dout.cols();
+  const bool weighted = !adj.edge_scale.empty();
+  for (NodeId v = 0; v < adj.n_dst; ++v) {
+    const float w = inv_deg[static_cast<std::size_t>(v)];
+    if (w == 0.0f) continue;
+    const float* g = dout.data() + static_cast<std::int64_t>(v) * d;
+    const auto begin = static_cast<std::size_t>(
+        adj.offsets[static_cast<std::size_t>(v)]);
+    const auto end = static_cast<std::size_t>(
+        adj.offsets[static_cast<std::size_t>(v) + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const NodeId u = adj.nbrs[e];
+      const float wu = weighted ? w * adj.edge_scale[e] : w;
+      float* t = dsrc.data() + static_cast<std::int64_t>(u) * d;
+      for (std::int64_t c = 0; c < d; ++c) t[c] += wu * g[c];
+    }
+  }
+}
+
+void Layer::zero_grads() {
+  for (Matrix* g : grads()) g->zero();
+}
+
+std::int64_t Layer::num_params() {
+  std::int64_t total = 0;
+  for (const Matrix* p : params()) total += p->size();
+  return total;
+}
+
+std::vector<float> flatten_grads(
+    const std::vector<std::unique_ptr<Layer>>& layers) {
+  std::int64_t total = 0;
+  for (const auto& l : layers) total += l->num_params();
+  std::vector<float> flat;
+  flat.reserve(static_cast<std::size_t>(total));
+  for (const auto& l : layers) {
+    for (const Matrix* g : l->grads())
+      flat.insert(flat.end(), g->data(), g->data() + g->size());
+  }
+  return flat;
+}
+
+void apply_flat_grads(std::span<const float> flat,
+                      const std::vector<std::unique_ptr<Layer>>& layers) {
+  std::size_t cursor = 0;
+  for (const auto& l : layers) {
+    for (Matrix* g : l->grads()) {
+      BNSGCN_CHECK(cursor + static_cast<std::size_t>(g->size()) <= flat.size());
+      std::copy(flat.begin() + static_cast<std::ptrdiff_t>(cursor),
+                flat.begin() + static_cast<std::ptrdiff_t>(cursor) +
+                    static_cast<std::ptrdiff_t>(g->size()),
+                g->data());
+      cursor += static_cast<std::size_t>(g->size());
+    }
+  }
+  BNSGCN_CHECK(cursor == flat.size());
+}
+
+} // namespace bnsgcn::nn

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "tensor/matrix.hpp"
+
+namespace bnsgcn::nn {
+
+/// Adjacency from `n_src` source rows to `n_dst` destination rows.
+///
+/// In partition-parallel training, destinations are a partition's inner
+/// nodes (local ids [0, n_dst)) and sources are inner nodes followed by the
+/// (sampled) halo (ids [n_dst, n_src)). Minibatch trainers use it for their
+/// layered blocks as well.
+struct BipartiteCsr {
+  NodeId n_dst = 0;
+  NodeId n_src = 0;
+  std::vector<EdgeId> offsets; // size n_dst + 1
+  std::vector<NodeId> nbrs;    // values in [0, n_src)
+  /// Optional per-edge multiplier (same indexing as nbrs). Used by the
+  /// edge-sampling baselines (DropEdge / BES, Table 9) to keep the mean
+  /// estimator unbiased: kept edges carry weight 1/keep_rate. Empty = all 1.
+  std::vector<float> edge_scale;
+
+  [[nodiscard]] EdgeId num_edges() const {
+    return offsets.empty() ? 0 : offsets.back();
+  }
+  [[nodiscard]] NodeId degree(NodeId dst) const {
+    return static_cast<NodeId>(offsets[static_cast<std::size_t>(dst) + 1] -
+                               offsets[static_cast<std::size_t>(dst)]);
+  }
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId dst) const {
+    return {nbrs.data() + offsets[static_cast<std::size_t>(dst)],
+            static_cast<std::size_t>(degree(dst))};
+  }
+  void validate() const;
+};
+
+/// Mean neighbor aggregation (Eq. 1 with a mean aggregator):
+///   out[v,:] = inv_deg[v] * sum_{u in adj(v)} src[u,:]
+/// `inv_deg` is supplied by the caller because under boundary-node sampling
+/// the normalizer stays 1/full_degree (unbiasedness; DESIGN.md §3), which
+/// the adjacency alone cannot know.
+void mean_aggregate(const BipartiteCsr& adj, const Matrix& src,
+                    std::span<const float> inv_deg, Matrix& out);
+
+/// Backward of mean_aggregate: dsrc[u,:] += inv_deg[v] * dout[v,:].
+/// `dsrc` must be pre-sized to (n_src, d) and is accumulated into.
+void mean_aggregate_backward(const BipartiteCsr& adj, const Matrix& dout,
+                             std::span<const float> inv_deg, Matrix& dsrc);
+
+/// A GCN layer with manual forward/backward. One instance per rank (weights
+/// are replicated and kept in sync by gradient allreduce).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// feats: (n_src, d_in) — inner rows first, then halo rows.
+  /// Returns (n_dst, d_out). Caches whatever backward needs.
+  virtual Matrix forward(const BipartiteCsr& adj, const Matrix& feats,
+                         std::span<const float> inv_deg, bool training) = 0;
+
+  /// dout: (n_dst, d_out). Returns dfeats (n_src, d_in); accumulates
+  /// parameter gradients internally.
+  virtual Matrix backward(const BipartiteCsr& adj, const Matrix& dout,
+                          std::span<const float> inv_deg) = 0;
+
+  [[nodiscard]] virtual std::vector<Matrix*> params() = 0;
+  [[nodiscard]] virtual std::vector<Matrix*> grads() = 0;
+  void zero_grads();
+
+  [[nodiscard]] std::int64_t d_in() const { return d_in_; }
+  [[nodiscard]] std::int64_t d_out() const { return d_out_; }
+
+  /// Total parameter count (for the allreduce buffer).
+  [[nodiscard]] std::int64_t num_params();
+
+ protected:
+  Layer(std::int64_t d_in, std::int64_t d_out) : d_in_(d_in), d_out_(d_out) {}
+  std::int64_t d_in_;
+  std::int64_t d_out_;
+};
+
+/// Flatten all gradients of a layer stack into one buffer (the paper's
+/// single AllReduce per iteration) and scatter a buffer back into weights.
+[[nodiscard]] std::vector<float> flatten_grads(
+    const std::vector<std::unique_ptr<Layer>>& layers);
+void apply_flat_grads(std::span<const float> flat,
+                      const std::vector<std::unique_ptr<Layer>>& layers);
+
+} // namespace bnsgcn::nn

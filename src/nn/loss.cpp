@@ -1,0 +1,101 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace bnsgcn::nn {
+
+double softmax_xent(const Matrix& logits, std::span<const int> labels,
+                    std::span<const NodeId> rows, float inv_total,
+                    Matrix& dlogits) {
+  const std::int64_t c = logits.cols();
+  dlogits.resize(logits.rows(), c);
+  double loss = 0.0;
+  std::vector<float> prob(static_cast<std::size_t>(c));
+  for (const NodeId r : rows) {
+    BNSGCN_CHECK(r >= 0 && r < logits.rows());
+    const float* row = logits.data() + static_cast<std::int64_t>(r) * c;
+    float mx = row[0];
+    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < c; ++j) {
+      prob[static_cast<std::size_t>(j)] = std::exp(row[j] - mx);
+      sum += prob[static_cast<std::size_t>(j)];
+    }
+    const float inv = 1.0f / sum;
+    const int y = labels[static_cast<std::size_t>(r)];
+    BNSGCN_CHECK(y >= 0 && y < c);
+    float* grad = dlogits.data() + static_cast<std::int64_t>(r) * c;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float p = prob[static_cast<std::size_t>(j)] * inv;
+      grad[j] = (p - (j == y ? 1.0f : 0.0f)) * inv_total;
+    }
+    const float py = prob[static_cast<std::size_t>(y)] * inv;
+    loss -= std::log(std::max(py, 1e-30f)) * inv_total;
+  }
+  return loss;
+}
+
+double sigmoid_bce(const Matrix& logits, const Matrix& targets,
+                   std::span<const NodeId> rows, float inv_total,
+                   Matrix& dlogits) {
+  BNSGCN_CHECK(logits.rows() == targets.rows() &&
+               logits.cols() == targets.cols());
+  const std::int64_t c = logits.cols();
+  dlogits.resize(logits.rows(), c);
+  double loss = 0.0;
+  for (const NodeId r : rows) {
+    const float* x = logits.data() + static_cast<std::int64_t>(r) * c;
+    const float* t = targets.data() + static_cast<std::int64_t>(r) * c;
+    float* grad = dlogits.data() + static_cast<std::int64_t>(r) * c;
+    for (std::int64_t j = 0; j < c; ++j) {
+      // Numerically stable BCE-with-logits:
+      //   loss = max(x,0) - x*t + log(1 + exp(-|x|))
+      const float xv = x[j];
+      const float tv = t[j];
+      loss += (std::max(xv, 0.0f) - xv * tv +
+               std::log1p(std::exp(-std::abs(xv)))) *
+              inv_total;
+      const float sig = 1.0f / (1.0f + std::exp(-xv));
+      grad[j] = (sig - tv) * inv_total;
+    }
+  }
+  return loss;
+}
+
+std::pair<std::int64_t, std::int64_t> accuracy_counts(
+    const Matrix& logits, std::span<const int> labels,
+    std::span<const NodeId> rows) {
+  std::int64_t correct = 0;
+  const std::int64_t c = logits.cols();
+  for (const NodeId r : rows) {
+    const float* row = logits.data() + static_cast<std::int64_t>(r) * c;
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < c; ++j)
+      if (row[j] > row[best]) best = j;
+    if (best == labels[static_cast<std::size_t>(r)]) ++correct;
+  }
+  return {correct, static_cast<std::int64_t>(rows.size())};
+}
+
+F1Counts f1_counts(const Matrix& logits, const Matrix& targets,
+                   std::span<const NodeId> rows) {
+  F1Counts out;
+  const std::int64_t c = logits.cols();
+  for (const NodeId r : rows) {
+    const float* x = logits.data() + static_cast<std::int64_t>(r) * c;
+    const float* t = targets.data() + static_cast<std::int64_t>(r) * c;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const bool pred = x[j] > 0.0f;
+      const bool truth = t[j] > 0.5f;
+      if (pred && truth) ++out.tp;
+      else if (pred && !truth) ++out.fp;
+      else if (!pred && truth) ++out.fn;
+    }
+  }
+  return out;
+}
+
+} // namespace bnsgcn::nn

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "tensor/matrix.hpp"
+
+namespace bnsgcn::nn {
+
+/// Softmax cross-entropy over a row subset (the partition's inner train
+/// nodes). `rows` are local row indices into `logits`; `labels[r]` is the
+/// class of local row r (full local label array). The loss/gradients are
+/// scaled by `inv_total` = 1 / (global train-node count) so that summing
+/// per-rank losses (AllReduce) yields the global mean loss — this makes the
+/// m-rank run exactly equivalent to single-process full-graph training.
+///
+/// Returns the (scaled) loss contribution; writes d(logits) into `dlogits`
+/// (resized and zeroed; rows outside `rows` stay zero).
+[[nodiscard]] double softmax_xent(const Matrix& logits,
+                                  std::span<const int> labels,
+                                  std::span<const NodeId> rows,
+                                  float inv_total, Matrix& dlogits);
+
+/// Sigmoid binary cross-entropy for multi-label targets (Yelp-style).
+/// `targets` is (n_local, C) of {0,1}. Same scaling contract as above,
+/// with inv_total = 1 / (global train count × C).
+[[nodiscard]] double sigmoid_bce(const Matrix& logits, const Matrix& targets,
+                                 std::span<const NodeId> rows,
+                                 float inv_total, Matrix& dlogits);
+
+/// Argmax-accuracy counts over a row subset: returns {#correct, #total}.
+[[nodiscard]] std::pair<std::int64_t, std::int64_t> accuracy_counts(
+    const Matrix& logits, std::span<const int> labels,
+    std::span<const NodeId> rows);
+
+/// Micro-F1 counts for multi-label prediction at threshold 0 on logits
+/// (= probability 0.5): returns {tp, fp, fn}.
+struct F1Counts {
+  std::int64_t tp = 0, fp = 0, fn = 0;
+  [[nodiscard]] double micro_f1() const {
+    const double denom = static_cast<double>(2 * tp + fp + fn);
+    return denom == 0.0 ? 0.0 : 2.0 * static_cast<double>(tp) / denom;
+  }
+};
+[[nodiscard]] F1Counts f1_counts(const Matrix& logits, const Matrix& targets,
+                                 std::span<const NodeId> rows);
+
+} // namespace bnsgcn::nn

@@ -1,0 +1,3 @@
+#include "nn/metrics.hpp"
+
+namespace bnsgcn::nn {} // namespace bnsgcn::nn

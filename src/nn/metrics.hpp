@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+namespace bnsgcn::nn {
+
+/// Exponential moving average helper for smoothed training curves.
+class Ema {
+ public:
+  explicit Ema(double decay = 0.9) : decay_(decay) {}
+  void update(double x) {
+    value_ = initialized_ ? decay_ * value_ + (1.0 - decay_) * x : x;
+    initialized_ = true;
+  }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double decay_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+} // namespace bnsgcn::nn

@@ -1,0 +1,78 @@
+#include "nn/sage_layer.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace bnsgcn::nn {
+
+SageLayer::SageLayer(std::int64_t d_in, std::int64_t d_out,
+                     const Options& opts, Rng& rng)
+    : Layer(d_in, d_out), opts_(opts), w_(2 * d_in, d_out), b_(1, d_out),
+      dw_(2 * d_in, d_out), db_(1, d_out), dropout_rng_(rng.next_u64()) {
+  ops::glorot_init(w_, rng);
+}
+
+Matrix SageLayer::forward(const BipartiteCsr& adj, const Matrix& feats,
+                          std::span<const float> inv_deg, bool training) {
+  BNSGCN_CHECK(feats.cols() == d_in_);
+  BNSGCN_CHECK(feats.rows() == adj.n_src);
+  cached_training_ = training;
+
+  Matrix z;
+  mean_aggregate(adj, feats, inv_deg, z);
+
+  // Self features are the first n_dst rows of feats by the local-id layout.
+  Matrix self(adj.n_dst, d_in_);
+  std::copy(feats.data(), feats.data() + adj.n_dst * d_in_, self.data());
+
+  ops::concat_cols(z, self, u_cache_);
+
+  Matrix out(adj.n_dst, d_out_);
+  ops::gemm_nn(u_cache_, w_, out);
+  ops::add_row_bias(out, b_);
+
+  if (opts_.relu) {
+    ops::relu_forward(out, relu_mask_);
+  }
+  if (training && opts_.dropout > 0.0f) {
+    ops::dropout_forward(out, dropout_mask_, opts_.dropout, dropout_rng_);
+  } else {
+    dropout_mask_.resize(0, 0);
+  }
+  return out;
+}
+
+Matrix SageLayer::backward(const BipartiteCsr& adj, const Matrix& dout,
+                           std::span<const float> inv_deg) {
+  BNSGCN_CHECK(dout.rows() == adj.n_dst && dout.cols() == d_out_);
+  Matrix g = dout; // own a mutable copy of the incoming gradient
+
+  if (cached_training_ && !dropout_mask_.empty()) {
+    ops::dropout_backward(g, dropout_mask_);
+  }
+  if (opts_.relu) {
+    ops::relu_backward(g, relu_mask_);
+  }
+
+  // Parameter gradients (accumulated: trainer zeroes between iterations).
+  ops::gemm_tn(u_cache_, g, dw_, 1.0f, 1.0f);
+  ops::col_sum(g, db_);
+
+  // dU = g · Wᵀ, split into the aggregation half and the self half.
+  Matrix du(adj.n_dst, 2 * d_in_);
+  ops::gemm_nt(g, w_, du);
+  Matrix dz;
+  Matrix dself;
+  ops::split_cols(du, dz, dself, d_in_);
+
+  Matrix dfeats(adj.n_src, d_in_);
+  // Self contribution: inner rows only.
+  for (NodeId v = 0; v < adj.n_dst; ++v) {
+    float* t = dfeats.data() + static_cast<std::int64_t>(v) * d_in_;
+    const float* s = dself.data() + static_cast<std::int64_t>(v) * d_in_;
+    for (std::int64_t c = 0; c < d_in_; ++c) t[c] += s[c];
+  }
+  mean_aggregate_backward(adj, dz, inv_deg, dfeats);
+  return dfeats;
+}
+
+} // namespace bnsgcn::nn

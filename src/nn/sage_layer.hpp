@@ -1,0 +1,48 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace bnsgcn::nn {
+
+/// GraphSAGE layer with a mean aggregator (the paper's Section 2 instance):
+///   z_v = mean_{u in N(v)} h_u                      (Eq. 1)
+///   h'_v = act(W · concat(z_v, h_v) + b)            (Eq. 2)
+/// Optional ReLU and inverted dropout on the output (hidden layers); the
+/// final layer emits raw logits.
+class SageLayer final : public Layer {
+ public:
+  struct Options {
+    bool relu = true;
+    float dropout = 0.0f;
+  };
+
+  SageLayer(std::int64_t d_in, std::int64_t d_out, const Options& opts,
+            Rng& rng);
+
+  Matrix forward(const BipartiteCsr& adj, const Matrix& feats,
+                 std::span<const float> inv_deg, bool training) override;
+  Matrix backward(const BipartiteCsr& adj, const Matrix& dout,
+                  std::span<const float> inv_deg) override;
+
+  std::vector<Matrix*> params() override { return {&w_, &b_}; }
+  std::vector<Matrix*> grads() override { return {&dw_, &db_}; }
+
+  /// RNG used for dropout masks; reseeded per rank by the trainer.
+  void set_dropout_rng(Rng rng) { dropout_rng_ = rng; }
+
+ private:
+  Options opts_;
+  Matrix w_;  // (2*d_in, d_out)
+  Matrix b_;  // (1, d_out)
+  Matrix dw_;
+  Matrix db_;
+  Rng dropout_rng_;
+
+  // Forward caches for backward.
+  Matrix u_cache_;       // (n_dst, 2*d_in) — concat(z, h_self)
+  Matrix relu_mask_;
+  Matrix dropout_mask_;
+  bool cached_training_ = false;
+};
+
+} // namespace bnsgcn::nn

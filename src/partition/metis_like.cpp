@@ -1,0 +1,349 @@
+#include "partition/metis_like.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace bnsgcn {
+
+namespace {
+
+/// Weighted graph used at the coarse levels. Node weights count collapsed
+/// original nodes; edge weights count collapsed original edges.
+struct WGraph {
+  NodeId n = 0;
+  std::vector<EdgeId> offsets;
+  std::vector<NodeId> nbrs;
+  std::vector<EdgeId> eweights;
+  std::vector<NodeId> nweights;
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    return {nbrs.data() + offsets[static_cast<std::size_t>(v)],
+            static_cast<std::size_t>(offsets[static_cast<std::size_t>(v) + 1] -
+                                     offsets[static_cast<std::size_t>(v)])};
+  }
+  [[nodiscard]] std::span<const EdgeId> edge_weights(NodeId v) const {
+    return {eweights.data() + offsets[static_cast<std::size_t>(v)],
+            static_cast<std::size_t>(offsets[static_cast<std::size_t>(v) + 1] -
+                                     offsets[static_cast<std::size_t>(v)])};
+  }
+};
+
+WGraph lift(const Csr& g) {
+  WGraph w;
+  w.n = g.n;
+  w.offsets = g.offsets;
+  w.nbrs = g.nbrs;
+  w.eweights.assign(g.nbrs.size(), 1);
+  w.nweights.assign(static_cast<std::size_t>(g.n), 1);
+  return w;
+}
+
+/// One level of randomized heavy-edge matching. Returns the coarse graph and
+/// the fine→coarse projection map.
+struct CoarseLevel {
+  WGraph graph;
+  std::vector<NodeId> fine_to_coarse;
+};
+
+CoarseLevel coarsen_once(const WGraph& g, Rng& rng) {
+  std::vector<NodeId> match(static_cast<std::size_t>(g.n), -1);
+  std::vector<NodeId> order(static_cast<std::size_t>(g.n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  for (const NodeId v : order) {
+    if (match[static_cast<std::size_t>(v)] != -1) continue;
+    NodeId best = -1;
+    EdgeId best_w = -1;
+    const auto nb = g.neighbors(v);
+    const auto ew = g.edge_weights(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const NodeId u = nb[i];
+      if (u == v || match[static_cast<std::size_t>(u)] != -1) continue;
+      if (ew[i] > best_w) {
+        best_w = ew[i];
+        best = u;
+      }
+    }
+    if (best == -1) {
+      match[static_cast<std::size_t>(v)] = v; // stays single
+    } else {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    }
+  }
+
+  CoarseLevel level;
+  level.fine_to_coarse.assign(static_cast<std::size_t>(g.n), -1);
+  NodeId nc = 0;
+  for (NodeId v = 0; v < g.n; ++v) {
+    if (level.fine_to_coarse[static_cast<std::size_t>(v)] != -1) continue;
+    const NodeId u = match[static_cast<std::size_t>(v)];
+    level.fine_to_coarse[static_cast<std::size_t>(v)] = nc;
+    if (u != v) level.fine_to_coarse[static_cast<std::size_t>(u)] = nc;
+    ++nc;
+  }
+
+  // Aggregate edges of the coarse graph.
+  WGraph& cg = level.graph;
+  cg.n = nc;
+  cg.nweights.assign(static_cast<std::size_t>(nc), 0);
+  for (NodeId v = 0; v < g.n; ++v) {
+    cg.nweights[static_cast<std::size_t>(
+        level.fine_to_coarse[static_cast<std::size_t>(v)])] +=
+        g.nweights[static_cast<std::size_t>(v)];
+  }
+
+  std::vector<std::unordered_map<NodeId, EdgeId>> adj(
+      static_cast<std::size_t>(nc));
+  for (NodeId v = 0; v < g.n; ++v) {
+    const NodeId cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
+    const auto nb = g.neighbors(v);
+    const auto ew = g.edge_weights(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const NodeId cu = level.fine_to_coarse[static_cast<std::size_t>(nb[i])];
+      if (cu == cv) continue;
+      adj[static_cast<std::size_t>(cv)][cu] += ew[i];
+    }
+  }
+  cg.offsets.assign(static_cast<std::size_t>(nc) + 1, 0);
+  for (NodeId v = 0; v < nc; ++v)
+    cg.offsets[static_cast<std::size_t>(v) + 1] =
+        cg.offsets[static_cast<std::size_t>(v)] +
+        static_cast<EdgeId>(adj[static_cast<std::size_t>(v)].size());
+  cg.nbrs.resize(static_cast<std::size_t>(cg.offsets.back()));
+  cg.eweights.resize(static_cast<std::size_t>(cg.offsets.back()));
+  for (NodeId v = 0; v < nc; ++v) {
+    auto cursor = static_cast<std::size_t>(cg.offsets[static_cast<std::size_t>(v)]);
+    for (const auto& [u, w] : adj[static_cast<std::size_t>(v)]) {
+      cg.nbrs[cursor] = u;
+      cg.eweights[cursor] = w;
+      ++cursor;
+    }
+  }
+  return level;
+}
+
+/// Communication volume of an owner assignment over a weighted graph,
+/// counting collapsed node weights (Eq. 3 on the original graph).
+EdgeId comm_volume(const WGraph& g, const std::vector<PartId>& owner,
+                   PartId nparts) {
+  EdgeId vol = 0;
+  std::vector<PartId> seen(static_cast<std::size_t>(nparts), -1);
+  for (NodeId v = 0; v < g.n; ++v) {
+    const PartId pv = owner[static_cast<std::size_t>(v)];
+    int distinct = 0;
+    for (const NodeId u : g.neighbors(v)) {
+      const PartId pu = owner[static_cast<std::size_t>(u)];
+      if (pu != pv && seen[static_cast<std::size_t>(pu)] != v) {
+        seen[static_cast<std::size_t>(pu)] = static_cast<PartId>(v);
+        ++distinct;
+      }
+    }
+    vol += static_cast<EdgeId>(distinct) *
+           g.nweights[static_cast<std::size_t>(v)];
+  }
+  return vol;
+}
+
+/// Greedy seeded growing on the coarsest graph.
+std::vector<PartId> grow_initial(const WGraph& g, PartId nparts,
+                                 NodeId weight_cap, Rng& rng) {
+  std::vector<PartId> owner(static_cast<std::size_t>(g.n), -1);
+  std::vector<NodeId> load(static_cast<std::size_t>(nparts), 0);
+  std::vector<NodeId> order(static_cast<std::size_t>(g.n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::size_t cursor = 0;
+
+  for (PartId part = 0; part < nparts; ++part) {
+    std::vector<NodeId> frontier;
+    while (load[static_cast<std::size_t>(part)] < weight_cap) {
+      NodeId v = -1;
+      // Prefer frontier nodes (keeps parts connected); fall back to the
+      // global order for new seeds.
+      while (!frontier.empty()) {
+        const NodeId cand = frontier.back();
+        frontier.pop_back();
+        if (owner[static_cast<std::size_t>(cand)] == -1) {
+          v = cand;
+          break;
+        }
+      }
+      if (v == -1) {
+        while (cursor < order.size() &&
+               owner[static_cast<std::size_t>(order[cursor])] != -1)
+          ++cursor;
+        if (cursor == order.size()) break;
+        v = order[cursor];
+      }
+      owner[static_cast<std::size_t>(v)] = part;
+      load[static_cast<std::size_t>(part)] +=
+          g.nweights[static_cast<std::size_t>(v)];
+      for (const NodeId u : g.neighbors(v)) {
+        if (owner[static_cast<std::size_t>(u)] == -1) frontier.push_back(u);
+      }
+    }
+  }
+  for (NodeId v = 0; v < g.n; ++v) {
+    if (owner[static_cast<std::size_t>(v)] == -1) {
+      const auto lightest = static_cast<PartId>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      owner[static_cast<std::size_t>(v)] = lightest;
+      load[static_cast<std::size_t>(lightest)] +=
+          g.nweights[static_cast<std::size_t>(v)];
+    }
+  }
+  return owner;
+}
+
+/// Greedy boundary refinement: move nodes to the adjacent part with maximal
+/// positive cut gain, respecting the weight cap. Several randomized sweeps.
+void refine(const WGraph& g, std::vector<PartId>& owner, PartId nparts,
+            NodeId weight_cap, int passes, Rng& rng) {
+  std::vector<NodeId> load(static_cast<std::size_t>(nparts), 0);
+  for (NodeId v = 0; v < g.n; ++v)
+    load[static_cast<std::size_t>(owner[static_cast<std::size_t>(v)])] +=
+        g.nweights[static_cast<std::size_t>(v)];
+
+  std::vector<NodeId> order(static_cast<std::size_t>(g.n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<EdgeId> part_weight(static_cast<std::size_t>(nparts));
+
+  for (int pass = 0; pass < passes; ++pass) {
+    rng.shuffle(order);
+    bool moved = false;
+    for (const NodeId v : order) {
+      const PartId pv = owner[static_cast<std::size_t>(v)];
+      const auto nb = g.neighbors(v);
+      if (nb.empty()) continue;
+      std::fill(part_weight.begin(), part_weight.end(), 0);
+      const auto ew = g.edge_weights(v);
+      bool boundary = false;
+      for (std::size_t i = 0; i < nb.size(); ++i) {
+        const PartId pu = owner[static_cast<std::size_t>(nb[i])];
+        part_weight[static_cast<std::size_t>(pu)] += ew[i];
+        if (pu != pv) boundary = true;
+      }
+      if (!boundary) continue;
+      const EdgeId internal = part_weight[static_cast<std::size_t>(pv)];
+      PartId best = pv;
+      EdgeId best_gain = 0;
+      for (PartId q = 0; q < nparts; ++q) {
+        if (q == pv || part_weight[static_cast<std::size_t>(q)] == 0) continue;
+        const EdgeId gain = part_weight[static_cast<std::size_t>(q)] - internal;
+        const bool fits = load[static_cast<std::size_t>(q)] +
+                              g.nweights[static_cast<std::size_t>(v)] <=
+                          weight_cap;
+        if (fits && gain > best_gain) {
+          best_gain = gain;
+          best = q;
+        }
+      }
+      if (best != pv) {
+        load[static_cast<std::size_t>(pv)] -=
+            g.nweights[static_cast<std::size_t>(v)];
+        load[static_cast<std::size_t>(best)] +=
+            g.nweights[static_cast<std::size_t>(v)];
+        owner[static_cast<std::size_t>(v)] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+} // namespace
+
+Partitioning metis_like(const Csr& g, PartId nparts,
+                        const MetisLikeOptions& opts) {
+  BNSGCN_CHECK(g.n >= nparts && nparts >= 1);
+  Rng rng(opts.seed);
+
+  if (nparts == 1) {
+    Partitioning p;
+    p.nparts = 1;
+    p.owner.assign(static_cast<std::size_t>(g.n), 0);
+    return p;
+  }
+
+  // --- Coarsening phase -----------------------------------------------
+  std::vector<CoarseLevel> levels;
+  WGraph current = lift(g);
+  const NodeId target = std::max<NodeId>(nparts * opts.coarsen_target, 256);
+  while (current.n > target) {
+    CoarseLevel level = coarsen_once(current, rng);
+    // Matching stalls on star-like graphs; stop if reduction is too small.
+    if (level.graph.n > current.n * 9 / 10) break;
+    current = level.graph;
+    levels.push_back(std::move(level));
+    // `current` must stay valid for projection; keep a copy in the level.
+    levels.back().graph = current;
+  }
+
+  // --- Initial partitioning on the coarsest graph ----------------------
+  const NodeId total_weight = g.n;
+  const auto weight_cap = static_cast<NodeId>(
+      static_cast<double>((total_weight + nparts - 1) / nparts) *
+      (1.0 + opts.balance_eps));
+
+  const WGraph& coarsest = levels.empty() ? current : levels.back().graph;
+  std::vector<PartId> owner;
+  EdgeId best_vol = -1;
+  constexpr int kInitialTries = 4;
+  for (int attempt = 0; attempt < kInitialTries; ++attempt) {
+    auto cand = grow_initial(coarsest, nparts, weight_cap, rng);
+    refine(coarsest, cand, nparts, weight_cap, opts.refine_passes, rng);
+    const EdgeId vol = comm_volume(coarsest, cand, nparts);
+    if (best_vol < 0 || vol < best_vol) {
+      best_vol = vol;
+      owner = std::move(cand);
+    }
+  }
+
+  // --- Uncoarsening + per-level refinement -----------------------------
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const bool is_finest_level = (std::next(it) == levels.rend());
+    const WGraph fine =
+        is_finest_level ? lift(g) : std::next(it)->graph;
+    std::vector<PartId> fine_owner(static_cast<std::size_t>(fine.n));
+    for (NodeId v = 0; v < fine.n; ++v) {
+      fine_owner[static_cast<std::size_t>(v)] = owner[static_cast<std::size_t>(
+          it->fine_to_coarse[static_cast<std::size_t>(v)])];
+    }
+    refine(fine, fine_owner, nparts, weight_cap, opts.refine_passes, rng);
+    owner = std::move(fine_owner);
+  }
+  if (levels.empty()) {
+    // Graph was already small enough: owner is over g directly.
+    refine(lift(g), owner, nparts, weight_cap, opts.refine_passes, rng);
+  }
+
+  Partitioning p;
+  p.nparts = nparts;
+  p.owner = std::move(owner);
+
+  // Guarantee non-empty partitions (can occur on tiny/degenerate graphs).
+  std::vector<NodeId> count(static_cast<std::size_t>(nparts), 0);
+  for (const PartId q : p.owner) ++count[static_cast<std::size_t>(q)];
+  for (PartId q = 0; q < nparts; ++q) {
+    if (count[static_cast<std::size_t>(q)] == 0) {
+      const auto heaviest = static_cast<PartId>(
+          std::max_element(count.begin(), count.end()) - count.begin());
+      for (NodeId v = 0; v < g.n; ++v) {
+        if (p.owner[static_cast<std::size_t>(v)] == heaviest) {
+          p.owner[static_cast<std::size_t>(v)] = q;
+          --count[static_cast<std::size_t>(heaviest)];
+          ++count[static_cast<std::size_t>(q)];
+          break;
+        }
+      }
+    }
+  }
+  return p;
+}
+
+} // namespace bnsgcn

@@ -1,0 +1,127 @@
+#include "partition/partitioning.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace bnsgcn {
+
+std::vector<std::vector<NodeId>> Partitioning::members() const {
+  std::vector<std::vector<NodeId>> out(static_cast<std::size_t>(nparts));
+  for (NodeId v = 0; v < num_nodes(); ++v)
+    out[static_cast<std::size_t>(owner[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  return out;
+}
+
+void Partitioning::validate() const {
+  BNSGCN_CHECK(nparts >= 1);
+  std::vector<NodeId> count(static_cast<std::size_t>(nparts), 0);
+  for (const PartId p : owner) {
+    BNSGCN_CHECK(p >= 0 && p < nparts);
+    ++count[static_cast<std::size_t>(p)];
+  }
+  for (const NodeId c : count)
+    BNSGCN_CHECK_MSG(c > 0, "empty partition");
+}
+
+Partitioning random_partition(NodeId n, PartId nparts, Rng& rng) {
+  BNSGCN_CHECK(n >= nparts && nparts >= 1);
+  Partitioning p;
+  p.nparts = nparts;
+  p.owner.resize(static_cast<std::size_t>(n));
+  // Shuffled round-robin: uniformly random membership with exactly balanced
+  // sizes (matches how DGL's random partition keeps parts equal).
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(order);
+  for (NodeId i = 0; i < n; ++i) {
+    p.owner[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+        static_cast<PartId>(i % nparts);
+  }
+  return p;
+}
+
+Partitioning hash_partition(NodeId n, PartId nparts) {
+  BNSGCN_CHECK(n >= nparts && nparts >= 1);
+  Partitioning p;
+  p.nparts = nparts;
+  p.owner.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    // Fibonacci hashing: spreads contiguous ids across parts.
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(v) * 0x9E3779B97F4A7C15ULL;
+    p.owner[static_cast<std::size_t>(v)] =
+        static_cast<PartId>(h % static_cast<std::uint64_t>(nparts));
+  }
+  // Hashing cannot leave a part empty for reasonable n/nparts, but the
+  // contract requires it: patch any empty part with a steal.
+  std::vector<NodeId> count(static_cast<std::size_t>(nparts), 0);
+  for (const PartId q : p.owner) ++count[static_cast<std::size_t>(q)];
+  for (PartId q = 0; q < nparts; ++q) {
+    if (count[static_cast<std::size_t>(q)] == 0) {
+      for (NodeId v = 0; v < n; ++v) {
+        auto& o = p.owner[static_cast<std::size_t>(v)];
+        if (count[static_cast<std::size_t>(o)] > 1) {
+          --count[static_cast<std::size_t>(o)];
+          o = q;
+          ++count[static_cast<std::size_t>(q)];
+          break;
+        }
+      }
+    }
+  }
+  return p;
+}
+
+Partitioning bfs_partition(const Csr& g, PartId nparts, Rng& rng) {
+  BNSGCN_CHECK(g.n >= nparts && nparts >= 1);
+  Partitioning p;
+  p.nparts = nparts;
+  p.owner.assign(static_cast<std::size_t>(g.n), -1);
+  const NodeId cap = (g.n + nparts - 1) / nparts;
+
+  std::vector<NodeId> order(static_cast<std::size_t>(g.n));
+  for (NodeId v = 0; v < g.n; ++v) order[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(order);
+  std::size_t cursor = 0;
+
+  for (PartId part = 0; part < nparts; ++part) {
+    NodeId filled = 0;
+    std::deque<NodeId> frontier;
+    while (filled < cap) {
+      if (frontier.empty()) {
+        while (cursor < order.size() &&
+               p.owner[static_cast<std::size_t>(order[cursor])] != -1)
+          ++cursor;
+        if (cursor == order.size()) break;
+        frontier.push_back(order[cursor]);
+      }
+      const NodeId v = frontier.front();
+      frontier.pop_front();
+      if (p.owner[static_cast<std::size_t>(v)] != -1) continue;
+      p.owner[static_cast<std::size_t>(v)] = part;
+      ++filled;
+      for (const NodeId u : g.neighbors(v)) {
+        if (p.owner[static_cast<std::size_t>(u)] == -1) frontier.push_back(u);
+      }
+    }
+  }
+  // Any stragglers (disconnected remnants) go to the lightest part.
+  std::vector<NodeId> count(static_cast<std::size_t>(nparts), 0);
+  for (const PartId q : p.owner)
+    if (q >= 0) ++count[static_cast<std::size_t>(q)];
+  for (NodeId v = 0; v < g.n; ++v) {
+    auto& o = p.owner[static_cast<std::size_t>(v)];
+    if (o == -1) {
+      const auto lightest = static_cast<PartId>(
+          std::min_element(count.begin(), count.end()) - count.begin());
+      o = lightest;
+      ++count[static_cast<std::size_t>(lightest)];
+    }
+  }
+  return p;
+}
+
+} // namespace bnsgcn

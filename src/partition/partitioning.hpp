@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/csr.hpp"
+
+namespace bnsgcn {
+
+/// Assignment of every node to one of `nparts` partitions.
+struct Partitioning {
+  PartId nparts = 0;
+  std::vector<PartId> owner; // size n, values in [0, nparts)
+
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(owner.size());
+  }
+
+  /// Inner node lists per partition (sorted by global id).
+  [[nodiscard]] std::vector<std::vector<NodeId>> members() const;
+
+  /// Invariants: every owner id in range, every partition non-empty.
+  void validate() const;
+};
+
+/// Uniform random assignment — the paper's "random partition" ablation
+/// (Tables 7–8). Guarantees non-empty partitions for n >= nparts.
+[[nodiscard]] Partitioning random_partition(NodeId n, PartId nparts, Rng& rng);
+
+/// Deterministic hash assignment (mod nparts) — a cheap, seedless baseline.
+[[nodiscard]] Partitioning hash_partition(NodeId n, PartId nparts);
+
+/// Contiguous BFS growing from random seeds; balanced sizes, locality-aware
+/// but no refinement. Midpoint between random and metis_like in quality.
+[[nodiscard]] Partitioning bfs_partition(const Csr& g, PartId nparts, Rng& rng);
+
+} // namespace bnsgcn

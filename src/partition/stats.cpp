@@ -1,0 +1,78 @@
+#include "partition/stats.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace bnsgcn {
+
+double PartitionStats::max_ratio() const {
+  double mx = 0.0;
+  for (std::size_t i = 0; i < inner_count.size(); ++i)
+    mx = std::max(mx, ratio(static_cast<PartId>(i)));
+  return mx;
+}
+
+double PartitionStats::mean_ratio() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < inner_count.size(); ++i)
+    sum += ratio(static_cast<PartId>(i));
+  return sum / static_cast<double>(inner_count.size());
+}
+
+PartitionStats compute_stats(const Csr& g, const Partitioning& part) {
+  BNSGCN_CHECK(part.num_nodes() == g.n);
+  const PartId m = part.nparts;
+  PartitionStats st;
+  st.inner_count.assign(static_cast<std::size_t>(m), 0);
+  st.boundary_count.assign(static_cast<std::size_t>(m), 0);
+  st.send_volume.assign(static_cast<std::size_t>(m), 0);
+
+  for (NodeId v = 0; v < g.n; ++v)
+    ++st.inner_count[static_cast<std::size_t>(
+        part.owner[static_cast<std::size_t>(v)])];
+
+  // D(v): number of distinct remote partitions containing a neighbor of v.
+  // boundary_count[i] accumulates |B_i| = |{v : owner(v) != i, v has a
+  // neighbor in i}| — each (v, remote part) pair adds one to the remote
+  // part's boundary set and one to the owner's send volume.
+  std::vector<NodeId> seen(static_cast<std::size_t>(m), -1);
+  for (NodeId v = 0; v < g.n; ++v) {
+    const PartId pv = part.owner[static_cast<std::size_t>(v)];
+    for (const NodeId u : g.neighbors(v)) {
+      const PartId pu = part.owner[static_cast<std::size_t>(u)];
+      if (u > v && pu != pv) ++st.edge_cut;
+      if (pu != pv && seen[static_cast<std::size_t>(pu)] != v) {
+        seen[static_cast<std::size_t>(pu)] = v;
+        ++st.send_volume[static_cast<std::size_t>(pv)];
+        ++st.boundary_count[static_cast<std::size_t>(pu)];
+      }
+    }
+  }
+  for (const EdgeId vol : st.send_volume) st.total_volume += vol;
+  return st;
+}
+
+void print_stats(std::ostream& os, const PartitionStats& stats) {
+  os << std::left << std::setw(18) << "Partition";
+  for (std::size_t i = 0; i < stats.inner_count.size(); ++i)
+    os << std::right << std::setw(9) << (i + 1);
+  os << '\n' << std::left << std::setw(18) << "# Inner Nodes";
+  for (const NodeId c : stats.inner_count)
+    os << std::right << std::setw(9) << c;
+  os << '\n' << std::left << std::setw(18) << "# Boundary Nodes";
+  for (const NodeId c : stats.boundary_count)
+    os << std::right << std::setw(9) << c;
+  os << '\n' << std::left << std::setw(18) << "Boundary/Inner";
+  os << std::fixed << std::setprecision(2);
+  for (std::size_t i = 0; i < stats.inner_count.size(); ++i)
+    os << std::right << std::setw(9) << stats.ratio(static_cast<PartId>(i));
+  os << '\n'
+     << "Edge cut: " << stats.edge_cut
+     << "   Total comm volume (Eq. 3): " << stats.total_volume << '\n';
+  os.unsetf(std::ios::fixed);
+}
+
+} // namespace bnsgcn

@@ -1,0 +1,293 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bnsgcn::ops {
+
+namespace {
+
+// Block sizes chosen for L1/L2 friendliness at the feature widths used by the
+// models (64-612 columns). Correctness does not depend on them.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockK = 256;
+
+} // namespace
+
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
+             float beta) {
+  const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  BNSGCN_CHECK(b.rows() == k);
+  BNSGCN_CHECK(c.rows() == m && c.cols() == n);
+  if (beta == 0.0f) {
+    c.zero();
+  } else if (beta != 1.0f) {
+    scale_inplace(c, beta);
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t i1 = std::min(i0 + kBlockM, m);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::int64_t k1 = std::min(k0 + kBlockK, k);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = pc + i * n;
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const float av = alpha * pa[i * k + kk];
+          if (av == 0.0f) continue;
+          const float* brow = pb + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
+             float beta) {
+  const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  BNSGCN_CHECK(b.rows() == m);
+  BNSGCN_CHECK(c.rows() == k && c.cols() == n);
+  if (beta == 0.0f) {
+    c.zero();
+  } else if (beta != 1.0f) {
+    scale_inplace(c, beta);
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // C[kk,j] += A[i,kk] * B[i,j]: stream rows of A and B together.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = alpha * arow[kk];
+      if (av == 0.0f) continue;
+      float* crow = pc + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
+             float beta) {
+  const std::int64_t m = a.rows(), n = a.cols(), k = b.rows();
+  BNSGCN_CHECK(b.cols() == n);
+  BNSGCN_CHECK(c.rows() == m && c.cols() == k);
+  if (beta == 0.0f) {
+    c.zero();
+  } else if (beta != 1.0f) {
+    scale_inplace(c, beta);
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // C[i,j] = dot(A.row(i), B.row(j)) — both walks are contiguous.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * n;
+    float* crow = pc + i * k;
+    for (std::int64_t j = 0; j < k; ++j) {
+      const float* brow = pb + j * n;
+      float acc = 0.0f;
+      for (std::int64_t t = 0; t < n; ++t) acc += arow[t] * brow[t];
+      crow[j] += alpha * acc;
+    }
+  }
+}
+
+void add_inplace(Matrix& y, const Matrix& x) {
+  BNSGCN_CHECK(y.rows() == x.rows() && y.cols() == x.cols());
+  float* py = y.data();
+  const float* px = x.data();
+  const std::int64_t n = y.size();
+  for (std::int64_t i = 0; i < n; ++i) py[i] += px[i];
+}
+
+void axpy(float a, const Matrix& x, Matrix& y) {
+  BNSGCN_CHECK(y.size() == x.size());
+  float* py = y.data();
+  const float* px = x.data();
+  const std::int64_t n = y.size();
+  for (std::int64_t i = 0; i < n; ++i) py[i] += a * px[i];
+}
+
+void scale_inplace(Matrix& y, float s) {
+  float* py = y.data();
+  const std::int64_t n = y.size();
+  for (std::int64_t i = 0; i < n; ++i) py[i] *= s;
+}
+
+void add_row_bias(Matrix& x, const Matrix& bias) {
+  BNSGCN_CHECK(bias.rows() == 1 && bias.cols() == x.cols());
+  const float* pb = bias.data();
+  for (std::int64_t r = 0; r < x.rows(); ++r) {
+    float* row = x.data() + r * x.cols();
+    for (std::int64_t c = 0; c < x.cols(); ++c) row[c] += pb[c];
+  }
+}
+
+void col_sum(const Matrix& grad, Matrix& out) {
+  BNSGCN_CHECK(out.rows() == 1 && out.cols() == grad.cols());
+  float* po = out.data();
+  for (std::int64_t r = 0; r < grad.rows(); ++r) {
+    const float* row = grad.data() + r * grad.cols();
+    for (std::int64_t c = 0; c < grad.cols(); ++c) po[c] += row[c];
+  }
+}
+
+void relu_forward(Matrix& x, Matrix& mask) {
+  mask.resize(x.rows(), x.cols());
+  float* px = x.data();
+  float* pm = mask.data();
+  const std::int64_t n = x.size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (px[i] > 0.0f) {
+      pm[i] = 1.0f;
+    } else {
+      px[i] = 0.0f;
+      pm[i] = 0.0f;
+    }
+  }
+}
+
+void relu_backward(Matrix& grad, const Matrix& mask) {
+  BNSGCN_CHECK(grad.size() == mask.size());
+  float* pg = grad.data();
+  const float* pm = mask.data();
+  const std::int64_t n = grad.size();
+  for (std::int64_t i = 0; i < n; ++i) pg[i] *= pm[i];
+}
+
+void leaky_relu_forward(Matrix& x, Matrix& mask, float slope) {
+  mask.resize(x.rows(), x.cols());
+  float* px = x.data();
+  float* pm = mask.data();
+  const std::int64_t n = x.size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (px[i] > 0.0f) {
+      pm[i] = 1.0f;
+    } else {
+      px[i] *= slope;
+      pm[i] = slope;
+    }
+  }
+}
+
+void leaky_relu_backward(Matrix& grad, const Matrix& mask) {
+  relu_backward(grad, mask); // same elementwise multiply
+}
+
+void dropout_forward(Matrix& x, Matrix& mask, float p, Rng& rng) {
+  BNSGCN_CHECK(p >= 0.0f && p < 1.0f);
+  mask.resize(x.rows(), x.cols());
+  if (p == 0.0f) {
+    mask.fill(1.0f);
+    return;
+  }
+  const float keep_scale = 1.0f / (1.0f - p);
+  float* px = x.data();
+  float* pm = mask.data();
+  const std::int64_t n = x.size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (rng.next_float() < p) {
+      px[i] = 0.0f;
+      pm[i] = 0.0f;
+    } else {
+      px[i] *= keep_scale;
+      pm[i] = keep_scale;
+    }
+  }
+}
+
+void dropout_backward(Matrix& grad, const Matrix& mask) {
+  relu_backward(grad, mask); // elementwise multiply by stored multiplier
+}
+
+void softmax_rows(Matrix& x) {
+  for (std::int64_t r = 0; r < x.rows(); ++r) {
+    float* row = x.data() + r * x.cols();
+    float mx = row[0];
+    for (std::int64_t c = 1; c < x.cols(); ++c) mx = std::max(mx, row[c]);
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < x.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t c = 0; c < x.cols(); ++c) row[c] *= inv;
+  }
+}
+
+void gather_rows(const Matrix& src, std::span<const NodeId> idx, Matrix& out) {
+  out.resize(static_cast<std::int64_t>(idx.size()), src.cols());
+  const std::int64_t d = src.cols();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    BNSGCN_CHECK(idx[i] >= 0 && idx[i] < src.rows());
+    const float* s = src.data() + static_cast<std::int64_t>(idx[i]) * d;
+    std::copy(s, s + d, out.data() + static_cast<std::int64_t>(i) * d);
+  }
+}
+
+void scatter_add_rows(const Matrix& src, std::span<const NodeId> idx,
+                      Matrix& dst) {
+  BNSGCN_CHECK(src.rows() == static_cast<std::int64_t>(idx.size()));
+  BNSGCN_CHECK(src.cols() == dst.cols());
+  const std::int64_t d = src.cols();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    BNSGCN_CHECK(idx[i] >= 0 && idx[i] < dst.rows());
+    const float* s = src.data() + static_cast<std::int64_t>(i) * d;
+    float* t = dst.data() + static_cast<std::int64_t>(idx[i]) * d;
+    for (std::int64_t c = 0; c < d; ++c) t[c] += s[c];
+  }
+}
+
+void concat_cols(const Matrix& a, const Matrix& b, Matrix& out) {
+  BNSGCN_CHECK(a.rows() == b.rows());
+  out.resize(a.rows(), a.cols() + b.cols());
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    float* o = out.data() + r * out.cols();
+    const float* pa = a.data() + r * a.cols();
+    const float* pb = b.data() + r * b.cols();
+    std::copy(pa, pa + a.cols(), o);
+    std::copy(pb, pb + b.cols(), o + a.cols());
+  }
+}
+
+void split_cols(const Matrix& out, Matrix& a, Matrix& b, std::int64_t a_cols) {
+  BNSGCN_CHECK(a_cols >= 0 && a_cols <= out.cols());
+  const std::int64_t b_cols = out.cols() - a_cols;
+  a.resize(out.rows(), a_cols);
+  b.resize(out.rows(), b_cols);
+  for (std::int64_t r = 0; r < out.rows(); ++r) {
+    const float* o = out.data() + r * out.cols();
+    std::copy(o, o + a_cols, a.data() + r * a_cols);
+    std::copy(o + a_cols, o + out.cols(), b.data() + r * b_cols);
+  }
+}
+
+void glorot_init(Matrix& w, Rng& rng) {
+  const auto fan = static_cast<float>(w.rows() + w.cols());
+  const float stddev = std::sqrt(2.0f / fan);
+  w.randomize_gaussian(rng, stddev);
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  BNSGCN_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  float mx = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.size(); ++i)
+    mx = std::max(mx, std::abs(pa[i] - pb[i]));
+  return mx;
+}
+
+double frobenius_norm_sq(const Matrix& a) {
+  double acc = 0.0;
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < a.size(); ++i)
+    acc += static_cast<double>(pa[i]) * static_cast<double>(pa[i]);
+  return acc;
+}
+
+} // namespace bnsgcn::ops

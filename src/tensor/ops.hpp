@@ -1,0 +1,99 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "tensor/matrix.hpp"
+
+namespace bnsgcn::ops {
+
+// ---------------------------------------------------------------------------
+// GEMM family. All variants accumulate into a pre-shaped output:
+//   C = alpha * op(A) * op(B) + beta * C
+// Only the three shapes needed by the layers are provided; each is a blocked
+// triple loop tuned for row-major operands (no transposed memory walks).
+// ---------------------------------------------------------------------------
+
+/// C[m,n] = alpha * A[m,k] * B[k,n] + beta * C
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
+             float beta = 0.0f);
+
+/// C[k,n] = alpha * A[m,k]^T * B[m,n] + beta * C   (weight gradients)
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
+             float beta = 0.0f);
+
+/// C[m,k] = alpha * A[m,n] * B[k,n]^T + beta * C   (input gradients)
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
+             float beta = 0.0f);
+
+// ---------------------------------------------------------------------------
+// Elementwise / rowwise.
+// ---------------------------------------------------------------------------
+
+/// y += x (shapes must match).
+void add_inplace(Matrix& y, const Matrix& x);
+
+/// y = a*x + y (axpy over the flat buffer).
+void axpy(float a, const Matrix& x, Matrix& y);
+
+void scale_inplace(Matrix& y, float s);
+
+/// out[r,:] = x[r,:] + bias[0,:] for every row.
+void add_row_bias(Matrix& x, const Matrix& bias);
+
+/// bias_grad[0,:] += column sums of grad.
+void col_sum(const Matrix& grad, Matrix& out);
+
+/// ReLU forward in place; mask receives 1/0 for backward.
+void relu_forward(Matrix& x, Matrix& mask);
+
+/// grad *= mask (backward through ReLU).
+void relu_backward(Matrix& grad, const Matrix& mask);
+
+/// LeakyReLU with slope (GAT attention) — returns activated copy semantics
+/// via in-place transform; mask stores the effective slope per element.
+void leaky_relu_forward(Matrix& x, Matrix& mask, float slope);
+void leaky_relu_backward(Matrix& grad, const Matrix& mask);
+
+/// Inverted dropout: zero with prob p, scale kept values by 1/(1-p).
+/// mask holds the applied multiplier so backward is grad *= mask.
+void dropout_forward(Matrix& x, Matrix& mask, float p, Rng& rng);
+void dropout_backward(Matrix& grad, const Matrix& mask);
+
+/// Numerically stable row-wise softmax (in place).
+void softmax_rows(Matrix& x);
+
+// ---------------------------------------------------------------------------
+// Gather / scatter over row indices — the halo exchange primitives.
+// ---------------------------------------------------------------------------
+
+/// out[i,:] = src[idx[i],:]. out is resized to (idx.size(), src.cols()).
+void gather_rows(const Matrix& src, std::span<const NodeId> idx, Matrix& out);
+
+/// dst[idx[i],:] += src[i,:]
+void scatter_add_rows(const Matrix& src, std::span<const NodeId> idx,
+                      Matrix& dst);
+
+/// Concatenate columns: out = [a | b].
+void concat_cols(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Split columns (backward of concat): a = out[:, :a_cols], b = rest.
+void split_cols(const Matrix& out, Matrix& a, Matrix& b, std::int64_t a_cols);
+
+// ---------------------------------------------------------------------------
+// Init / comparison helpers.
+// ---------------------------------------------------------------------------
+
+/// Glorot/Xavier uniform-equivalent Gaussian init for a [fan_in, fan_out]
+/// weight: stddev = sqrt(2 / (fan_in + fan_out)).
+void glorot_init(Matrix& w, Rng& rng);
+
+/// Max |a-b| over all elements; shapes must match.
+[[nodiscard]] float max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// Frobenius norm squared.
+[[nodiscard]] double frobenius_norm_sq(const Matrix& a);
+
+} // namespace bnsgcn::ops

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/adam.hpp"
+
+namespace bnsgcn {
+namespace {
+
+TEST(Adam, FirstStepMovesByLr) {
+  // With bias correction, the first Adam step is ≈ lr * sign(grad).
+  Matrix p(1, 2);
+  p.at(0, 0) = 1.0f;
+  p.at(0, 1) = -1.0f;
+  Matrix g(1, 2);
+  g.at(0, 0) = 0.5f;
+  g.at(0, 1) = -2.0f;
+  nn::Adam adam({&p}, {&g}, {.lr = 0.1f});
+  adam.step();
+  EXPECT_NEAR(p.at(0, 0), 1.0f - 0.1f, 1e-5f);
+  EXPECT_NEAR(p.at(0, 1), -1.0f + 0.1f, 1e-5f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // minimize f(x) = (x-3)^2 → grad = 2(x-3).
+  Matrix x(1, 1);
+  Matrix g(1, 1);
+  nn::Adam adam({&x}, {&g}, {.lr = 0.05f});
+  for (int i = 0; i < 2000; ++i) {
+    g.at(0, 0) = 2.0f * (x.at(0, 0) - 3.0f);
+    adam.step();
+  }
+  EXPECT_NEAR(x.at(0, 0), 3.0f, 1e-2f);
+}
+
+TEST(Adam, ConvergesOnRosenbrockish2d) {
+  // A curved valley exercises the second-moment scaling.
+  Matrix x(1, 2);
+  x.at(0, 0) = -1.0f;
+  x.at(0, 1) = 1.0f;
+  Matrix g(1, 2);
+  nn::Adam adam({&x}, {&g}, {.lr = 0.02f});
+  for (int i = 0; i < 8000; ++i) {
+    const float a = x.at(0, 0), b = x.at(0, 1);
+    g.at(0, 0) = 2.0f * (a - 1.0f) + 4.0f * a * (a * a - b);
+    g.at(0, 1) = 2.0f * (b - a * a);
+    adam.step();
+  }
+  EXPECT_NEAR(x.at(0, 0), 1.0f, 0.05f);
+  EXPECT_NEAR(x.at(0, 1), 1.0f, 0.05f);
+}
+
+TEST(Adam, ZeroGrads) {
+  Matrix p(2, 2);
+  Matrix g(2, 2, 5.0f);
+  nn::Adam adam({&p}, {&g}, {});
+  adam.zero_grads();
+  for (const float v : g.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Adam, WeightDecayPullsTowardZero) {
+  Matrix p(1, 1);
+  p.at(0, 0) = 1.0f;
+  Matrix g(1, 1); // zero task gradient
+  nn::Adam adam({&p}, {&g}, {.lr = 0.01f, .weight_decay = 0.1f});
+  for (int i = 0; i < 200; ++i) adam.step();
+  EXPECT_LT(std::abs(p.at(0, 0)), 1.0f);
+}
+
+TEST(Adam, MismatchedSizesRejected) {
+  Matrix p(1, 2);
+  Matrix g(1, 2);
+  EXPECT_THROW(nn::Adam({&p}, {&g, &g}, {}), CheckError);
+}
+
+TEST(Adam, MultipleParamGroups) {
+  Matrix p1(1, 1), p2(2, 2);
+  p1.at(0, 0) = 4.0f;
+  Matrix g1(1, 1), g2(2, 2);
+  nn::Adam adam({&p1, &p2}, {&g1, &g2}, {.lr = 0.1f});
+  g1.at(0, 0) = 1.0f;
+  g2.fill(1.0f);
+  adam.step();
+  EXPECT_LT(p1.at(0, 0), 4.0f);
+  EXPECT_LT(p2.at(0, 0), 0.0f);
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/alias_table.hpp"
+#include "common/check.hpp"
+
+namespace bnsgcn {
+namespace {
+
+TEST(AliasTable, UniformWeights) {
+  AliasTable table(std::vector<double>{1, 1, 1, 1});
+  Rng rng(1);
+  std::vector<int> counts(4, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[static_cast<std::size_t>(table.sample(rng))];
+  for (const int c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.25, 0.01);
+}
+
+TEST(AliasTable, SkewedWeights) {
+  AliasTable table(std::vector<double>{8, 1, 1});
+  Rng rng(2);
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[static_cast<std::size_t>(table.sample(rng))];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.8, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kN, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.1, 0.01);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  AliasTable table(std::vector<double>{1, 0, 1});
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(table.sample(rng), 1);
+}
+
+TEST(AliasTable, SingleElement) {
+  AliasTable table(std::vector<double>{3.5});
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0);
+}
+
+TEST(AliasTable, NormalizedProbabilities) {
+  AliasTable table(std::vector<double>{2, 3, 5});
+  EXPECT_DOUBLE_EQ(table.probability(0), 0.2);
+  EXPECT_DOUBLE_EQ(table.probability(1), 0.3);
+  EXPECT_DOUBLE_EQ(table.probability(2), 0.5);
+}
+
+TEST(AliasTable, RejectsAllZero) {
+  EXPECT_THROW(AliasTable(std::vector<double>{0, 0}), CheckError);
+}
+
+TEST(AliasTable, RejectsNegative) {
+  EXPECT_THROW(AliasTable(std::vector<double>{1, -1}), CheckError);
+}
+
+TEST(AliasTable, LargeTableStatistics) {
+  // Power-law weights: verify high-weight indices dominate proportionally.
+  std::vector<double> w(1000);
+  double total = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = 1.0 / static_cast<double>(i + 1);
+    total += w[i];
+  }
+  AliasTable table(w);
+  Rng rng(5);
+  std::int64_t first = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i)
+    if (table.sample(rng) == 0) ++first;
+  EXPECT_NEAR(static_cast<double>(first) / kN, 1.0 / total, 0.01);
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+
+namespace bnsgcn {
+namespace {
+
+TEST(Barrier, SingleParty) {
+  Barrier b(1);
+  EXPECT_TRUE(b.arrive_and_wait());
+  EXPECT_TRUE(b.arrive_and_wait());
+}
+
+TEST(Barrier, AllThreadsProceedTogether) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  Barrier barrier(kThreads);
+  std::atomic<int> phase_count{0};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        phase_count.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier every thread must observe all arrivals.
+        if (phase_count.load() < (round + 1) * kThreads) violation = true;
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(phase_count.load(), kThreads * kRounds);
+}
+
+TEST(Barrier, ExactlyOneSerialThreadPerGeneration) {
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 100;
+  Barrier barrier(kThreads);
+  std::atomic<int> serial_count{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        if (barrier.arrive_and_wait()) serial_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(serial_count.load(), kRounds);
+}
+
+} // namespace
+} // namespace bnsgcn

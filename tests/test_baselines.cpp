@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "baselines/minibatch.hpp"
+#include "graph/dataset.hpp"
+
+namespace bnsgcn {
+namespace {
+
+Dataset easy_dataset(std::uint64_t seed = 3) {
+  SyntheticSpec spec;
+  spec.n = 1200;
+  spec.m = 14000;
+  spec.communities = 6;
+  spec.num_classes = 6;
+  spec.feat_dim = 16;
+  spec.p_intra = 0.92;
+  spec.feature_noise = 1.2;
+  spec.seed = seed;
+  return make_synthetic(spec);
+}
+
+baselines::BaselineConfig fast_config() {
+  baselines::BaselineConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden = 32;
+  cfg.lr = 0.01f;
+  cfg.epochs = 25;
+  cfg.batches_per_epoch = 4;
+  cfg.batch_size = 256;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(FullGraph, ConvergesOnEasyDataset) {
+  const Dataset ds = easy_dataset();
+  core::TrainerConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden = 32;
+  cfg.epochs = 30;
+  cfg.lr = 0.01f;
+  cfg.seed = 1;
+  const auto result = baselines::train_full_graph(ds, cfg);
+  EXPECT_GT(result.final_test, 0.75);
+  EXPECT_LT(result.train_loss.back(), result.train_loss.front());
+}
+
+TEST(NeighborSampling, Converges) {
+  const Dataset ds = easy_dataset(5);
+  const auto result = baselines::train_neighbor_sampling(ds, fast_config());
+  EXPECT_GT(result.final_test, 0.55);
+  EXPECT_GT(result.sample_time_s, 0.0);
+}
+
+TEST(LayerSampling, FastGcnConverges) {
+  const Dataset ds = easy_dataset(7);
+  auto cfg = fast_config();
+  cfg.layer_budget = 600;
+  const auto result = baselines::train_layer_sampling(ds, cfg, false);
+  EXPECT_GT(result.final_test, 0.45);
+}
+
+TEST(LayerSampling, LadiesConverges) {
+  const Dataset ds = easy_dataset(7);
+  auto cfg = fast_config();
+  cfg.layer_budget = 600;
+  const auto result = baselines::train_layer_sampling(ds, cfg, true);
+  EXPECT_GT(result.final_test, 0.5);
+}
+
+TEST(LayerSampling, LadiesBeatsOrMatchesFastGcnLoss) {
+  // Same budget: restricting the pool to the neighbor set cannot hurt the
+  // estimator (Table 2 ordering), which shows up as faster loss descent.
+  const Dataset ds = easy_dataset(11);
+  auto cfg = fast_config();
+  cfg.epochs = 15;
+  cfg.layer_budget = 300;
+  const auto fast = baselines::train_layer_sampling(ds, cfg, false);
+  const auto ladies = baselines::train_layer_sampling(ds, cfg, true);
+  EXPECT_LE(ladies.train_loss.back(), fast.train_loss.back() * 1.3);
+}
+
+TEST(ClusterGcn, Converges) {
+  const Dataset ds = easy_dataset(13);
+  auto cfg = fast_config();
+  cfg.num_clusters = 12;
+  cfg.clusters_per_batch = 3;
+  const auto result = baselines::train_cluster_gcn(ds, cfg);
+  EXPECT_GT(result.final_test, 0.55);
+}
+
+TEST(GraphSaint, Converges) {
+  const Dataset ds = easy_dataset(17);
+  auto cfg = fast_config();
+  cfg.saint_budget = 500;
+  const auto result = baselines::train_graph_saint(ds, cfg);
+  EXPECT_GT(result.final_test, 0.5);
+}
+
+TEST(Baselines, MultilabelSupport) {
+  SyntheticSpec spec;
+  spec.n = 800;
+  spec.m = 6000;
+  spec.communities = 8;
+  spec.num_classes = 8;
+  spec.feat_dim = 16;
+  spec.multilabel = true;
+  spec.seed = 19;
+  const Dataset ds = make_synthetic(spec);
+  auto cfg = fast_config();
+  cfg.epochs = 20;
+  const auto result = baselines::train_neighbor_sampling(ds, cfg);
+  EXPECT_GT(result.final_test, 0.3);
+}
+
+TEST(Baselines, TimersPopulated) {
+  const Dataset ds = easy_dataset(23);
+  auto cfg = fast_config();
+  cfg.epochs = 5;
+  const auto result = baselines::train_graph_saint(ds, cfg);
+  EXPECT_GT(result.wall_time_s, 0.0);
+  EXPECT_GT(result.epoch_time_s, 0.0);
+  EXPECT_GE(result.sampler_overhead(), 0.0);
+  EXPECT_LE(result.sampler_overhead(), 1.0);
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+
+namespace bnsgcn {
+namespace {
+
+TEST(CooBuilder, BuildsSymmetricGraph) {
+  CooBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Csr g = b.build();
+  g.validate();
+  EXPECT_EQ(g.n, 4);
+  EXPECT_EQ(g.num_arcs(), 4); // 2 undirected edges
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(3), 0);
+}
+
+TEST(CooBuilder, DeduplicatesEdges) {
+  CooBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  const Csr g = b.build();
+  EXPECT_EQ(g.num_arcs(), 2);
+}
+
+TEST(CooBuilder, DropsSelfLoopsByDefault) {
+  CooBuilder b(3);
+  b.add_edge(1, 1);
+  b.add_edge(0, 2);
+  const Csr g = b.build();
+  EXPECT_FALSE(g.has_edge(1, 1));
+  EXPECT_EQ(g.num_arcs(), 2);
+}
+
+TEST(CooBuilder, KeepsSelfLoopsWhenAsked) {
+  CooBuilder b(3);
+  b.add_edge(1, 1);
+  const Csr g = b.build({.symmetrize = true, .drop_self_loops = false});
+  EXPECT_TRUE(g.has_edge(1, 1));
+  EXPECT_EQ(g.num_arcs(), 1); // self loop stored once
+}
+
+TEST(CooBuilder, DirectedMode) {
+  CooBuilder b(3);
+  b.add_edge(0, 1);
+  const Csr g = b.build({.symmetrize = false, .drop_self_loops = true});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(CooBuilder, RejectsOutOfRange) {
+  CooBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), CheckError);
+  EXPECT_THROW(b.add_edge(-1, 0), CheckError);
+}
+
+TEST(Csr, NeighborsSorted) {
+  CooBuilder b(5);
+  b.add_edge(2, 4);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  const Csr g = b.build();
+  const auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 0);
+  EXPECT_EQ(nb[1], 3);
+  EXPECT_EQ(nb[2], 4);
+}
+
+TEST(Csr, AverageDegree) {
+  CooBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Csr g = b.build();
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.0);
+}
+
+TEST(InducedSubgraph, BasicTriangle) {
+  CooBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  const Csr g = b.build();
+  const std::vector<NodeId> keep{0, 1, 2};
+  const auto sub = induced_subgraph(g, keep);
+  sub.adj.validate();
+  EXPECT_EQ(sub.adj.n, 3);
+  EXPECT_EQ(sub.adj.num_arcs(), 6); // triangle
+  EXPECT_EQ(sub.local_to_global[0], 0);
+}
+
+TEST(InducedSubgraph, RemapsIdsWithArbitraryOrder) {
+  CooBuilder b(4);
+  b.add_edge(1, 3);
+  const Csr g = b.build();
+  const std::vector<NodeId> keep{3, 1}; // reversed order
+  const auto sub = induced_subgraph(g, keep);
+  sub.adj.validate();
+  EXPECT_EQ(sub.adj.n, 2);
+  EXPECT_TRUE(sub.adj.has_edge(0, 1)); // local 0=global 3, local 1=global 1
+  EXPECT_EQ(sub.local_to_global[0], 3);
+  EXPECT_EQ(sub.local_to_global[1], 1);
+}
+
+TEST(InducedSubgraph, ExcludesOutsideEdges) {
+  CooBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Csr g = b.build();
+  const std::vector<NodeId> keep{0, 1};
+  const auto sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.adj.num_arcs(), 2); // only 0-1 survives
+}
+
+TEST(InducedSubgraph, DuplicateNodesRejected) {
+  CooBuilder b(3);
+  b.add_edge(0, 1);
+  const Csr g = b.build();
+  const std::vector<NodeId> keep{1, 1};
+  EXPECT_THROW(induced_subgraph(g, keep), CheckError);
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "graph/dataset.hpp"
+
+namespace bnsgcn {
+namespace {
+
+TEST(Dataset, SyntheticSingleLabelShape) {
+  SyntheticSpec spec;
+  spec.n = 2000;
+  spec.m = 20000;
+  spec.communities = 8;
+  spec.num_classes = 8;
+  spec.feat_dim = 16;
+  const Dataset ds = make_synthetic(spec);
+  ds.validate();
+  EXPECT_EQ(ds.num_nodes(), 2000);
+  EXPECT_EQ(ds.feat_dim(), 16);
+  EXPECT_FALSE(ds.multilabel);
+  EXPECT_EQ(static_cast<NodeId>(ds.labels.size()), 2000);
+}
+
+TEST(Dataset, SplitsPartitionAllNodes) {
+  SyntheticSpec spec;
+  spec.n = 1000;
+  spec.m = 8000;
+  spec.communities = 4;
+  spec.num_classes = 4;
+  const Dataset ds = make_synthetic(spec);
+  EXPECT_EQ(ds.train_nodes.size() + ds.val_nodes.size() + ds.test_nodes.size(),
+            1000u);
+  EXPECT_NEAR(static_cast<double>(ds.train_nodes.size()), 660.0, 2.0);
+}
+
+TEST(Dataset, FeaturesCarryClassSignal) {
+  // Mean feature distance between same-class node pairs should be smaller
+  // than between different-class pairs.
+  SyntheticSpec spec;
+  spec.n = 1000;
+  spec.m = 5000;
+  spec.communities = 4;
+  spec.num_classes = 4;
+  spec.feat_dim = 32;
+  spec.feature_noise = 0.5;
+  spec.label_noise = 0.0;
+  const Dataset ds = make_synthetic(spec);
+
+  auto dist = [&](NodeId a, NodeId b) {
+    double acc = 0.0;
+    for (std::int64_t c = 0; c < ds.feat_dim(); ++c) {
+      const double d = ds.features.at(a, c) - ds.features.at(b, c);
+      acc += d * d;
+    }
+    return acc;
+  };
+  double same = 0.0, diff = 0.0;
+  int same_n = 0, diff_n = 0;
+  Rng rng(1);
+  for (int i = 0; i < 4000; ++i) {
+    const auto a = static_cast<NodeId>(rng.next_below(1000));
+    const auto b = static_cast<NodeId>(rng.next_below(1000));
+    if (a == b) continue;
+    if (ds.labels[static_cast<std::size_t>(a)] ==
+        ds.labels[static_cast<std::size_t>(b)]) {
+      same += dist(a, b);
+      ++same_n;
+    } else {
+      diff += dist(a, b);
+      ++diff_n;
+    }
+  }
+  ASSERT_GT(same_n, 10);
+  ASSERT_GT(diff_n, 10);
+  EXPECT_LT(same / same_n, 0.7 * diff / diff_n);
+}
+
+TEST(Dataset, MultilabelShape) {
+  SyntheticSpec spec;
+  spec.n = 500;
+  spec.m = 3000;
+  spec.communities = 10;
+  spec.num_classes = 10;
+  spec.multilabel = true;
+  spec.labels_per_node = 3;
+  const Dataset ds = make_synthetic(spec);
+  ds.validate();
+  EXPECT_TRUE(ds.multilabel);
+  EXPECT_EQ(ds.multilabels.rows(), 500);
+  EXPECT_EQ(ds.multilabels.cols(), 10);
+  // Every node has at least its primary label.
+  for (NodeId v = 0; v < 500; ++v) {
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < 10; ++c) sum += ds.multilabels.at(v, c);
+    EXPECT_GE(sum, 1.0f);
+  }
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  SyntheticSpec spec;
+  spec.n = 300;
+  spec.m = 1000;
+  spec.communities = 4;
+  spec.num_classes = 4;
+  spec.seed = 9;
+  const Dataset a = make_synthetic(spec);
+  const Dataset b = make_synthetic(spec);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.graph.nbrs, b.graph.nbrs);
+  EXPECT_EQ(a.train_nodes, b.train_nodes);
+}
+
+TEST(Dataset, PresetsConstruct) {
+  // Scaled-down presets must build valid datasets quickly.
+  for (const auto& spec :
+       {reddit_like(0.05), products_like(0.02), yelp_like(0.03),
+        papers_like(0.01)}) {
+    const Dataset ds = make_synthetic(spec);
+    ds.validate();
+    EXPECT_GT(ds.num_nodes(), 100);
+    EXPECT_GT(ds.graph.num_arcs(), 100);
+  }
+}
+
+TEST(Dataset, PresetShapesMatchPaperTable3) {
+  EXPECT_EQ(reddit_like().num_classes, 41);
+  EXPECT_EQ(products_like().num_classes, 47);
+  EXPECT_TRUE(yelp_like().multilabel);
+  EXPECT_EQ(papers_like().num_classes, 172);
+  // ogbn-products' tiny train fraction drives the Fig. 7 overfitting study.
+  EXPECT_NEAR(products_like().train_frac, 0.08, 1e-9);
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -1,0 +1,208 @@
+// Failure-injection and degenerate-topology tests across modules: the
+// situations a downstream user will hit first (empty train split on a rank,
+// isolated nodes, more partitions than communities, zero-size collectives).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "baselines/minibatch.hpp"
+#include "comm/fabric.hpp"
+#include "core/trainer.hpp"
+#include "graph/generators.hpp"
+#include "partition/metis_like.hpp"
+
+namespace bnsgcn {
+namespace {
+
+TEST(EdgeCases, PartitionWithoutTrainNodes) {
+  // All train nodes live in the first half of the id space; a contiguous
+  // partition leaves rank 1 with zero train rows. Its loss contribution is
+  // zero but it must still participate in every collective.
+  SyntheticSpec spec;
+  spec.n = 600;
+  spec.m = 4000;
+  spec.communities = 4;
+  spec.num_classes = 4;
+  spec.feat_dim = 8;
+  spec.seed = 5;
+  Dataset ds = make_synthetic(spec);
+  std::vector<NodeId> train, rest;
+  for (const NodeId v : ds.train_nodes)
+    (v < 300 ? train : rest).push_back(v);
+  for (const NodeId v : rest) ds.test_nodes.push_back(v);
+  ds.train_nodes = train;
+  std::sort(ds.test_nodes.begin(), ds.test_nodes.end());
+  ds.validate();
+
+  Partitioning part;
+  part.nparts = 2;
+  part.owner.resize(600);
+  for (NodeId v = 0; v < 600; ++v)
+    part.owner[static_cast<std::size_t>(v)] = v < 300 ? 0 : 1;
+
+  core::TrainerConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden = 16;
+  cfg.epochs = 10;
+  cfg.sample_rate = 0.5f;
+  const auto result = core::BnsTrainer(ds, part, cfg).train();
+  // Two of the four classes have no training examples after the surgery,
+  // so test accuracy is capped low; the point is that the trainless rank
+  // participates in every collective and optimization still progresses.
+  EXPECT_GT(result.final_test, 0.1);
+  EXPECT_LT(result.train_loss.back(), result.train_loss.front());
+}
+
+TEST(EdgeCases, GraphWithIsolatedNodes) {
+  // Isolated nodes have degree 0: aggregation must yield zero without
+  // dividing by zero, and training must proceed.
+  CooBuilder b(200);
+  for (NodeId v = 0; v + 1 < 100; ++v) b.add_edge(v, v + 1); // half isolated
+  Dataset ds;
+  ds.name = "isolated";
+  ds.graph = b.build();
+  ds.num_classes = 2;
+  ds.features.resize(200, 4);
+  Rng rng(1);
+  ds.features.randomize_gaussian(rng, 1.0f);
+  ds.labels.resize(200);
+  for (NodeId v = 0; v < 200; ++v) {
+    ds.labels[static_cast<std::size_t>(v)] = v % 2;
+    ds.features.at(v, 0) += (v % 2 == 0) ? 2.0f : -2.0f;
+    if (v < 150)
+      ds.train_nodes.push_back(v);
+    else
+      ds.test_nodes.push_back(v);
+  }
+  ds.validate();
+  Rng prng(2);
+  const auto part = random_partition(200, 2, prng);
+  core::TrainerConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden = 8;
+  cfg.epochs = 30;
+  const auto result = core::BnsTrainer(ds, part, cfg).train();
+  EXPECT_GT(result.final_test, 0.7); // features alone separate the classes
+}
+
+TEST(EdgeCases, MorePartitionsThanCommunities) {
+  Rng rng(3);
+  gen::PlantedPartitionParams pp;
+  pp.n = 800;
+  pp.m = 6000;
+  pp.communities = 3;
+  const auto planted = gen::planted_partition(pp, rng);
+  const auto part = metis_like(planted.graph, 12);
+  part.validate();
+}
+
+TEST(EdgeCases, AllreduceZeroLength) {
+  comm::Fabric fabric(3);
+  std::vector<std::thread> threads;
+  for (PartId r = 0; r < 3; ++r) {
+    threads.emplace_back([&fabric, r] {
+      std::vector<float> empty;
+      fabric.endpoint(r).allreduce_sum(empty);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(EdgeCases, SingleRankFabricCollectives) {
+  comm::Fabric fabric(1);
+  auto& ep = fabric.endpoint(0);
+  std::vector<float> data{1.0f, 2.0f};
+  ep.allreduce_sum(data);
+  EXPECT_FLOAT_EQ(data[0], 1.0f);
+  EXPECT_DOUBLE_EQ(ep.allreduce_sum_scalar(5.0), 5.0);
+  const auto all = ep.allgather_ids({7, 8});
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], (std::vector<NodeId>{7, 8}));
+}
+
+TEST(EdgeCases, TwoNodeTinyDatasetTrains) {
+  // Smallest functional configuration: 2 partitions of a 10-node graph.
+  CooBuilder b(10);
+  for (NodeId v = 0; v + 1 < 10; ++v) b.add_edge(v, v + 1);
+  Dataset ds;
+  ds.name = "tiny";
+  ds.graph = b.build();
+  ds.num_classes = 2;
+  ds.features.resize(10, 2);
+  for (NodeId v = 0; v < 10; ++v) {
+    ds.labels.push_back(v < 5 ? 0 : 1);
+    ds.features.at(v, 0) = v < 5 ? 1.0f : -1.0f;
+    if (v % 2 == 0)
+      ds.train_nodes.push_back(v);
+    else
+      ds.test_nodes.push_back(v);
+  }
+  ds.validate();
+  Partitioning part;
+  part.nparts = 2;
+  part.owner = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  core::TrainerConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden = 4;
+  cfg.epochs = 40;
+  const auto result = core::BnsTrainer(ds, part, cfg).train();
+  EXPECT_GT(result.final_test, 0.7);
+}
+
+TEST(EdgeCases, MinibatchWithBatchLargerThanTrainSet) {
+  SyntheticSpec spec;
+  spec.n = 300;
+  spec.m = 2000;
+  spec.communities = 3;
+  spec.num_classes = 3;
+  spec.feat_dim = 8;
+  spec.train_frac = 0.1; // tiny train set
+  spec.seed = 7;
+  const Dataset ds = make_synthetic(spec);
+  baselines::BaselineConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden = 8;
+  cfg.epochs = 5;
+  cfg.batch_size = 10'000; // far larger than the train split
+  cfg.batches_per_epoch = 2;
+  const auto result = baselines::train_neighbor_sampling(ds, cfg);
+  EXPECT_EQ(result.train_loss.size(), 5u);
+}
+
+TEST(EdgeCases, RngNextBelowOne) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(EdgeCases, DropEdgeRateOneKeepsEverything) {
+  Rng rng(13);
+  const Csr g = gen::erdos_renyi(200, 1500, rng);
+  const auto part = random_partition(g.n, 2, rng);
+  const auto lgs = core::build_local_graphs(g, part);
+  comm::Fabric fabric(2);
+  std::vector<core::BoundarySampler> samplers;
+  for (PartId r = 0; r < 2; ++r)
+    samplers.emplace_back(
+        lgs[static_cast<std::size_t>(r)],
+        core::BoundarySampler::Options{
+            .variant = core::SamplingVariant::kDropEdge,
+            .rate = 1.0f,
+            .seed = 17ull + static_cast<std::uint64_t>(r)});
+  std::vector<core::EpochPlan> plans(2);
+  std::vector<std::thread> threads;
+  for (PartId r = 0; r < 2; ++r)
+    threads.emplace_back([&, r] {
+      plans[static_cast<std::size_t>(r)] =
+          samplers[static_cast<std::size_t>(r)].sample_epoch(
+              fabric.endpoint(r), 0);
+    });
+  for (auto& t : threads) t.join();
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(plans[r].dropped_edges, 0);
+    EXPECT_EQ(plans[r].n_kept_halo, lgs[r].n_halo());
+  }
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "comm/fabric.hpp"
+
+namespace bnsgcn {
+namespace {
+
+using comm::CostModel;
+using comm::Fabric;
+using comm::TrafficClass;
+
+/// Run fn(rank_endpoint) on one thread per rank and join.
+template <typename Fn>
+void run_ranks(Fabric& fabric, Fn fn) {
+  std::vector<std::thread> threads;
+  for (PartId r = 0; r < fabric.nranks(); ++r) {
+    threads.emplace_back([&fabric, r, &fn] { fn(fabric.endpoint(r)); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(Fabric, PointToPointDelivers) {
+  Fabric fabric(2);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send_floats(1, /*tag=*/7, {1.0f, 2.0f, 3.0f}, TrafficClass::kFeature);
+    } else {
+      const auto payload = ep.recv_floats(0, 7, TrafficClass::kFeature);
+      ASSERT_EQ(payload.size(), 3u);
+      EXPECT_FLOAT_EQ(payload[1], 2.0f);
+    }
+  });
+}
+
+TEST(Fabric, TagMatchingOutOfOrder) {
+  Fabric fabric(2);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send_floats(1, 1, {1.0f}, TrafficClass::kFeature);
+      ep.send_floats(1, 2, {2.0f}, TrafficClass::kFeature);
+    } else {
+      // Receive tag 2 first even though tag 1 was sent first.
+      const auto second = ep.recv_floats(0, 2, TrafficClass::kFeature);
+      const auto first = ep.recv_floats(0, 1, TrafficClass::kFeature);
+      EXPECT_FLOAT_EQ(second[0], 2.0f);
+      EXPECT_FLOAT_EQ(first[0], 1.0f);
+    }
+  });
+}
+
+TEST(Fabric, IdPayloads) {
+  Fabric fabric(3);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send_ids(1, 0, {5, 6, 7}, TrafficClass::kControl);
+      ep.send_ids(2, 0, {8}, TrafficClass::kControl);
+    } else {
+      const auto ids = ep.recv_ids(0, 0, TrafficClass::kControl);
+      if (ep.rank() == 1) {
+        EXPECT_EQ(ids, (std::vector<NodeId>{5, 6, 7}));
+      } else {
+        EXPECT_EQ(ids, (std::vector<NodeId>{8}));
+      }
+    }
+  });
+}
+
+TEST(Fabric, AllreduceSum) {
+  constexpr PartId kRanks = 5;
+  Fabric fabric(kRanks);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    std::vector<float> data{static_cast<float>(ep.rank()),
+                            static_cast<float>(ep.rank() * 10)};
+    ep.allreduce_sum(data);
+    EXPECT_FLOAT_EQ(data[0], 0 + 1 + 2 + 3 + 4);
+    EXPECT_FLOAT_EQ(data[1], 10 * (0 + 1 + 2 + 3 + 4));
+  });
+}
+
+TEST(Fabric, AllreduceRepeatedRounds) {
+  // Back-to-back collectives must not corrupt each other.
+  constexpr PartId kRanks = 4;
+  Fabric fabric(kRanks);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<float> data{static_cast<float>(round + ep.rank())};
+      ep.allreduce_sum(data);
+      EXPECT_FLOAT_EQ(data[0], 4.0f * round + 6.0f);
+    }
+  });
+}
+
+TEST(Fabric, AllreduceScalars) {
+  Fabric fabric(3);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    const double sum = ep.allreduce_sum_scalar(ep.rank() + 1.0);
+    EXPECT_DOUBLE_EQ(sum, 6.0);
+    const double mx = ep.allreduce_max_scalar(ep.rank() * 2.0);
+    EXPECT_DOUBLE_EQ(mx, 4.0);
+  });
+}
+
+TEST(Fabric, AllgatherIds) {
+  Fabric fabric(3);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    std::vector<NodeId> mine(static_cast<std::size_t>(ep.rank()) + 1,
+                             ep.rank());
+    const auto all = ep.allgather_ids(mine);
+    ASSERT_EQ(all.size(), 3u);
+    for (PartId r = 0; r < 3; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)].size(),
+                static_cast<std::size_t>(r) + 1);
+      for (const NodeId v : all[static_cast<std::size_t>(r)]) EXPECT_EQ(v, r);
+    }
+  });
+}
+
+TEST(Fabric, ByteAccounting) {
+  Fabric fabric(2);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send_floats(1, 0, std::vector<float>(100, 1.0f),
+                     TrafficClass::kFeature);
+    } else {
+      (void)ep.recv_floats(0, 0, TrafficClass::kFeature);
+    }
+    ep.barrier();
+  });
+  const auto& tx = fabric.endpoint(0).stats();
+  const auto& rx = fabric.endpoint(1).stats();
+  EXPECT_EQ(tx.tx_bytes[static_cast<int>(TrafficClass::kFeature)], 400);
+  EXPECT_EQ(rx.rx_bytes[static_cast<int>(TrafficClass::kFeature)], 400);
+  EXPECT_EQ(fabric.total_rx_bytes(TrafficClass::kFeature), 400);
+}
+
+TEST(Fabric, StatsResetClears) {
+  Fabric fabric(2);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    if (ep.rank() == 0)
+      ep.send_floats(1, 0, {1.0f}, TrafficClass::kFeature);
+    else
+      (void)ep.recv_floats(0, 0, TrafficClass::kFeature);
+  });
+  fabric.reset_stats();
+  EXPECT_EQ(fabric.total_rx_bytes(TrafficClass::kFeature), 0);
+}
+
+TEST(CostModel, MessageTime) {
+  const CostModel m{.latency_s = 1e-6, .bytes_per_s = 1e9};
+  EXPECT_NEAR(m.message_time(1'000'000), 1e-6 + 1e-3, 1e-9);
+}
+
+TEST(CostModel, AllreduceRingScaling) {
+  const CostModel m{.latency_s = 0.0, .bytes_per_s = 1e9};
+  // 2 ranks: exactly one payload crosses the wire per direction.
+  EXPECT_NEAR(m.allreduce_time(1e9, 2), 1.0, 1e-9);
+  // Many ranks: approaches 2x payload.
+  EXPECT_NEAR(m.allreduce_time(1e9, 100), 1.98, 1e-9);
+  EXPECT_DOUBLE_EQ(m.allreduce_time(12345, 1), 0.0);
+}
+
+TEST(CostModel, SimSecondsUsesMaxOfDirections) {
+  comm::RankStats st;
+  st.tx_bytes[0] = 8'000'000'000LL; // 1s at 8GB/s
+  st.rx_bytes[0] = 0;
+  const auto cost = CostModel{.latency_s = 0.0, .bytes_per_s = 8e9};
+  EXPECT_NEAR(st.sim_seconds(TrafficClass::kFeature, cost), 1.0, 1e-9);
+  st.rx_bytes[0] = 16'000'000'000LL; // rx dominates now
+  EXPECT_NEAR(st.sim_seconds(TrafficClass::kFeature, cost), 2.0, 1e-9);
+}
+
+TEST(Fabric, ManyRanksStress) {
+  constexpr PartId kRanks = 12;
+  Fabric fabric(kRanks);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    // Ring exchange repeated: each rank sends to (r+1)%n, receives from
+    // (r-1+n)%n, then allreduces a checksum.
+    const PartId n = ep.nranks();
+    const PartId next = (ep.rank() + 1) % n;
+    const PartId prev = (ep.rank() + n - 1) % n;
+    double checksum = 0.0;
+    for (int round = 0; round < 10; ++round) {
+      ep.send_floats(next, round, {static_cast<float>(ep.rank())},
+                     TrafficClass::kFeature);
+      const auto got = ep.recv_floats(prev, round, TrafficClass::kFeature);
+      checksum += got[0];
+    }
+    const double total = ep.allreduce_sum_scalar(checksum);
+    // Each round moves the full 0+..+n-1 around: 10 rounds * n*(n-1)/2.
+    EXPECT_DOUBLE_EQ(total, 10.0 * n * (n - 1) / 2.0);
+  });
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "tensor/ops.hpp"
+
+namespace bnsgcn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Io, CsrRoundTrip) {
+  Rng rng(1);
+  const Csr g = gen::rmat(512, 4000, rng);
+  const auto path = temp_path("bnsgcn_csr_test.bin");
+  save_csr(g, path);
+  const Csr loaded = load_csr(path);
+  EXPECT_EQ(loaded.n, g.n);
+  EXPECT_EQ(loaded.offsets, g.offsets);
+  EXPECT_EQ(loaded.nbrs, g.nbrs);
+  std::remove(path.c_str());
+}
+
+TEST(Io, DatasetRoundTripSingleLabel) {
+  SyntheticSpec spec;
+  spec.n = 400;
+  spec.m = 2000;
+  spec.communities = 4;
+  spec.num_classes = 4;
+  spec.feat_dim = 8;
+  spec.seed = 2;
+  const Dataset ds = make_synthetic(spec);
+  const auto path = temp_path("bnsgcn_ds_test.bin");
+  save_dataset(ds, path);
+  const Dataset loaded = load_dataset(path);
+  loaded.validate();
+  EXPECT_EQ(loaded.name, ds.name);
+  EXPECT_EQ(loaded.labels, ds.labels);
+  EXPECT_EQ(loaded.train_nodes, ds.train_nodes);
+  EXPECT_EQ(loaded.num_classes, 4);
+  EXPECT_FALSE(loaded.multilabel);
+  EXPECT_LT(ops::max_abs_diff(loaded.features, ds.features), 1e-9f);
+  std::remove(path.c_str());
+}
+
+TEST(Io, DatasetRoundTripMultilabel) {
+  SyntheticSpec spec;
+  spec.n = 300;
+  spec.m = 1500;
+  spec.communities = 5;
+  spec.num_classes = 5;
+  spec.multilabel = true;
+  spec.seed = 3;
+  const Dataset ds = make_synthetic(spec);
+  const auto path = temp_path("bnsgcn_dsml_test.bin");
+  save_dataset(ds, path);
+  const Dataset loaded = load_dataset(path);
+  loaded.validate();
+  EXPECT_TRUE(loaded.multilabel);
+  EXPECT_LT(ops::max_abs_diff(loaded.multilabels, ds.multilabels), 1e-9f);
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(load_csr("/nonexistent/path/graph.bin"), CheckError);
+  EXPECT_THROW(load_dataset("/nonexistent/path/ds.bin"), CheckError);
+}
+
+TEST(Io, WrongMagicRejected) {
+  const auto path = temp_path("bnsgcn_badmagic.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    const char junk[32] = "not a graph file at all";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_csr(path), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Io, TruncatedFileRejected) {
+  Rng rng(4);
+  const Csr g = gen::ring(100);
+  const auto path = temp_path("bnsgcn_trunc.bin");
+  save_csr(g, path);
+  std::filesystem::resize_file(path, 24); // cut mid-offsets
+  EXPECT_THROW(load_csr(path), CheckError);
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+
+namespace bnsgcn {
+namespace {
+
+TEST(SoftmaxXent, UniformLogits) {
+  Matrix logits(1, 4); // all zeros → uniform distribution
+  const std::vector<int> labels{2};
+  const std::vector<NodeId> rows{0};
+  Matrix dlogits;
+  const double loss = nn::softmax_xent(logits, labels, rows, 1.0f, dlogits);
+  EXPECT_NEAR(loss, std::log(4.0), 1e-5);
+  EXPECT_NEAR(dlogits.at(0, 2), 0.25 - 1.0, 1e-5);
+  EXPECT_NEAR(dlogits.at(0, 0), 0.25, 1e-5);
+}
+
+TEST(SoftmaxXent, ConfidentCorrectPrediction) {
+  Matrix logits{{100.0f, 0.0f}};
+  const std::vector<int> labels{0};
+  const std::vector<NodeId> rows{0};
+  Matrix dlogits;
+  const double loss = nn::softmax_xent(logits, labels, rows, 1.0f, dlogits);
+  EXPECT_NEAR(loss, 0.0, 1e-5);
+  EXPECT_NEAR(dlogits.at(0, 0), 0.0, 1e-5);
+}
+
+TEST(SoftmaxXent, OnlySelectedRowsContribute) {
+  Matrix logits(3, 2);
+  logits.at(1, 0) = 5.0f;
+  const std::vector<int> labels{0, 1, 0};
+  const std::vector<NodeId> rows{0, 2}; // row 1 excluded
+  Matrix dlogits;
+  (void)nn::softmax_xent(logits, labels, rows, 1.0f, dlogits);
+  EXPECT_FLOAT_EQ(dlogits.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(dlogits.at(1, 1), 0.0f);
+  EXPECT_NE(dlogits.at(0, 0), 0.0f);
+}
+
+TEST(SoftmaxXent, GradientMatchesFiniteDifference) {
+  Rng rng(1);
+  Matrix logits(4, 5);
+  logits.randomize_gaussian(rng, 1.0f);
+  const std::vector<int> labels{1, 4, 0, 2};
+  const std::vector<NodeId> rows{0, 1, 3};
+  Matrix dlogits;
+  (void)nn::softmax_xent(logits, labels, rows, 0.5f, dlogits);
+
+  constexpr float kEps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.size(); i += 2) {
+    const float saved = logits.data()[i];
+    Matrix scratch;
+    logits.data()[i] = saved + kEps;
+    const double up = nn::softmax_xent(logits, labels, rows, 0.5f, scratch);
+    logits.data()[i] = saved - kEps;
+    const double down = nn::softmax_xent(logits, labels, rows, 0.5f, scratch);
+    logits.data()[i] = saved;
+    EXPECT_NEAR(dlogits.data()[i], (up - down) / (2 * kEps), 2e-3);
+  }
+}
+
+TEST(SoftmaxXent, ScalingContract) {
+  // Loss with inv_total = 1/N equals mean over the N selected rows.
+  Rng rng(2);
+  Matrix logits(10, 3);
+  logits.randomize_gaussian(rng, 1.0f);
+  std::vector<int> labels(10);
+  for (std::size_t i = 0; i < 10; ++i) labels[i] = static_cast<int>(i % 3);
+  std::vector<NodeId> all_rows;
+  for (NodeId r = 0; r < 10; ++r) all_rows.push_back(r);
+  Matrix d1, d2;
+  const double sum = nn::softmax_xent(logits, labels, all_rows, 1.0f, d1);
+  const double mean = nn::softmax_xent(logits, labels, all_rows, 0.1f, d2);
+  EXPECT_NEAR(mean, sum * 0.1, 1e-6);
+}
+
+TEST(SigmoidBce, HandComputedValues) {
+  Matrix logits{{0.0f, 10.0f}};
+  Matrix targets{{1.0f, 1.0f}};
+  const std::vector<NodeId> rows{0};
+  Matrix dlogits;
+  const double loss = nn::sigmoid_bce(logits, targets, rows, 1.0f, dlogits);
+  EXPECT_NEAR(loss, std::log(2.0) + std::log1p(std::exp(-10.0)), 1e-6);
+  EXPECT_NEAR(dlogits.at(0, 0), -0.5f, 1e-6);
+}
+
+TEST(SigmoidBce, GradientMatchesFiniteDifference) {
+  Rng rng(3);
+  Matrix logits(3, 4);
+  logits.randomize_gaussian(rng, 1.0f);
+  Matrix targets(3, 4);
+  for (std::int64_t i = 0; i < targets.size(); ++i)
+    targets.data()[i] = (i % 3 == 0) ? 1.0f : 0.0f;
+  const std::vector<NodeId> rows{0, 2};
+  Matrix dlogits;
+  (void)nn::sigmoid_bce(logits, targets, rows, 0.25f, dlogits);
+  constexpr float kEps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.size(); i += 2) {
+    const float saved = logits.data()[i];
+    Matrix scratch;
+    logits.data()[i] = saved + kEps;
+    const double up = nn::sigmoid_bce(logits, targets, rows, 0.25f, scratch);
+    logits.data()[i] = saved - kEps;
+    const double down = nn::sigmoid_bce(logits, targets, rows, 0.25f, scratch);
+    logits.data()[i] = saved;
+    EXPECT_NEAR(dlogits.data()[i], (up - down) / (2 * kEps), 2e-3);
+  }
+}
+
+TEST(Accuracy, CountsCorrect) {
+  Matrix logits{{1, 0}, {0, 1}, {3, 2}};
+  const std::vector<int> labels{0, 0, 0};
+  const std::vector<NodeId> rows{0, 1, 2};
+  const auto [correct, total] = nn::accuracy_counts(logits, labels, rows);
+  EXPECT_EQ(correct, 2);
+  EXPECT_EQ(total, 3);
+}
+
+TEST(F1, PerfectPrediction) {
+  Matrix logits{{5.0f, -5.0f}};
+  Matrix targets{{1.0f, 0.0f}};
+  const std::vector<NodeId> rows{0};
+  const auto counts = nn::f1_counts(logits, targets, rows);
+  EXPECT_EQ(counts.tp, 1);
+  EXPECT_EQ(counts.fp, 0);
+  EXPECT_EQ(counts.fn, 0);
+  EXPECT_DOUBLE_EQ(counts.micro_f1(), 1.0);
+}
+
+TEST(F1, MixedPrediction) {
+  Matrix logits{{5.0f, 5.0f, -5.0f, -5.0f}};
+  Matrix targets{{1.0f, 0.0f, 1.0f, 0.0f}};
+  const std::vector<NodeId> rows{0};
+  const auto counts = nn::f1_counts(logits, targets, rows);
+  EXPECT_EQ(counts.tp, 1);
+  EXPECT_EQ(counts.fp, 1);
+  EXPECT_EQ(counts.fn, 1);
+  EXPECT_NEAR(counts.micro_f1(), 0.5, 1e-12);
+}
+
+TEST(F1, EmptyIsZero) {
+  nn::F1Counts c;
+  EXPECT_DOUBLE_EQ(c.micro_f1(), 0.0);
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "graph/dataset.hpp"
+#include "graph/generators.hpp"
+#include "partition/metis_like.hpp"
+#include "partition/stats.hpp"
+
+namespace bnsgcn {
+namespace {
+
+TEST(MetisLike, ValidOnRandomGraph) {
+  Rng rng(1);
+  const Csr g = gen::erdos_renyi(2000, 10000, rng);
+  const auto p = metis_like(g, 4);
+  p.validate();
+  EXPECT_EQ(p.nparts, 4);
+}
+
+TEST(MetisLike, RespectsBalance) {
+  Rng rng(2);
+  const Csr g = gen::erdos_renyi(4000, 20000, rng);
+  MetisLikeOptions opts;
+  opts.balance_eps = 0.05;
+  const auto p = metis_like(g, 8, opts);
+  const auto members = p.members();
+  const auto cap = static_cast<NodeId>((4000.0 / 8) * 1.10); // small slack
+  for (const auto& part : members)
+    EXPECT_LE(static_cast<NodeId>(part.size()), cap);
+}
+
+TEST(MetisLike, RecoversPlantedCommunities) {
+  // On a strongly clustered graph the partitioner should cut far fewer
+  // edges than a random assignment.
+  Rng rng(3);
+  gen::PlantedPartitionParams pp;
+  pp.n = 4000;
+  pp.m = 40000;
+  pp.communities = 8;
+  pp.p_intra = 0.95;
+  const auto planted = gen::planted_partition(pp, rng);
+
+  const auto metis = metis_like(planted.graph, 8);
+  const auto random = random_partition(planted.graph.n, 8, rng);
+  const auto st_m = compute_stats(planted.graph, metis);
+  const auto st_r = compute_stats(planted.graph, random);
+  EXPECT_LT(st_m.edge_cut * 3, st_r.edge_cut);
+  EXPECT_LT(st_m.total_volume * 2, st_r.total_volume);
+}
+
+TEST(MetisLike, SinglePartition) {
+  Rng rng(4);
+  const Csr g = gen::erdos_renyi(100, 400, rng);
+  const auto p = metis_like(g, 1);
+  p.validate();
+  for (const PartId o : p.owner) EXPECT_EQ(o, 0);
+}
+
+TEST(MetisLike, GridBisectionIsClean) {
+  // Bisecting a 32x32 grid optimally cuts 32 edges; accept up to 3x.
+  const Csr g = gen::grid(32, 32);
+  const auto p = metis_like(g, 2);
+  const auto st = compute_stats(g, p);
+  EXPECT_LE(st.edge_cut, 96);
+}
+
+TEST(MetisLike, DeterministicForSeed) {
+  Rng rng(5);
+  const Csr g = gen::erdos_renyi(1000, 6000, rng);
+  MetisLikeOptions opts;
+  opts.seed = 77;
+  const auto a = metis_like(g, 4, opts);
+  const auto b = metis_like(g, 4, opts);
+  EXPECT_EQ(a.owner, b.owner);
+}
+
+TEST(MetisLike, HandlesStarGraph) {
+  // Degenerate topology for matching-based coarsening.
+  const Csr g = gen::star(500);
+  const auto p = metis_like(g, 4);
+  p.validate();
+}
+
+TEST(MetisLike, HandlesDisconnectedGraph) {
+  CooBuilder b(100);
+  for (NodeId v = 0; v + 1 < 50; ++v) b.add_edge(v, v + 1);
+  for (NodeId v = 50; v + 1 < 100; ++v) b.add_edge(v, v + 1);
+  const Csr g = b.build();
+  const auto p = metis_like(g, 2);
+  p.validate();
+  const auto st = compute_stats(g, p);
+  EXPECT_LE(st.edge_cut, 2); // two chains: clean split possible
+}
+
+class MetisSweep
+    : public ::testing::TestWithParam<std::tuple<PartId, double>> {};
+
+TEST_P(MetisSweep, ValidAcrossPartsAndIntraProbability) {
+  const auto [m, p_intra] = GetParam();
+  Rng rng(6);
+  gen::PlantedPartitionParams pp;
+  pp.n = 1500;
+  pp.m = 12000;
+  pp.communities = 6;
+  pp.p_intra = p_intra;
+  const auto planted = gen::planted_partition(pp, rng);
+  const auto part = metis_like(planted.graph, m);
+  part.validate();
+  // Balance within 1.15x of ideal.
+  const auto members = part.members();
+  for (const auto& mem : members)
+    EXPECT_LE(static_cast<double>(mem.size()), 1500.0 / m * 1.15 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MetisSweep,
+    ::testing::Combine(::testing::Values(2, 4, 10),
+                       ::testing::Values(0.5, 0.8, 0.95)));
+
+} // namespace
+} // namespace bnsgcn

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace bnsgcn {
+namespace {
+
+TEST(Ops, GemmNnSmall) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c(2, 2);
+  ops::gemm_nn(a, b, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Ops, GemmNnAlphaBeta) {
+  Matrix a{{1, 0}, {0, 1}};
+  Matrix b{{2, 3}, {4, 5}};
+  Matrix c{{1, 1}, {1, 1}};
+  ops::gemm_nn(a, b, c, 2.0f, 1.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 5.0f);  // 1 + 2*2
+  EXPECT_FLOAT_EQ(c.at(1, 1), 11.0f); // 1 + 2*5
+}
+
+TEST(Ops, GemmTnMatchesExplicitTranspose) {
+  Rng rng(1);
+  Matrix a(7, 3);
+  Matrix b(7, 5);
+  a.randomize_gaussian(rng, 1.0f);
+  b.randomize_gaussian(rng, 1.0f);
+  Matrix c(3, 5);
+  ops::gemm_tn(a, b, c);
+  // reference: c[k][n] = sum_i a[i][k] * b[i][n]
+  for (std::int64_t k = 0; k < 3; ++k) {
+    for (std::int64_t n = 0; n < 5; ++n) {
+      float ref = 0.0f;
+      for (std::int64_t i = 0; i < 7; ++i) ref += a.at(i, k) * b.at(i, n);
+      EXPECT_NEAR(c.at(k, n), ref, 1e-4f);
+    }
+  }
+}
+
+TEST(Ops, GemmNtMatchesExplicitTranspose) {
+  Rng rng(2);
+  Matrix a(4, 6);
+  Matrix b(3, 6);
+  a.randomize_gaussian(rng, 1.0f);
+  b.randomize_gaussian(rng, 1.0f);
+  Matrix c(4, 3);
+  ops::gemm_nt(a, b, c);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      float ref = 0.0f;
+      for (std::int64_t t = 0; t < 6; ++t) ref += a.at(i, t) * b.at(j, t);
+      EXPECT_NEAR(c.at(i, j), ref, 1e-4f);
+    }
+  }
+}
+
+TEST(Ops, GemmShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_THROW(ops::gemm_nn(a, b, c), CheckError);
+}
+
+TEST(Ops, GemmAssociativityWithIdentity) {
+  Rng rng(3);
+  Matrix a(5, 5);
+  a.randomize_gaussian(rng, 1.0f);
+  Matrix eye(5, 5);
+  for (int i = 0; i < 5; ++i) eye.at(i, i) = 1.0f;
+  Matrix c(5, 5);
+  ops::gemm_nn(a, eye, c);
+  EXPECT_LT(ops::max_abs_diff(a, c), 1e-6f);
+}
+
+TEST(Ops, AddAndAxpy) {
+  Matrix a{{1, 2}};
+  Matrix b{{3, 4}};
+  ops::add_inplace(a, b);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 6.0f);
+  ops::axpy(0.5f, b, a);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 5.5f);
+}
+
+TEST(Ops, AddRowBias) {
+  Matrix x{{1, 1}, {2, 2}};
+  Matrix b{{10, 20}};
+  ops::add_row_bias(x, b);
+  EXPECT_FLOAT_EQ(x.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(x.at(1, 1), 22.0f);
+}
+
+TEST(Ops, ColSum) {
+  Matrix g{{1, 2}, {3, 4}, {5, 6}};
+  Matrix out(1, 2);
+  ops::col_sum(g, out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 9.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 12.0f);
+}
+
+TEST(Ops, ReluForwardBackward) {
+  Matrix x{{-1, 2}, {3, -4}};
+  Matrix mask;
+  ops::relu_forward(x, mask);
+  EXPECT_FLOAT_EQ(x.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(x.at(0, 1), 2.0f);
+  Matrix g{{5, 5}, {5, 5}};
+  ops::relu_backward(g, mask);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(g.at(0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 0.0f);
+}
+
+TEST(Ops, LeakyRelu) {
+  Matrix x{{-2, 4}};
+  Matrix mask;
+  ops::leaky_relu_forward(x, mask, 0.1f);
+  EXPECT_NEAR(x.at(0, 0), -0.2f, 1e-6f);
+  EXPECT_FLOAT_EQ(x.at(0, 1), 4.0f);
+  Matrix g{{1, 1}};
+  ops::leaky_relu_backward(g, mask);
+  EXPECT_NEAR(g.at(0, 0), 0.1f, 1e-6f);
+  EXPECT_FLOAT_EQ(g.at(0, 1), 1.0f);
+}
+
+TEST(Ops, DropoutZeroRateIsIdentity) {
+  Matrix x{{1, 2, 3}};
+  Matrix mask;
+  Rng rng(1);
+  ops::dropout_forward(x, mask, 0.0f, rng);
+  EXPECT_FLOAT_EQ(x.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(mask.at(0, 2), 1.0f);
+}
+
+TEST(Ops, DropoutIsUnbiased) {
+  // E[dropout(x)] == x with inverted scaling.
+  Rng rng(2);
+  constexpr int kTrials = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < kTrials; ++i) {
+    Matrix x{{1.0f}};
+    Matrix mask;
+    ops::dropout_forward(x, mask, 0.4f, rng);
+    sum += x.at(0, 0);
+  }
+  EXPECT_NEAR(sum / kTrials, 1.0, 0.02);
+}
+
+TEST(Ops, SoftmaxRows) {
+  Matrix x{{0, 0}, {1000, 1000}}; // second row tests overflow safety
+  ops::softmax_rows(x);
+  EXPECT_NEAR(x.at(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(x.at(1, 0), 0.5f, 1e-6f);
+}
+
+TEST(Ops, GatherRows) {
+  Matrix src{{1, 1}, {2, 2}, {3, 3}};
+  std::vector<NodeId> idx{2, 0};
+  Matrix out;
+  ops::gather_rows(src, idx, out);
+  EXPECT_EQ(out.rows(), 2);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 1.0f);
+}
+
+TEST(Ops, ScatterAddRows) {
+  Matrix src{{1, 1}, {2, 2}};
+  Matrix dst(3, 2);
+  std::vector<NodeId> idx{1, 1};
+  ops::scatter_add_rows(src, idx, dst);
+  EXPECT_FLOAT_EQ(dst.at(1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(dst.at(0, 0), 0.0f);
+}
+
+TEST(Ops, GatherScatterRoundTrip) {
+  Rng rng(4);
+  Matrix src(10, 5);
+  src.randomize_gaussian(rng, 1.0f);
+  std::vector<NodeId> idx{0, 3, 7, 9};
+  Matrix picked;
+  ops::gather_rows(src, idx, picked);
+  Matrix back(10, 5);
+  ops::scatter_add_rows(picked, idx, back);
+  for (const NodeId i : idx)
+    for (std::int64_t c = 0; c < 5; ++c)
+      EXPECT_FLOAT_EQ(back.at(i, c), src.at(i, c));
+}
+
+TEST(Ops, ConcatAndSplitColsRoundTrip) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5}, {6}};
+  Matrix cat;
+  ops::concat_cols(a, b, cat);
+  EXPECT_EQ(cat.cols(), 3);
+  EXPECT_FLOAT_EQ(cat.at(1, 2), 6.0f);
+  Matrix a2, b2;
+  ops::split_cols(cat, a2, b2, 2);
+  EXPECT_LT(ops::max_abs_diff(a, a2), 1e-7f);
+  EXPECT_LT(ops::max_abs_diff(b, b2), 1e-7f);
+}
+
+TEST(Ops, FrobeniusNorm) {
+  Matrix a{{3, 4}};
+  EXPECT_NEAR(ops::frobenius_norm_sq(a), 25.0, 1e-9);
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "partition/partitioning.hpp"
+
+namespace bnsgcn {
+namespace {
+
+TEST(RandomPartition, CoversAllNodesBalanced) {
+  Rng rng(1);
+  const auto p = random_partition(1000, 8, rng);
+  p.validate();
+  EXPECT_EQ(p.nparts, 8);
+  const auto members = p.members();
+  for (const auto& part : members) {
+    EXPECT_EQ(static_cast<NodeId>(part.size()), 125);
+  }
+}
+
+TEST(RandomPartition, IsActuallyRandom) {
+  Rng rng(2);
+  const auto p = random_partition(10000, 4, rng);
+  // Adjacent ids should rarely share a partition beyond the 1/4 baseline.
+  int same = 0;
+  for (NodeId v = 0; v + 1 < 10000; ++v)
+    if (p.owner[static_cast<std::size_t>(v)] ==
+        p.owner[static_cast<std::size_t>(v) + 1])
+      ++same;
+  EXPECT_NEAR(static_cast<double>(same) / 9999.0, 0.25, 0.03);
+}
+
+TEST(HashPartition, DeterministicAndCovering) {
+  const auto a = hash_partition(5000, 7);
+  const auto b = hash_partition(5000, 7);
+  a.validate();
+  EXPECT_EQ(a.owner, b.owner);
+}
+
+TEST(BfsPartition, BalancedAndLocal) {
+  Rng rng(3);
+  const Csr g = gen::grid(40, 40);
+  const auto p = bfs_partition(g, 4, rng);
+  p.validate();
+  const auto members = p.members();
+  for (const auto& part : members) {
+    EXPECT_GE(static_cast<NodeId>(part.size()), 300);
+    EXPECT_LE(static_cast<NodeId>(part.size()), 500);
+  }
+}
+
+TEST(Partitioning, MembersRoundTrip) {
+  Rng rng(4);
+  const auto p = random_partition(100, 5, rng);
+  const auto members = p.members();
+  NodeId total = 0;
+  for (PartId i = 0; i < 5; ++i) {
+    for (const NodeId v : members[static_cast<std::size_t>(i)]) {
+      EXPECT_EQ(p.owner[static_cast<std::size_t>(v)], i);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 100);
+}
+
+TEST(Partitioning, ValidateCatchesEmptyPart) {
+  Partitioning p;
+  p.nparts = 3;
+  p.owner = {0, 0, 1, 1}; // part 2 empty
+  EXPECT_THROW(p.validate(), CheckError);
+}
+
+TEST(Partitioning, ValidateCatchesOutOfRange) {
+  Partitioning p;
+  p.nparts = 2;
+  p.owner = {0, 1, 2};
+  EXPECT_THROW(p.validate(), CheckError);
+}
+
+class PartitionerSweep : public ::testing::TestWithParam<PartId> {};
+
+TEST_P(PartitionerSweep, AllPartitionersProduceValidAssignments) {
+  const PartId m = GetParam();
+  Rng rng(5);
+  const Csr g = gen::erdos_renyi(600, 3000, rng);
+  random_partition(g.n, m, rng).validate();
+  hash_partition(g.n, m).validate();
+  bfs_partition(g, m, rng).validate();
+}
+
+INSTANTIATE_TEST_SUITE_P(NumParts, PartitionerSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+} // namespace
+} // namespace bnsgcn

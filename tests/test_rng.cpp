@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace bnsgcn {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_below(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, NextIntBoundsInclusive) {
+  Rng rng(23);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(31);
+  const auto s = rng.sample_without_replacement(100, 30);
+  ASSERT_EQ(s.size(), 30u);
+  std::set<NodeId> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (const NodeId v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(37);
+  const auto s = rng.sample_without_replacement(10, 10);
+  ASSERT_EQ(s.size(), 10u);
+  for (NodeId i = 0; i < 10; ++i) EXPECT_EQ(s[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, SampleWithoutReplacementUniform) {
+  // Each element of [0,10) should appear in a 5-of-10 sample ~half the time.
+  Rng rng(41);
+  std::vector<int> counts(10, 0);
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (const NodeId v : rng.sample_without_replacement(10, 5))
+      ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.5, 0.02);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng base(5);
+  Rng a = base.split(0);
+  Rng b = base.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng base1(5), base2(5);
+  Rng a = base1.split(3);
+  Rng b = base2.split(3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/minibatch.hpp"
+#include "core/trainer.hpp"
+#include "graph/dataset.hpp"
+#include "partition/metis_like.hpp"
+
+namespace bnsgcn {
+namespace {
+
+using core::BnsTrainer;
+using core::ModelKind;
+using core::SamplingVariant;
+using core::TrainerConfig;
+
+/// Small, well-separated synthetic dataset that a 2-layer GCN learns fast.
+Dataset easy_dataset(std::uint64_t seed = 11, bool multilabel = false) {
+  SyntheticSpec spec;
+  spec.name = "test";
+  spec.n = 1500;
+  spec.m = 18000;
+  spec.communities = 8;
+  spec.num_classes = 8;
+  spec.feat_dim = 16;
+  spec.p_intra = 0.92;
+  spec.feature_noise = 1.5;
+  spec.multilabel = multilabel;
+  spec.seed = seed;
+  return make_synthetic(spec);
+}
+
+TrainerConfig base_config() {
+  TrainerConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden = 32;
+  cfg.dropout = 0.0f;
+  cfg.lr = 0.01f;
+  cfg.epochs = 30;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(BnsTrainer, P1MatchesFullGraphOracle) {
+  // The paper's correctness anchor: vanilla partition parallelism (p=1)
+  // computes the same function as single-process full-graph training.
+  const Dataset ds = easy_dataset();
+  TrainerConfig cfg = base_config();
+  cfg.epochs = 12;
+
+  const auto oracle = baselines::train_full_graph(ds, cfg);
+
+  Rng rng(1);
+  const auto part = random_partition(ds.num_nodes(), 4, rng);
+  cfg.sample_rate = 1.0f;
+  BnsTrainer trainer(ds, part, cfg);
+  const auto dist = trainer.train();
+
+  ASSERT_EQ(oracle.train_loss.size(), dist.train_loss.size());
+  for (std::size_t e = 0; e < oracle.train_loss.size(); ++e) {
+    // fp32 reduction-order drift compounds over epochs; stays tiny here.
+    EXPECT_NEAR(dist.train_loss[e], oracle.train_loss[e],
+                5e-3 * std::max(1.0, std::abs(oracle.train_loss[e])))
+        << "epoch " << e;
+  }
+  EXPECT_NEAR(dist.final_test, oracle.final_test, 0.02);
+}
+
+TEST(BnsTrainer, P1MatchesOracleAcrossPartitionCounts) {
+  const Dataset ds = easy_dataset(13);
+  TrainerConfig cfg = base_config();
+  cfg.epochs = 6;
+  const auto oracle = baselines::train_full_graph(ds, cfg);
+  for (const PartId m : {2, 3, 8}) {
+    Rng rng(static_cast<std::uint64_t>(m));
+    const auto part = random_partition(ds.num_nodes(), m, rng);
+    BnsTrainer trainer(ds, part, cfg);
+    const auto dist = trainer.train();
+    EXPECT_NEAR(dist.train_loss.back(), oracle.train_loss.back(), 2e-2)
+        << m << " partitions";
+  }
+}
+
+TEST(BnsTrainer, ConvergesWithSampling) {
+  const Dataset ds = easy_dataset(17);
+  TrainerConfig cfg = base_config();
+  cfg.epochs = 40;
+  cfg.sample_rate = 0.1f;
+  const auto part = metis_like(ds.graph, 4);
+  BnsTrainer trainer(ds, part, cfg);
+  const auto result = trainer.train();
+  // Loss must shrink and accuracy must far exceed chance (1/8).
+  EXPECT_LT(result.train_loss.back(), 0.5 * result.train_loss.front());
+  EXPECT_GT(result.final_test, 0.6);
+}
+
+TEST(BnsTrainer, IsolatedTrainingStillLearnsButCommunicatesNothing) {
+  const Dataset ds = easy_dataset(19);
+  TrainerConfig cfg = base_config();
+  cfg.sample_rate = 0.0f;
+  const auto part = metis_like(ds.graph, 4);
+  BnsTrainer trainer(ds, part, cfg);
+  const auto result = trainer.train();
+  EXPECT_GT(result.final_test, 0.3); // learns something
+  for (const auto& e : result.epochs) EXPECT_EQ(e.feature_bytes, 0);
+}
+
+TEST(BnsTrainer, SamplingReducesCommunicationProportionally) {
+  const Dataset ds = easy_dataset(23);
+  Rng rng(2);
+  const auto part = random_partition(ds.num_nodes(), 4, rng);
+  TrainerConfig cfg = base_config();
+  cfg.epochs = 8;
+
+  cfg.sample_rate = 1.0f;
+  const auto full = BnsTrainer(ds, part, cfg).train();
+  cfg.sample_rate = 0.1f;
+  const auto sampled = BnsTrainer(ds, part, cfg).train();
+
+  const double full_bytes =
+      static_cast<double>(full.mean_epoch().feature_bytes);
+  const double sampled_bytes =
+      static_cast<double>(sampled.mean_epoch().feature_bytes);
+  // Eq. 3: feature traffic scales with the kept boundary fraction.
+  EXPECT_NEAR(sampled_bytes / full_bytes, 0.1, 0.03);
+}
+
+TEST(BnsTrainer, DeterministicForSeed) {
+  const Dataset ds = easy_dataset(29);
+  Rng rng(3);
+  const auto part = random_partition(ds.num_nodes(), 3, rng);
+  TrainerConfig cfg = base_config();
+  cfg.epochs = 5;
+  cfg.sample_rate = 0.3f;
+  const auto a = BnsTrainer(ds, part, cfg).train();
+  const auto b = BnsTrainer(ds, part, cfg).train();
+  ASSERT_EQ(a.train_loss.size(), b.train_loss.size());
+  for (std::size_t e = 0; e < a.train_loss.size(); ++e)
+    EXPECT_DOUBLE_EQ(a.train_loss[e], b.train_loss[e]);
+}
+
+TEST(BnsTrainer, DropoutTrainingConverges) {
+  const Dataset ds = easy_dataset(31);
+  TrainerConfig cfg = base_config();
+  cfg.dropout = 0.3f;
+  cfg.epochs = 40;
+  cfg.sample_rate = 0.1f;
+  const auto part = metis_like(ds.graph, 4);
+  const auto result = BnsTrainer(ds, part, cfg).train();
+  EXPECT_GT(result.final_test, 0.55);
+}
+
+TEST(BnsTrainer, MultilabelYelpStyle) {
+  const Dataset ds = easy_dataset(37, /*multilabel=*/true);
+  TrainerConfig cfg = base_config();
+  cfg.epochs = 40;
+  cfg.sample_rate = 0.1f;
+  const auto part = metis_like(ds.graph, 3);
+  const auto result = BnsTrainer(ds, part, cfg).train();
+  // Micro-F1 well above the all-negative baseline.
+  EXPECT_GT(result.final_test, 0.35);
+}
+
+TEST(BnsTrainer, GatModelTrains) {
+  const Dataset ds = easy_dataset(41);
+  TrainerConfig cfg = base_config();
+  cfg.model = ModelKind::kGat;
+  cfg.gat_heads = 2;
+  cfg.epochs = 30;
+  cfg.sample_rate = 0.1f;
+  const auto part = metis_like(ds.graph, 3);
+  const auto result = BnsTrainer(ds, part, cfg).train();
+  EXPECT_GT(result.final_test, 0.5);
+}
+
+TEST(BnsTrainer, EdgeSamplingVariantsTrain) {
+  const Dataset ds = easy_dataset(43);
+  const auto part = metis_like(ds.graph, 3);
+  for (const auto variant :
+       {SamplingVariant::kBoundaryEdge, SamplingVariant::kDropEdge}) {
+    TrainerConfig cfg = base_config();
+    cfg.variant = variant;
+    cfg.sample_rate = 0.5f;
+    cfg.epochs = 30;
+    const auto result = BnsTrainer(ds, part, cfg).train();
+    EXPECT_GT(result.final_test, 0.5);
+    EXPECT_GT(result.mean_epoch().feature_bytes, 0);
+  }
+}
+
+TEST(BnsTrainer, BesCommunicatesMoreThanBnsAtMatchedRate) {
+  // Table 9's core claim, as traffic: at the same drop rate, BES must
+  // communicate more bytes than BNS because boundary nodes survive edge
+  // drops.
+  const Dataset ds = easy_dataset(47);
+  Rng rng(4);
+  const auto part = random_partition(ds.num_nodes(), 4, rng);
+  TrainerConfig cfg = base_config();
+  cfg.epochs = 6;
+  cfg.sample_rate = 0.1f;
+
+  cfg.variant = SamplingVariant::kBns;
+  const auto bns = BnsTrainer(ds, part, cfg).train();
+  cfg.variant = SamplingVariant::kBoundaryEdge;
+  const auto bes = BnsTrainer(ds, part, cfg).train();
+  EXPECT_GT(bes.mean_epoch().feature_bytes,
+            2 * bns.mean_epoch().feature_bytes);
+}
+
+TEST(BnsTrainer, EvalCurveRecorded) {
+  const Dataset ds = easy_dataset(53);
+  TrainerConfig cfg = base_config();
+  cfg.epochs = 10;
+  cfg.eval_every = 2;
+  const auto part = metis_like(ds.graph, 2);
+  const auto result = BnsTrainer(ds, part, cfg).train();
+  EXPECT_EQ(result.curve.size(), 5u);
+  EXPECT_EQ(result.curve.back().epoch, 10);
+  EXPECT_EQ(result.train_loss.size(), 10u);
+  EXPECT_EQ(result.epochs.size(), 10u);
+}
+
+TEST(BnsTrainer, MemoryModelReflectsSampling) {
+  const Dataset ds = easy_dataset(59);
+  Rng rng(5);
+  const auto part = random_partition(ds.num_nodes(), 4, rng);
+  TrainerConfig cfg = base_config();
+  cfg.epochs = 6;
+
+  cfg.sample_rate = 1.0f;
+  const auto full = BnsTrainer(ds, part, cfg).train();
+  cfg.sample_rate = 0.01f;
+  const auto sampled = BnsTrainer(ds, part, cfg).train();
+
+  // At p=1, Eq. 4 with sampled counts equals the full-halo bound.
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_NEAR(full.memory.model_bytes[r],
+                static_cast<double>(full.memory.full_bytes[r]),
+                1.0);
+  }
+  EXPECT_GT(sampled.memory.reduction_vs_full(), 0.1);
+  EXPECT_LT(sampled.memory.max_model_bytes(),
+            full.memory.max_model_bytes());
+}
+
+TEST(BnsTrainer, SamplerOverheadIsSmall) {
+  const Dataset ds = easy_dataset(61);
+  const auto part = metis_like(ds.graph, 4);
+  TrainerConfig cfg = base_config();
+  cfg.epochs = 10;
+  cfg.sample_rate = 0.1f;
+  const auto result = BnsTrainer(ds, part, cfg).train();
+  // Paper Table 12: 0-7%. Give slack for tiny-graph constant overheads.
+  EXPECT_LT(result.sampler_overhead(), 0.25);
+
+  cfg.sample_rate = 1.0f;
+  const auto full = BnsTrainer(ds, part, cfg).train();
+  EXPECT_NEAR(full.sampler_overhead(), 0.0, 1e-3);
+}
+
+TEST(BnsTrainer, SingleLayerModel) {
+  const Dataset ds = easy_dataset(67);
+  TrainerConfig cfg = base_config();
+  cfg.num_layers = 1;
+  cfg.epochs = 20;
+  const auto part = metis_like(ds.graph, 2);
+  const auto result = BnsTrainer(ds, part, cfg).train();
+  EXPECT_GT(result.final_test, 0.4);
+}
+
+TEST(BnsTrainer, ThreeLayerModel) {
+  const Dataset ds = easy_dataset(71);
+  TrainerConfig cfg = base_config();
+  cfg.num_layers = 3;
+  cfg.epochs = 25;
+  cfg.sample_rate = 0.2f;
+  const auto part = metis_like(ds.graph, 3);
+  const auto result = BnsTrainer(ds, part, cfg).train();
+  EXPECT_GT(result.final_test, 0.5);
+}
+
+class SampleRateSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(SampleRateSweep, AllRatesTrainToReasonableAccuracy) {
+  const float p = GetParam();
+  const Dataset ds = easy_dataset(73);
+  TrainerConfig cfg = base_config();
+  cfg.epochs = 30;
+  cfg.sample_rate = p;
+  const auto part = metis_like(ds.graph, 4);
+  const auto result = BnsTrainer(ds, part, cfg).train();
+  EXPECT_GT(result.final_test, 0.55) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SampleRateSweep,
+                         ::testing::Values(0.01f, 0.1f, 0.5f, 1.0f));
+
+} // namespace
+} // namespace bnsgcn

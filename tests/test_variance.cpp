@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "core/variance.hpp"
+#include "graph/generators.hpp"
+#include "partition/metis_like.hpp"
+
+namespace bnsgcn {
+namespace {
+
+core::VarianceReport run_report(float p, std::uint64_t seed = 1,
+                                int trials = 120) {
+  Rng rng(seed);
+  const Csr g = gen::erdos_renyi(800, 9000, rng);
+  const auto part = metis_like(g, 4);
+  Matrix x(g.n, 8);
+  x.randomize_gaussian(rng, 1.0f);
+  return core::measure_variance(g, x, part, /*part_id=*/0, p, trials, seed);
+}
+
+TEST(Variance, SetSizeOrdering) {
+  const auto rep = run_report(0.2f);
+  // B_i ⊆ N_i ⊆ V (the containment Table 2's argument rests on).
+  EXPECT_LT(rep.boundary_size, rep.neighbor_size);
+  EXPECT_LT(rep.neighbor_size, rep.global_size);
+  EXPECT_GT(rep.budget, 0);
+}
+
+TEST(Variance, BnsHasSmallestVariance) {
+  // Table 2: at a matched budget, Var(BNS) < Var(LADIES) < Var(FastGCN).
+  const auto rep = run_report(0.2f, 3, 200);
+  EXPECT_LT(rep.bns, rep.ladies_like);
+  EXPECT_LT(rep.ladies_like, rep.fastgcn_like);
+}
+
+TEST(Variance, BnsBeatsNeighborSampling) {
+  const auto rep = run_report(0.2f, 5, 200);
+  EXPECT_LT(rep.bns, rep.sage_like);
+}
+
+TEST(Variance, FullRateIsExact) {
+  const auto rep = run_report(1.0f, 7, 20);
+  EXPECT_NEAR(rep.bns, 0.0, 1e-9);
+  // The other families still sample at the matched budget and keep error.
+  EXPECT_GT(rep.fastgcn_like, 0.0);
+}
+
+TEST(Variance, VarianceShrinksWithP) {
+  const auto low = run_report(0.1f, 9, 200);
+  const auto high = run_report(0.5f, 9, 200);
+  EXPECT_GT(low.bns, high.bns);
+}
+
+TEST(Variance, RejectsBadArguments) {
+  Rng rng(1);
+  const Csr g = gen::erdos_renyi(50, 200, rng);
+  const auto part = random_partition(g.n, 2, rng);
+  Matrix x(g.n, 4);
+  EXPECT_THROW(core::measure_variance(g, x, part, 0, 0.0f, 10, 1),
+               CheckError);
+  EXPECT_THROW(core::measure_variance(g, x, part, 0, 0.5f, 0, 1), CheckError);
+}
+
+} // namespace
+} // namespace bnsgcn
