@@ -12,26 +12,32 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Ablation", "unbiased 1/p feature rescaling");
+  bench::ReportSink sink("Ablation: 1/p rescaling", opts);
 
-  const Dataset ds =
-      make_synthetic(products_like(0.2 * bench::bench_scale()));
+  auto [ds, trainer] = bench::load_preset("products", 0.2 * opts.scale);
   const auto part = metis_like(ds.graph, 8);
-  auto cfg = bench::products_config();
-  cfg.epochs = 100;
+  api::RunConfig rcfg;
+  rcfg.method = api::Method::kBns;
+  rcfg.trainer = trainer;
+  rcfg.trainer.epochs = opts.epochs_or(100);
 
   std::printf("%-10s %16s %16s\n", "p", "scaled acc %", "unscaled acc %");
   for (const float p : {0.5f, 0.1f, 0.05f, 0.01f}) {
-    auto c = cfg;
-    c.sample_rate = p;
-    c.unbiased_scaling = true;
+    rcfg.trainer.sample_rate = p;
+    rcfg.trainer.unbiased_scaling = true;
     const double scaled =
-        100.0 * core::BnsTrainer(ds, part, c).train().final_test;
-    c.unbiased_scaling = false;
+        100.0 * sink.add(bench::label("products scaled p=%.2f", p),
+                         api::run(ds, part, rcfg))
+                    .final_test;
+    rcfg.trainer.unbiased_scaling = false;
     const double unscaled =
-        100.0 * core::BnsTrainer(ds, part, c).train().final_test;
+        100.0 * sink.add(bench::label("products unscaled p=%.2f", p),
+                         api::run(ds, part, rcfg))
+                    .final_test;
     std::printf("%-10.2f %16.2f %16.2f\n", p, scaled, unscaled);
   }
   std::printf("\nexpected shape: identical at moderate p; at p<=0.05 the "

@@ -7,12 +7,15 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Figure 3", "boundary/inner ratio distribution, 192 parts");
 
-  const Dataset ds = make_synthetic(papers_like(bench::bench_scale()));
-  const auto part = metis_like(ds.graph, 192);
+  const auto [ds, trainer] = bench::load_preset("papers", opts.scale);
+  api::PartitionSpec pspec;
+  pspec.nparts = 192;
+  const auto part = api::make_partition(ds.graph, pspec);
   const auto stats = compute_stats(ds.graph, part);
 
   std::vector<double> ratios;

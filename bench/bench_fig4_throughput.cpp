@@ -4,73 +4,66 @@
 // Expected shape: BNS-GCN(p=0.01) ≫ BNS-GCN(p=1) > CAGNET ≈ ROC; the gap
 // widens with more partitions because boundary sets grow.
 
-#include "core/proxies.hpp"
-
 #include "common.hpp"
 
 namespace {
 
 using namespace bnsgcn;
 
-void run_dataset(const char* title, const Dataset& ds,
-                 core::TrainerConfig cfg, const std::vector<PartId>& parts) {
+void run_dataset(const char* title, const char* preset, double scale,
+                 const std::vector<PartId>& parts,
+                 const api::BenchOptions& opts, bench::ReportSink& sink) {
+  auto [ds, trainer] = bench::load_preset(preset, scale);
   std::printf("\n--- %s (n=%d, avg deg %.1f) ---\n", title, ds.num_nodes(),
               ds.graph.average_degree());
   std::printf("%-22s", "method \\ #partitions");
   for (const PartId m : parts) std::printf(" %10d", m);
   std::printf("\n");
 
-  cfg.epochs = 5; // throughput measurement only
-  const auto row = [&](const char* name, auto&& runner) {
-    std::printf("%-22s", name);
+  api::RunConfig rcfg;
+  rcfg.trainer = trainer;
+  rcfg.trainer.epochs = opts.epochs_or(5); // throughput measurement only
+  const auto row = [&](const std::string& name, const api::RunConfig& base) {
+    std::printf("%-22s", name.c_str());
     for (const PartId m : parts) {
       const auto part = metis_like(ds.graph, m);
-      const double eps = runner(part);
-      std::printf(" %10.2f", eps);
+      const auto& r = sink.add(
+          bench::label("%s %s m=%d", preset, name.c_str(), m),
+          api::run(ds, part, base));
+      std::printf(" %10.2f", r.throughput_eps());
     }
     std::printf("  epochs/s\n");
   };
 
-  row("ROC (swap proxy)", [&](const Partitioning& part) {
-    return core::run_roc_proxy(ds, part, cfg).throughput_eps();
-  });
-  row("CAGNET proxy (c=1)", [&](const Partitioning& part) {
-    return core::run_cagnet_proxy(ds, part, cfg, 1).throughput_eps();
-  });
-  row("CAGNET proxy (c=2)", [&](const Partitioning& part) {
-    return core::run_cagnet_proxy(ds, part, cfg, 2).throughput_eps();
-  });
+  auto c = rcfg;
+  c.method = api::Method::kRocProxy;
+  row("ROC (swap proxy)", c);
+  c.method = api::Method::kCagnetProxy;
+  c.cagnet_c = 1;
+  row("CAGNET proxy (c=1)", c);
+  c.cagnet_c = 2;
+  row("CAGNET proxy (c=2)", c);
+  c = rcfg;
+  c.method = api::Method::kBns;
   for (const float p : {1.0f, 0.1f, 0.01f}) {
-    char name[64];
-    std::snprintf(name, sizeof(name), "BNS-GCN (p=%.2f)", p);
-    row(name, [&](const Partitioning& part) {
-      auto c = cfg;
-      c.sample_rate = p;
-      return core::BnsTrainer(ds, part, c).train().throughput_eps();
-    });
+    c.trainer.sample_rate = p;
+    row(bench::label("BNS-GCN (p=%.2f)", p), c);
   }
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Figure 4", "throughput vs #partitions (simulated PCIe)");
-  const double s = bench::bench_scale();
+  bench::ReportSink sink("Figure 4", opts);
+  const double s = opts.scale;
 
-  {
-    const Dataset ds = make_synthetic(reddit_like(0.5 * s));
-    run_dataset("Reddit-like", ds, bench::reddit_config(), {2, 4, 8});
-  }
-  {
-    const Dataset ds = make_synthetic(products_like(0.4 * s));
-    run_dataset("ogbn-products-like", ds, bench::products_config(), {5, 8, 10});
-  }
-  {
-    const Dataset ds = make_synthetic(yelp_like(0.5 * s));
-    auto cfg = bench::yelp_config();
-    run_dataset("Yelp-like", ds, cfg, {3, 6, 10});
-  }
+  run_dataset("Reddit-like", "reddit", 0.5 * s, {2, 4, 8}, opts, sink);
+  run_dataset("ogbn-products-like", "products", 0.4 * s, {5, 8, 10}, opts,
+              sink);
+  run_dataset("Yelp-like", "yelp", 0.5 * s, {3, 6, 10}, opts, sink);
   std::printf("\npaper shape check: BNS(p=0.01) is ~9-16x ROC and ~9-14x "
               "CAGNET(c=2) on Reddit; p<1 scales with partitions.\n");
   return 0;

@@ -10,18 +10,23 @@ namespace {
 
 using namespace bnsgcn;
 
-void run_dataset(const char* title, const Dataset& ds,
-                 core::TrainerConfig cfg, const std::vector<PartId>& parts) {
+void run_dataset(const char* title, const char* preset, double scale,
+                 const std::vector<PartId>& parts,
+                 const api::BenchOptions& opts, bench::ReportSink& sink) {
+  auto [ds, trainer] = bench::load_preset(preset, scale);
   std::printf("\n--- %s ---\n", title);
   std::printf("%-8s %-8s %12s %12s %12s %12s %10s\n", "parts", "p",
               "compute(s)", "comm(s)", "reduce(s)", "epoch(s)", "comm%");
-  cfg.epochs = 5;
+  api::RunConfig rcfg;
+  rcfg.method = api::Method::kBns;
+  rcfg.trainer = trainer;
+  rcfg.trainer.epochs = opts.epochs_or(5);
   for (const PartId m : parts) {
     const auto part = metis_like(ds.graph, m);
     for (const float p : {1.0f, 0.1f, 0.01f}) {
-      auto c = cfg;
-      c.sample_rate = p;
-      const auto r = core::BnsTrainer(ds, part, c).train();
+      rcfg.trainer.sample_rate = p;
+      const auto& r = sink.add(bench::label("%s m=%d p=%.2f", preset, m, p),
+                               api::run(ds, part, rcfg));
       const auto e = r.mean_epoch();
       std::printf("%-8d %-8.2f %12.4f %12.4f %12.4f %12.4f %9.1f%%\n", m, p,
                   e.compute_s, e.comm_s, e.reduce_s, e.total_s(),
@@ -32,19 +37,15 @@ void run_dataset(const char* title, const Dataset& ds,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Figure 5", "epoch time breakdown vs p (simulated PCIe)");
-  const double s = bench::bench_scale();
-  {
-    const Dataset ds = make_synthetic(reddit_like(0.5 * s));
-    run_dataset("Reddit-like", ds, bench::reddit_config(), {2, 4, 8});
-  }
-  {
-    const Dataset ds = make_synthetic(products_like(0.4 * s));
-    run_dataset("ogbn-products-like", ds, bench::products_config(),
-                {5, 8, 10});
-  }
+  bench::ReportSink sink("Figure 5", opts);
+  const double s = opts.scale;
+  run_dataset("Reddit-like", "reddit", 0.5 * s, {2, 4, 8}, opts, sink);
+  run_dataset("ogbn-products-like", "products", 0.4 * s, {5, 8, 10}, opts,
+              sink);
   std::printf("\npaper shape check: comm dominates at p=1; p=0.01 cuts comm "
               "74-93%%.\n");
   return 0;

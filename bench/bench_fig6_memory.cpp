@@ -10,20 +10,25 @@ namespace {
 
 using namespace bnsgcn;
 
-void run_dataset(const char* title, const Dataset& ds,
-                 core::TrainerConfig cfg, const std::vector<PartId>& parts) {
+void run_dataset(const char* title, const char* preset, double scale,
+                 const std::vector<PartId>& parts,
+                 const api::BenchOptions& opts, bench::ReportSink& sink) {
+  auto [ds, trainer] = bench::load_preset(preset, scale);
   std::printf("\n--- %s ---\n", title);
   std::printf("%-8s", "parts");
   for (const float p : {0.5f, 0.1f, 0.01f}) std::printf("   p=%-6.2f", p);
   std::printf("  (memory reduction vs p=1)\n");
-  cfg.epochs = 4;
+  api::RunConfig rcfg;
+  rcfg.method = api::Method::kBns;
+  rcfg.trainer = trainer;
+  rcfg.trainer.epochs = opts.epochs_or(4);
   for (const PartId m : parts) {
     const auto part = metis_like(ds.graph, m);
     std::printf("%-8d", m);
     for (const float p : {0.5f, 0.1f, 0.01f}) {
-      auto c = cfg;
-      c.sample_rate = p;
-      const auto r = core::BnsTrainer(ds, part, c).train();
+      rcfg.trainer.sample_rate = p;
+      const auto& r = sink.add(bench::label("%s m=%d p=%.2f", preset, m, p),
+                               api::run(ds, part, rcfg));
       std::printf("   %7.1f%%", 100.0 * r.memory.reduction_vs_full());
     }
     std::printf("\n");
@@ -32,19 +37,16 @@ void run_dataset(const char* title, const Dataset& ds,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Figure 6", "memory usage reduction vs p (Eq. 4)");
-  const double s = bench::bench_scale();
-  {
-    const Dataset ds = make_synthetic(reddit_like(0.5 * s));
-    run_dataset("Reddit-like (dense)", ds, bench::reddit_config(), {2, 4, 8});
-  }
-  {
-    const Dataset ds = make_synthetic(products_like(0.4 * s));
-    run_dataset("ogbn-products-like (sparse)", ds, bench::products_config(),
-                {5, 8, 10});
-  }
+  bench::ReportSink sink("Figure 6", opts);
+  const double s = opts.scale;
+  run_dataset("Reddit-like (dense)", "reddit", 0.5 * s, {2, 4, 8}, opts,
+              sink);
+  run_dataset("ogbn-products-like (sparse)", "products", 0.4 * s, {5, 8, 10},
+              opts, sink);
   std::printf("\npaper shape check: reduction grows with #partitions; denser "
               "graph saves more.\n");
   return 0;

@@ -9,18 +9,25 @@ namespace {
 
 using namespace bnsgcn;
 
-void run_dataset(const char* title, const Dataset& ds,
-                 core::TrainerConfig cfg, PartId parts) {
+void run_dataset(const char* title, const char* preset, double scale,
+                 PartId parts, const api::BenchOptions& opts,
+                 bench::ReportSink& sink) {
+  auto [ds, trainer] = bench::load_preset(preset, scale);
   std::printf("\n--- %s (%d partitions) ---\n", title, parts);
   const auto part = metis_like(ds.graph, parts);
-  cfg.eval_every = std::max(1, cfg.epochs / 12);
+  api::RunConfig rcfg;
+  rcfg.method = api::Method::kBns;
+  rcfg.trainer = trainer;
+  rcfg.trainer.epochs = opts.epochs_or(100);
+  rcfg.trainer.eval_every = std::max(1, rcfg.trainer.epochs / 12);
 
   std::printf("%-8s", "epoch");
   std::vector<std::vector<core::EvalPoint>> curves;
   for (const float p : {1.0f, 0.1f, 0.01f, 0.0f}) {
-    auto c = cfg;
-    c.sample_rate = p;
-    curves.push_back(core::BnsTrainer(ds, part, c).train().curve);
+    rcfg.trainer.sample_rate = p;
+    curves.push_back(sink.add(bench::label("%s p=%.2f", preset, p),
+                              api::run(ds, part, rcfg))
+                         .curve);
     std::printf("  p=%-8.2f", p);
   }
   std::printf("(test score %%)\n");
@@ -34,28 +41,15 @@ void run_dataset(const char* title, const Dataset& ds,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Figures 7 & 9", "test-score convergence per p");
-  const double s = bench::bench_scale();
-  {
-    const Dataset ds = make_synthetic(products_like(0.25 * s));
-    auto cfg = bench::products_config();
-    cfg.epochs = 100;
-    run_dataset("ogbn-products-like", ds, cfg, 5);
-  }
-  {
-    const Dataset ds = make_synthetic(reddit_like(0.4 * s));
-    auto cfg = bench::reddit_config();
-    cfg.epochs = 100;
-    run_dataset("Reddit-like", ds, cfg, 4);
-  }
-  {
-    const Dataset ds = make_synthetic(yelp_like(0.4 * s));
-    auto cfg = bench::yelp_config();
-    cfg.epochs = 100;
-    run_dataset("Yelp-like (micro-F1)", ds, cfg, 6);
-  }
+  bench::ReportSink sink("Figures 7 & 9", opts);
+  const double s = opts.scale;
+  run_dataset("ogbn-products-like", "products", 0.25 * s, 5, opts, sink);
+  run_dataset("Reddit-like", "reddit", 0.4 * s, 4, opts, sink);
+  run_dataset("Yelp-like (micro-F1)", "yelp", 0.4 * s, 6, opts, sink);
   std::printf("\npaper shape check: 0<p<1 >= p=1 at convergence; p=0 worst "
               "throughout.\n");
   return 0;

@@ -7,22 +7,26 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Figure 8",
                       "normalized per-partition memory, 192 partitions");
+  bench::ReportSink sink("Figure 8", opts);
 
-  const Dataset ds = make_synthetic(papers_like(bench::bench_scale()));
-  auto cfg = bench::papers_config();
-  cfg.epochs = 3;
+  auto [ds, trainer] = bench::load_preset("papers", opts.scale);
+  api::RunConfig rcfg;
+  rcfg.method = api::Method::kBns;
+  rcfg.trainer = trainer;
+  rcfg.trainer.epochs = opts.epochs_or(3);
   const auto part = metis_like(ds.graph, 192);
 
   std::printf("%-8s %8s %8s %8s %8s %8s  (fraction of max partition)\n", "p",
               "min", "p25", "median", "p75", "max");
   for (const float p : {1.0f, 0.1f, 0.01f}) {
-    auto c = cfg;
-    c.sample_rate = p;
-    const auto r = core::BnsTrainer(ds, part, c).train();
+    rcfg.trainer.sample_rate = p;
+    const auto& r = sink.add(bench::label("papers m=192 p=%.2f", p),
+                             api::run(ds, part, rcfg));
     std::vector<double> mem = r.memory.model_bytes;
     const double mx = *std::max_element(mem.begin(), mem.end());
     for (auto& v : mem) v /= mx;

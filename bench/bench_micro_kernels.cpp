@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/boundary_sampler.hpp"
+#include "core/epoch_planner.hpp"
 #include "core/local_graph.hpp"
 #include "graph/generators.hpp"
 #include "nn/layer.hpp"
@@ -50,6 +51,22 @@ void BM_MeanAggregate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.num_arcs() * 64);
 }
 BENCHMARK(BM_MeanAggregate)->Arg(4096)->Arg(32768);
+
+void BM_EpochPlannerDraw(benchmark::State& state) {
+  // Strategy-only cost of one epoch's random draw (no compaction, no
+  // negotiation) for the BNS planner.
+  Rng rng(5);
+  const Csr g = gen::rmat(16384, 200000, rng);
+  const auto part = random_partition(g.n, 2, rng);
+  const auto lgs = core::build_local_graphs(g, part);
+  const core::BnsPlanner planner({.rate = 0.1f, .unbiased_scaling = true});
+  Rng draw_rng(6);
+  for (auto _ : state) {
+    auto draw = planner.draw(lgs[0], draw_rng);
+    benchmark::DoNotOptimize(draw.halo_kept.data());
+  }
+}
+BENCHMARK(BM_EpochPlannerDraw);
 
 void BM_BoundarySamplerCompaction(benchmark::State& state) {
   Rng rng(3);

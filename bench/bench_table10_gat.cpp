@@ -8,22 +8,26 @@ namespace {
 
 using namespace bnsgcn;
 
-void run_dataset(const char* title, const Dataset& ds, std::uint64_t seed) {
-  core::TrainerConfig cfg;
-  cfg.model = core::ModelKind::kGat;
-  cfg.gat_heads = 2;
-  cfg.num_layers = 2;
-  cfg.hidden = 32;
-  cfg.epochs = 5;
-  cfg.seed = seed;
+void run_dataset(const char* title, const char* preset, double scale,
+                 std::uint64_t seed, const api::BenchOptions& opts,
+                 bench::ReportSink& sink) {
+  const auto [ds, trainer] = bench::load_preset(preset, scale);
+  api::RunConfig rcfg;
+  rcfg.method = api::Method::kBns;
+  rcfg.trainer.model = core::ModelKind::kGat;
+  rcfg.trainer.gat_heads = 2;
+  rcfg.trainer.num_layers = 2;
+  rcfg.trainer.hidden = 32;
+  rcfg.trainer.epochs = opts.epochs_or(5);
+  rcfg.trainer.seed = seed;
   const auto part = metis_like(ds.graph, 10);
 
   std::printf("\n--- %s ---\n", title);
   double base = 0.0;
   for (const float p : {1.0f, 0.1f, 0.01f, 0.0f}) {
-    auto c = cfg;
-    c.sample_rate = p;
-    const auto r = core::BnsTrainer(ds, part, c).train();
+    rcfg.trainer.sample_rate = p;
+    const auto r = sink.add(bench::label("%s gat p=%.2f", preset, p),
+                            api::run(ds, part, rcfg));
     const double t = r.mean_epoch().total_s();
     if (p == 1.0f) base = t;
     std::printf("BNS-GAT (p=%-4.2f)  epoch %8.4fs   speedup %5.2fx\n", p, t,
@@ -33,14 +37,15 @@ void run_dataset(const char* title, const Dataset& ds, std::uint64_t seed) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Table 10", "GAT epoch-time speedup under BNS");
-  const double s = bench::bench_scale();
-  run_dataset("Reddit-like", make_synthetic(reddit_like(0.25 * s)), 1);
-  run_dataset("ogbn-products-like",
-              make_synthetic(products_like(0.2 * s)), 2);
-  run_dataset("Yelp-like", make_synthetic(yelp_like(0.25 * s)), 3);
+  bench::ReportSink sink("Table 10", opts);
+  const double s = opts.scale;
+  run_dataset("Reddit-like", "reddit", 0.25 * s, 1, opts, sink);
+  run_dataset("ogbn-products-like", "products", 0.2 * s, 2, opts, sink);
+  run_dataset("Yelp-like", "yelp", 0.25 * s, 3, opts, sink);
   std::printf("\npaper shape check: speedups grow as p shrinks; ~1.5-2.2x "
               "from p=1 to p=0.\n");
   return 0;

@@ -4,47 +4,49 @@
 // Expected shape: BNS overhead is 0% at p∈{0,1} and a few percent
 // otherwise; minibatch samplers burn ~20%+ of training time.
 
-#include "baselines/minibatch.hpp"
-
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Table 12", "sampling overhead (% of training time)");
+  bench::ReportSink sink("Table 12", opts);
 
-  const Dataset ds = make_synthetic(reddit_like(0.4 * bench::bench_scale()));
-  auto cfg = bench::reddit_config();
-  cfg.epochs = 8;
+  auto [ds, trainer] = bench::load_preset("reddit", 0.4 * opts.scale);
 
   std::printf("minibatch samplers (sampling / total wall time):\n");
-  baselines::BaselineConfig bcfg;
-  bcfg.num_layers = cfg.num_layers;
-  bcfg.hidden = cfg.hidden;
-  bcfg.epochs = 5;
-  bcfg.seed = 3;
-  bcfg.batch_size = std::max<NodeId>(256, ds.num_nodes() / 12);
-  bcfg.batches_per_epoch = 6;
-  std::printf("  %-22s %6.1f%%\n", "Node (GraphSAGE)",
-              100.0 * baselines::train_neighbor_sampling(ds, bcfg)
-                          .sampler_overhead());
-  std::printf("  %-22s %6.1f%%\n", "Layer (LADIES)",
-              100.0 * baselines::train_layer_sampling(ds, bcfg, true)
-                          .sampler_overhead());
-  std::printf("  %-22s %6.1f%%\n", "Subgraph (GraphSAINT)",
-              100.0 * baselines::train_graph_saint(ds, bcfg)
-                          .sampler_overhead());
+  api::RunConfig bcfg;
+  bcfg.trainer = trainer;
+  bcfg.trainer.epochs = opts.epochs_or(5);
+  bcfg.trainer.seed = 3;
+  bcfg.minibatch.batch_size = std::max<NodeId>(256, ds.num_nodes() / 12);
+  bcfg.minibatch.batches_per_epoch = 6;
+  const auto overhead_row = [&](const char* name, api::Method m) {
+    bcfg.method = m;
+    const auto r = sink.add(
+        bench::label("reddit %s", api::method_info(m).name.c_str()),
+        api::run(ds, bcfg));
+    std::printf("  %-22s %6.1f%%\n", name, 100.0 * r.sampler_overhead());
+  };
+  overhead_row("Node (GraphSAGE)", api::Method::kNeighborSampling);
+  overhead_row("Layer (LADIES)", api::Method::kLadies);
+  overhead_row("Subgraph (GraphSAINT)", api::Method::kGraphSaint);
 
   std::printf("\nBNS-GCN sampler (sampling / simulated epoch time):\n");
   std::printf("  %-8s", "p \\ m");
   for (const PartId m : {2, 4, 8}) std::printf(" %8d", m);
   std::printf("\n");
+  api::RunConfig rcfg;
+  rcfg.method = api::Method::kBns;
+  rcfg.trainer = trainer;
+  rcfg.trainer.epochs = opts.epochs_or(8);
   for (const float p : {1.0f, 0.1f, 0.01f, 0.0f}) {
     std::printf("  %-8.2f", p);
     for (const PartId m : {2, 4, 8}) {
       const auto part = metis_like(ds.graph, m);
-      auto c = cfg;
-      c.sample_rate = p;
-      const auto r = core::BnsTrainer(ds, part, c).train();
+      rcfg.trainer.sample_rate = p;
+      const auto r = sink.add(bench::label("reddit bns m=%d p=%.2f", m, p),
+                              api::run(ds, part, rcfg));
       std::printf(" %7.1f%%", 100.0 * r.sampler_overhead());
     }
     std::printf("\n");

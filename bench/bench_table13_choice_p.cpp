@@ -6,42 +6,40 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Table 13", "accuracy across p in [0.1, 1.0]");
-  const double s = bench::bench_scale();
+  bench::ReportSink sink("Table 13", opts);
+  const double s = opts.scale;
 
   struct Row {
-    const char* name;
-    Dataset ds;
-    core::TrainerConfig cfg;
+    std::string name;
+    const char* preset;
+    bench::PresetRun run;
     PartId parts;
   };
   std::vector<Row> rows;
-  {
-    auto cfg = bench::reddit_config();
-    cfg.epochs = 100;
-    rows.push_back({"Reddit-like (2 parts)",
-                    make_synthetic(reddit_like(0.3 * s)), cfg, 2});
-  }
-  {
-    auto cfg = bench::products_config();
-    cfg.epochs = 100;
-    rows.push_back({"products-like (5 parts)",
-                    make_synthetic(products_like(0.2 * s)), cfg, 5});
-  }
+  rows.push_back({"Reddit-like (2 parts)", "reddit",
+                  bench::load_preset("reddit", 0.3 * s), 2});
+  rows.push_back({"products-like (5 parts)", "products",
+                  bench::load_preset("products", 0.2 * s), 5});
 
   std::printf("%-26s", "dataset \\ p");
   for (const float p : {0.1f, 0.3f, 0.5f, 0.8f, 1.0f})
     std::printf(" %8.1f", p);
   std::printf("\n");
   for (auto& row : rows) {
-    const auto part = metis_like(row.ds.graph, row.parts);
-    std::printf("%-26s", row.name);
+    const auto part = metis_like(row.run.ds.graph, row.parts);
+    api::RunConfig rcfg;
+    rcfg.method = api::Method::kBns;
+    rcfg.trainer = row.run.trainer;
+    rcfg.trainer.epochs = opts.epochs_or(100);
+    std::printf("%-26s", row.name.c_str());
     for (const float p : {0.1f, 0.3f, 0.5f, 0.8f, 1.0f}) {
-      auto c = row.cfg;
-      c.sample_rate = p;
-      const auto r = core::BnsTrainer(row.ds, part, c).train();
+      rcfg.trainer.sample_rate = p;
+      const auto r = sink.add(bench::label("%s p=%.1f", row.preset, p),
+                              api::run(row.run.ds, part, rcfg));
       std::printf(" %8.2f", 100.0 * r.final_test);
     }
     std::printf("\n");

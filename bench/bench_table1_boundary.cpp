@@ -5,17 +5,20 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Table 1", "boundary vs inner nodes, 10-way partition");
 
-  const Dataset ds = make_synthetic(reddit_like(bench::bench_scale()));
+  const auto [ds, trainer] = bench::load_preset("reddit", opts.scale);
   std::printf("dataset: %s  n=%d  arcs=%lld  avg deg=%.1f\n\n",
               ds.name.c_str(), ds.num_nodes(),
               static_cast<long long>(ds.graph.num_arcs()),
               ds.graph.average_degree());
 
-  const auto part = metis_like(ds.graph, 10);
+  api::PartitionSpec pspec;
+  pspec.nparts = 10;
+  const auto part = api::make_partition(ds.graph, pspec);
   const auto stats = compute_stats(ds.graph, part);
 
   std::printf("%-10s %12s %17s %18s\n", "Partition", "# Inner", "# Boundary",

@@ -7,11 +7,12 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Table 2", "empirical feature-approximation variance");
 
-  const Dataset ds = make_synthetic(products_like(0.2 * bench::bench_scale()));
+  const auto [ds, trainer] = bench::load_preset("products", 0.2 * opts.scale);
   const auto part = metis_like(ds.graph, 8);
 
   std::printf("%-6s %10s %12s %12s %12s %12s\n", "p", "budget", "BNS",

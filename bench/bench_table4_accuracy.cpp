@@ -4,39 +4,41 @@
 // Expected shape: p=1 matches or beats every sampler; p=0.1/0.01 matches or
 // slightly beats p=1; p=0 is clearly worst; all stable across #partitions.
 
-#include "baselines/minibatch.hpp"
-
 #include "common.hpp"
 
 namespace {
 
 using namespace bnsgcn;
 
-void run_dataset(const char* title, const Dataset& ds,
-                 core::TrainerConfig cfg, const std::vector<PartId>& parts) {
+void run_dataset(const char* title, const char* preset, double scale,
+                 const std::vector<PartId>& parts,
+                 const api::BenchOptions& opts, bench::ReportSink& sink) {
+  auto [ds, trainer] = bench::load_preset(preset, scale);
   std::printf("\n--- %s ---\n", title);
 
   // Sampling-based baselines (single process, minibatch).
-  baselines::BaselineConfig bcfg;
-  bcfg.num_layers = cfg.num_layers;
-  bcfg.hidden = cfg.hidden;
-  bcfg.dropout = cfg.dropout;
-  bcfg.lr = 0.01f;
-  bcfg.epochs = cfg.epochs;
-  bcfg.seed = cfg.seed;
-  bcfg.batch_size = std::max<NodeId>(256, ds.num_nodes() / 20);
-  bcfg.batches_per_epoch = 4;
+  api::RunConfig bcfg;
+  bcfg.trainer = trainer;
+  bcfg.trainer.epochs = opts.epochs_or(100);
+  bcfg.minibatch.batch_size = std::max<NodeId>(256, ds.num_nodes() / 20);
+  bcfg.minibatch.batches_per_epoch = 4;
 
   std::printf("%-28s %8s\n", "sampling-based method", "score%");
-  const auto brow = [&](const char* name, const baselines::BaselineResult& r) {
-    std::printf("%-28s %8.2f\n", name, 100.0 * r.final_test);
-  };
-  brow("GraphSAGE (neighbor)", baselines::train_neighbor_sampling(ds, bcfg));
-  brow("FastGCN (layer)", baselines::train_layer_sampling(ds, bcfg, false));
-  brow("LADIES (layer)", baselines::train_layer_sampling(ds, bcfg, true));
-  brow("ClusterGCN (subgraph)", baselines::train_cluster_gcn(ds, bcfg));
-  brow("GraphSAINT (subgraph)", baselines::train_graph_saint(ds, bcfg));
+  for (const api::Method m :
+       {api::Method::kNeighborSampling, api::Method::kFastGcn,
+        api::Method::kLadies, api::Method::kClusterGcn,
+        api::Method::kGraphSaint}) {
+    bcfg.method = m;
+    const auto& info = api::method_info(m);
+    const auto& r = sink.add(bench::label("%s %s", preset, info.name.c_str()),
+                             api::run(ds, bcfg));
+    std::printf("%-28s %8.2f\n", info.display.c_str(), 100.0 * r.final_test);
+  }
 
+  api::RunConfig rcfg;
+  rcfg.method = api::Method::kBns;
+  rcfg.trainer = trainer;
+  rcfg.trainer.epochs = bcfg.trainer.epochs;
   std::printf("\n%-28s", "BNS-GCN \\ #partitions");
   for (const PartId m : parts) std::printf(" %8d", m);
   std::printf("\n");
@@ -44,9 +46,9 @@ void run_dataset(const char* title, const Dataset& ds,
     std::printf("BNS-GCN (p=%-4.2f)%12s", p, "");
     for (const PartId m : parts) {
       const auto part = metis_like(ds.graph, m);
-      auto c = cfg;
-      c.sample_rate = p;
-      const auto r = core::BnsTrainer(ds, part, c).train();
+      rcfg.trainer.sample_rate = p;
+      const auto& r = sink.add(bench::label("%s bns m=%d p=%.2f", preset, m, p),
+                               api::run(ds, part, rcfg));
       std::printf(" %8.2f", 100.0 * r.final_test);
     }
     std::printf("\n");
@@ -55,29 +57,19 @@ void run_dataset(const char* title, const Dataset& ds,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Table 4", "test accuracy / micro-F1 across p and partitions");
-  const double s = bench::bench_scale();
+  bench::ReportSink sink("Table 4", opts);
+  const double s = opts.scale;
 
-  {
-    const Dataset ds = make_synthetic(reddit_like(0.3 * s));
-    auto cfg = bench::reddit_config();
-    cfg.epochs = 100;
-    run_dataset("Reddit-like (accuracy)", ds, cfg, {2, 4, 8});
-  }
-  {
-    const Dataset ds = make_synthetic(products_like(0.2 * s));
-    auto cfg = bench::products_config();
-    cfg.epochs = 100;
-    run_dataset("ogbn-products-like (accuracy)", ds, cfg, {5, 8, 10});
-  }
-  {
-    const Dataset ds = make_synthetic(yelp_like(0.3 * s));
-    auto cfg = bench::yelp_config();
-    cfg.epochs = 100;
-    run_dataset("Yelp-like (micro-F1)", ds, cfg, {3, 6, 10});
-  }
+  run_dataset("Reddit-like (accuracy)", "reddit", 0.3 * s, {2, 4, 8}, opts,
+              sink);
+  run_dataset("ogbn-products-like (accuracy)", "products", 0.2 * s,
+              {5, 8, 10}, opts, sink);
+  run_dataset("Yelp-like (micro-F1)", "yelp", 0.3 * s, {3, 6, 10}, opts,
+              sink);
   std::printf("\npaper shape check: BNS p>0 within ±0.3 of p=1; p=0 worst;\n"
               "full-graph training >= all sampling baselines.\n");
   return 0;

@@ -4,52 +4,50 @@
 // at equal-or-better accuracy (no per-batch sampling overhead, full-graph
 // gradients).
 
-#include "baselines/minibatch.hpp"
-
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Table 5",
                       "total train time + accuracy vs samplers (products)");
+  bench::ReportSink sink("Table 5", opts);
 
-  const Dataset ds =
-      make_synthetic(products_like(0.2 * bench::bench_scale()));
-  auto cfg = bench::products_config();
-  cfg.epochs = 80;
+  auto [ds, trainer] = bench::load_preset("products", 0.2 * opts.scale);
+  trainer.epochs = opts.epochs_or(80);
 
-  baselines::BaselineConfig bcfg;
-  bcfg.num_layers = cfg.num_layers;
-  bcfg.hidden = cfg.hidden;
-  bcfg.dropout = cfg.dropout;
-  bcfg.lr = 0.01f;
-  bcfg.epochs = cfg.epochs;
-  bcfg.seed = cfg.seed;
-  bcfg.batch_size = std::max<NodeId>(256, ds.num_nodes() / 16);
-  bcfg.batches_per_epoch = 4;
-  bcfg.clusters_per_batch = 6; // ClusterGCN needs decent per-epoch coverage
+  api::RunConfig bcfg;
+  bcfg.trainer = trainer;
+  bcfg.minibatch.batch_size = std::max<NodeId>(256, ds.num_nodes() / 16);
+  bcfg.minibatch.batches_per_epoch = 4;
+  bcfg.minibatch.clusters_per_batch = 6; // ClusterGCN needs decent coverage
 
   std::printf("%-24s %16s %12s\n", "method", "train time (s)", "test acc %");
-  const auto brow = [&](const char* name,
-                        const baselines::BaselineResult& r) {
-    std::printf("%-24s %16.2f %12.2f\n", name, r.wall_time_s,
+  for (const api::Method m :
+       {api::Method::kClusterGcn, api::Method::kNeighborSampling,
+        api::Method::kGraphSaint}) {
+    bcfg.method = m;
+    const auto& info = api::method_info(m);
+    const auto& r =
+        sink.add(bench::label("products %s", info.name.c_str()),
+                 api::run(ds, bcfg));
+    std::printf("%-24s %16.2f %12.2f\n", info.display.c_str(), r.wall_time_s,
                 100.0 * r.final_test);
-  };
-  brow("ClusterGCN", baselines::train_cluster_gcn(ds, bcfg));
-  brow("NeighborSampling", baselines::train_neighbor_sampling(ds, bcfg));
-  brow("GraphSAINT", baselines::train_graph_saint(ds, bcfg));
+  }
 
+  api::RunConfig rcfg;
+  rcfg.method = api::Method::kBns;
+  rcfg.trainer = trainer;
   const auto part = metis_like(ds.graph, 10);
   for (const float p : {1.0f, 0.1f, 0.01f}) {
-    auto c = cfg;
-    c.sample_rate = p;
-    const auto r = core::BnsTrainer(ds, part, c).train();
+    rcfg.trainer.sample_rate = p;
+    const auto& r = sink.add(bench::label("products bns p=%.2f", p),
+                             api::run(ds, part, rcfg));
     // Simulated total (compute + modeled comm/reduce + sampling), so the
     // BNS rows carry their full interconnect cost just as the baselines
     // carry their full sampling cost.
-    const double total = r.mean_epoch().total_s() * cfg.epochs;
-    std::printf("BNS-GCN (p=%-4.2f)%8s %16.2f %12.2f\n", p, "", total,
-                100.0 * r.final_test);
+    std::printf("BNS-GCN (p=%-4.2f)%8s %16.2f %12.2f\n", p, "",
+                r.total_train_s(), 100.0 * r.final_test);
   }
   std::printf("\npaper shape check: BNS p=0.1 fastest at best accuracy "
               "(p=0.01 trades accuracy at this scale — see the ablation "

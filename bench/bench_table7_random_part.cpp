@@ -10,22 +10,36 @@ namespace {
 
 using namespace bnsgcn;
 
-void run_dataset(const char* title, const Dataset& ds,
-                 core::TrainerConfig cfg, PartId parts) {
+void run_dataset(const char* title, const char* preset, double scale,
+                 PartId parts, const api::BenchOptions& opts,
+                 bench::ReportSink& sink) {
+  auto [ds, trainer] = bench::load_preset(preset, scale);
   std::printf("\n--- %s (%d partitions) ---\n", title, parts);
-  Rng rng(cfg.seed);
-  const auto part_metis = metis_like(ds.graph, parts);
-  const auto part_rand = random_partition(ds.num_nodes(), parts, rng);
+  api::RunConfig rcfg;
+  rcfg.method = api::Method::kBns;
+  rcfg.trainer = trainer;
+  rcfg.trainer.epochs = opts.epochs_or(100);
+
+  api::PartitionSpec metis{.kind = api::PartitionSpec::Kind::kMetis,
+                           .nparts = parts};
+  api::PartitionSpec random{.kind = api::PartitionSpec::Kind::kRandom,
+                            .nparts = parts,
+                            .seed = trainer.seed};
+  const auto part_metis = api::make_partition(ds.graph, metis);
+  const auto part_rand = api::make_partition(ds.graph, random);
 
   std::printf("%-10s %14s %14s %10s\n", "p", "Random+BNS %", "METIS+BNS %",
               "delta");
   for (const float p : {1.0f, 0.1f, 0.0f}) {
-    auto c = cfg;
-    c.sample_rate = p;
+    rcfg.trainer.sample_rate = p;
     const double rand_score =
-        100.0 * core::BnsTrainer(ds, part_rand, c).train().final_test;
+        100.0 * sink.add(bench::label("%s random p=%.2f", preset, p),
+                         api::run(ds, part_rand, rcfg))
+                    .final_test;
     const double metis_score =
-        100.0 * core::BnsTrainer(ds, part_metis, c).train().final_test;
+        100.0 * sink.add(bench::label("%s metis p=%.2f", preset, p),
+                         api::run(ds, part_metis, rcfg))
+                    .final_test;
     std::printf("%-10.2f %14.2f %14.2f %+10.2f\n", p, rand_score, metis_score,
                 rand_score - metis_score);
   }
@@ -33,28 +47,17 @@ void run_dataset(const char* title, const Dataset& ds,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Table 7", "BNS-GCN on random partition (score delta)");
-  const double s = bench::bench_scale();
-  {
-    const Dataset ds = make_synthetic(reddit_like(0.3 * s));
-    auto cfg = bench::reddit_config();
-    cfg.epochs = 100;
-    run_dataset("Reddit-like (8 partitions)", ds, cfg, 8);
-  }
-  {
-    const Dataset ds = make_synthetic(products_like(0.2 * s));
-    auto cfg = bench::products_config();
-    cfg.epochs = 100;
-    run_dataset("ogbn-products-like (10 partitions)", ds, cfg, 10);
-  }
-  {
-    const Dataset ds = make_synthetic(yelp_like(0.3 * s));
-    auto cfg = bench::yelp_config();
-    cfg.epochs = 100;
-    run_dataset("Yelp-like (10 partitions, micro-F1)", ds, cfg, 10);
-  }
+  bench::ReportSink sink("Table 7", opts);
+  const double s = opts.scale;
+  run_dataset("Reddit-like (8 partitions)", "reddit", 0.3 * s, 8, opts, sink);
+  run_dataset("ogbn-products-like (10 partitions)", "products", 0.2 * s, 10,
+              opts, sink);
+  run_dataset("Yelp-like (10 partitions, micro-F1)", "yelp", 0.3 * s, 10,
+              opts, sink);
   std::printf("\npaper shape check: p=0.1 within ±0.3; p=0 drops several "
               "points under random partitioning.\n");
   return 0;

@@ -10,22 +10,32 @@ namespace {
 
 using namespace bnsgcn;
 
-void run_dataset(const char* title, const Dataset& ds,
-                 core::TrainerConfig cfg, PartId parts) {
-  cfg.epochs = 5;
-  Rng rng(cfg.seed);
+void run_dataset(const char* title, const char* preset, double scale,
+                 PartId parts, const api::BenchOptions& opts,
+                 bench::ReportSink& sink) {
+  auto [ds, trainer] = bench::load_preset(preset, scale);
+  api::RunConfig rcfg;
+  rcfg.method = api::Method::kBns;
+  rcfg.trainer = trainer;
+  rcfg.trainer.epochs = opts.epochs_or(5);
   std::printf("\n--- %s (%d partitions) ---\n", title, parts);
   std::printf("%-10s %14s %12s %16s\n", "partition", "throughput x",
               "memory x", "#boundary nodes");
   for (const bool metis : {true, false}) {
-    const auto part = metis ? metis_like(ds.graph, parts)
-                            : random_partition(ds.num_nodes(), parts, rng);
+    api::PartitionSpec pspec;
+    pspec.kind = metis ? api::PartitionSpec::Kind::kMetis
+                       : api::PartitionSpec::Kind::kRandom;
+    pspec.nparts = parts;
+    pspec.seed = trainer.seed;
+    const auto part = api::make_partition(ds.graph, pspec);
     const auto stats = compute_stats(ds.graph, part);
-    auto c = cfg;
-    c.sample_rate = 1.0f;
-    const auto full = core::BnsTrainer(ds, part, c).train();
-    c.sample_rate = 0.1f;
-    const auto bns = core::BnsTrainer(ds, part, c).train();
+    const char* kind = metis ? "metis" : "random";
+    rcfg.trainer.sample_rate = 1.0f;
+    const auto full = sink.add(bench::label("%s %s p=1", preset, kind),
+                               api::run(ds, part, rcfg));
+    rcfg.trainer.sample_rate = 0.1f;
+    const auto bns = sink.add(bench::label("%s %s p=0.1", preset, kind),
+                              api::run(ds, part, rcfg));
     std::printf("%-10s %13.1fx %11.2fx %16lld\n", metis ? "METIS" : "Random",
                 bns.throughput_eps() / full.throughput_eps(),
                 bns.memory.max_model_bytes() /
@@ -36,24 +46,17 @@ void run_dataset(const char* title, const Dataset& ds,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Table 8",
                       "BNS-GCN (p=0.1) gains on METIS vs random partition");
-  const double s = bench::bench_scale();
-  {
-    const Dataset ds = make_synthetic(reddit_like(0.4 * s));
-    run_dataset("Reddit-like (8 partitions)", ds, bench::reddit_config(), 8);
-  }
-  {
-    const Dataset ds = make_synthetic(products_like(0.3 * s));
-    run_dataset("ogbn-products-like (10 partitions)", ds,
-                bench::products_config(), 10);
-  }
-  {
-    const Dataset ds = make_synthetic(yelp_like(0.4 * s));
-    run_dataset("Yelp-like (10 partitions)", ds, bench::yelp_config(), 10);
-  }
+  bench::ReportSink sink("Table 8", opts);
+  const double s = opts.scale;
+  run_dataset("Reddit-like (8 partitions)", "reddit", 0.4 * s, 8, opts, sink);
+  run_dataset("ogbn-products-like (10 partitions)", "products", 0.3 * s, 10,
+              opts, sink);
+  run_dataset("Yelp-like (10 partitions)", "yelp", 0.4 * s, 10, opts, sink);
   std::printf("\npaper shape check: random partition has ~2-10x the boundary "
               "nodes and gains more from BNS.\n");
   return 0;

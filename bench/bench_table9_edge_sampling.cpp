@@ -28,8 +28,10 @@ float matched_edge_rate(const Dataset& ds, const Partitioning& part, float p,
   return static_cast<float>(1.0 - dropped / pool);
 }
 
-void run_dataset(const char* title, const Dataset& ds,
-                 core::TrainerConfig cfg, PartId parts) {
+void run_dataset(const char* title, const char* preset, double scale,
+                 PartId parts, const api::BenchOptions& opts,
+                 bench::ReportSink& sink) {
+  auto [ds, trainer] = bench::load_preset(preset, scale);
   const auto part = metis_like(ds.graph, parts);
   const float p = 0.1f;
   const float q_bes = matched_edge_rate(ds, part, p, true);
@@ -39,12 +41,16 @@ void run_dataset(const char* title, const Dataset& ds,
   std::printf("%-12s %18s %14s %12s\n", "method", "epoch comm (MB)",
               "epoch time (s)", "score %");
 
+  api::RunConfig rcfg;
+  rcfg.method = api::Method::kBns;
+  rcfg.trainer = trainer;
+  rcfg.trainer.epochs = opts.epochs_or(80);
   const auto row = [&](const char* name, core::SamplingVariant variant,
                        float rate) {
-    auto c = cfg;
-    c.variant = variant;
-    c.sample_rate = rate;
-    const auto r = core::BnsTrainer(ds, part, c).train();
+    rcfg.trainer.variant = variant;
+    rcfg.trainer.sample_rate = rate;
+    const auto r = sink.add(bench::label("%s %s q=%.3f", preset, name, rate),
+                            api::run(ds, part, rcfg));
     const auto e = r.mean_epoch();
     std::printf("%-12s %18.2f %14.4f %12.2f\n", name,
                 bench::mb(e.feature_bytes), e.total_s(),
@@ -57,28 +63,16 @@ void run_dataset(const char* title, const Dataset& ds,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bnsgcn;
+  const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Table 9", "BNS vs DropEdge vs BES at matched edge drop");
-  const double s = bench::bench_scale();
-  {
-    const Dataset ds = make_synthetic(reddit_like(0.3 * s));
-    auto cfg = bench::reddit_config();
-    cfg.epochs = 80;
-    run_dataset("Reddit-like (2 partitions)", ds, cfg, 2);
-  }
-  {
-    const Dataset ds = make_synthetic(products_like(0.2 * s));
-    auto cfg = bench::products_config();
-    cfg.epochs = 80;
-    run_dataset("ogbn-products-like (5 partitions)", ds, cfg, 5);
-  }
-  {
-    const Dataset ds = make_synthetic(yelp_like(0.3 * s));
-    auto cfg = bench::yelp_config();
-    cfg.epochs = 80;
-    run_dataset("Yelp-like (3 partitions)", ds, cfg, 3);
-  }
+  bench::ReportSink sink("Table 9", opts);
+  const double s = opts.scale;
+  run_dataset("Reddit-like (2 partitions)", "reddit", 0.3 * s, 2, opts, sink);
+  run_dataset("ogbn-products-like (5 partitions)", "products", 0.2 * s, 5,
+              opts, sink);
+  run_dataset("Yelp-like (3 partitions)", "yelp", 0.3 * s, 3, opts, sink);
   std::printf("\npaper shape check: DropEdge/BES pay 5-10x the communication "
               "of BNS for the same edge budget and similar score.\n");
   return 0;

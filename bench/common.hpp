@@ -3,28 +3,27 @@
 // Shared helpers for the experiment benches. Each bench binary regenerates
 // one table or figure of the paper (see DESIGN.md §4 for the index and
 // EXPERIMENTS.md for paper-vs-measured numbers).
+//
+// Every bench runs through the unified entry point bnsgcn::api::run and
+// takes --scale / --epochs / --json (api::parse_bench_args); per-dataset
+// hyperparameters come from the library-level registry (api/presets.hpp).
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "core/trainer.hpp"
+#include "api/cli.hpp"
+#include "api/presets.hpp"
+#include "api/run.hpp"
+#include "api/serialize.hpp"
 #include "graph/dataset.hpp"
 #include "partition/metis_like.hpp"
 #include "partition/stats.hpp"
 
 namespace bnsgcn::bench {
-
-/// Global scale knob: BNSGCN_BENCH_SCALE multiplies dataset sizes (default
-/// keeps every bench under ~a minute; set 2-4 for closer-to-paper shapes).
-inline double bench_scale() {
-  if (const char* s = std::getenv("BNSGCN_BENCH_SCALE")) {
-    const double v = std::atof(s);
-    if (v > 0.0) return v;
-  }
-  return 1.0;
-}
 
 inline void print_banner(const char* artifact, const char* description) {
   std::printf("\n================================================================\n");
@@ -33,59 +32,93 @@ inline void print_banner(const char* artifact, const char* description) {
   std::printf("================================================================\n");
 }
 
-/// Per-dataset training configs mirroring Section 4's models at bench scale
-/// (layer count kept, hidden width and epochs reduced with the graphs).
-inline core::TrainerConfig reddit_config() {
-  core::TrainerConfig cfg;
-  cfg.num_layers = 4; // paper: 4 layers, 256 hidden
-  cfg.hidden = 64;
-  // Paper uses dropout 0.5; at 1/10 scale with 64 hidden units that much
-  // regularization stalls early training, so the bench uses 0.3.
-  cfg.dropout = 0.3f;
-  cfg.lr = 0.01f;
-  cfg.epochs = 60;
-  cfg.seed = 41;
-  return cfg;
-}
-
-inline core::TrainerConfig products_config() {
-  core::TrainerConfig cfg;
-  cfg.num_layers = 3; // paper: 3 layers, 128 hidden
-  cfg.hidden = 64;
-  cfg.dropout = 0.3f;
-  cfg.lr = 0.003f;
-  cfg.epochs = 60;
-  cfg.seed = 47;
-  return cfg;
-}
-
-inline core::TrainerConfig yelp_config() {
-  core::TrainerConfig cfg;
-  cfg.num_layers = 4; // paper: 4 layers, 512 hidden
-  cfg.hidden = 64;
-  cfg.dropout = 0.1f;
-  // Paper uses lr 1e-3 over 3000 epochs; bench budgets are ~100 epochs, so
-  // the rate is raised accordingly (sparse-positive BCE stays all-negative
-  // far longer at 1e-3).
-  cfg.lr = 0.01f;
-  cfg.epochs = 60;
-  cfg.seed = 100;
-  return cfg;
-}
-
-inline core::TrainerConfig papers_config() {
-  core::TrainerConfig cfg;
-  cfg.num_layers = 3; // paper: 3 layers, 128 hidden
-  cfg.hidden = 48;
-  cfg.dropout = 0.5f;
-  cfg.lr = 0.01f;
-  cfg.epochs = 10;
-  cfg.seed = 172;
-  return cfg;
-}
-
 inline double mb(std::int64_t bytes) {
   return static_cast<double>(bytes) / (1024.0 * 1024.0);
 }
+
+/// printf-style std::string, for run labels.
+template <typename... Args>
+[[nodiscard]] std::string label(const char* fmt, Args... args) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  return buf;
+}
+
+/// A registry dataset at bench scale together with its registered trainer
+/// config — the starting point of most benches.
+struct PresetRun {
+  Dataset ds;
+  core::TrainerConfig trainer;
+};
+
+inline PresetRun load_preset(const char* name, double scale) {
+  api::DatasetSpec spec;
+  spec.preset = name;
+  spec.scale = scale;
+  return {api::make_dataset(spec), api::preset_trainer_config(name)};
+}
+
+/// Collects a bench's labeled runs and, when --json <path> was given,
+/// writes them as one machine-readable artifact next to the printed table.
+class ReportSink {
+ public:
+  ReportSink(const char* artifact, const api::BenchOptions& opts)
+      : artifact_(artifact), opts_(opts) {
+    // Fail fast on an unwritable path — before hours of runs, not after.
+    // Append-mode probe: creates a missing file but never truncates an
+    // existing artifact from a previous run.
+    if (!opts_.json_path.empty()) {
+      std::ofstream probe(opts_.json_path, std::ios::app);
+      if (!probe.good()) {
+        std::fprintf(stderr, "error: cannot open for writing: %s\n",
+                     opts_.json_path.c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+  /// Record a run (no-op unless --json was given). Takes and returns the
+  /// report by value so call sites can sink-and-use in one expression
+  /// (binding the result to a const reference is safe).
+  api::RunReport add(std::string label, api::RunReport report) {
+    if (!opts_.json_path.empty())
+      rows_.emplace_back(std::move(label), api::to_json(report));
+    return report;
+  }
+
+  /// Write the artifact (called from the destructor; explicit form exists
+  /// for benches that want to flush before printing a summary).
+  void finish() {
+    if (opts_.json_path.empty() || finished_) return;
+    finished_ = true;
+    json::Value doc = json::Value::object();
+    doc.set("artifact", artifact_);
+    doc.set("scale", opts_.scale);
+    json::Value runs = json::Value::array();
+    for (auto& [label, report] : rows_) {
+      json::Value row = json::Value::object();
+      row.set("label", label);
+      row.set("report", std::move(report));
+      runs.push_back(std::move(row));
+    }
+    doc.set("runs", std::move(runs));
+    try {
+      json::write_file(opts_.json_path, doc);
+      std::printf("\nwrote JSON artifact: %s (%zu runs)\n",
+                  opts_.json_path.c_str(), rows_.size());
+    } catch (const std::exception& e) {
+      // Must not throw out of the destructor; the table already printed.
+      std::fprintf(stderr, "error: %s\n", e.what());
+    }
+  }
+
+  ~ReportSink() { finish(); }
+
+ private:
+  std::string artifact_;
+  api::BenchOptions opts_;
+  std::vector<std::pair<std::string, json::Value>> rows_;
+  bool finished_ = false;
+};
 
 } // namespace bnsgcn::bench

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build everything (library, 20 benches,
+# 4 examples, 26 test binaries) and run the full test suite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GENERATOR=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR=(-G Ninja)
+fi
+
+cmake -B build -S . "${GENERATOR[@]}"
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"

@@ -4,35 +4,37 @@
 
 #include <cstdio>
 
-#include "core/trainer.hpp"
-#include "graph/dataset.hpp"
+#include "api/presets.hpp"
+#include "api/run.hpp"
 #include "partition/metis_like.hpp"
 
 int main() {
   using namespace bnsgcn;
 
-  const Dataset ds = make_synthetic(products_like(0.15));
+  api::DatasetSpec dspec;
+  dspec.preset = "products";
+  dspec.scale = 0.15;
+  const Dataset ds = api::make_dataset(dspec);
   std::printf("products-like: %d nodes, %lld arcs, %d classes\n\n",
               ds.num_nodes(), static_cast<long long>(ds.graph.num_arcs()),
               ds.num_classes);
 
   const Partitioning part = metis_like(ds.graph, 4);
 
-  core::TrainerConfig cfg;
-  cfg.model = core::ModelKind::kGat;
-  cfg.gat_heads = 2;
-  cfg.num_layers = 2;
-  cfg.hidden = 32;
-  cfg.dropout = 0.3f;
-  cfg.lr = 0.003f;
-  cfg.epochs = 100;
+  api::RunConfig cfg;
+  cfg.method = api::Method::kBns;
+  cfg.trainer.model = core::ModelKind::kGat;
+  cfg.trainer.gat_heads = 2;
+  cfg.trainer.num_layers = 2;
+  cfg.trainer.hidden = 32;
+  cfg.trainer.dropout = 0.3f;
+  cfg.trainer.lr = 0.003f;
+  cfg.trainer.epochs = 100;
 
   std::printf("%-16s %10s %14s\n", "config", "acc %", "epoch time (s)");
   for (const float p : {1.0f, 0.1f, 0.05f}) {
-    auto c = cfg;
-    c.sample_rate = p;
-    core::BnsTrainer trainer(ds, part, c);
-    const auto r = trainer.train();
+    cfg.trainer.sample_rate = p;
+    const api::RunReport r = api::run(ds, part, cfg);
     std::printf("BNS-GAT p=%-6.2f %10.2f %14.4f\n", p, 100.0 * r.final_test,
                 r.mean_epoch().total_s());
   }

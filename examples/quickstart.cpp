@@ -1,5 +1,6 @@
 // Quickstart: generate a small clustered graph, partition it, and train a
-// 2-layer GraphSAGE model with BNS-GCN (boundary sampling rate p = 0.1).
+// 2-layer GraphSAGE model with BNS-GCN (boundary sampling rate p = 0.1)
+// through the unified entry point bnsgcn::api::run.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -7,15 +8,18 @@
 
 #include <cstdio>
 
-#include "core/trainer.hpp"
-#include "graph/dataset.hpp"
-#include "partition/metis_like.hpp"
+#include "api/run.hpp"
 
 int main() {
   using namespace bnsgcn;
 
+  // One RunConfig describes the whole run: dataset, partitioning, method,
+  // model and sampling. Swap `dataset.custom` for `dataset.preset` to use
+  // a registered workload ("reddit", "products", "yelp", "papers").
+  api::RunConfig cfg;
+
   // 1. A dataset: 5k nodes, 8 communities, features that correlate with
-  //    the label (swap in your own Dataset for real data).
+  //    the label (swap in your own Dataset via api::run(ds, cfg)).
   SyntheticSpec spec;
   spec.n = 5000;
   spec.m = 60000;
@@ -23,32 +27,33 @@ int main() {
   spec.num_classes = 8;
   spec.feat_dim = 32;
   spec.seed = 42;
-  const Dataset ds = make_synthetic(spec);
-  std::printf("dataset: %d nodes, %lld arcs, %d classes\n", ds.num_nodes(),
-              static_cast<long long>(ds.graph.num_arcs()), ds.num_classes);
+  cfg.dataset.custom = spec;
 
   // 2. Partition with the METIS-like min-communication-volume partitioner.
-  const Partitioning part = metis_like(ds.graph, /*nparts=*/4);
+  cfg.partition.kind = api::PartitionSpec::Kind::kMetis;
+  cfg.partition.nparts = 4;
 
-  // 3. Configure BNS-GCN: 2-layer GraphSAGE, boundary sampling p = 0.1.
-  core::TrainerConfig cfg;
-  cfg.num_layers = 2;
-  cfg.hidden = 64;
-  cfg.dropout = 0.3f;
-  cfg.lr = 0.01f;
-  cfg.epochs = 60;
-  cfg.sample_rate = 0.1f;
-  cfg.eval_every = 20;
+  // 3. Method + model: BNS-GCN, 2-layer GraphSAGE, boundary sampling 0.1.
+  cfg.method = api::Method::kBns;
+  cfg.trainer.num_layers = 2;
+  cfg.trainer.hidden = 64;
+  cfg.trainer.dropout = 0.3f;
+  cfg.trainer.lr = 0.01f;
+  cfg.trainer.epochs = 60;
+  cfg.trainer.sample_rate = 0.1f;
+  cfg.trainer.eval_every = 20;
 
-  // 4. Train (one thread per partition, in-process fabric).
-  core::BnsTrainer trainer(ds, part, cfg);
-  const core::TrainResult result = trainer.train();
+  // 4. Stream eval rows as they happen (per-epoch observer hook).
+  cfg.trainer.observer = [](const core::EpochSnapshot& snap) {
+    if (snap.eval != nullptr)
+      std::printf("epoch %3d  loss %.4f  val %.2f%%  test %.2f%%\n",
+                  snap.epoch, snap.train_loss, 100.0 * snap.eval->val,
+                  100.0 * snap.eval->test);
+  };
 
-  for (const auto& point : result.curve) {
-    std::printf("epoch %3d  loss %.4f  val %.2f%%  test %.2f%%\n",
-                point.epoch, point.train_loss, 100.0 * point.val,
-                100.0 * point.test);
-  }
+  // 5. Train (one thread per partition, in-process fabric).
+  const api::RunReport result = api::run(cfg);
+
   const auto epoch = result.mean_epoch();
   std::printf("\nfinal test accuracy: %.2f%%\n", 100.0 * result.final_test);
   std::printf("mean epoch: compute %.4fs, comm %.4fs (sim), reduce %.4fs "

@@ -5,15 +5,18 @@
 
 #include <cstdio>
 
-#include "core/trainer.hpp"
-#include "graph/dataset.hpp"
+#include "api/presets.hpp"
+#include "api/run.hpp"
 #include "partition/metis_like.hpp"
 #include "partition/stats.hpp"
 
 int main() {
   using namespace bnsgcn;
 
-  const Dataset ds = make_synthetic(reddit_like(0.3));
+  api::DatasetSpec dspec;
+  dspec.preset = "reddit";
+  dspec.scale = 0.3;
+  const Dataset ds = api::make_dataset(dspec);
   std::printf("Reddit-like: %d nodes, %lld arcs, avg degree %.1f\n",
               ds.num_nodes(), static_cast<long long>(ds.graph.num_arcs()),
               ds.graph.average_degree());
@@ -24,20 +27,19 @@ int main() {
               "boundary/inner %.2f\n\n",
               static_cast<long long>(stats.total_volume), stats.max_ratio());
 
-  core::TrainerConfig cfg;
-  cfg.num_layers = 4; // paper's Reddit model: 4 layers
-  cfg.hidden = 64;
-  cfg.dropout = 0.3f;
-  cfg.lr = 0.01f;
-  cfg.epochs = 90;
+  api::RunConfig cfg;
+  cfg.method = api::Method::kBns;
+  cfg.trainer.num_layers = 4; // paper's Reddit model: 4 layers
+  cfg.trainer.hidden = 64;
+  cfg.trainer.dropout = 0.3f;
+  cfg.trainer.lr = 0.01f;
+  cfg.trainer.epochs = 90;
 
   std::printf("%-14s %10s %12s %12s %10s\n", "config", "acc %", "comm MB/ep",
               "mem red. %", "epochs/s");
   for (const float p : {1.0f, 0.3f, 0.1f}) {
-    auto c = cfg;
-    c.sample_rate = p;
-    core::BnsTrainer trainer(ds, part, c);
-    const auto r = trainer.train();
+    cfg.trainer.sample_rate = p;
+    const api::RunReport r = api::run(ds, part, cfg);
     std::printf("BNS p=%-8.2f %10.2f %12.2f %12.1f %10.2f\n", p,
                 100.0 * r.final_test,
                 static_cast<double>(r.mean_epoch().feature_bytes) / 1048576.0,

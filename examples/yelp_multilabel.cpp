@@ -1,40 +1,39 @@
 // Multi-label business categorization on a Yelp-like graph: sparse graph,
 // 50 binary labels per node, sigmoid-BCE training, micro-F1 evaluation —
-// exercising the multi-label path of the public API end to end.
+// exercising the multi-label path of the public API end to end, with the
+// convergence curve streamed by the per-epoch observer.
 
 #include <cstdio>
 
-#include "core/trainer.hpp"
-#include "graph/dataset.hpp"
-#include "partition/metis_like.hpp"
+#include "api/run.hpp"
 
 int main() {
   using namespace bnsgcn;
 
-  const Dataset ds = make_synthetic(yelp_like(0.3));
-  std::printf("Yelp-like: %d nodes, %lld arcs, %d label dimensions "
-              "(multi-label)\n\n",
-              ds.num_nodes(), static_cast<long long>(ds.graph.num_arcs()),
-              ds.num_classes);
+  api::RunConfig cfg;
+  cfg.dataset.preset = "yelp";
+  cfg.dataset.scale = 0.3;
+  cfg.partition.nparts = 6;
+  cfg.method = api::Method::kBns;
+  cfg.trainer.num_layers = 4; // paper's Yelp model: 4 layers
+  cfg.trainer.hidden = 64;
+  cfg.trainer.dropout = 0.1f;
+  cfg.trainer.lr = 0.01f;
+  cfg.trainer.epochs = 100;
+  cfg.trainer.sample_rate = 0.1f;
+  cfg.trainer.eval_every = 20;
+  cfg.trainer.observer = [](const core::EpochSnapshot& snap) {
+    if (snap.eval != nullptr)
+      std::printf("epoch %3d  loss %.5f  val F1 %.2f%%  test F1 %.2f%%\n",
+                  snap.epoch, snap.train_loss, 100.0 * snap.eval->val,
+                  100.0 * snap.eval->test);
+  };
 
-  const Partitioning part = metis_like(ds.graph, 6);
-
-  core::TrainerConfig cfg;
-  cfg.num_layers = 4; // paper's Yelp model: 4 layers
-  cfg.hidden = 64;
-  cfg.dropout = 0.1f;
-  cfg.lr = 0.01f;
-  cfg.epochs = 100;
-  cfg.sample_rate = 0.1f;
-  cfg.eval_every = 20;
-
-  core::BnsTrainer trainer(ds, part, cfg);
-  const auto result = trainer.train();
-  for (const auto& point : result.curve)
-    std::printf("epoch %3d  loss %.5f  val F1 %.2f%%  test F1 %.2f%%\n",
-                point.epoch, point.train_loss, 100.0 * point.val,
-                100.0 * point.test);
-  std::printf("\nfinal test micro-F1: %.2f%% at p=%.2f with 6 partitions\n",
-              100.0 * result.final_test, cfg.sample_rate);
+  const api::RunReport result = api::run(cfg);
+  std::printf("\n%s on %s: final test micro-F1 %.2f%% at p=%.2f with %d "
+              "partitions\n",
+              result.method.c_str(), result.dataset.c_str(),
+              100.0 * result.final_test, cfg.trainer.sample_rate,
+              cfg.partition.nparts);
   return 0;
 }

@@ -1,0 +1,103 @@
+#include "api/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bnsgcn::api {
+
+namespace {
+
+bool parse_double(const std::string& s, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(s, &used);
+    return used == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_int(const std::string& s, int& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stoi(s, &used);
+    return used == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+} // namespace
+
+std::string bench_usage(const std::string& argv0) {
+  return "usage: " + argv0 +
+         " [--scale <x>] [--epochs <n>] [--json <path>]\n"
+         "  --scale <x>   dataset size multiplier (default 1.0; 2-4 gives\n"
+         "                closer-to-paper shapes, <1 is a quick smoke run)\n"
+         "  --epochs <n>  override every run's epoch count\n"
+         "  --json <path> write the bench's runs as a JSON artifact\n";
+}
+
+std::optional<BenchOptions> try_parse_bench_args(
+    const std::vector<std::string>& args, std::string& error) {
+  BenchOptions opts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        error = std::string(flag) + " needs a value";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      error = "help";
+      return std::nullopt;
+    }
+    if (arg == "--scale") {
+      const std::string* v = value("--scale");
+      if (v == nullptr) return std::nullopt;
+      if (!parse_double(*v, opts.scale) || opts.scale <= 0.0) {
+        error = "--scale needs a positive number, got '" + *v + "'";
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (arg == "--epochs") {
+      const std::string* v = value("--epochs");
+      if (v == nullptr) return std::nullopt;
+      int n = 0;
+      if (!parse_int(*v, n) || n < 1) {
+        error = "--epochs needs a positive integer, got '" + *v + "'";
+        return std::nullopt;
+      }
+      opts.epochs = n;
+      continue;
+    }
+    if (arg == "--json") {
+      const std::string* v = value("--json");
+      if (v == nullptr) return std::nullopt;
+      opts.json_path = *v;
+      continue;
+    }
+    error = "unknown argument '" + arg + "'";
+    return std::nullopt;
+  }
+  return opts;
+}
+
+BenchOptions parse_bench_args(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  const auto opts = try_parse_bench_args(args, error);
+  if (opts) return *opts;
+  const std::string usage = bench_usage(argc > 0 ? argv[0] : "bench");
+  if (error == "help") {
+    std::printf("%s", usage.c_str());
+    std::exit(0);
+  }
+  std::fprintf(stderr, "error: %s\n%s", error.c_str(), usage.c_str());
+  std::exit(2);
+}
+
+} // namespace bnsgcn::api

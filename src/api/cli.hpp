@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bnsgcn::api {
+
+/// Shared command-line options of the bench binaries (replaces the old
+/// undocumented BNSGCN_BENCH_SCALE environment variable):
+///   --scale <x>   multiply dataset sizes (default 1.0; 2-4 approaches
+///                 closer-to-paper shapes)
+///   --epochs <n>  override every run's epoch count (smoke-testing knob)
+///   --json <path> also write the bench's runs as a JSON artifact
+struct BenchOptions {
+  double scale = 1.0;
+  std::optional<int> epochs;
+  std::string json_path;  // empty = no artifact
+
+  /// Epoch count for a bench section that defaults to `fallback`.
+  [[nodiscard]] int epochs_or(int fallback) const {
+    return epochs.value_or(fallback);
+  }
+};
+
+/// Parse without side effects; returns nullopt and sets `error` on bad
+/// input ("help" requested is reported as an error with the usage text).
+[[nodiscard]] std::optional<BenchOptions> try_parse_bench_args(
+    const std::vector<std::string>& args, std::string& error);
+
+/// The usage text for the options above.
+[[nodiscard]] std::string bench_usage(const std::string& argv0);
+
+/// Bench-main convenience: parse argv; on --help print usage and exit(0),
+/// on bad input print the error to stderr and exit(2).
+[[nodiscard]] BenchOptions parse_bench_args(int argc, char** argv);
+
+} // namespace bnsgcn::api

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/memory_model.hpp"
+#include "core/trainer.hpp"
+
+namespace bnsgcn::api {
+
+/// The one result type of `bnsgcn::api::run`: subsumes the engine-level
+/// core::TrainResult and the former baselines BaselineResult, so every
+/// method — BNS-GCN, the partition-parallel proxies and the minibatch
+/// samplers — reports through the same fields and the derived quantities
+/// (throughput, sampler overhead, ...) are defined exactly once.
+///
+/// Semantics per method family:
+///  - Partition-parallel methods fill the full EpochBreakdown (measured
+///    compute + simulated comm/reduce/swap from exact byte counts) and the
+///    Eq. 4 memory report.
+///  - Minibatch baselines run single-process: their breakdown carries the
+///    measured wall time split into compute_s and sample_s, with the comm
+///    fields zero and `memory` empty.
+struct RunReport {
+  std::string method;   // registry name, e.g. "bns", "graph-saint"
+  std::string dataset;  // dataset name ("" when unknown)
+
+  std::vector<double> train_loss;          // one per epoch (global mean)
+  std::vector<core::EvalPoint> curve;      // eval_every snapshots
+  double final_val = 0.0;
+  double final_test = 0.0;
+  std::vector<core::EpochBreakdown> epochs;
+  core::MemoryReport memory;               // empty for minibatch methods
+  double wall_time_s = 0.0;                // measured end-to-end wall time
+
+  /// Trained epoch count. Falls back to the breakdown count for methods
+  /// that don't track losses (the CAGNET throughput proxy).
+  [[nodiscard]] int num_epochs() const {
+    return static_cast<int>(train_loss.empty() ? epochs.size()
+                                               : train_loss.size());
+  }
+  [[nodiscard]] core::EpochBreakdown mean_epoch() const {
+    return core::mean_breakdown(epochs);
+  }
+  /// Mean per-epoch time under each method's own clock (simulated total
+  /// for partition-parallel methods, measured wall for minibatch ones) —
+  /// the Table 11 quantity.
+  [[nodiscard]] double epoch_time_s() const { return mean_epoch().total_s(); }
+  /// Measured wall time per epoch (rank threads genuinely run in parallel).
+  [[nodiscard]] double wall_epoch_s() const {
+    return num_epochs() > 0 ? wall_time_s / num_epochs() : 0.0;
+  }
+  /// Total time spent in the sampler — the Table 12 numerator.
+  [[nodiscard]] double sample_time_s() const;
+  /// Table 12 quantity: sampler time / total epoch time.
+  [[nodiscard]] double sampler_overhead() const {
+    return core::sampler_overhead(epochs);
+  }
+  /// Fig. 4 quantity: epochs per (simulated) second.
+  [[nodiscard]] double throughput_eps() const {
+    return core::throughput_eps(epochs);
+  }
+  /// Total training time under the method's own clock (Table 5): simulated
+  /// epoch totals for partition-parallel methods, wall for minibatch.
+  [[nodiscard]] double total_train_s() const;
+
+  /// Wrap an engine-level result (field-for-field move; losses stay
+  /// bit-identical, which the parity test in tests/test_api.cpp pins).
+  [[nodiscard]] static RunReport from_train_result(core::TrainResult&& tr,
+                                                   std::string method,
+                                                   std::string dataset);
+};
+
+} // namespace bnsgcn::api

@@ -1,0 +1,167 @@
+#include "api/run.hpp"
+
+#include "common/check.hpp"
+#include "core/proxies.hpp"
+#include "partition/metis_like.hpp"
+
+namespace bnsgcn::api {
+
+Partitioning make_partition(const Csr& graph, const PartitionSpec& spec) {
+  BNSGCN_CHECK_MSG(spec.nparts >= 1, "partition spec needs nparts >= 1");
+  switch (spec.kind) {
+    case PartitionSpec::Kind::kMetis:
+      return metis_like(graph, spec.nparts);
+    case PartitionSpec::Kind::kRandom: {
+      Rng rng(spec.seed);
+      return random_partition(graph.n, spec.nparts, rng);
+    }
+    case PartitionSpec::Kind::kHash:
+      return hash_partition(graph.n, spec.nparts);
+    case PartitionSpec::Kind::kBfs: {
+      Rng rng(spec.seed);
+      return bfs_partition(graph, spec.nparts, rng);
+    }
+  }
+  BNSGCN_CHECK_MSG(false, "unknown partition kind");
+  return {};
+}
+
+namespace {
+
+RunReport finish(RunReport report, const MethodInfo& info,
+                 const Dataset& ds) {
+  if (report.method.empty()) report.method = info.name;
+  if (report.dataset.empty()) report.dataset = ds.name;
+  return report;
+}
+
+std::deque<MethodInfo>& mutable_registry() {
+  static std::deque<MethodInfo> registry = [] {
+    std::deque<MethodInfo> r;
+    r.push_back({Method::kBns, "bns", "BNS-GCN", /*needs_partition=*/true,
+                 [](const Dataset& ds, const Partitioning* part,
+                    const RunConfig& cfg) {
+                   return RunReport::from_train_result(
+                       core::BnsTrainer(ds, *part, cfg.trainer).train(),
+                       "bns", ds.name);
+                 }});
+    r.push_back({Method::kRocProxy, "roc-proxy", "ROC (swap proxy)",
+                 /*needs_partition=*/true,
+                 [](const Dataset& ds, const Partitioning* part,
+                    const RunConfig& cfg) {
+                   return RunReport::from_train_result(
+                       core::run_roc_proxy(ds, *part, cfg.trainer),
+                       "roc-proxy", ds.name);
+                 }});
+    r.push_back({Method::kCagnetProxy, "cagnet-proxy", "CAGNET proxy",
+                 /*needs_partition=*/true,
+                 [](const Dataset& ds, const Partitioning* part,
+                    const RunConfig& cfg) {
+                   return RunReport::from_train_result(
+                       core::run_cagnet_proxy(ds, *part, cfg.trainer,
+                                              cfg.cagnet_c),
+                       "cagnet-proxy", ds.name);
+                 }});
+    r.push_back({Method::kFullGraph, "full-graph", "Full-graph (1 process)",
+                 /*needs_partition=*/false,
+                 [](const Dataset& ds, const Partitioning*,
+                    const RunConfig& cfg) {
+                   return baselines::train_full_graph(ds, cfg.trainer);
+                 }});
+    r.push_back({Method::kNeighborSampling, "graphsage",
+                 "GraphSAGE (neighbor)", /*needs_partition=*/false,
+                 [](const Dataset& ds, const Partitioning*,
+                    const RunConfig& cfg) {
+                   return baselines::train_neighbor_sampling(ds, cfg.trainer,
+                                                             cfg.minibatch);
+                 }});
+    r.push_back({Method::kFastGcn, "fastgcn", "FastGCN (layer)",
+                 /*needs_partition=*/false,
+                 [](const Dataset& ds, const Partitioning*,
+                    const RunConfig& cfg) {
+                   return baselines::train_layer_sampling(
+                       ds, cfg.trainer, cfg.minibatch, /*ladies=*/false);
+                 }});
+    r.push_back({Method::kLadies, "ladies", "LADIES (layer)",
+                 /*needs_partition=*/false,
+                 [](const Dataset& ds, const Partitioning*,
+                    const RunConfig& cfg) {
+                   return baselines::train_layer_sampling(
+                       ds, cfg.trainer, cfg.minibatch, /*ladies=*/true);
+                 }});
+    r.push_back({Method::kClusterGcn, "cluster-gcn", "ClusterGCN (subgraph)",
+                 /*needs_partition=*/false,
+                 [](const Dataset& ds, const Partitioning*,
+                    const RunConfig& cfg) {
+                   return baselines::train_cluster_gcn(ds, cfg.trainer,
+                                                       cfg.minibatch);
+                 }});
+    r.push_back({Method::kGraphSaint, "graph-saint", "GraphSAINT (subgraph)",
+                 /*needs_partition=*/false,
+                 [](const Dataset& ds, const Partitioning*,
+                    const RunConfig& cfg) {
+                   return baselines::train_graph_saint(ds, cfg.trainer,
+                                                       cfg.minibatch);
+                 }});
+    return r;
+  }();
+  return registry;
+}
+
+} // namespace
+
+const std::deque<MethodInfo>& method_registry() {
+  return mutable_registry();
+}
+
+const MethodInfo& method_info(Method method) {
+  BNSGCN_CHECK_MSG(method != Method::kCustom,
+                   "kCustom resolves by name; use find_method");
+  for (const auto& info : mutable_registry())
+    if (info.method == method) return info;
+  BNSGCN_CHECK_MSG(false, "method not registered");
+  return mutable_registry().front();
+}
+
+const MethodInfo* find_method(std::string_view name) {
+  for (const auto& info : mutable_registry())
+    if (info.name == name) return &info;
+  return nullptr;
+}
+
+void register_method(MethodInfo info) {
+  BNSGCN_CHECK_MSG(!info.name.empty(), "method needs a name");
+  BNSGCN_CHECK_MSG(info.runner != nullptr, "method needs a runner");
+  BNSGCN_CHECK_MSG(find_method(info.name) == nullptr,
+                   "method already registered: " + info.name);
+  mutable_registry().push_back(std::move(info));
+}
+
+const MethodInfo& resolve_method(const RunConfig& cfg) {
+  if (cfg.method != Method::kCustom) return method_info(cfg.method);
+  const MethodInfo* info = find_method(cfg.custom_method);
+  BNSGCN_CHECK_MSG(info != nullptr,
+                   "unknown method: " + cfg.custom_method);
+  return *info;
+}
+
+RunReport run(const Dataset& ds, const Partitioning& part,
+              const RunConfig& cfg) {
+  const MethodInfo& info = resolve_method(cfg);
+  return finish(info.runner(ds, &part, cfg), info, ds);
+}
+
+RunReport run(const Dataset& ds, const RunConfig& cfg) {
+  const MethodInfo& info = resolve_method(cfg);
+  if (!info.needs_partition)
+    return finish(info.runner(ds, nullptr, cfg), info, ds);
+  const Partitioning part = make_partition(ds.graph, cfg.partition);
+  return finish(info.runner(ds, &part, cfg), info, ds);
+}
+
+RunReport run(const RunConfig& cfg) {
+  const Dataset ds = make_dataset(cfg.dataset);
+  return run(ds, cfg);
+}
+
+} // namespace bnsgcn::api

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "api/presets.hpp"
+#include "api/report.hpp"
+#include "baselines/minibatch.hpp"
+#include "core/trainer.hpp"
+#include "partition/partitioning.hpp"
+
+namespace bnsgcn::api {
+
+/// Built-in training methods: the paper's method, the partition-parallel
+/// proxies it is compared against (Fig. 4), and the five sampling-based
+/// baselines (Tables 4/5/11/12). `kCustom` selects a runtime-registered
+/// method by name (RunConfig::custom_method).
+enum class Method {
+  kBns,               // BNS-GCN (Algorithm 1); p=1 → vanilla partition par.
+  kRocProxy,          // ROC-style host-swap training (Fig. 1b proxy)
+  kCagnetProxy,       // CAGNET-style 1.5D broadcast (Fig. 1c proxy)
+  kFullGraph,         // single-process full-graph training (oracle)
+  kNeighborSampling,  // GraphSAGE (Hamilton et al. 2017)
+  kFastGcn,           // layer sampling, global pool
+  kLadies,            // layer sampling, neighbor-restricted pool
+  kClusterGcn,        // subgraph sampling via METIS clusters
+  kGraphSaint,        // subgraph sampling via degree-weighted node budget
+  kCustom,
+};
+
+/// How to partition the graph for partition-parallel methods.
+struct PartitionSpec {
+  enum class Kind { kMetis, kRandom, kHash, kBfs } kind = Kind::kMetis;
+  PartId nparts = 1;
+  std::uint64_t seed = 1;  // kRandom / kBfs only
+};
+
+/// Materialize a partitioning per the spec.
+[[nodiscard]] Partitioning make_partition(const Csr& graph,
+                                          const PartitionSpec& spec);
+
+/// Everything one training run needs: what data, how it is partitioned,
+/// which method, and the model/sampling/cost-model knobs. The single entry
+/// point for every bench, example and test.
+struct RunConfig {
+  Method method = Method::kBns;
+  std::string custom_method;  // registry name when method == kCustom
+
+  DatasetSpec dataset;        // used by run(cfg); ignored by the overloads
+                              // that take a prebuilt Dataset
+  PartitionSpec partition;    // ignored by the overload taking a Partitioning
+
+  /// Model, optimizer, sampling (rate/variant/scaling), epochs, eval
+  /// cadence, seed, interconnect cost model and the per-epoch observer.
+  core::TrainerConfig trainer;
+
+  /// Sampler-specific knobs of the minibatch baselines; ignored by the
+  /// partition-parallel methods.
+  baselines::MinibatchConfig minibatch;
+
+  /// CAGNET replication factor (kCagnetProxy only).
+  int cagnet_c = 1;
+};
+
+/// A runnable method. `runner` receives the dataset, the partitioning
+/// (nullptr for methods with needs_partition == false) and the full config.
+struct MethodInfo {
+  Method method = Method::kCustom;
+  std::string name;     // canonical id, e.g. "bns", "graph-saint"
+  std::string display;  // human label, e.g. "BNS-GCN"
+  bool needs_partition = false;
+  std::function<RunReport(const Dataset&, const Partitioning*,
+                          const RunConfig&)>
+      runner;
+};
+
+/// Built-in methods plus anything added via register_method. A deque so
+/// registration never reallocates: references returned by method_info /
+/// find_method stay valid for the process lifetime.
+[[nodiscard]] const std::deque<MethodInfo>& method_registry();
+[[nodiscard]] const MethodInfo& method_info(Method method);
+[[nodiscard]] const MethodInfo* find_method(std::string_view name);
+/// Additive extension point: new methods plug in without touching the
+/// dispatch (name must be unique; method should be kCustom).
+void register_method(MethodInfo info);
+
+/// The method resolved from `cfg` (built-in or custom).
+[[nodiscard]] const MethodInfo& resolve_method(const RunConfig& cfg);
+
+/// Run `cfg` end to end: build the dataset from cfg.dataset, partition per
+/// cfg.partition (when the method needs one), train, and return the
+/// unified report.
+[[nodiscard]] RunReport run(const RunConfig& cfg);
+
+/// Same, over a prebuilt dataset (partition still built per cfg.partition).
+[[nodiscard]] RunReport run(const Dataset& ds, const RunConfig& cfg);
+
+/// Same, over a prebuilt dataset and partitioning — the hot loop form for
+/// benches that sweep sampling rates over one partitioning.
+[[nodiscard]] RunReport run(const Dataset& ds, const Partitioning& part,
+                            const RunConfig& cfg);
+
+} // namespace bnsgcn::api

@@ -1,0 +1,123 @@
+#include "api/serialize.hpp"
+
+namespace bnsgcn::api {
+
+json::Value to_json(const core::EpochBreakdown& e) {
+  json::Value v = json::Value::object();
+  v.set("compute_s", e.compute_s);
+  v.set("comm_s", e.comm_s);
+  v.set("reduce_s", e.reduce_s);
+  v.set("sample_s", e.sample_s);
+  v.set("swap_s", e.swap_s);
+  v.set("feature_bytes", e.feature_bytes);
+  v.set("grad_bytes", e.grad_bytes);
+  v.set("control_bytes", e.control_bytes);
+  return v;
+}
+
+core::EpochBreakdown breakdown_from_json(const json::Value& v) {
+  core::EpochBreakdown e;
+  e.compute_s = v.at("compute_s").as_double();
+  e.comm_s = v.at("comm_s").as_double();
+  e.reduce_s = v.at("reduce_s").as_double();
+  e.sample_s = v.at("sample_s").as_double();
+  e.swap_s = v.at("swap_s").as_double();
+  e.feature_bytes = v.at("feature_bytes").as_int64();
+  e.grad_bytes = v.at("grad_bytes").as_int64();
+  e.control_bytes = v.at("control_bytes").as_int64();
+  return e;
+}
+
+json::Value to_json(const core::EvalPoint& p) {
+  json::Value v = json::Value::object();
+  v.set("epoch", p.epoch);
+  v.set("val", p.val);
+  v.set("test", p.test);
+  v.set("train_loss", p.train_loss);
+  return v;
+}
+
+core::EvalPoint eval_point_from_json(const json::Value& v) {
+  core::EvalPoint p;
+  p.epoch = static_cast<int>(v.at("epoch").as_int64());
+  p.val = v.at("val").as_double();
+  p.test = v.at("test").as_double();
+  p.train_loss = v.at("train_loss").as_double();
+  return p;
+}
+
+json::Value to_json(const core::MemoryReport& m) {
+  json::Value v = json::Value::object();
+  json::Value model = json::Value::array();
+  for (const double b : m.model_bytes) model.push_back(b);
+  json::Value full = json::Value::array();
+  for (const std::int64_t b : m.full_bytes) full.push_back(b);
+  v.set("model_bytes", std::move(model));
+  v.set("full_bytes", std::move(full));
+  return v;
+}
+
+core::MemoryReport memory_from_json(const json::Value& v) {
+  core::MemoryReport m;
+  for (const auto& b : v.at("model_bytes").items())
+    m.model_bytes.push_back(b.as_double());
+  for (const auto& b : v.at("full_bytes").items())
+    m.full_bytes.push_back(b.as_int64());
+  return m;
+}
+
+json::Value to_json(const RunReport& r) {
+  json::Value v = json::Value::object();
+  v.set("method", r.method);
+  v.set("dataset", r.dataset);
+  json::Value loss = json::Value::array();
+  for (const double l : r.train_loss) loss.push_back(l);
+  v.set("train_loss", std::move(loss));
+  json::Value curve = json::Value::array();
+  for (const auto& p : r.curve) curve.push_back(to_json(p));
+  v.set("curve", std::move(curve));
+  v.set("final_val", r.final_val);
+  v.set("final_test", r.final_test);
+  json::Value epochs = json::Value::array();
+  for (const auto& e : r.epochs) epochs.push_back(to_json(e));
+  v.set("epochs", std::move(epochs));
+  v.set("memory", to_json(r.memory));
+  v.set("wall_time_s", r.wall_time_s);
+  // Derived headline numbers, for consumers that only want the summary.
+  json::Value derived = json::Value::object();
+  derived.set("throughput_eps", r.throughput_eps());
+  derived.set("sampler_overhead", r.sampler_overhead());
+  derived.set("epoch_time_s", r.epoch_time_s());
+  derived.set("total_train_s", r.total_train_s());
+  v.set("derived", std::move(derived));
+  return v;
+}
+
+RunReport run_report_from_json(const json::Value& v) {
+  RunReport r;
+  r.method = v.at("method").as_string();
+  r.dataset = v.at("dataset").as_string();
+  for (const auto& l : v.at("train_loss").items())
+    r.train_loss.push_back(l.as_double());
+  for (const auto& p : v.at("curve").items())
+    r.curve.push_back(eval_point_from_json(p));
+  r.final_val = v.at("final_val").as_double();
+  r.final_test = v.at("final_test").as_double();
+  for (const auto& e : v.at("epochs").items())
+    r.epochs.push_back(breakdown_from_json(e));
+  r.memory = memory_from_json(v.at("memory"));
+  r.wall_time_s = v.at("wall_time_s").as_double();
+  // "derived" is intentionally not read back: it is recomputed from the
+  // stored fields by the accessors.
+  return r;
+}
+
+std::string to_json_string(const RunReport& r, int indent) {
+  return to_json(r).dump(indent);
+}
+
+RunReport run_report_from_json_string(std::string_view text) {
+  return run_report_from_json(json::Value::parse(text));
+}
+
+} // namespace bnsgcn::api

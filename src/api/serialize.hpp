@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "api/report.hpp"
+#include "common/json.hpp"
+
+namespace bnsgcn::api {
+
+/// Machine-readable form of a run. Field-complete: from_json(to_json(r))
+/// reproduces every stored field exactly (doubles are emitted with
+/// round-trip precision), which tests/test_report_json.cpp pins.
+[[nodiscard]] json::Value to_json(const core::EpochBreakdown& e);
+[[nodiscard]] json::Value to_json(const core::EvalPoint& p);
+[[nodiscard]] json::Value to_json(const core::MemoryReport& m);
+[[nodiscard]] json::Value to_json(const RunReport& r);
+
+[[nodiscard]] core::EpochBreakdown breakdown_from_json(const json::Value& v);
+[[nodiscard]] core::EvalPoint eval_point_from_json(const json::Value& v);
+[[nodiscard]] core::MemoryReport memory_from_json(const json::Value& v);
+[[nodiscard]] RunReport run_report_from_json(const json::Value& v);
+
+/// String convenience wrappers.
+[[nodiscard]] std::string to_json_string(const RunReport& r, int indent = 2);
+[[nodiscard]] RunReport run_report_from_json_string(std::string_view text);
+
+} // namespace bnsgcn::api

@@ -44,19 +44,20 @@ Batch subgraph_batch(const Dataset& ds, std::vector<NodeId> nodes,
 
 } // namespace
 
-BaselineResult train_cluster_gcn(const Dataset& ds,
-                                 const BaselineConfig& cfg) {
+api::RunReport train_cluster_gcn(const Dataset& ds,
+                                 const core::TrainerConfig& cfg,
+                                 const MinibatchConfig& mb) {
   // One-time clustering (amortized, as in the original method).
   MetisLikeOptions mopts;
   mopts.seed = cfg.seed;
   const Partitioning clusters =
-      metis_like(ds.graph, cfg.num_clusters, mopts);
+      metis_like(ds.graph, mb.num_clusters, mopts);
   const auto members = clusters.members();
 
   const auto next_batch = [&](Rng& rng) {
     // Random union of clusters (stochastic multiple partitions scheme).
     std::vector<NodeId> picked = rng.sample_without_replacement(
-        cfg.num_clusters, std::min(cfg.clusters_per_batch, cfg.num_clusters));
+        mb.num_clusters, std::min(mb.clusters_per_batch, mb.num_clusters));
     std::vector<NodeId> nodes;
     for (const NodeId c : picked) {
       const auto& mem = members[static_cast<std::size_t>(c)];
@@ -65,7 +66,9 @@ BaselineResult train_cluster_gcn(const Dataset& ds,
     return subgraph_batch(ds, std::move(nodes), cfg.num_layers);
   };
 
-  return run_minibatch_training(ds, cfg, next_batch);
+  auto report = run_minibatch_training(ds, cfg, mb, next_batch);
+  report.method = "cluster-gcn";
+  return report;
 }
 
 /// Shared by graph_saint.cpp.

@@ -5,7 +5,7 @@
 
 namespace bnsgcn::baselines {
 
-BaselineResult train_full_graph(const Dataset& ds,
+api::RunReport train_full_graph(const Dataset& ds,
                                 const core::TrainerConfig& cfg) {
   const FullGraphContext ctx = make_full_context(ds.graph);
   auto layers = core::build_model(cfg, ds.feat_dim(), ds.num_classes,
@@ -23,9 +23,12 @@ BaselineResult train_full_graph(const Dataset& ds,
                     static_cast<float>(ds.num_classes))
           : 1.0f / static_cast<float>(ds.train_nodes.size());
 
-  BaselineResult result;
+  api::RunReport result;
+  result.method = "full-graph";
+  result.dataset = ds.name;
   Stopwatch wall;
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    Stopwatch epoch_wall;
     // Forward over the whole graph (the m=1 special case of Algorithm 1).
     std::vector<Matrix> h(layers.size() + 1);
     h[0] = ds.features;
@@ -51,8 +54,14 @@ BaselineResult train_full_graph(const Dataset& ds,
     }
     adam.step();
 
+    core::EpochBreakdown eb;
+    eb.compute_s = epoch_wall.elapsed_s();
+    result.epochs.push_back(eb);
+
     const bool last = (epoch == cfg.epochs - 1);
+    bool evaluated = false;
     if (last || (cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0)) {
+      evaluated = true;
       const auto [val, test] = evaluate_full(ds, ctx, layers);
       result.curve.push_back(
           {.epoch = epoch + 1, .val = val, .test = test, .train_loss = loss});
@@ -61,9 +70,16 @@ BaselineResult train_full_graph(const Dataset& ds,
         result.final_test = test;
       }
     }
+    if (cfg.observer) {
+      core::EpochSnapshot snap;
+      snap.epoch = epoch + 1;
+      snap.train_loss = loss;
+      snap.breakdown = eb;
+      snap.eval = evaluated ? &result.curve.back() : nullptr;
+      cfg.observer(snap);
+    }
   }
   result.wall_time_s = wall.elapsed_s();
-  result.epoch_time_s = result.wall_time_s / std::max(1, cfg.epochs);
   return result;
 }
 

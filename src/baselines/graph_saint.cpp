@@ -7,8 +7,9 @@ namespace bnsgcn::baselines {
 Batch make_subgraph_batch(const Dataset& ds, std::vector<NodeId> nodes,
                           int num_layers);
 
-BaselineResult train_graph_saint(const Dataset& ds,
-                                 const BaselineConfig& cfg) {
+api::RunReport train_graph_saint(const Dataset& ds,
+                                 const core::TrainerConfig& cfg,
+                                 const MinibatchConfig& mb) {
   // GraphSAINT node sampler: inclusion probability proportional to degree.
   std::vector<double> weights(static_cast<std::size_t>(ds.num_nodes()));
   for (NodeId v = 0; v < ds.num_nodes(); ++v)
@@ -19,14 +20,14 @@ BaselineResult train_graph_saint(const Dataset& ds,
   const auto next_batch = [&](Rng& rng) {
     std::vector<char> taken(static_cast<std::size_t>(ds.num_nodes()), 0);
     std::vector<NodeId> nodes;
-    nodes.reserve(static_cast<std::size_t>(cfg.saint_budget));
+    nodes.reserve(static_cast<std::size_t>(mb.saint_budget));
     // Draw with replacement, keep distinct nodes, stop at the budget or
     // after a bounded number of draws (heavy-tailed graphs resample hubs).
     const std::int64_t max_draws =
-        static_cast<std::int64_t>(cfg.saint_budget) * 4;
+        static_cast<std::int64_t>(mb.saint_budget) * 4;
     for (std::int64_t t = 0;
          t < max_draws &&
-         nodes.size() < static_cast<std::size_t>(cfg.saint_budget);
+         nodes.size() < static_cast<std::size_t>(mb.saint_budget);
          ++t) {
       const NodeId v = sampler.sample(rng);
       if (!taken[static_cast<std::size_t>(v)]) {
@@ -37,7 +38,9 @@ BaselineResult train_graph_saint(const Dataset& ds,
     return make_subgraph_batch(ds, std::move(nodes), cfg.num_layers);
   };
 
-  return run_minibatch_training(ds, cfg, next_batch);
+  auto report = run_minibatch_training(ds, cfg, mb, next_batch);
+  report.method = "graph-saint";
+  return report;
 }
 
 } // namespace bnsgcn::baselines

@@ -20,13 +20,14 @@ std::vector<NodeId> draw_seeds(const Dataset& ds, NodeId batch_size,
 
 } // namespace
 
-BaselineResult train_layer_sampling(const Dataset& ds,
-                                    const BaselineConfig& cfg, bool ladies) {
+api::RunReport train_layer_sampling(const Dataset& ds,
+                                    const core::TrainerConfig& cfg,
+                                    const MinibatchConfig& mb, bool ladies) {
   const Csr& g = ds.graph;
 
   const auto next_batch = [&, ladies](Rng& rng) {
     Batch batch;
-    batch.output_nodes = draw_seeds(ds, cfg.batch_size, rng);
+    batch.output_nodes = draw_seeds(ds, mb.batch_size, rng);
     batch.adjs.resize(static_cast<std::size_t>(cfg.num_layers));
     batch.inv_deg.resize(static_cast<std::size_t>(cfg.num_layers));
 
@@ -50,7 +51,7 @@ BaselineResult train_layer_sampling(const Dataset& ds,
       const double pi =
           pool.empty()
               ? 1.0
-              : std::min(1.0, static_cast<double>(cfg.layer_budget) /
+              : std::min(1.0, static_cast<double>(mb.layer_budget) /
                                   static_cast<double>(pool.size()));
       std::unordered_set<NodeId> kept;
       for (const NodeId u : pool)
@@ -92,7 +93,9 @@ BaselineResult train_layer_sampling(const Dataset& ds,
     return batch;
   };
 
-  return run_minibatch_training(ds, cfg, next_batch);
+  auto report = run_minibatch_training(ds, cfg, mb, next_batch);
+  report.method = ladies ? "ladies" : "fastgcn";
+  return report;
 }
 
 } // namespace bnsgcn::baselines

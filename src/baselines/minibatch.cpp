@@ -38,34 +38,30 @@ std::pair<double, double> evaluate_full(
           tt > 0 ? static_cast<double>(tc) / static_cast<double>(tt) : 0.0};
 }
 
-BaselineResult run_minibatch_training(
-    const Dataset& ds, const BaselineConfig& cfg,
-    const std::function<Batch(Rng&)>& next_batch) {
-  // Mirror the model definition used everywhere else.
-  core::TrainerConfig mcfg;
-  mcfg.num_layers = cfg.num_layers;
-  mcfg.hidden = cfg.hidden;
-  mcfg.dropout = cfg.dropout;
-  mcfg.lr = cfg.lr;
-  mcfg.seed = cfg.seed;
-  auto layers = core::build_model(mcfg, ds.feat_dim(), ds.num_classes, 0);
+api::RunReport run_minibatch_training(
+    const Dataset& ds, const core::TrainerConfig& cfg,
+    const MinibatchConfig& mb, const std::function<Batch(Rng&)>& next_batch) {
+  // The exact model definition every other method uses.
+  auto layers = core::build_model(cfg, ds.feat_dim(), ds.num_classes, 0);
   std::vector<Matrix*> params, grads;
   for (auto& l : layers) {
     for (Matrix* p : l->params()) params.push_back(p);
     for (Matrix* g : l->grads()) grads.push_back(g);
   }
-  nn::Adam adam(std::move(params), std::move(grads), {.lr = cfg.lr});
+  nn::Adam adam(std::move(params), std::move(grads), {.lr = mb.lr});
   const FullGraphContext full_ctx = make_full_context(ds.graph);
 
   Rng rng(cfg.seed ^ 0xBA5E1155ULL);
-  BaselineResult result;
-  Accumulator sample_acc;
+  api::RunReport result;
+  result.dataset = ds.name;
   Stopwatch wall;
 
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    Stopwatch epoch_wall;
+    Accumulator sample_acc;
     double epoch_loss = 0.0;
     int counted = 0;
-    for (int b = 0; b < cfg.batches_per_epoch; ++b) {
+    for (int b = 0; b < mb.batches_per_epoch; ++b) {
       Batch batch;
       {
         ScopedTimer t(sample_acc);
@@ -113,8 +109,17 @@ BaselineResult run_minibatch_training(
     }
     result.train_loss.push_back(counted > 0 ? epoch_loss / counted : 0.0);
 
+    // Single-process wall time split into sampler vs everything else; the
+    // comm fields stay zero (no fabric involved).
+    core::EpochBreakdown eb;
+    eb.sample_s = sample_acc.seconds();
+    eb.compute_s = std::max(0.0, epoch_wall.elapsed_s() - eb.sample_s);
+    result.epochs.push_back(eb);
+
     const bool last = (epoch == cfg.epochs - 1);
+    bool evaluated = false;
     if (last || (cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0)) {
+      evaluated = true;
       const auto [val, test] = evaluate_full(ds, full_ctx, layers);
       result.curve.push_back({.epoch = epoch + 1, .val = val, .test = test,
                               .train_loss = result.train_loss.back()});
@@ -123,10 +128,16 @@ BaselineResult run_minibatch_training(
         result.final_test = test;
       }
     }
+    if (cfg.observer) {
+      core::EpochSnapshot snap;
+      snap.epoch = epoch + 1;
+      snap.train_loss = result.train_loss.back();
+      snap.breakdown = eb;
+      snap.eval = evaluated ? &result.curve.back() : nullptr;
+      cfg.observer(snap);
+    }
   }
   result.wall_time_s = wall.elapsed_s();
-  result.epoch_time_s = result.wall_time_s / std::max(1, cfg.epochs);
-  result.sample_time_s = sample_acc.seconds();
   return result;
 }
 

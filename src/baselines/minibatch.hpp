@@ -4,21 +4,20 @@
 #include <memory>
 #include <vector>
 
+#include "api/report.hpp"
 #include "core/trainer.hpp"
 #include "graph/dataset.hpp"
 #include "nn/layer.hpp"
 
 namespace bnsgcn::baselines {
 
-/// Shared knobs of the sampling-based baselines (Section 2 families).
-struct BaselineConfig {
-  int num_layers = 2;
-  std::int64_t hidden = 64;
-  float dropout = 0.0f;
-  float lr = 0.01f;
-  int epochs = 50;
-  int eval_every = 0;
-  std::uint64_t seed = 1;
+/// Sampler-specific knobs of the minibatch baselines (Section 2 families).
+/// The shared model/protocol knobs (layers, hidden width, dropout, epochs,
+/// eval cadence, seed) come from core::TrainerConfig so there is a single
+/// source of truth; `lr` stays here because the minibatch methods use their
+/// own learning-rate scale (per-batch Adam steps).
+struct MinibatchConfig {
+  float lr = 0.01f;            // per-batch Adam learning rate
 
   NodeId batch_size = 1024;    // seed nodes per minibatch
   int batches_per_epoch = 8;   // minibatch steps per epoch
@@ -28,20 +27,6 @@ struct BaselineConfig {
   int num_clusters = 32;       // ClusterGCN METIS clusters
   int clusters_per_batch = 2;
   NodeId saint_budget = 2000;  // GraphSAINT node budget per subgraph
-};
-
-struct BaselineResult {
-  std::vector<double> train_loss; // per epoch (mean over batches)
-  std::vector<core::EvalPoint> curve;
-  double final_val = 0.0;
-  double final_test = 0.0;
-  double wall_time_s = 0.0;   // Table 5: total train time
-  double epoch_time_s = 0.0;  // Table 11: mean per-epoch time
-  double sample_time_s = 0.0; // Table 12: total time in the sampler
-
-  [[nodiscard]] double sampler_overhead() const {
-    return wall_time_s > 0.0 ? sample_time_s / wall_time_s : 0.0;
-  }
 };
 
 /// Whole-graph adjacency in Layer form (n_dst == n_src == n, identity node
@@ -73,33 +58,38 @@ struct Batch {
 
 /// Shared minibatch training loop: draws `batches_per_epoch` batches per
 /// epoch from `next_batch`, trains with Adam, and evaluates by full-graph
-/// inference (the standard protocol for sampling-based methods).
-[[nodiscard]] BaselineResult run_minibatch_training(
-    const Dataset& ds, const BaselineConfig& cfg,
-    const std::function<Batch(Rng&)>& next_batch);
+/// inference (the standard protocol for sampling-based methods). The
+/// report's per-epoch breakdown splits measured wall time into compute_s
+/// and sample_s; `cfg.observer` streams each finished epoch.
+[[nodiscard]] api::RunReport run_minibatch_training(
+    const Dataset& ds, const core::TrainerConfig& cfg,
+    const MinibatchConfig& mb, const std::function<Batch(Rng&)>& next_batch);
 
 /// Single-process full-graph training (no partitioning, no sampling): the
 /// test oracle for BnsTrainer(p=1) and the "full-graph accuracy" reference.
-[[nodiscard]] BaselineResult train_full_graph(const Dataset& ds,
+[[nodiscard]] api::RunReport train_full_graph(const Dataset& ds,
                                               const core::TrainerConfig& cfg);
 
 /// GraphSAGE neighbor sampling (Hamilton et al. 2017).
-[[nodiscard]] BaselineResult train_neighbor_sampling(
-    const Dataset& ds, const BaselineConfig& cfg);
+[[nodiscard]] api::RunReport train_neighbor_sampling(
+    const Dataset& ds, const core::TrainerConfig& cfg,
+    const MinibatchConfig& mb);
 
 /// Layer sampling: FastGCN (global candidate pool) or LADIES (pool
 /// restricted to the current layer's neighbor set), importance-weighted.
-[[nodiscard]] BaselineResult train_layer_sampling(const Dataset& ds,
-                                                  const BaselineConfig& cfg,
-                                                  bool ladies);
+[[nodiscard]] api::RunReport train_layer_sampling(
+    const Dataset& ds, const core::TrainerConfig& cfg,
+    const MinibatchConfig& mb, bool ladies);
 
 /// ClusterGCN (Chiang et al. 2019): METIS clusters, random cluster unions.
-[[nodiscard]] BaselineResult train_cluster_gcn(const Dataset& ds,
-                                               const BaselineConfig& cfg);
+[[nodiscard]] api::RunReport train_cluster_gcn(const Dataset& ds,
+                                               const core::TrainerConfig& cfg,
+                                               const MinibatchConfig& mb);
 
 /// GraphSAINT node sampler (Zeng et al. 2020), simplified: degree-weighted
 /// node budget, induced subgraph, loss on contained train nodes.
-[[nodiscard]] BaselineResult train_graph_saint(const Dataset& ds,
-                                               const BaselineConfig& cfg);
+[[nodiscard]] api::RunReport train_graph_saint(const Dataset& ds,
+                                               const core::TrainerConfig& cfg,
+                                               const MinibatchConfig& mb);
 
 } // namespace bnsgcn::baselines

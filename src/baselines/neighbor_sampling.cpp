@@ -20,13 +20,14 @@ std::vector<NodeId> draw_seeds(const Dataset& ds, NodeId batch_size,
 
 } // namespace
 
-BaselineResult train_neighbor_sampling(const Dataset& ds,
-                                       const BaselineConfig& cfg) {
+api::RunReport train_neighbor_sampling(const Dataset& ds,
+                                       const core::TrainerConfig& cfg,
+                                       const MinibatchConfig& mb) {
   const Csr& g = ds.graph;
 
   const auto next_batch = [&](Rng& rng) {
     Batch batch;
-    batch.output_nodes = draw_seeds(ds, cfg.batch_size, rng);
+    batch.output_nodes = draw_seeds(ds, mb.batch_size, rng);
     batch.adjs.resize(static_cast<std::size_t>(cfg.num_layers));
     batch.inv_deg.resize(static_cast<std::size_t>(cfg.num_layers));
 
@@ -48,7 +49,7 @@ BaselineResult train_neighbor_sampling(const Dataset& ds,
       inv.assign(dsts.size(), 0.0f);
       for (std::size_t i = 0; i < dsts.size(); ++i) {
         const auto nb = g.neighbors(dsts[i]);
-        const int k = nb.empty() ? 0 : cfg.fanout;
+        const int k = nb.empty() ? 0 : mb.fanout;
         for (int t = 0; t < k; ++t) {
           const NodeId u =
               nb[static_cast<std::size_t>(rng.next_below(nb.size()))];
@@ -71,7 +72,9 @@ BaselineResult train_neighbor_sampling(const Dataset& ds,
     return batch;
   };
 
-  return run_minibatch_training(ds, cfg, next_batch);
+  auto report = run_minibatch_training(ds, cfg, mb, next_batch);
+  report.method = "graphsage";
+  return report;
 }
 
 } // namespace bnsgcn::baselines

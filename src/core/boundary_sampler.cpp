@@ -5,16 +5,34 @@
 namespace bnsgcn::core {
 
 BoundarySampler::BoundarySampler(const LocalGraph& lg, const Options& opts)
-    : lg_(lg), opts_(opts), rng_(opts.seed) {
+    : BoundarySampler(
+          lg,
+          make_planner(opts.variant,
+                       {.rate = opts.rate,
+                        .unbiased_scaling = opts.unbiased_scaling}),
+          opts) {
   BNSGCN_CHECK(opts.rate >= 0.0f && opts.rate <= 1.0f);
 }
 
-EpochPlan BoundarySampler::plan_from_kept(
-    const std::vector<char>& halo_kept, const std::vector<char>* edge_kept) {
+BoundarySampler::BoundarySampler(const LocalGraph& lg,
+                                 std::unique_ptr<EpochPlanner> planner,
+                                 const Options& opts)
+    : lg_(lg), opts_(opts), planner_(std::move(planner)), rng_(opts.seed) {
+  BNSGCN_CHECK(planner_ != nullptr);
+}
+
+EpochPlan BoundarySampler::plan_from_draw(const EpochDraw& draw) {
   const NodeId n_in = lg_.n_inner();
   const NodeId n_halo = lg_.n_halo();
+  const std::vector<char>& halo_kept = draw.halo_kept;
+  const std::vector<char>* edge_kept =
+      draw.edge_kept ? &*draw.edge_kept : nullptr;
+  BNSGCN_CHECK(halo_kept.size() == static_cast<std::size_t>(n_halo));
+  BNSGCN_CHECK(edge_kept == nullptr ||
+               edge_kept->size() == lg_.adj.nbrs.size());
 
   EpochPlan plan;
+  plan.halo_scale = draw.halo_scale;
   // Compact halo ids: kept halo nodes keep their relative order.
   std::vector<NodeId> compact(static_cast<std::size_t>(n_halo), -1);
   NodeId next = 0;
@@ -26,12 +44,8 @@ EpochPlan BoundarySampler::plan_from_kept(
   }
   plan.n_kept_halo = next;
 
-  // Compacted adjacency. Edge scaling (1/q) applies only to the edge
-  // variants; BNS scales whole received feature rows instead.
-  const bool edge_scaled =
-      edge_kept != nullptr && opts_.unbiased_scaling && opts_.rate > 0.0f;
-  const float q_inv = edge_scaled ? 1.0f / opts_.rate : 1.0f;
-
+  // Compacted adjacency. Edge scaling (1/q) applies only to strategies
+  // that drop arcs; BNS scales whole received feature rows instead.
   nn::BipartiteCsr& adj = plan.adj;
   adj.n_dst = n_in;
   adj.n_src = n_in + plan.n_kept_halo;
@@ -50,17 +64,12 @@ EpochPlan BoundarySampler::plan_from_kept(
       if (edge_kept != nullptr && !(*edge_kept)[e]) continue; // dropped edge
       if (u < n_in) {
         adj.nbrs.push_back(u);
-        if (want_scale_vec)
-          adj.edge_scale.push_back(
-              (edge_kept != nullptr &&
-               opts_.variant == SamplingVariant::kDropEdge)
-                  ? q_inv
-                  : 1.0f);
+        if (want_scale_vec) adj.edge_scale.push_back(draw.inner_edge_scale);
       } else {
         const NodeId slot = compact[static_cast<std::size_t>(u - n_in)];
         if (slot < 0) continue; // dropped halo node
         adj.nbrs.push_back(n_in + slot);
-        if (want_scale_vec) adj.edge_scale.push_back(q_inv);
+        if (want_scale_vec) adj.edge_scale.push_back(draw.halo_edge_scale);
       }
     }
     adj.offsets[static_cast<std::size_t>(v) + 1] =
@@ -84,59 +93,8 @@ EpochPlan BoundarySampler::plan_from_kept(
 }
 
 EpochPlan BoundarySampler::sample_epoch(comm::Endpoint& ep, int tag) {
-  const NodeId n_halo = lg_.n_halo();
-  std::vector<char> halo_kept(static_cast<std::size_t>(n_halo), 1);
-  std::vector<char> edge_kept;
-  const std::vector<char>* edge_kept_ptr = nullptr;
-
-  switch (opts_.variant) {
-    case SamplingVariant::kBns: {
-      // Algorithm 1 line 4: keep each boundary node with probability p.
-      for (NodeId h = 0; h < n_halo; ++h)
-        halo_kept[static_cast<std::size_t>(h)] =
-            rng_.next_bool(opts_.rate) ? 1 : 0;
-      break;
-    }
-    case SamplingVariant::kBoundaryEdge: {
-      // Keep each *boundary* edge with probability q; a halo node survives
-      // iff at least one incident edge survives (Section 4.3).
-      edge_kept.assign(lg_.adj.nbrs.size(), 1);
-      std::fill(halo_kept.begin(), halo_kept.end(), 0);
-      for (std::size_t e = 0; e < lg_.adj.nbrs.size(); ++e) {
-        const NodeId u = lg_.adj.nbrs[e];
-        if (u < lg_.n_inner()) continue; // inner edges untouched
-        if (rng_.next_bool(opts_.rate)) {
-          halo_kept[static_cast<std::size_t>(u - lg_.n_inner())] = 1;
-        } else {
-          edge_kept[e] = 0;
-        }
-      }
-      edge_kept_ptr = &edge_kept;
-      break;
-    }
-    case SamplingVariant::kDropEdge: {
-      // Keep every edge (inner ones too) with probability q.
-      edge_kept.assign(lg_.adj.nbrs.size(), 1);
-      std::fill(halo_kept.begin(), halo_kept.end(), 0);
-      for (std::size_t e = 0; e < lg_.adj.nbrs.size(); ++e) {
-        if (!rng_.next_bool(opts_.rate)) {
-          edge_kept[e] = 0;
-          continue;
-        }
-        const NodeId u = lg_.adj.nbrs[e];
-        if (u >= lg_.n_inner())
-          halo_kept[static_cast<std::size_t>(u - lg_.n_inner())] = 1;
-      }
-      edge_kept_ptr = &edge_kept;
-      break;
-    }
-  }
-
-  EpochPlan plan = plan_from_kept(halo_kept, edge_kept_ptr);
-  plan.halo_scale = (opts_.variant == SamplingVariant::kBns &&
-                     opts_.unbiased_scaling && opts_.rate > 0.0f)
-                        ? 1.0f / opts_.rate
-                        : 1.0f;
+  const EpochDraw draw = planner_->draw(lg_, rng_);
+  EpochPlan plan = plan_from_draw(draw);
 
   // Algorithm 1 lines 6-7: tell each owner which of its rows we kept.
   // Both sides order the structural halo list identically (sorted by global
@@ -147,7 +105,7 @@ EpochPlan BoundarySampler::sample_epoch(comm::Endpoint& ep, int tag) {
     std::vector<NodeId> kept_positions;
     kept_positions.reserve(structural.size());
     for (std::size_t t = 0; t < structural.size(); ++t) {
-      if (halo_kept[static_cast<std::size_t>(structural[t])])
+      if (draw.halo_kept[static_cast<std::size_t>(structural[t])])
         kept_positions.push_back(static_cast<NodeId>(t));
     }
     ep.send_ids(j, tag, std::move(kept_positions),
@@ -169,10 +127,9 @@ EpochPlan BoundarySampler::sample_epoch(comm::Endpoint& ep, int tag) {
 }
 
 EpochPlan BoundarySampler::empty_plan() {
-  const std::vector<char> none(static_cast<std::size_t>(lg_.n_halo()), 0);
-  EpochPlan plan = plan_from_kept(none, nullptr);
-  plan.halo_scale = 1.0f;
-  return plan;
+  EpochDraw none;
+  none.halo_kept.assign(static_cast<std::size_t>(lg_.n_halo()), 0);
+  return plan_from_draw(none);
 }
 
 EpochPlan BoundarySampler::full_plan() const {

@@ -1,16 +1,12 @@
 #pragma once
 
+#include <memory>
+
 #include "comm/fabric.hpp"
+#include "core/epoch_planner.hpp"
 #include "core/local_graph.hpp"
 
 namespace bnsgcn::core {
-
-/// Which random subgraph is drawn each epoch (Section 3.2 / Section 4.3).
-enum class SamplingVariant {
-  kBns,          // the paper's method: drop boundary *nodes* w.p. 1-p
-  kBoundaryEdge, // BES ablation: drop boundary *edges* w.p. 1-q (Table 9)
-  kDropEdge,     // DropEdge ablation: drop *any* edge w.p. 1-q (Table 9)
-};
 
 /// One epoch's sampled exchange plan (Algorithm 1 lines 4-7 materialized):
 /// the compacted local adjacency plus, per peer, which inner rows to send
@@ -29,9 +25,12 @@ struct EpochPlan {
   EdgeId dropped_edges = 0;
 };
 
-/// Per-rank boundary sampler. `sample_epoch` is a collective: every rank
-/// must call it in the same epoch order because the kept-index lists are
-/// exchanged through the fabric (Algorithm 1 line 6).
+/// Per-rank boundary sampler. The per-epoch random draw is delegated to a
+/// pluggable EpochPlanner strategy; this class owns what every strategy
+/// shares — CSR compaction and the cross-rank index negotiation.
+/// `sample_epoch` is a collective: every rank must call it in the same
+/// epoch order because the kept-index lists are exchanged through the
+/// fabric (Algorithm 1 line 6).
 class BoundarySampler {
  public:
   struct Options {
@@ -41,7 +40,14 @@ class BoundarySampler {
     std::uint64_t seed = 1;      // split per rank by the caller
   };
 
+  /// Built-in strategies, selected by `opts.variant`.
   BoundarySampler(const LocalGraph& lg, const Options& opts);
+
+  /// Custom strategy injection: any EpochPlanner, including ones defined
+  /// outside this library. `opts.variant`/`rate`/`unbiased_scaling` are
+  /// ignored (the planner owns them); `opts.seed` still seeds the draw.
+  BoundarySampler(const LocalGraph& lg, std::unique_ptr<EpochPlanner> planner,
+                  const Options& opts);
 
   /// Draw this epoch's plan and negotiate send/recv lists with all peers.
   /// `tag` must be identical across ranks for the same epoch and unique
@@ -57,13 +63,14 @@ class BoundarySampler {
   [[nodiscard]] EpochPlan empty_plan();
 
   [[nodiscard]] const Options& options() const { return opts_; }
+  [[nodiscard]] const EpochPlanner& planner() const { return *planner_; }
 
  private:
-  [[nodiscard]] EpochPlan plan_from_kept(const std::vector<char>& halo_kept,
-                                         const std::vector<char>* edge_kept);
+  [[nodiscard]] EpochPlan plan_from_draw(const EpochDraw& draw);
 
   const LocalGraph& lg_;
   Options opts_;
+  std::unique_ptr<EpochPlanner> planner_;
   Rng rng_;
 };
 

@@ -1,0 +1,79 @@
+#include "core/epoch_planner.hpp"
+
+#include <algorithm>
+
+namespace bnsgcn::core {
+
+namespace {
+
+float inv_rate_or_one(const EpochPlanner::Options& opts) {
+  return (opts.unbiased_scaling && opts.rate > 0.0f) ? 1.0f / opts.rate
+                                                     : 1.0f;
+}
+
+} // namespace
+
+EpochDraw BnsPlanner::draw(const LocalGraph& lg, Rng& rng) const {
+  const NodeId n_halo = lg.n_halo();
+  EpochDraw d;
+  d.halo_kept.resize(static_cast<std::size_t>(n_halo));
+  // Algorithm 1 line 4: keep each boundary node with probability p.
+  for (NodeId h = 0; h < n_halo; ++h)
+    d.halo_kept[static_cast<std::size_t>(h)] =
+        rng.next_bool(opts_.rate) ? 1 : 0;
+  d.halo_scale = inv_rate_or_one(opts_);
+  return d;
+}
+
+EpochDraw BoundaryEdgePlanner::draw(const LocalGraph& lg, Rng& rng) const {
+  EpochDraw d;
+  d.halo_kept.assign(static_cast<std::size_t>(lg.n_halo()), 0);
+  d.edge_kept.emplace(lg.adj.nbrs.size(), 1);
+  // Keep each *boundary* arc with probability q; a halo node survives iff
+  // at least one incident arc survives (Section 4.3).
+  for (std::size_t e = 0; e < lg.adj.nbrs.size(); ++e) {
+    const NodeId u = lg.adj.nbrs[e];
+    if (u < lg.n_inner()) continue; // inner arcs untouched
+    if (rng.next_bool(opts_.rate)) {
+      d.halo_kept[static_cast<std::size_t>(u - lg.n_inner())] = 1;
+    } else {
+      (*d.edge_kept)[e] = 0;
+    }
+  }
+  d.halo_edge_scale = inv_rate_or_one(opts_);
+  return d;
+}
+
+EpochDraw DropEdgePlanner::draw(const LocalGraph& lg, Rng& rng) const {
+  EpochDraw d;
+  d.halo_kept.assign(static_cast<std::size_t>(lg.n_halo()), 0);
+  d.edge_kept.emplace(lg.adj.nbrs.size(), 1);
+  for (std::size_t e = 0; e < lg.adj.nbrs.size(); ++e) {
+    if (!rng.next_bool(opts_.rate)) {
+      (*d.edge_kept)[e] = 0;
+      continue;
+    }
+    const NodeId u = lg.adj.nbrs[e];
+    if (u >= lg.n_inner())
+      d.halo_kept[static_cast<std::size_t>(u - lg.n_inner())] = 1;
+  }
+  d.halo_edge_scale = inv_rate_or_one(opts_);
+  d.inner_edge_scale = d.halo_edge_scale;
+  return d;
+}
+
+std::unique_ptr<EpochPlanner> make_planner(SamplingVariant variant,
+                                           const EpochPlanner::Options& opts) {
+  switch (variant) {
+    case SamplingVariant::kBns:
+      return std::make_unique<BnsPlanner>(opts);
+    case SamplingVariant::kBoundaryEdge:
+      return std::make_unique<BoundaryEdgePlanner>(opts);
+    case SamplingVariant::kDropEdge:
+      return std::make_unique<DropEdgePlanner>(opts);
+  }
+  BNSGCN_CHECK_MSG(false, "unknown sampling variant");
+  return nullptr;
+}
+
+} // namespace bnsgcn::core

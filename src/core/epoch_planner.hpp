@@ -1,0 +1,91 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/local_graph.hpp"
+
+namespace bnsgcn::core {
+
+/// Which random subgraph is drawn each epoch (Section 3.2 / Section 4.3).
+/// Each variant is implemented by an EpochPlanner below; the enum remains
+/// the config-level selector for the built-in strategies.
+enum class SamplingVariant {
+  kBns,          // the paper's method: drop boundary *nodes* w.p. 1-p
+  kBoundaryEdge, // BES ablation: drop boundary *edges* w.p. 1-q (Table 9)
+  kDropEdge,     // DropEdge ablation: drop *any* edge w.p. 1-q (Table 9)
+};
+
+/// One epoch's random draw over a rank's local graph: which halo nodes (and
+/// optionally which arcs) survive, plus the unbiased-estimator scales the
+/// compaction must apply. Strategy output only — the exchange negotiation
+/// and CSR compaction live in BoundarySampler.
+struct EpochDraw {
+  std::vector<char> halo_kept;                // size n_halo, 0/1
+  /// Arc-level keep mask over the local adjacency (same indexing as
+  /// LocalGraph::adj.nbrs). Disengaged for node-level strategies, which
+  /// also lets the compaction skip building a per-edge scale vector.
+  std::optional<std::vector<char>> edge_kept;
+  float halo_scale = 1.0f;       // applied to received halo feature rows
+  float halo_edge_scale = 1.0f;  // edge_scale of surviving halo arcs
+  float inner_edge_scale = 1.0f; // edge_scale of surviving inner arcs
+};
+
+/// Pluggable per-epoch sampling strategy (Algorithm 1 line 4 generalized).
+/// Implementations must be pure functions of (lg, rng): all cross-rank
+/// coordination is derived from the draw by the sampler, so a strategy
+/// never touches the fabric and new strategies are additive.
+class EpochPlanner {
+ public:
+  struct Options {
+    float rate = 1.0f;            // p (node keep) or q (edge keep)
+    bool unbiased_scaling = true; // scale kept contributions by 1/rate
+  };
+
+  virtual ~EpochPlanner() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual EpochDraw draw(const LocalGraph& lg,
+                                       Rng& rng) const = 0;
+};
+
+/// BNS (Section 3.2): keep each halo node w.p. p; surviving received rows
+/// are scaled by 1/p when unbiased scaling is on.
+class BnsPlanner final : public EpochPlanner {
+ public:
+  explicit BnsPlanner(const Options& opts) : opts_(opts) {}
+  [[nodiscard]] const char* name() const override { return "bns"; }
+  [[nodiscard]] EpochDraw draw(const LocalGraph& lg, Rng& rng) const override;
+
+ private:
+  Options opts_;
+};
+
+/// BES ablation (Section 4.3): keep each *boundary* arc w.p. q; a halo node
+/// survives iff at least one incident arc survives.
+class BoundaryEdgePlanner final : public EpochPlanner {
+ public:
+  explicit BoundaryEdgePlanner(const Options& opts) : opts_(opts) {}
+  [[nodiscard]] const char* name() const override { return "boundary-edge"; }
+  [[nodiscard]] EpochDraw draw(const LocalGraph& lg, Rng& rng) const override;
+
+ private:
+  Options opts_;
+};
+
+/// DropEdge ablation: keep every arc (inner ones too) w.p. q.
+class DropEdgePlanner final : public EpochPlanner {
+ public:
+  explicit DropEdgePlanner(const Options& opts) : opts_(opts) {}
+  [[nodiscard]] const char* name() const override { return "drop-edge"; }
+  [[nodiscard]] EpochDraw draw(const LocalGraph& lg, Rng& rng) const override;
+
+ private:
+  Options opts_;
+};
+
+/// Factory for the built-in strategies.
+[[nodiscard]] std::unique_ptr<EpochPlanner> make_planner(
+    SamplingVariant variant, const EpochPlanner::Options& opts);
+
+} // namespace bnsgcn::core

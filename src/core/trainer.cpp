@@ -167,7 +167,9 @@ class RankWorker {
       if (ep_.rank() == 0) result_.train_loss.push_back(loss);
 
       const bool last = (epoch == cfg_.epochs - 1);
+      bool evaluated = false;
       if (last || (cfg_.eval_every > 0 && (epoch + 1) % cfg_.eval_every == 0)) {
+        evaluated = true;
         const auto [val, test] = evaluate();
         // Exclude evaluation traffic from the next epoch's breakdown: the
         // first barrier orders every rank's eval sends before the snapshot
@@ -184,6 +186,17 @@ class RankWorker {
             result_.final_test = test;
           }
         }
+      }
+      // Stream the finished epoch to the observer. Only rank 0 calls it
+      // (other ranks may already be training the next epoch), so the
+      // callback needs no cross-rank synchronization.
+      if (ep_.rank() == 0 && cfg_.observer) {
+        EpochSnapshot snap;
+        snap.epoch = epoch + 1;
+        snap.train_loss = loss;
+        snap.breakdown = result_.epochs.back();
+        snap.eval = evaluated ? &result_.curve.back() : nullptr;
+        cfg_.observer(snap);
       }
     }
   }
@@ -469,7 +482,7 @@ class RankWorker {
 
 } // namespace
 
-EpochBreakdown TrainResult::mean_epoch() const {
+EpochBreakdown mean_breakdown(std::span<const EpochBreakdown> epochs) {
   EpochBreakdown mean;
   if (epochs.empty()) return mean;
   for (const auto& e : epochs) {
@@ -494,14 +507,14 @@ EpochBreakdown TrainResult::mean_epoch() const {
   return mean;
 }
 
-double TrainResult::sampler_overhead() const {
-  const auto mean = mean_epoch();
+double sampler_overhead(std::span<const EpochBreakdown> epochs) {
+  const auto mean = mean_breakdown(epochs);
   const double total = mean.total_s();
   return total > 0.0 ? mean.sample_s / total : 0.0;
 }
 
-double TrainResult::throughput_eps() const {
-  const double t = mean_epoch().total_s();
+double throughput_eps(std::span<const EpochBreakdown> epochs) {
+  const double t = mean_breakdown(epochs).total_s();
   return t > 0.0 ? 1.0 / t : 0.0;
 }
 

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "comm/fabric.hpp"
@@ -12,6 +14,55 @@
 namespace bnsgcn::core {
 
 enum class ModelKind { kSage, kGat };
+
+/// Per-epoch timing/traffic breakdown (Fig. 5 / Table 6 quantities).
+/// Times are bulk-synchronous: max over ranks per phase. `compute_s` is
+/// measured wall time of the local math; comm/reduce/swap are simulated
+/// from exact byte counts via the CostModel (DESIGN.md §1).
+struct EpochBreakdown {
+  double compute_s = 0.0;
+  double comm_s = 0.0;    // boundary feature/gradient exchange
+  double reduce_s = 0.0;  // model-gradient allreduce
+  double sample_s = 0.0;  // sampler: draw + index negotiation + compaction
+  double swap_s = 0.0;    // ROC proxy only
+  std::int64_t feature_bytes = 0; // global rx over all ranks
+  std::int64_t grad_bytes = 0;
+  std::int64_t control_bytes = 0;
+
+  [[nodiscard]] double total_s() const {
+    return compute_s + comm_s + reduce_s + sample_s + swap_s;
+  }
+};
+
+struct EvalPoint {
+  int epoch = 0;
+  double val = 0.0;  // accuracy or micro-F1 (dataset-dependent)
+  double test = 0.0;
+  double train_loss = 0.0;
+};
+
+/// Streamed to the configured observer after every finished epoch, so
+/// callers (the api layer, benches) can emit rows live instead of
+/// post-processing a result. `eval` is set only on epochs that evaluated.
+struct EpochSnapshot {
+  int epoch = 0;  // 1-based epoch that just finished
+  double train_loss = 0.0;
+  EpochBreakdown breakdown;
+  const EvalPoint* eval = nullptr;  // valid for the callback's duration only
+};
+
+/// Invoked from the training loop (rank 0's thread under BnsTrainer) once
+/// per epoch, in epoch order. Must not block on other ranks.
+using EpochObserver = std::function<void(const EpochSnapshot&)>;
+
+/// Derived run metrics, shared by every result type (core::TrainResult and
+/// api::RunReport) so the definitions exist exactly once.
+[[nodiscard]] EpochBreakdown mean_breakdown(
+    std::span<const EpochBreakdown> epochs);
+/// Table 12 quantity: mean sampler time / mean total epoch time.
+[[nodiscard]] double sampler_overhead(std::span<const EpochBreakdown> epochs);
+/// Fig. 4 quantity under the cost model: epochs per simulated second.
+[[nodiscard]] double throughput_eps(std::span<const EpochBreakdown> epochs);
 
 /// Configuration of a partition-parallel training run (Algorithm 1).
 struct TrainerConfig {
@@ -41,32 +92,9 @@ struct TrainerConfig {
   /// ROC proxy: stage each layer's inner activations through a host swap
   /// channel (kSwap traffic), reproducing Fig. 1(b)'s CPU-GPU swaps.
   bool simulate_host_swap = false;
-};
 
-/// Per-epoch timing/traffic breakdown (Fig. 5 / Table 6 quantities).
-/// Times are bulk-synchronous: max over ranks per phase. `compute_s` is
-/// measured wall time of the local math; comm/reduce/swap are simulated
-/// from exact byte counts via the CostModel (DESIGN.md §1).
-struct EpochBreakdown {
-  double compute_s = 0.0;
-  double comm_s = 0.0;    // boundary feature/gradient exchange
-  double reduce_s = 0.0;  // model-gradient allreduce
-  double sample_s = 0.0;  // sampler: draw + index negotiation + compaction
-  double swap_s = 0.0;    // ROC proxy only
-  std::int64_t feature_bytes = 0; // global rx over all ranks
-  std::int64_t grad_bytes = 0;
-  std::int64_t control_bytes = 0;
-
-  [[nodiscard]] double total_s() const {
-    return compute_s + comm_s + reduce_s + sample_s + swap_s;
-  }
-};
-
-struct EvalPoint {
-  int epoch = 0;
-  double val = 0.0;  // accuracy or micro-F1 (dataset-dependent)
-  double test = 0.0;
-  double train_loss = 0.0;
+  /// Optional per-epoch callback (see EpochSnapshot).
+  EpochObserver observer;
 };
 
 struct TrainResult {
@@ -78,11 +106,15 @@ struct TrainResult {
   MemoryReport memory;
   double wall_time_s = 0.0;
 
-  [[nodiscard]] EpochBreakdown mean_epoch() const;
-  /// Table 12 quantity: sampler time / total epoch time.
-  [[nodiscard]] double sampler_overhead() const;
-  /// Fig. 4 quantity under the cost model: epochs per simulated second.
-  [[nodiscard]] double throughput_eps() const;
+  [[nodiscard]] EpochBreakdown mean_epoch() const {
+    return mean_breakdown(epochs);
+  }
+  [[nodiscard]] double sampler_overhead() const {
+    return core::sampler_overhead(epochs);
+  }
+  [[nodiscard]] double throughput_eps() const {
+    return core::throughput_eps(epochs);
+  }
 };
 
 /// Construct the configured layer stack (replicated per rank; all ranks and

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "api/cli.hpp"
+#include "api/presets.hpp"
+#include "api/run.hpp"
+#include "common/check.hpp"
+#include "partition/metis_like.hpp"
+
+namespace bnsgcn {
+namespace {
+
+Dataset easy_dataset(std::uint64_t seed = 11) {
+  SyntheticSpec spec;
+  spec.name = "api-test";
+  spec.n = 1200;
+  spec.m = 14000;
+  spec.communities = 6;
+  spec.num_classes = 6;
+  spec.feat_dim = 16;
+  spec.p_intra = 0.92;
+  spec.feature_noise = 1.2;
+  spec.seed = seed;
+  return make_synthetic(spec);
+}
+
+core::TrainerConfig small_trainer() {
+  core::TrainerConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden = 32;
+  cfg.epochs = 10;
+  cfg.seed = 7;
+  cfg.sample_rate = 0.5f;
+  return cfg;
+}
+
+TEST(ApiRun, BnsParityWithLegacyTrainerIsBitExact) {
+  // The acceptance anchor of the api layer: run(kBns) is a thin wrapper
+  // over BnsTrainer, so for a fixed seed the loss sequence, eval curve and
+  // byte counts must match the direct engine call exactly.
+  const Dataset ds = easy_dataset();
+  const auto part = metis_like(ds.graph, 4);
+  auto trainer_cfg = small_trainer();
+  trainer_cfg.eval_every = 5;
+
+  const core::TrainResult legacy =
+      core::BnsTrainer(ds, part, trainer_cfg).train();
+
+  api::RunConfig cfg;
+  cfg.method = api::Method::kBns;
+  cfg.trainer = trainer_cfg;
+  const api::RunReport report = api::run(ds, part, cfg);
+
+  ASSERT_EQ(report.train_loss.size(), legacy.train_loss.size());
+  for (std::size_t i = 0; i < legacy.train_loss.size(); ++i)
+    EXPECT_EQ(report.train_loss[i], legacy.train_loss[i]) << "epoch " << i;
+  EXPECT_EQ(report.final_val, legacy.final_val);
+  EXPECT_EQ(report.final_test, legacy.final_test);
+  ASSERT_EQ(report.curve.size(), legacy.curve.size());
+  for (std::size_t i = 0; i < legacy.curve.size(); ++i) {
+    EXPECT_EQ(report.curve[i].val, legacy.curve[i].val);
+    EXPECT_EQ(report.curve[i].test, legacy.curve[i].test);
+  }
+  ASSERT_EQ(report.epochs.size(), legacy.epochs.size());
+  for (std::size_t i = 0; i < legacy.epochs.size(); ++i) {
+    // Simulated/traffic components are deterministic; measured compute
+    // time is scheduling noise and deliberately not compared.
+    EXPECT_EQ(report.epochs[i].feature_bytes, legacy.epochs[i].feature_bytes);
+    EXPECT_EQ(report.epochs[i].grad_bytes, legacy.epochs[i].grad_bytes);
+    EXPECT_EQ(report.epochs[i].comm_s, legacy.epochs[i].comm_s);
+    EXPECT_EQ(report.epochs[i].reduce_s, legacy.epochs[i].reduce_s);
+  }
+  EXPECT_EQ(report.memory.model_bytes, legacy.memory.model_bytes);
+  EXPECT_EQ(report.memory.full_bytes, legacy.memory.full_bytes);
+  EXPECT_EQ(report.method, "bns");
+  EXPECT_EQ(report.dataset, ds.name);
+}
+
+TEST(ApiRun, RegistryCoversEveryBuiltinMethod) {
+  const auto& registry = api::method_registry();
+  ASSERT_GE(registry.size(), 9u);
+  for (const api::Method m :
+       {api::Method::kBns, api::Method::kRocProxy, api::Method::kCagnetProxy,
+        api::Method::kFullGraph, api::Method::kNeighborSampling,
+        api::Method::kFastGcn, api::Method::kLadies, api::Method::kClusterGcn,
+        api::Method::kGraphSaint}) {
+    const auto& info = api::method_info(m);
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.display.empty());
+    EXPECT_TRUE(info.runner != nullptr);
+    EXPECT_EQ(api::find_method(info.name), &info);
+  }
+  EXPECT_EQ(api::find_method("no-such-method"), nullptr);
+}
+
+TEST(ApiRun, EveryBuiltinMethodRunsEndToEnd) {
+  const Dataset ds = easy_dataset(13);
+  api::RunConfig cfg;
+  cfg.trainer = small_trainer();
+  cfg.trainer.epochs = 3;
+  cfg.partition.nparts = 3;
+  cfg.minibatch.batch_size = 256;
+  cfg.minibatch.batches_per_epoch = 2;
+  cfg.minibatch.num_clusters = 8;
+  for (const auto& info : api::method_registry()) {
+    cfg.method = info.method;
+    const api::RunReport r = api::run(ds, cfg);
+    EXPECT_EQ(r.method, info.name);
+    EXPECT_EQ(r.num_epochs(), 3) << info.name;
+    EXPECT_EQ(r.epochs.size(), 3u) << info.name;
+    // The CAGNET throughput proxy is the one method without a loss track.
+    if (info.method != api::Method::kCagnetProxy) {
+      ASSERT_FALSE(r.train_loss.empty()) << info.name;
+      EXPECT_GT(r.train_loss.front(), 0.0) << info.name;
+    }
+  }
+}
+
+TEST(ApiRun, CustomMethodRegistration) {
+  api::MethodInfo info;
+  info.name = "test-constant";
+  info.display = "constant report (test)";
+  info.runner = [](const Dataset& ds, const Partitioning*,
+                   const api::RunConfig&) {
+    api::RunReport r;
+    r.dataset = ds.name;
+    r.final_test = 0.42;
+    return r;
+  };
+  api::register_method(info);
+  api::RunConfig cfg;
+  cfg.method = api::Method::kCustom;
+  cfg.custom_method = "test-constant";
+  const api::RunReport r = api::run(easy_dataset(17), cfg);
+  EXPECT_EQ(r.final_test, 0.42);
+  EXPECT_EQ(r.method, "test-constant");
+  // Duplicate registration is rejected.
+  EXPECT_THROW(api::register_method(info), CheckError);
+}
+
+TEST(ApiRun, UnknownCustomMethodThrows) {
+  api::RunConfig cfg;
+  cfg.method = api::Method::kCustom;
+  cfg.custom_method = "does-not-exist";
+  EXPECT_THROW((void)api::run(easy_dataset(19), cfg), CheckError);
+}
+
+TEST(ApiRun, ObserverStreamsBnsEpochs) {
+  const Dataset ds = easy_dataset(23);
+  api::RunConfig cfg;
+  cfg.method = api::Method::kBns;
+  cfg.trainer = small_trainer();
+  cfg.trainer.epochs = 6;
+  cfg.trainer.eval_every = 2;
+  cfg.partition.nparts = 2;
+  std::vector<core::EpochSnapshot> seen;
+  int evals = 0;
+  cfg.trainer.observer = [&](const core::EpochSnapshot& snap) {
+    seen.push_back(snap);
+    if (snap.eval != nullptr) ++evals;
+  };
+  const api::RunReport r = api::run(ds, cfg);
+  ASSERT_EQ(seen.size(), 6u);
+  for (int e = 0; e < 6; ++e) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(e)].epoch, e + 1);
+    EXPECT_EQ(seen[static_cast<std::size_t>(e)].train_loss,
+              r.train_loss[static_cast<std::size_t>(e)]);
+  }
+  EXPECT_EQ(evals, 3);  // epochs 2, 4, 6
+}
+
+TEST(ApiPresets, RegistryAndSpecs) {
+  ASSERT_GE(api::dataset_registry().size(), 4u);
+  for (const char* name : {"reddit", "products", "yelp", "papers"}) {
+    const auto* preset = api::find_dataset(name);
+    ASSERT_NE(preset, nullptr) << name;
+    EXPECT_GE(preset->trainer.num_layers, 3) << name;
+  }
+  EXPECT_EQ(api::find_dataset("imaginary"), nullptr);
+  EXPECT_THROW((void)api::preset_trainer_config("imaginary"), CheckError);
+
+  api::DatasetSpec spec;
+  spec.preset = "products";
+  spec.scale = 0.1;
+  const Dataset ds = api::make_dataset(spec);
+  EXPECT_GT(ds.num_nodes(), 0);
+  EXPECT_FALSE(ds.multilabel);
+  spec.preset = "yelp";
+  EXPECT_TRUE(api::make_dataset(spec).multilabel);
+}
+
+TEST(ApiPartition, SpecsProduceValidPartitionings) {
+  const Dataset ds = easy_dataset(29);
+  for (const auto kind :
+       {api::PartitionSpec::Kind::kMetis, api::PartitionSpec::Kind::kRandom,
+        api::PartitionSpec::Kind::kHash, api::PartitionSpec::Kind::kBfs}) {
+    api::PartitionSpec spec;
+    spec.kind = kind;
+    spec.nparts = 4;
+    const Partitioning part = api::make_partition(ds.graph, spec);
+    part.validate();
+    EXPECT_EQ(part.nparts, 4);
+    EXPECT_EQ(part.num_nodes(), ds.num_nodes());
+  }
+}
+
+TEST(ApiCli, ParsesAllFlags) {
+  std::string error;
+  const auto opts = api::try_parse_bench_args(
+      {"--scale", "2.5", "--epochs", "7", "--json", "/tmp/out.json"}, error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_DOUBLE_EQ(opts->scale, 2.5);
+  EXPECT_EQ(opts->epochs_or(99), 7);
+  EXPECT_EQ(opts->json_path, "/tmp/out.json");
+}
+
+TEST(ApiCli, DefaultsAndErrors) {
+  std::string error;
+  const auto defaults = api::try_parse_bench_args({}, error);
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_DOUBLE_EQ(defaults->scale, 1.0);
+  EXPECT_EQ(defaults->epochs_or(42), 42);
+  EXPECT_TRUE(defaults->json_path.empty());
+
+  EXPECT_FALSE(api::try_parse_bench_args({"--scale"}, error).has_value());
+  EXPECT_FALSE(
+      api::try_parse_bench_args({"--scale", "-1"}, error).has_value());
+  EXPECT_FALSE(
+      api::try_parse_bench_args({"--epochs", "zero"}, error).has_value());
+  EXPECT_FALSE(api::try_parse_bench_args({"--bogus"}, error).has_value());
+  EXPECT_FALSE(api::try_parse_bench_args({"--help"}, error).has_value());
+  EXPECT_EQ(error, "help");
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -160,13 +160,14 @@ TEST(EdgeCases, MinibatchWithBatchLargerThanTrainSet) {
   spec.train_frac = 0.1; // tiny train set
   spec.seed = 7;
   const Dataset ds = make_synthetic(spec);
-  baselines::BaselineConfig cfg;
+  core::TrainerConfig cfg;
   cfg.num_layers = 2;
   cfg.hidden = 8;
   cfg.epochs = 5;
-  cfg.batch_size = 10'000; // far larger than the train split
-  cfg.batches_per_epoch = 2;
-  const auto result = baselines::train_neighbor_sampling(ds, cfg);
+  baselines::MinibatchConfig mb;
+  mb.batch_size = 10'000; // far larger than the train split
+  mb.batches_per_epoch = 2;
+  const auto result = baselines::train_neighbor_sampling(ds, cfg, mb);
   EXPECT_EQ(result.train_loss.size(), 5u);
 }
 

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "api/run.hpp"
+#include "api/serialize.hpp"
+#include "common/check.hpp"
+#include "common/json.hpp"
+
+namespace bnsgcn {
+namespace {
+
+api::RunReport sample_report() {
+  api::RunReport r;
+  r.method = "bns";
+  r.dataset = "reddit-like \"scaled\"";  // exercises string escaping
+  r.train_loss = {1.51234567890123, 0.75, 0.3333333333333333};
+  r.curve.push_back({.epoch = 2, .val = 0.81, .test = 0.79,
+                     .train_loss = 0.75});
+  r.curve.push_back({.epoch = 3, .val = 0.9, .test = 0.88,
+                     .train_loss = 0.3333333333333333});
+  r.final_val = 0.9;
+  r.final_test = 0.88;
+  core::EpochBreakdown e;
+  e.compute_s = 0.125;
+  e.comm_s = 0.0625;
+  e.reduce_s = 1e-9;
+  e.sample_s = 0.001953125;
+  e.swap_s = 0.0;
+  e.feature_bytes = 123456789012345;  // > 2^32, < 2^53
+  e.grad_bytes = 4096;
+  e.control_bytes = 17;
+  r.epochs = {e, e, e};
+  r.memory.model_bytes = {1.5e6, 2.25e6};
+  r.memory.full_bytes = {2000000, 3000000};
+  r.wall_time_s = 0.4375;
+  return r;
+}
+
+void expect_reports_equal(const api::RunReport& a, const api::RunReport& b) {
+  EXPECT_EQ(a.method, b.method);
+  EXPECT_EQ(a.dataset, b.dataset);
+  EXPECT_EQ(a.train_loss, b.train_loss);
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].epoch, b.curve[i].epoch);
+    EXPECT_EQ(a.curve[i].val, b.curve[i].val);
+    EXPECT_EQ(a.curve[i].test, b.curve[i].test);
+    EXPECT_EQ(a.curve[i].train_loss, b.curve[i].train_loss);
+  }
+  EXPECT_EQ(a.final_val, b.final_val);
+  EXPECT_EQ(a.final_test, b.final_test);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    EXPECT_EQ(a.epochs[i].compute_s, b.epochs[i].compute_s);
+    EXPECT_EQ(a.epochs[i].comm_s, b.epochs[i].comm_s);
+    EXPECT_EQ(a.epochs[i].reduce_s, b.epochs[i].reduce_s);
+    EXPECT_EQ(a.epochs[i].sample_s, b.epochs[i].sample_s);
+    EXPECT_EQ(a.epochs[i].swap_s, b.epochs[i].swap_s);
+    EXPECT_EQ(a.epochs[i].feature_bytes, b.epochs[i].feature_bytes);
+    EXPECT_EQ(a.epochs[i].grad_bytes, b.epochs[i].grad_bytes);
+    EXPECT_EQ(a.epochs[i].control_bytes, b.epochs[i].control_bytes);
+  }
+  EXPECT_EQ(a.memory.model_bytes, b.memory.model_bytes);
+  EXPECT_EQ(a.memory.full_bytes, b.memory.full_bytes);
+  EXPECT_EQ(a.wall_time_s, b.wall_time_s);
+}
+
+TEST(ReportJson, RoundTripIsExact) {
+  const api::RunReport original = sample_report();
+  const std::string text = api::to_json_string(original);
+  const api::RunReport parsed = api::run_report_from_json_string(text);
+  expect_reports_equal(original, parsed);
+  // Derived quantities recompute identically from the parsed fields.
+  EXPECT_EQ(original.throughput_eps(), parsed.throughput_eps());
+  EXPECT_EQ(original.sampler_overhead(), parsed.sampler_overhead());
+}
+
+TEST(ReportJson, RoundTripOfRealRun) {
+  api::RunConfig cfg;
+  SyntheticSpec spec;
+  spec.n = 500;
+  spec.m = 4000;
+  spec.communities = 4;
+  spec.num_classes = 4;
+  spec.feat_dim = 8;
+  spec.seed = 21;
+  cfg.dataset.custom = spec;
+  cfg.partition.nparts = 2;
+  cfg.trainer.num_layers = 2;
+  cfg.trainer.hidden = 16;
+  cfg.trainer.epochs = 4;
+  cfg.trainer.sample_rate = 0.5f;
+  cfg.trainer.eval_every = 2;
+  const api::RunReport r = api::run(cfg);
+  const api::RunReport parsed =
+      api::run_report_from_json_string(api::to_json_string(r));
+  expect_reports_equal(r, parsed);
+}
+
+TEST(ReportJson, CompactAndPrettyParseTheSame) {
+  const api::RunReport original = sample_report();
+  const auto compact =
+      api::run_report_from_json_string(api::to_json_string(original, -1));
+  const auto pretty =
+      api::run_report_from_json_string(api::to_json_string(original, 4));
+  expect_reports_equal(compact, pretty);
+}
+
+TEST(ReportJson, DerivedBlockPresent) {
+  const json::Value v = api::to_json(sample_report());
+  const json::Value* derived = v.get("derived");
+  ASSERT_NE(derived, nullptr);
+  EXPECT_GT(derived->at("throughput_eps").as_double(), 0.0);
+  EXPECT_GT(derived->at("total_train_s").as_double(), 0.0);
+}
+
+TEST(Json, ParserRejectsGarbage) {
+  EXPECT_THROW(json::Value::parse("{\"a\": }"), CheckError);
+  EXPECT_THROW(json::Value::parse("[1, 2"), CheckError);
+  EXPECT_THROW(json::Value::parse("{} trailing"), CheckError);
+  EXPECT_THROW(json::Value::parse("nul"), CheckError);
+}
+
+TEST(Json, EscapesRoundTrip) {
+  json::Value v = json::Value::object();
+  v.set("k", "line\nbreak\ttab \"quote\" back\\slash \x01 control");
+  const json::Value parsed = json::Value::parse(v.dump());
+  EXPECT_EQ(parsed.at("k").as_string(), v.at("k").as_string());
+}
+
+} // namespace
+} // namespace bnsgcn
