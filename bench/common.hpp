@@ -82,7 +82,17 @@ class ReportSink {
   /// (binding the result to a const reference is safe).
   api::RunReport add(std::string label, api::RunReport report) {
     if (!opts_.json_path.empty())
-      rows_.emplace_back(std::move(label), api::to_json(report));
+      rows_.push_back(make_row(std::move(label), report, nullptr));
+    return report;
+  }
+
+  /// Same, additionally recording the RunConfig that produced the report —
+  /// the artifact row gains a "config" object (schema: docs/BENCHMARKS.md)
+  /// so the run can be replayed via api::run_config_from_json.
+  api::RunReport add(std::string label, const api::RunConfig& cfg,
+                     api::RunReport report) {
+    if (!opts_.json_path.empty())
+      rows_.push_back(make_row(std::move(label), report, &cfg));
     return report;
   }
 
@@ -95,12 +105,7 @@ class ReportSink {
     doc.set("artifact", artifact_);
     doc.set("scale", opts_.scale);
     json::Value runs = json::Value::array();
-    for (auto& [label, report] : rows_) {
-      json::Value row = json::Value::object();
-      row.set("label", label);
-      row.set("report", std::move(report));
-      runs.push_back(std::move(row));
-    }
+    for (auto& row : rows_) runs.push_back(std::move(row));
     doc.set("runs", std::move(runs));
     try {
       json::write_file(opts_.json_path, doc);
@@ -115,9 +120,18 @@ class ReportSink {
   ~ReportSink() { finish(); }
 
  private:
+  static json::Value make_row(std::string label, const api::RunReport& report,
+                              const api::RunConfig* cfg) {
+    json::Value row = json::Value::object();
+    row.set("label", std::move(label));
+    row.set("report", api::to_json(report));
+    if (cfg != nullptr) row.set("config", api::to_json(*cfg));
+    return row;
+  }
+
   std::string artifact_;
   api::BenchOptions opts_;
-  std::vector<std::pair<std::string, json::Value>> rows_;
+  std::vector<json::Value> rows_;
   bool finished_ = false;
 };
 

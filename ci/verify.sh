@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build everything (library, 20 benches,
-# 4 examples, 26 test binaries) and run the full test suite.
+# Tier-1 verify: docs link check, then configure, build everything
+# (library, 21 benches, 4 examples, 27 test binaries) and run the full
+# test suite — including test_overlap, the blocking-vs-overlapped
+# bit-parity gate of the async fabric (run once more by name so a
+# regression there is called out explicitly).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+./ci/check_docs_links.sh
 
 GENERATOR=()
 if command -v ninja >/dev/null 2>&1; then
@@ -13,3 +18,4 @@ fi
 cmake -B build -S . "${GENERATOR[@]}"
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+ctest --test-dir build --output-on-failure -R test_overlap

@@ -33,8 +33,8 @@ struct RunReport {
   core::MemoryReport memory;               // empty for minibatch methods
   double wall_time_s = 0.0;                // measured end-to-end wall time
 
-  /// Trained epoch count. Falls back to the breakdown count for methods
-  /// that don't track losses (the CAGNET throughput proxy).
+  /// Trained epoch count. Falls back to the breakdown count for custom
+  /// methods that don't track losses.
   [[nodiscard]] int num_epochs() const {
     return static_cast<int>(train_loss.empty() ? epochs.size()
                                                : train_loss.size());
@@ -59,6 +59,16 @@ struct RunReport {
   /// Fig. 4 quantity: epochs per (simulated) second.
   [[nodiscard]] double throughput_eps() const {
     return core::throughput_eps(epochs);
+  }
+  /// Mean per-epoch exchange time hidden by communication–computation
+  /// overlap (0 unless the run enabled RunConfig::comm.overlap).
+  [[nodiscard]] double overlap_saved_s() const {
+    return mean_epoch().overlap_s;
+  }
+  /// Fraction of the mean epoch's exchange time the pipeline hid.
+  [[nodiscard]] double overlap_fraction() const {
+    const auto mean = mean_epoch();
+    return mean.comm_s > 0.0 ? mean.overlap_s / mean.comm_s : 0.0;
   }
   /// Total training time under the method's own clock (Table 5): simulated
   /// epoch totals for partition-parallel methods, wall for minibatch.

@@ -35,6 +35,14 @@ RunReport finish(RunReport report, const MethodInfo& info,
   return report;
 }
 
+/// The engine-level trainer config of a partition-parallel run: the api's
+/// CommSpec folds into the one TrainerConfig knob the engine reads.
+core::TrainerConfig engine_config(const RunConfig& cfg) {
+  core::TrainerConfig tcfg = cfg.trainer;
+  tcfg.overlap = cfg.comm.overlap || cfg.trainer.overlap;
+  return tcfg;
+}
+
 std::deque<MethodInfo>& mutable_registry() {
   static std::deque<MethodInfo> registry = [] {
     std::deque<MethodInfo> r;
@@ -42,7 +50,8 @@ std::deque<MethodInfo>& mutable_registry() {
                  [](const Dataset& ds, const Partitioning* part,
                     const RunConfig& cfg) {
                    return RunReport::from_train_result(
-                       core::BnsTrainer(ds, *part, cfg.trainer).train(),
+                       core::BnsTrainer(ds, *part, engine_config(cfg))
+                           .train(),
                        "bns", ds.name);
                  }});
     r.push_back({Method::kRocProxy, "roc-proxy", "ROC (swap proxy)",
@@ -50,7 +59,7 @@ std::deque<MethodInfo>& mutable_registry() {
                  [](const Dataset& ds, const Partitioning* part,
                     const RunConfig& cfg) {
                    return RunReport::from_train_result(
-                       core::run_roc_proxy(ds, *part, cfg.trainer),
+                       core::run_roc_proxy(ds, *part, engine_config(cfg)),
                        "roc-proxy", ds.name);
                  }});
     r.push_back({Method::kCagnetProxy, "cagnet-proxy", "CAGNET proxy",
@@ -58,7 +67,7 @@ std::deque<MethodInfo>& mutable_registry() {
                  [](const Dataset& ds, const Partitioning* part,
                     const RunConfig& cfg) {
                    return RunReport::from_train_result(
-                       core::run_cagnet_proxy(ds, *part, cfg.trainer,
+                       core::run_cagnet_proxy(ds, *part, engine_config(cfg),
                                               cfg.cagnet_c),
                        "cagnet-proxy", ds.name);
                  }});

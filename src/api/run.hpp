@@ -41,6 +41,18 @@ struct PartitionSpec {
 [[nodiscard]] Partitioning make_partition(const Csr& graph,
                                           const PartitionSpec& spec);
 
+/// Communication-fabric knobs shared by the partition-parallel methods
+/// (BNS, the ROC proxy, and — where applicable — the CAGNET proxy).
+struct CommSpec {
+  /// Overlap boundary exchanges with the halo-independent compute phases
+  /// (async isend/irecv + split-phase layers; docs/ARCHITECTURE.md §4).
+  /// Results are bit-identical to blocking mode; only the simulated epoch
+  /// time (EpochBreakdown::overlap_s) changes. Safe for every method:
+  /// GAT stacks and the CAGNET dense broadcast fall back to blocking, the
+  /// minibatch baselines have no fabric to overlap.
+  bool overlap = false;
+};
+
 /// Everything one training run needs: what data, how it is partitioned,
 /// which method, and the model/sampling/cost-model knobs. The single entry
 /// point for every bench, example and test.
@@ -55,6 +67,11 @@ struct RunConfig {
   /// Model, optimizer, sampling (rate/variant/scaling), epochs, eval
   /// cadence, seed, interconnect cost model and the per-epoch observer.
   core::TrainerConfig trainer;
+
+  /// Fabric behavior (communication–computation overlap). Either this or
+  /// trainer.overlap enables the pipelined exchange; this is the
+  /// config-file-facing spelling.
+  CommSpec comm;
 
   /// Sampler-specific knobs of the minibatch baselines; ignored by the
   /// partition-parallel methods.

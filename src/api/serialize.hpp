@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "api/report.hpp"
+#include "api/run.hpp"
 #include "common/json.hpp"
 
 namespace bnsgcn::api {
@@ -21,8 +22,19 @@ namespace bnsgcn::api {
 [[nodiscard]] core::MemoryReport memory_from_json(const json::Value& v);
 [[nodiscard]] RunReport run_report_from_json(const json::Value& v);
 
+/// Machine-readable form of a RunConfig, so artifacts can record the exact
+/// configuration that produced each report and runs can be replayed from a
+/// file. Every field except the (non-serializable) per-epoch observer
+/// round-trips; on read, absent keys keep their C++ defaults, so config
+/// files only spell out what they change. Schema: docs/BENCHMARKS.md.
+[[nodiscard]] json::Value to_json(const RunConfig& cfg);
+[[nodiscard]] RunConfig run_config_from_json(const json::Value& v);
+
 /// String convenience wrappers.
 [[nodiscard]] std::string to_json_string(const RunReport& r, int indent = 2);
 [[nodiscard]] RunReport run_report_from_json_string(std::string_view text);
+[[nodiscard]] std::string to_json_string(const RunConfig& cfg,
+                                         int indent = 2);
+[[nodiscard]] RunConfig run_config_from_json_string(std::string_view text);
 
 } // namespace bnsgcn::api

@@ -73,6 +73,52 @@ Fabric::Message Fabric::take_matching(Mailbox& box, int tag) {
   }
 }
 
+bool Fabric::try_take_matching(Mailbox& box, int tag, Message& out) {
+  std::lock_guard<std::mutex> lock(box.mu);
+  const auto it =
+      std::find_if(box.queue.begin(), box.queue.end(),
+                   [tag](const Message& m) { return m.tag == tag; });
+  if (it == box.queue.end()) return false;
+  out = std::move(*it);
+  box.queue.erase(it);
+  return true;
+}
+
+bool Request::test() {
+  if (done()) return true;
+  if (state_->fabric->try_take_matching(*state_->box, state_->tag,
+                                        state_->payload)) {
+    state_->done = true;
+  }
+  return done();
+}
+
+void Request::wait() {
+  if (done()) return;
+  state_->payload =
+      state_->fabric->take_matching(*state_->box, state_->tag);
+  state_->done = true;
+}
+
+std::vector<float> Request::take_floats() {
+  wait();
+  BNSGCN_CHECK(state_ != nullptr);
+  return std::move(state_->payload.floats);
+}
+
+std::vector<NodeId> Request::take_ids() {
+  wait();
+  BNSGCN_CHECK(state_ != nullptr);
+  return std::move(state_->payload.ids);
+}
+
+void wait_all(std::span<Request> requests) {
+  // First drain whatever already arrived without blocking, then block on
+  // the stragglers — the usual Waitall progression.
+  for (auto& r : requests) (void)r.test();
+  for (auto& r : requests) r.wait();
+}
+
 PartId Endpoint::nranks() const { return fabric_.nranks(); }
 
 void Endpoint::send_floats(PartId to, int tag, std::vector<float> payload,
@@ -130,6 +176,38 @@ std::vector<NodeId> Endpoint::recv_ids(PartId from, int tag,
   BNSGCN_CHECK(from >= 0 && from < fabric_.nranks() && from != rank_);
   auto msg = fabric_.take_matching(fabric_.mailbox(from, rank_), tag);
   return std::move(msg.ids);
+}
+
+Request Endpoint::isend_floats(PartId to, int tag, std::vector<float> payload,
+                               TrafficClass cls) {
+  // The mailbox deposit never blocks, so an "immediate" send completes on
+  // posting; the Request exists for a uniform wait_all over mixed batches.
+  send_floats(to, tag, std::move(payload), cls);
+  auto state = std::make_unique<Request::State>();
+  state->done = true;
+  return Request(std::move(state));
+}
+
+Request Endpoint::isend_ids(PartId to, int tag, std::vector<NodeId> payload,
+                            TrafficClass cls) {
+  send_ids(to, tag, std::move(payload), cls);
+  auto state = std::make_unique<Request::State>();
+  state->done = true;
+  return Request(std::move(state));
+}
+
+Request Endpoint::irecv_floats(PartId from, int tag, TrafficClass cls) {
+  (void)cls; // rx accounting happens on the sender side under the box lock
+  BNSGCN_CHECK(from >= 0 && from < fabric_.nranks() && from != rank_);
+  auto state = std::make_unique<Request::State>();
+  state->fabric = &fabric_;
+  state->box = &fabric_.mailbox(from, rank_);
+  state->tag = tag;
+  return Request(std::move(state));
+}
+
+Request Endpoint::irecv_ids(PartId from, int tag, TrafficClass cls) {
+  return irecv_floats(from, tag, cls); // same matching; payload kind differs
 }
 
 void Endpoint::barrier() { fabric_.barrier_.arrive_and_wait(); }

@@ -45,10 +45,12 @@ struct RankStats {
 };
 
 class Fabric;
+class Request;
 
-/// A rank's handle into the fabric. All calls are blocking and must be made
-/// from the thread owning the rank. Collectives must be entered by every
-/// rank (standard MPI-style contract).
+/// A rank's handle into the fabric. Blocking calls must be made from the
+/// thread owning the rank; the i-prefixed calls return a Request that the
+/// same thread later completes with wait()/test(). Collectives must be
+/// entered by every rank (standard MPI-style contract).
 class Endpoint {
  public:
   [[nodiscard]] PartId rank() const { return rank_; }
@@ -64,6 +66,19 @@ class Endpoint {
                 TrafficClass cls);
   [[nodiscard]] std::vector<NodeId> recv_ids(PartId from, int tag,
                                              TrafficClass cls);
+
+  /// Nonblocking point-to-point. isend deposits into the peer's mailbox and
+  /// completes immediately (mailboxes are unbounded, like an eager-protocol
+  /// MPI send); irecv posts a receive that completes when a matching message
+  /// is delivered. Complete with Request::wait()/test() or comm::wait_all.
+  [[nodiscard]] Request isend_floats(PartId to, int tag,
+                                     std::vector<float> payload,
+                                     TrafficClass cls);
+  [[nodiscard]] Request isend_ids(PartId to, int tag,
+                                  std::vector<NodeId> payload,
+                                  TrafficClass cls);
+  [[nodiscard]] Request irecv_floats(PartId from, int tag, TrafficClass cls);
+  [[nodiscard]] Request irecv_ids(PartId from, int tag, TrafficClass cls);
 
   /// Collectives.
   void barrier();
@@ -104,6 +119,7 @@ class Fabric {
 
  private:
   friend class Endpoint;
+  friend class Request;
 
   struct Message {
     int tag = 0;
@@ -122,6 +138,9 @@ class Fabric {
                        static_cast<std::size_t>(to)];
   }
   Message take_matching(Mailbox& box, int tag);
+  /// Nonblocking variant: true and fills `out` when a matching message was
+  /// already delivered, false otherwise.
+  bool try_take_matching(Mailbox& box, int tag, Message& out);
 
   PartId nranks_;
   CostModel cost_;
@@ -134,5 +153,52 @@ class Fabric {
   std::vector<double> scalar_slots_;
   std::vector<std::vector<NodeId>> gather_slots_;
 };
+
+/// Handle to a nonblocking operation. Sends are complete on creation
+/// (eager deposit); receives complete when the matching message is taken
+/// out of the mailbox by test()/wait(). Movable, non-copyable; must be
+/// completed (or destroyed) by the thread owning the posting endpoint.
+///
+/// Payload buffers are double-buffered across the exchange: the in-flight
+/// bytes live in the sender-deposited mailbox Message while the consumer
+/// keeps computing on its own matrices; wait() moves the message into the
+/// request's private slot, and take_floats()/take_ids() move it out again
+/// into the fold destination. The network-side and compute-side buffers are
+/// therefore never the same memory, which is what lets the trainer fold a
+/// finished exchange while the next one's deposits are already arriving.
+class Request {
+ public:
+  Request() = default;
+  Request(Request&&) = default;
+  Request& operator=(Request&&) = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  /// True when the operation has completed (sends: always).
+  [[nodiscard]] bool done() const { return state_ == nullptr || state_->done; }
+  /// Nonblocking completion probe; returns done().
+  bool test();
+  /// Block until complete.
+  void wait();
+  /// Move the received payload out (wait()s first if still pending).
+  [[nodiscard]] std::vector<float> take_floats();
+  [[nodiscard]] std::vector<NodeId> take_ids();
+
+ private:
+  friend class Endpoint;
+  struct State {
+    Fabric* fabric = nullptr;
+    Fabric::Mailbox* box = nullptr;  // null for completed sends
+    int tag = 0;
+    bool done = false;
+    Fabric::Message payload;
+  };
+  explicit Request(std::unique_ptr<State> state) : state_(std::move(state)) {}
+  std::unique_ptr<State> state_;
+};
+
+/// Complete every request in the span (MPI_Waitall). Payloads stay stored
+/// in the requests for take_floats()/take_ids().
+void wait_all(std::span<Request> requests);
 
 } // namespace bnsgcn::comm

@@ -47,11 +47,15 @@ TrainResult run_cagnet_proxy(const Dataset& ds, const Partitioning& part,
   for (const NodeId v : ds.train_nodes) is_train[static_cast<std::size_t>(v)] = 1;
 
   TrainResult result;
+  result.train_loss.reserve(static_cast<std::size_t>(cfg.epochs));
   std::vector<double> compute_s(static_cast<std::size_t>(m));
   std::vector<double> comm_s(static_cast<std::size_t>(m));
   std::vector<double> reduce_s(static_cast<std::size_t>(m));
   std::vector<std::int64_t> bcast_rx(static_cast<std::size_t>(m));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(m));
+  // TrainerConfig::overlap is a no-op here by design: every broadcast row
+  // feeds every destination's aggregation, so the 1.5D exchange has no
+  // halo-free compute to hide it behind (the knob stays safe, not useful).
 
   Stopwatch wall;
   std::vector<std::thread> threads;
@@ -224,15 +228,16 @@ TrainResult run_cagnet_proxy(const Dataset& ds, const Partitioning& part,
                     st.adj, full, st.inv_deg, /*training=*/false);
           }
           Matrix dlogits;
+          double local_loss = 0.0;
           {
             ScopedTimer t(comp_acc);
             const Matrix& logits = h[static_cast<std::size_t>(cfg.num_layers)];
             if (ds.multilabel) {
-              (void)nn::sigmoid_bce(logits, targets_local, train_rows,
-                                    inv_total, dlogits);
+              local_loss = nn::sigmoid_bce(logits, targets_local, train_rows,
+                                           inv_total, dlogits);
             } else {
-              (void)nn::softmax_xent(logits, labels_local, train_rows,
-                                     inv_total, dlogits);
+              local_loss = nn::softmax_xent(logits, labels_local, train_rows,
+                                            inv_total, dlogits);
             }
           }
           for (auto& l : layers) l->zero_grads();
@@ -254,6 +259,11 @@ TrainResult run_cagnet_proxy(const Dataset& ds, const Partitioning& part,
             ScopedTimer t(comp_acc);
             adam.step();
           }
+          // Global mean loss (same convention as BnsTrainer: computed from
+          // this epoch's forward, before the update). Only rank 0 appends,
+          // after the join-free collective has synchronized every rank.
+          const double loss_total = ep.allreduce_sum_scalar(local_loss);
+          if (r == 0) result.train_loss.push_back(loss_total);
         }
         const comm::RankStats delta = [&] {
           comm::RankStats dd;

@@ -84,7 +84,8 @@ comm::RankStats diff_stats(const comm::RankStats& now,
 /// Cross-thread scratch for per-epoch reductions (ranks write their slot,
 /// barrier, rank 0 reduces). Guarded purely by the fabric barriers.
 struct EpochScratch {
-  std::vector<double> compute_s, comm_s, reduce_s, sample_s, swap_s;
+  std::vector<double> compute_s, comm_s, reduce_s, sample_s, swap_s,
+      overlap_s;
   std::vector<std::int64_t> feature_rx, grad_rx, control_rx;
   std::vector<std::int64_t> kept_halo;
   std::vector<double> scalar; // generic slot (loss, metric sums)
@@ -95,6 +96,7 @@ struct EpochScratch {
         reduce_s(static_cast<std::size_t>(m)),
         sample_s(static_cast<std::size_t>(m)),
         swap_s(static_cast<std::size_t>(m)),
+        overlap_s(static_cast<std::size_t>(m)),
         feature_rx(static_cast<std::size_t>(m)),
         grad_rx(static_cast<std::size_t>(m)),
         control_rx(static_cast<std::size_t>(m)),
@@ -126,6 +128,12 @@ class RankWorker {
     test_rows_ = local_rows_of(lg_, ds.test_nodes);
 
     layers_ = build_model(cfg_, ds.feat_dim(), ds.num_classes, ep_.rank());
+    // The split-phase schedule is the only training path when every layer
+    // supports it (SAGE); GAT falls back to the assembled exchange because
+    // attention normalizes over the full neighbor set at once.
+    use_phased_ = std::all_of(
+        layers_.begin(), layers_.end(),
+        [](const auto& l) { return l->supports_phased(); });
     std::vector<Matrix*> params, grads;
     for (auto& l : layers_) {
       for (Matrix* p : l->params()) params.push_back(p);
@@ -205,13 +213,84 @@ class RankWorker {
   int next_tag() { return tag_seq_++; }
 
   /// Gather + send this layer's rows, receive the (scaled) halo block and
-  /// return the assembled source-feature matrix [inner; halo].
+  /// return the assembled source-feature matrix [inner; halo]. Blocking
+  /// form of the exchange, expressed through the same post/fold pair as
+  /// the pipeline so the payload layout exists exactly once.
   Matrix exchange_forward(const Matrix& h_inner, const EpochPlan& plan,
                           float scale, int tag) {
     const std::int64_t d = h_inner.cols();
     Matrix feats(lg_.n_inner() + plan.n_kept_halo, d);
     std::copy(h_inner.data(), h_inner.data() + h_inner.size(), feats.data());
+    PendingExchange px = post_forward(h_inner, plan, tag);
+    fold_forward(px, plan, scale, feats, /*halo_row0=*/lg_.n_inner());
+    return feats;
+  }
 
+  /// Send halo-feature gradients back to their owners; returns the inner
+  /// gradient block with remote contributions scatter-added. Blocking form
+  /// of the backward exchange, same post/fold pair as the pipeline.
+  Matrix exchange_backward(const Matrix& dfeats, const EpochPlan& plan,
+                           float scale, int tag) {
+    const std::int64_t d = dfeats.cols();
+    const NodeId n_in = lg_.n_inner();
+    PendingExchange px =
+        post_backward(dfeats, /*halo_row0=*/n_in, plan, scale, tag);
+    Matrix dh(n_in, d);
+    std::copy(dfeats.data(),
+              dfeats.data() + static_cast<std::int64_t>(n_in) * d, dh.data());
+    fold_backward(px, plan, dh);
+    return dh;
+  }
+
+  // ---- Pipelined (split-phase) exchange -------------------------------
+  // One in-flight boundary exchange: sends are posted eagerly, receives as
+  // requests; the caller computes the halo-independent phase and folds the
+  // payloads afterwards. In blocking mode wait_all runs right after
+  // posting, in overlap mode only at fold time — the fold itself sits at
+  // the same point of the schedule either way, so both modes execute the
+  // identical fp instruction stream.
+
+  struct PendingExchange {
+    std::vector<comm::Request> sends;  // complete on posting (eager)
+    std::vector<PartId> peers;         // peer of recvs[k]
+    std::vector<comm::Request> recvs;
+    double sim_s = 0.0;  // simulated wire time of this exchange
+  };
+
+  /// Simulated seconds this plan's per-layer exchange occupies the wire at
+  /// feature width d (same latency+bandwidth law as RankStats::sim_seconds;
+  /// symmetric in tx/rx, so it covers the backward exchange too).
+  double plan_exchange_sim_s(const EpochPlan& plan, std::int64_t d) const {
+    std::int64_t tx_bytes = 0, rx_bytes = 0, tx_msgs = 0, rx_msgs = 0;
+    for (PartId j = 0; j < ep_.nranks(); ++j) {
+      const auto& rows = plan.send_rows[static_cast<std::size_t>(j)];
+      const auto& slots = plan.recv_slots[static_cast<std::size_t>(j)];
+      if (!rows.empty()) {
+        tx_bytes += static_cast<std::int64_t>(rows.size()) * d *
+                    static_cast<std::int64_t>(sizeof(float));
+        ++tx_msgs;
+      }
+      if (!slots.empty()) {
+        rx_bytes += static_cast<std::int64_t>(slots.size()) * d *
+                    static_cast<std::int64_t>(sizeof(float));
+        ++rx_msgs;
+      }
+    }
+    const auto& cost = cfg_.cost;
+    const double tx = static_cast<double>(tx_msgs) * cost.latency_s +
+                      static_cast<double>(tx_bytes) / cost.bytes_per_s;
+    const double rx = static_cast<double>(rx_msgs) * cost.latency_s +
+                      static_cast<double>(rx_bytes) / cost.bytes_per_s;
+    return std::max(tx, rx);
+  }
+
+  /// Post the forward exchange: isend this layer's sampled rows of
+  /// h_inner, irecv the halo rows each owner will push to us.
+  PendingExchange post_forward(const Matrix& h_inner, const EpochPlan& plan,
+                               int tag) {
+    const std::int64_t d = h_inner.cols();
+    PendingExchange px;
+    px.sim_s = plan_exchange_sim_s(plan, d);
     for (PartId j = 0; j < ep_.nranks(); ++j) {
       const auto& rows = plan.send_rows[static_cast<std::size_t>(j)];
       if (rows.empty()) continue;
@@ -221,60 +300,85 @@ class RankWorker {
             h_inner.data() + static_cast<std::int64_t>(rows[t]) * d;
         std::copy(s, s + d, payload.data() + t * static_cast<std::size_t>(d));
       }
-      ep_.send_floats(j, tag, std::move(payload), TrafficClass::kFeature);
+      px.sends.push_back(
+          ep_.isend_floats(j, tag, std::move(payload), TrafficClass::kFeature));
     }
     for (PartId j = 0; j < ep_.nranks(); ++j) {
-      const auto& slots = plan.recv_slots[static_cast<std::size_t>(j)];
-      if (slots.empty()) continue;
-      const auto payload = ep_.recv_floats(j, tag, TrafficClass::kFeature);
-      BNSGCN_CHECK(payload.size() == slots.size() * static_cast<std::size_t>(d));
-      for (std::size_t t = 0; t < slots.size(); ++t) {
-        float* dst = feats.data() +
-                     (static_cast<std::int64_t>(lg_.n_inner()) +
-                      static_cast<std::int64_t>(slots[t])) * d;
-        const float* src = payload.data() + t * static_cast<std::size_t>(d);
-        for (std::int64_t c = 0; c < d; ++c) dst[c] = scale * src[c];
-      }
+      if (plan.recv_slots[static_cast<std::size_t>(j)].empty()) continue;
+      px.peers.push_back(j);
+      px.recvs.push_back(ep_.irecv_floats(j, tag, TrafficClass::kFeature));
     }
-    return feats;
+    return px;
   }
 
-  /// Send halo-feature gradients back to their owners; returns the inner
-  /// gradient block with remote contributions scatter-added.
-  Matrix exchange_backward(const Matrix& dfeats, const EpochPlan& plan,
-                           float scale, int tag) {
-    const std::int64_t d = dfeats.cols();
-    const NodeId n_in = lg_.n_inner();
+  /// Complete the forward exchange: place each peer's rows into its
+  /// compact halo slots of `dst` starting at row `halo_row0` (0 for a
+  /// bare halo block, n_inner for an assembled [inner; halo] matrix),
+  /// applying the 1/p scale. The fold buffer is distinct from the wire
+  /// buffers — see comm::Request.
+  void fold_forward(PendingExchange& px, const EpochPlan& plan, float scale,
+                    Matrix& dst, NodeId halo_row0) {
+    const std::int64_t d = dst.cols();
+    for (std::size_t k = 0; k < px.recvs.size(); ++k) {
+      const auto& slots =
+          plan.recv_slots[static_cast<std::size_t>(px.peers[k])];
+      const auto payload = px.recvs[k].take_floats();
+      BNSGCN_CHECK(payload.size() == slots.size() * static_cast<std::size_t>(d));
+      for (std::size_t t = 0; t < slots.size(); ++t) {
+        float* out = dst.data() +
+                     (static_cast<std::int64_t>(halo_row0) +
+                      static_cast<std::int64_t>(slots[t])) * d;
+        const float* src = payload.data() + t * static_cast<std::size_t>(d);
+        for (std::int64_t c = 0; c < d; ++c) out[c] = scale * src[c];
+      }
+    }
+  }
 
+  /// Post the backward exchange: send each owner its halo-gradient rows
+  /// (scaled; slot s lives at row halo_row0 + s of `dsrc`), irecv the
+  /// contributions peers computed for our inner rows.
+  PendingExchange post_backward(const Matrix& dsrc, NodeId halo_row0,
+                                const EpochPlan& plan, float scale, int tag) {
+    const std::int64_t d = dsrc.cols();
+    PendingExchange px;
+    px.sim_s = plan_exchange_sim_s(plan, d);
     for (PartId j = 0; j < ep_.nranks(); ++j) {
       const auto& slots = plan.recv_slots[static_cast<std::size_t>(j)];
       if (slots.empty()) continue;
       std::vector<float> payload(slots.size() * static_cast<std::size_t>(d));
       for (std::size_t t = 0; t < slots.size(); ++t) {
-        const float* src =
-            dfeats.data() + (static_cast<std::int64_t>(n_in) +
-                             static_cast<std::int64_t>(slots[t])) * d;
+        const float* src = dsrc.data() +
+                           (static_cast<std::int64_t>(halo_row0) +
+                            static_cast<std::int64_t>(slots[t])) * d;
         float* dst = payload.data() + t * static_cast<std::size_t>(d);
         for (std::int64_t c = 0; c < d; ++c) dst[c] = scale * src[c];
       }
-      ep_.send_floats(j, tag, std::move(payload), TrafficClass::kFeature);
+      px.sends.push_back(
+          ep_.isend_floats(j, tag, std::move(payload), TrafficClass::kFeature));
     }
-
-    Matrix dh(n_in, d);
-    std::copy(dfeats.data(), dfeats.data() + static_cast<std::int64_t>(n_in) * d,
-              dh.data());
     for (PartId j = 0; j < ep_.nranks(); ++j) {
-      const auto& rows = plan.send_rows[static_cast<std::size_t>(j)];
-      if (rows.empty()) continue;
-      const auto payload = ep_.recv_floats(j, tag, TrafficClass::kFeature);
+      if (plan.send_rows[static_cast<std::size_t>(j)].empty()) continue;
+      px.peers.push_back(j);
+      px.recvs.push_back(ep_.irecv_floats(j, tag, TrafficClass::kFeature));
+    }
+    return px;
+  }
+
+  /// Complete the backward exchange: scatter-add remote contributions into
+  /// the inner-gradient block (same per-peer order as the blocking path).
+  void fold_backward(PendingExchange& px, const EpochPlan& plan,
+                     Matrix& dinner) {
+    const std::int64_t d = dinner.cols();
+    for (std::size_t k = 0; k < px.recvs.size(); ++k) {
+      const auto& rows = plan.send_rows[static_cast<std::size_t>(px.peers[k])];
+      const auto payload = px.recvs[k].take_floats();
       BNSGCN_CHECK(payload.size() == rows.size() * static_cast<std::size_t>(d));
       for (std::size_t t = 0; t < rows.size(); ++t) {
-        float* dst = dh.data() + static_cast<std::int64_t>(rows[t]) * d;
+        float* dst = dinner.data() + static_cast<std::int64_t>(rows[t]) * d;
         const float* src = payload.data() + t * static_cast<std::size_t>(d);
         for (std::int64_t c = 0; c < d; ++c) dst[c] += src[c];
       }
     }
-    return dh;
   }
 
   /// ROC proxy: stage a layer activation block through the host, paying
@@ -317,19 +421,42 @@ class RankWorker {
     ++epochs_run_;
 
     // ---- Forward (Algorithm 1 lines 8-11) -----------------------------
+    // Phased path (SAGE): post the exchange, run the inner-only phase
+    // while rows are in flight, fold, finish. Blocking mode waits right
+    // after posting instead — same instruction stream, no overlap window.
     const int L = cfg_.num_layers;
+    double overlap_acc = 0.0;
     std::vector<Matrix> h(static_cast<std::size_t>(L) + 1);
     h[0] = x_local_;
     for (int l = 0; l < L; ++l) {
       const int tag = next_tag();
-      Matrix feats = exchange_forward(h[static_cast<std::size_t>(l)], plan,
-                                      plan.halo_scale, tag);
-      if (cfg_.simulate_host_swap) host_swap(h[static_cast<std::size_t>(l)]);
-      {
+      auto& layer = *layers_[static_cast<std::size_t>(l)];
+      if (use_phased_) {
+        Matrix& h_in = h[static_cast<std::size_t>(l)];
+        PendingExchange px = post_forward(h_in, plan, tag);
+        if (!cfg_.overlap) comm::wait_all(px.recvs);
+        if (cfg_.simulate_host_swap) host_swap(h_in);
+        Stopwatch inflight;
+        {
+          ScopedTimer t(compute_acc);
+          layer.forward_inner(plan.adj, h_in, /*training=*/true);
+        }
+        if (cfg_.overlap)
+          overlap_acc += std::min(px.sim_s, inflight.elapsed_s());
+        Matrix halo(plan.n_kept_halo, h_in.cols());
+        fold_forward(px, plan, plan.halo_scale, halo, /*halo_row0=*/0);
+        {
+          ScopedTimer t(compute_acc);
+          h[static_cast<std::size_t>(l) + 1] =
+              layer.forward_halo(plan.adj, halo, lg_.inv_full_degree);
+        }
+      } else {
+        Matrix feats = exchange_forward(h[static_cast<std::size_t>(l)], plan,
+                                        plan.halo_scale, tag);
+        if (cfg_.simulate_host_swap) host_swap(h[static_cast<std::size_t>(l)]);
         ScopedTimer t(compute_acc);
-        h[static_cast<std::size_t>(l) + 1] =
-            layers_[static_cast<std::size_t>(l)]->forward(
-                plan.adj, feats, lg_.inv_full_degree, /*training=*/true);
+        h[static_cast<std::size_t>(l) + 1] = layer.forward(
+            plan.adj, feats, lg_.inv_full_degree, /*training=*/true);
       }
       if (cfg_.simulate_host_swap)
         host_swap(h[static_cast<std::size_t>(l) + 1]);
@@ -353,15 +480,45 @@ class RankWorker {
     for (auto& l : layers_) l->zero_grads();
     Matrix grad = std::move(dlogits);
     for (int l = L - 1; l >= 0; --l) {
-      Matrix dfeats;
-      {
+      auto& layer = *layers_[static_cast<std::size_t>(l)];
+      if (l == 0) {
+        // Input-feature gradients are not needed; run the plain backward
+        // for the parameter gradients only.
         ScopedTimer t(compute_acc);
-        dfeats = layers_[static_cast<std::size_t>(l)]->backward(
-            plan.adj, grad, lg_.inv_full_degree);
+        (void)layer.backward(plan.adj, grad, lg_.inv_full_degree);
+        break;
       }
-      if (l == 0) break; // input-feature gradients are not needed
       const int tag = next_tag();
-      grad = exchange_backward(dfeats, plan, plan.halo_scale, tag);
+      if (use_phased_) {
+        // The halo-gradient rows leave for their owners first; the
+        // inner-gradient block is computed while they (and the peers'
+        // contributions to our rows) are on the wire.
+        Matrix dhalo;
+        {
+          ScopedTimer t(compute_acc);
+          dhalo = layer.backward_halo(plan.adj, grad, lg_.inv_full_degree);
+        }
+        PendingExchange px =
+            post_backward(dhalo, /*halo_row0=*/0, plan, plan.halo_scale, tag);
+        if (!cfg_.overlap) comm::wait_all(px.recvs);
+        Stopwatch inflight;
+        Matrix dinner;
+        {
+          ScopedTimer t(compute_acc);
+          dinner = layer.backward_inner(plan.adj, lg_.inv_full_degree);
+        }
+        if (cfg_.overlap)
+          overlap_acc += std::min(px.sim_s, inflight.elapsed_s());
+        fold_backward(px, plan, dinner);
+        grad = std::move(dinner);
+      } else {
+        Matrix dfeats;
+        {
+          ScopedTimer t(compute_acc);
+          dfeats = layer.backward(plan.adj, grad, lg_.inv_full_degree);
+        }
+        grad = exchange_backward(dfeats, plan, plan.halo_scale, tag);
+      }
     }
 
     // ---- Gradient allreduce + update (lines 14-15) ----------------------
@@ -386,6 +543,11 @@ class RankWorker {
     scratch_.sample_s[static_cast<std::size_t>(r)] = sample_acc.seconds();
     scratch_.comm_s[static_cast<std::size_t>(r)] =
         delta.sim_seconds(TrafficClass::kFeature, cfg_.cost);
+    // Per-exchange hidden time, clamped so the documented overlap_s <=
+    // comm_s invariant holds even when the per-exchange max(tx, rx) sums
+    // above the epoch-level max.
+    scratch_.overlap_s[static_cast<std::size_t>(r)] =
+        std::min(overlap_acc, scratch_.comm_s[static_cast<std::size_t>(r)]);
     scratch_.reduce_s[static_cast<std::size_t>(r)] =
         delta_reduce.sim_seconds(TrafficClass::kGradient, cfg_.cost);
     scratch_.swap_s[static_cast<std::size_t>(r)] =
@@ -400,6 +562,10 @@ class RankWorker {
     if (r == 0) {
       EpochBreakdown eb;
       const PartId m = ep_.nranks();
+      // Bulk-synchronous convention: costs take the max over ranks (the
+      // slowest rank gates the epoch); the overlap saving takes the min so
+      // the reported hidden time is one every rank actually achieved.
+      eb.overlap_s = scratch_.overlap_s[0];
       for (PartId i = 0; i < m; ++i) {
         const auto s = static_cast<std::size_t>(i);
         eb.compute_s = std::max(eb.compute_s, scratch_.compute_s[s]);
@@ -407,6 +573,7 @@ class RankWorker {
         eb.reduce_s = std::max(eb.reduce_s, scratch_.reduce_s[s]);
         eb.sample_s = std::max(eb.sample_s, scratch_.sample_s[s]);
         eb.swap_s = std::max(eb.swap_s, scratch_.swap_s[s]);
+        eb.overlap_s = std::min(eb.overlap_s, scratch_.overlap_s[s]);
         eb.feature_bytes += scratch_.feature_rx[s];
         eb.grad_bytes += scratch_.grad_rx[s];
         eb.control_bytes += scratch_.control_rx[s];
@@ -468,6 +635,7 @@ class RankWorker {
   std::optional<BoundarySampler> sampler_;
   EpochPlan full_plan_;
   Matrix swap_staging_;
+  bool use_phased_ = false;
   float inv_total_ = 1.0f;
   int tag_seq_ = 0;
   double kept_halo_accum_ = 0.0;
@@ -491,6 +659,7 @@ EpochBreakdown mean_breakdown(std::span<const EpochBreakdown> epochs) {
     mean.reduce_s += e.reduce_s;
     mean.sample_s += e.sample_s;
     mean.swap_s += e.swap_s;
+    mean.overlap_s += e.overlap_s;
     mean.feature_bytes += e.feature_bytes;
     mean.grad_bytes += e.grad_bytes;
     mean.control_bytes += e.control_bytes;
@@ -501,6 +670,7 @@ EpochBreakdown mean_breakdown(std::span<const EpochBreakdown> epochs) {
   mean.reduce_s /= n;
   mean.sample_s /= n;
   mean.swap_s /= n;
+  mean.overlap_s /= n;
   mean.feature_bytes = static_cast<std::int64_t>(mean.feature_bytes / n);
   mean.grad_bytes = static_cast<std::int64_t>(mean.grad_bytes / n);
   mean.control_bytes = static_cast<std::int64_t>(mean.control_bytes / n);

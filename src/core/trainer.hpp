@@ -25,12 +25,19 @@ struct EpochBreakdown {
   double reduce_s = 0.0;  // model-gradient allreduce
   double sample_s = 0.0;  // sampler: draw + index negotiation + compaction
   double swap_s = 0.0;    // ROC proxy only
+  /// Exchange time hidden behind the inner-only compute phases when
+  /// communication–computation overlap is on (TrainerConfig::overlap):
+  /// per exchange, min(simulated transfer time, measured in-flight
+  /// compute), summed over the epoch's forward+backward exchanges and
+  /// taken as the min over ranks (a conservative lower bound on what the
+  /// pipeline hides). Always 0 in blocking mode, and never exceeds comm_s.
+  double overlap_s = 0.0;
   std::int64_t feature_bytes = 0; // global rx over all ranks
   std::int64_t grad_bytes = 0;
   std::int64_t control_bytes = 0;
 
   [[nodiscard]] double total_s() const {
-    return compute_s + comm_s + reduce_s + sample_s + swap_s;
+    return compute_s + (comm_s - overlap_s) + reduce_s + sample_s + swap_s;
   }
 };
 
@@ -88,6 +95,18 @@ struct TrainerConfig {
   std::uint64_t seed = 1;
   /// Compute-normalized PCIe model by default (see CostModel::scaled_pcie3).
   comm::CostModel cost = comm::CostModel::scaled_pcie3();
+
+  /// Overlap the boundary exchanges with the inner-only halves of each
+  /// layer (docs/ARCHITECTURE.md §4): sends/receives are posted first, the
+  /// halo-independent compute runs while they are in flight, and the halo
+  /// contributions are folded in afterwards. Training results are
+  /// bit-identical to blocking mode — both modes execute the same split
+  /// fp schedule; the knob only moves the wait — so the effect is purely
+  /// EpochBreakdown::overlap_s lowering the simulated epoch time. Layers
+  /// without split support (GAT: attention needs all neighbors at once)
+  /// and the CAGNET proxy (dense broadcast has no halo-free portion) fall
+  /// back to blocking; the knob is safe for every method.
+  bool overlap = false;
 
   /// ROC proxy: stage each layer's inner activations through a host swap
   /// channel (kSwap traffic), reproducing Fig. 1(b)'s CPU-GPU swaps.

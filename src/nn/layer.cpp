@@ -60,6 +60,133 @@ void mean_aggregate_backward(const BipartiteCsr& adj, const Matrix& dout,
   }
 }
 
+void mean_aggregate_inner(const BipartiteCsr& adj, const Matrix& inner_src,
+                          Matrix& out) {
+  const NodeId n_lo = static_cast<NodeId>(inner_src.rows());
+  BNSGCN_CHECK(n_lo <= adj.n_src);
+  const std::int64_t d = inner_src.cols();
+  out.resize(adj.n_dst, d); // resize zero-fills
+  const bool weighted = !adj.edge_scale.empty();
+  for (NodeId v = 0; v < adj.n_dst; ++v) {
+    float* o = out.data() + static_cast<std::int64_t>(v) * d;
+    const auto begin = static_cast<std::size_t>(
+        adj.offsets[static_cast<std::size_t>(v)]);
+    const auto end = static_cast<std::size_t>(
+        adj.offsets[static_cast<std::size_t>(v) + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const NodeId u = adj.nbrs[e];
+      if (u >= n_lo) continue; // halo source: folded by the finish pass
+      const float es = weighted ? adj.edge_scale[e] : 1.0f;
+      const float* s = inner_src.data() + static_cast<std::int64_t>(u) * d;
+      for (std::int64_t c = 0; c < d; ++c) o[c] += es * s[c];
+    }
+  }
+}
+
+void mean_aggregate_halo_finish(const BipartiteCsr& adj,
+                                const Matrix& halo_src,
+                                std::span<const float> inv_deg, Matrix& out) {
+  const NodeId n_lo = adj.n_src - static_cast<NodeId>(halo_src.rows());
+  BNSGCN_CHECK(n_lo >= 0);
+  BNSGCN_CHECK(static_cast<NodeId>(inv_deg.size()) == adj.n_dst);
+  const std::int64_t d = out.cols();
+  BNSGCN_CHECK(halo_src.rows() == 0 || halo_src.cols() == d);
+  const bool weighted = !adj.edge_scale.empty();
+  for (NodeId v = 0; v < adj.n_dst; ++v) {
+    float* o = out.data() + static_cast<std::int64_t>(v) * d;
+    const float w = inv_deg[static_cast<std::size_t>(v)];
+    if (w == 0.0f) { // mean_aggregate leaves such rows zero; match it
+      for (std::int64_t c = 0; c < d; ++c) o[c] = 0.0f;
+      continue;
+    }
+    const auto begin = static_cast<std::size_t>(
+        adj.offsets[static_cast<std::size_t>(v)]);
+    const auto end = static_cast<std::size_t>(
+        adj.offsets[static_cast<std::size_t>(v) + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const NodeId u = adj.nbrs[e];
+      if (u < n_lo) continue; // inner source: already summed
+      const float es = weighted ? adj.edge_scale[e] : 1.0f;
+      const float* s =
+          halo_src.data() + static_cast<std::int64_t>(u - n_lo) * d;
+      for (std::int64_t c = 0; c < d; ++c) o[c] += es * s[c];
+    }
+    for (std::int64_t c = 0; c < d; ++c) o[c] *= w;
+  }
+}
+
+void mean_aggregate_backward_halo(const BipartiteCsr& adj, const Matrix& dout,
+                                  std::span<const float> inv_deg, NodeId n_lo,
+                                  Matrix& dhalo) {
+  BNSGCN_CHECK(dout.rows() == adj.n_dst);
+  BNSGCN_CHECK(dhalo.rows() == adj.n_src - n_lo &&
+               dhalo.cols() == dout.cols());
+  const std::int64_t d = dout.cols();
+  const bool weighted = !adj.edge_scale.empty();
+  for (NodeId v = 0; v < adj.n_dst; ++v) {
+    const float w = inv_deg[static_cast<std::size_t>(v)];
+    if (w == 0.0f) continue;
+    const float* g = dout.data() + static_cast<std::int64_t>(v) * d;
+    const auto begin = static_cast<std::size_t>(
+        adj.offsets[static_cast<std::size_t>(v)]);
+    const auto end = static_cast<std::size_t>(
+        adj.offsets[static_cast<std::size_t>(v) + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const NodeId u = adj.nbrs[e];
+      if (u < n_lo) continue;
+      const float wu = weighted ? w * adj.edge_scale[e] : w;
+      float* t = dhalo.data() + static_cast<std::int64_t>(u - n_lo) * d;
+      for (std::int64_t c = 0; c < d; ++c) t[c] += wu * g[c];
+    }
+  }
+}
+
+void mean_aggregate_backward_inner(const BipartiteCsr& adj, const Matrix& dout,
+                                   std::span<const float> inv_deg, NodeId n_lo,
+                                   Matrix& dinner) {
+  BNSGCN_CHECK(dout.rows() == adj.n_dst);
+  BNSGCN_CHECK(dinner.rows() == n_lo && dinner.cols() == dout.cols());
+  const std::int64_t d = dout.cols();
+  const bool weighted = !adj.edge_scale.empty();
+  for (NodeId v = 0; v < adj.n_dst; ++v) {
+    const float w = inv_deg[static_cast<std::size_t>(v)];
+    if (w == 0.0f) continue;
+    const float* g = dout.data() + static_cast<std::int64_t>(v) * d;
+    const auto begin = static_cast<std::size_t>(
+        adj.offsets[static_cast<std::size_t>(v)]);
+    const auto end = static_cast<std::size_t>(
+        adj.offsets[static_cast<std::size_t>(v) + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      const NodeId u = adj.nbrs[e];
+      if (u >= n_lo) continue;
+      const float wu = weighted ? w * adj.edge_scale[e] : w;
+      float* t = dinner.data() + static_cast<std::int64_t>(u) * d;
+      for (std::int64_t c = 0; c < d; ++c) t[c] += wu * g[c];
+    }
+  }
+}
+
+void Layer::forward_inner(const BipartiteCsr&, const Matrix&, bool) {
+  BNSGCN_CHECK_MSG(false, "layer does not support phased forward");
+}
+
+Matrix Layer::forward_halo(const BipartiteCsr&, const Matrix&,
+                           std::span<const float>) {
+  BNSGCN_CHECK_MSG(false, "layer does not support phased forward");
+  return {};
+}
+
+Matrix Layer::backward_halo(const BipartiteCsr&, const Matrix&,
+                            std::span<const float>) {
+  BNSGCN_CHECK_MSG(false, "layer does not support phased backward");
+  return {};
+}
+
+Matrix Layer::backward_inner(const BipartiteCsr&, std::span<const float>) {
+  BNSGCN_CHECK_MSG(false, "layer does not support phased backward");
+  return {};
+}
+
 void Layer::zero_grads() {
   for (Matrix* g : grads()) g->zero();
 }

@@ -54,6 +54,45 @@ void mean_aggregate(const BipartiteCsr& adj, const Matrix& src,
 void mean_aggregate_backward(const BipartiteCsr& adj, const Matrix& dout,
                              std::span<const float> inv_deg, Matrix& dsrc);
 
+// ---------------------------------------------------------------------------
+// Split-phase aggregation, for communication–computation overlap.
+//
+// The source block of a partition-parallel layer is [inner; halo]: rows
+// below `n_lo` are locally owned, rows at and above it arrive over the
+// fabric. The *_inner pass consumes only local sources and can therefore
+// run while the halo rows are still in flight; the *_halo pass folds the
+// received block in and applies the mean normalization last:
+//   halo_finish(inner(x)) == inv_deg ⊙ (sum_inner + sum_halo)
+// Per destination row this reorders the summation (inner terms first, halo
+// terms second) relative to the interleaved single-pass mean_aggregate, so
+// results differ from it by fp32 reassociation only. The backward splits
+// are bitwise identical to mean_aggregate_backward because every scattered
+// target receives its contributions in the same (dst, edge) order.
+// ---------------------------------------------------------------------------
+
+/// Phase 1: out[v,:] = sum over neighbors u < inner_src.rows() of
+/// edge_scale * inner_src[u,:] (unnormalized). out is resized and zeroed.
+void mean_aggregate_inner(const BipartiteCsr& adj, const Matrix& inner_src,
+                          Matrix& out);
+
+/// Phase 2: add the halo-source sums (halo_src row h is source
+/// n_lo + h, n_lo = adj.n_src - halo_src.rows()) and scale rows by inv_deg.
+void mean_aggregate_halo_finish(const BipartiteCsr& adj,
+                                const Matrix& halo_src,
+                                std::span<const float> inv_deg, Matrix& out);
+
+/// Halo half of the backward scatter: dhalo[u - n_lo,:] += w * dout[v,:]
+/// for sources u >= n_lo. dhalo must be pre-sized to (n_src - n_lo, d).
+void mean_aggregate_backward_halo(const BipartiteCsr& adj, const Matrix& dout,
+                                  std::span<const float> inv_deg, NodeId n_lo,
+                                  Matrix& dhalo);
+
+/// Inner half of the backward scatter: dinner[u,:] += w * dout[v,:] for
+/// sources u < n_lo. dinner must be pre-sized to (n_lo, d).
+void mean_aggregate_backward_inner(const BipartiteCsr& adj, const Matrix& dout,
+                                   std::span<const float> inv_deg, NodeId n_lo,
+                                   Matrix& dinner);
+
 /// A GCN layer with manual forward/backward. One instance per rank (weights
 /// are replicated and kept in sync by gradient allreduce).
 class Layer {
@@ -69,6 +108,42 @@ class Layer {
   /// parameter gradients internally.
   virtual Matrix backward(const BipartiteCsr& adj, const Matrix& dout,
                           std::span<const float> inv_deg) = 0;
+
+  // --- Split-phase protocol (communication–computation overlap) ----------
+  // A layer returning true from supports_phased() implements the four
+  // phase methods below. forward_inner + forward_halo together compute one
+  // layer forward with all halo-dependent work isolated in the second
+  // call, so the caller can run forward_inner while the halo feature rows
+  // are still in flight. backward_halo + backward_inner split backward the
+  // same way: the halo-feature gradients come out first (they must hit the
+  // wire), the inner-gradient block second (it can be computed while the
+  // remote contributions travel). The phase pair is the only forward path
+  // of the partition-parallel trainer — in blocking mode too — so blocking
+  // and overlapped runs execute the identical fp schedule.
+
+  [[nodiscard]] virtual bool supports_phased() const { return false; }
+
+  /// Phase F1: consume the locally-owned source block ((n_dst, d_in) —
+  /// inner sources of the trainer layout). Caches partial state.
+  virtual void forward_inner(const BipartiteCsr& adj,
+                             const Matrix& inner_feats, bool training);
+
+  /// Phase F2: fold the received halo block ((n_src - n_dst, d_in), already
+  /// 1/p-scaled by the caller) and finish the layer; returns (n_dst, d_out).
+  [[nodiscard]] virtual Matrix forward_halo(const BipartiteCsr& adj,
+                                            const Matrix& halo_feats,
+                                            std::span<const float> inv_deg);
+
+  /// Phase B1: parameter gradients plus the halo-source input gradients
+  /// ((n_src - n_dst, d_in)) — everything the backward exchange sends.
+  [[nodiscard]] virtual Matrix backward_halo(const BipartiteCsr& adj,
+                                             const Matrix& dout,
+                                             std::span<const float> inv_deg);
+
+  /// Phase B2: the inner-source input gradients ((n_dst, d_in)), computed
+  /// from state cached by backward_halo.
+  [[nodiscard]] virtual Matrix backward_inner(const BipartiteCsr& adj,
+                                              std::span<const float> inv_deg);
 
   [[nodiscard]] virtual std::vector<Matrix*> params() = 0;
   [[nodiscard]] virtual std::vector<Matrix*> grads() = 0;

@@ -41,6 +41,81 @@ Matrix SageLayer::forward(const BipartiteCsr& adj, const Matrix& feats,
   return out;
 }
 
+void SageLayer::forward_inner(const BipartiteCsr& adj,
+                              const Matrix& inner_feats, bool training) {
+  BNSGCN_CHECK(inner_feats.cols() == d_in_);
+  BNSGCN_CHECK(inner_feats.rows() == adj.n_dst);
+  cached_training_ = training;
+  // Everything halo-independent runs here, inside the overlap window: the
+  // inner-source partial aggregation AND the self half of the transform
+  // (u·W splits as z·W[:d_in] + self·W[d_in:] under the concat layout).
+  mean_aggregate_inner(adj, inner_feats, z_partial_);
+  self_cache_ = inner_feats;
+  w_half_.resize(d_in_, d_out_);
+  std::copy(w_.data() + d_in_ * d_out_, w_.data() + 2 * d_in_ * d_out_,
+            w_half_.data());
+  out_partial_.resize(adj.n_dst, d_out_);
+  ops::gemm_nn(self_cache_, w_half_, out_partial_);
+  ops::add_row_bias(out_partial_, b_);
+}
+
+Matrix SageLayer::forward_halo(const BipartiteCsr& adj,
+                               const Matrix& halo_feats,
+                               std::span<const float> inv_deg) {
+  BNSGCN_CHECK(halo_feats.rows() == adj.n_src - adj.n_dst);
+  mean_aggregate_halo_finish(adj, halo_feats, inv_deg, z_partial_);
+
+  Matrix out = std::move(out_partial_);
+  w_half_.resize(d_in_, d_out_);
+  std::copy(w_.data(), w_.data() + d_in_ * d_out_, w_half_.data());
+  ops::gemm_nn(z_partial_, w_half_, out, 1.0f, 1.0f);
+
+  // Backward consumes the assembled concat exactly as the fused path does.
+  ops::concat_cols(z_partial_, self_cache_, u_cache_);
+  if (opts_.relu) {
+    ops::relu_forward(out, relu_mask_);
+  }
+  if (cached_training_ && opts_.dropout > 0.0f) {
+    ops::dropout_forward(out, dropout_mask_, opts_.dropout, dropout_rng_);
+  } else {
+    dropout_mask_.resize(0, 0);
+  }
+  return out;
+}
+
+Matrix SageLayer::backward_halo(const BipartiteCsr& adj, const Matrix& dout,
+                                std::span<const float> inv_deg) {
+  BNSGCN_CHECK(dout.rows() == adj.n_dst && dout.cols() == d_out_);
+  // Only what the wire needs happens before the exchange is posted: the
+  // activation backward and the halo-source scatter. Parameter gradients
+  // are deferred to backward_inner (the in-flight phase) — they feed
+  // nothing until the epoch-end allreduce.
+  g_cache_ = dout;
+  if (cached_training_ && !dropout_mask_.empty()) {
+    ops::dropout_backward(g_cache_, dropout_mask_);
+  }
+  if (opts_.relu) {
+    ops::relu_backward(g_cache_, relu_mask_);
+  }
+  Matrix du(adj.n_dst, 2 * d_in_);
+  ops::gemm_nt(g_cache_, w_, du);
+  ops::split_cols(du, dz_cache_, dself_cache_, d_in_);
+
+  Matrix dhalo(adj.n_src - adj.n_dst, d_in_);
+  mean_aggregate_backward_halo(adj, dz_cache_, inv_deg, adj.n_dst, dhalo);
+  return dhalo;
+}
+
+Matrix SageLayer::backward_inner(const BipartiteCsr& adj,
+                                 std::span<const float> inv_deg) {
+  ops::gemm_tn(u_cache_, g_cache_, dw_, 1.0f, 1.0f);
+  ops::col_sum(g_cache_, db_);
+
+  Matrix dinner = dself_cache_; // the self half lands on inner rows 1:1
+  mean_aggregate_backward_inner(adj, dz_cache_, inv_deg, adj.n_dst, dinner);
+  return dinner;
+}
+
 Matrix SageLayer::backward(const BipartiteCsr& adj, const Matrix& dout,
                            std::span<const float> inv_deg) {
   BNSGCN_CHECK(dout.rows() == adj.n_dst && dout.cols() == d_out_);

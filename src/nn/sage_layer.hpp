@@ -24,6 +24,21 @@ class SageLayer final : public Layer {
   Matrix backward(const BipartiteCsr& adj, const Matrix& dout,
                   std::span<const float> inv_deg) override;
 
+  // Split-phase protocol (see Layer): the mean aggregator decomposes into
+  // an inner-source partial sum plus a halo fold, and the backward scatter
+  // into disjoint inner/halo target halves, so SAGE supports full overlap.
+  [[nodiscard]] bool supports_phased() const override { return true; }
+  void forward_inner(const BipartiteCsr& adj, const Matrix& inner_feats,
+                     bool training) override;
+  [[nodiscard]] Matrix forward_halo(const BipartiteCsr& adj,
+                                    const Matrix& halo_feats,
+                                    std::span<const float> inv_deg) override;
+  [[nodiscard]] Matrix backward_halo(const BipartiteCsr& adj,
+                                     const Matrix& dout,
+                                     std::span<const float> inv_deg) override;
+  [[nodiscard]] Matrix backward_inner(
+      const BipartiteCsr& adj, std::span<const float> inv_deg) override;
+
   std::vector<Matrix*> params() override { return {&w_, &b_}; }
   std::vector<Matrix*> grads() override { return {&dw_, &db_}; }
 
@@ -43,6 +58,15 @@ class SageLayer final : public Layer {
   Matrix relu_mask_;
   Matrix dropout_mask_;
   bool cached_training_ = false;
+
+  // Split-phase scratch (valid between the two calls of a phase pair).
+  Matrix z_partial_;     // forward: unnormalized inner-source sums
+  Matrix self_cache_;    // forward: the inner feature block
+  Matrix out_partial_;   // forward: self·W_self + b, built in phase F1
+  Matrix w_half_;        // staging copy of one d_in-row half of w_
+  Matrix dz_cache_;      // backward: aggregation-half gradient
+  Matrix dself_cache_;   // backward: self-half gradient
+  Matrix g_cache_;       // backward: post-activation gradient (for dw/db)
 };
 
 } // namespace bnsgcn::nn

@@ -173,6 +173,115 @@ TEST(CostModel, SimSecondsUsesMaxOfDirections) {
   EXPECT_NEAR(st.sim_seconds(TrafficClass::kFeature, cost), 2.0, 1e-9);
 }
 
+TEST(Fabric, IsendIrecvDelivers) {
+  Fabric fabric(2);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    if (ep.rank() == 0) {
+      auto req = ep.isend_floats(1, 3, {4.0f, 5.0f}, TrafficClass::kFeature);
+      EXPECT_TRUE(req.done()); // eager deposit: sends complete on posting
+      req.wait();
+    } else {
+      auto req = ep.irecv_floats(0, 3, TrafficClass::kFeature);
+      const auto payload = req.take_floats(); // waits internally
+      ASSERT_EQ(payload.size(), 2u);
+      EXPECT_FLOAT_EQ(payload[1], 5.0f);
+    }
+  });
+}
+
+TEST(Fabric, IrecvOutOfOrderTagDelivery) {
+  // Receives posted in the opposite order of the sends; tag matching must
+  // route each payload to its request regardless of arrival order.
+  Fabric fabric(2);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send_floats(1, 10, {10.0f}, TrafficClass::kFeature);
+      ep.send_floats(1, 11, {11.0f}, TrafficClass::kFeature);
+      ep.send_floats(1, 12, {12.0f}, TrafficClass::kFeature);
+    } else {
+      std::vector<comm::Request> reqs;
+      for (const int tag : {12, 10, 11})
+        reqs.push_back(ep.irecv_floats(0, tag, TrafficClass::kFeature));
+      comm::wait_all(reqs);
+      EXPECT_FLOAT_EQ(reqs[0].take_floats()[0], 12.0f);
+      EXPECT_FLOAT_EQ(reqs[1].take_floats()[0], 10.0f);
+      EXPECT_FLOAT_EQ(reqs[2].take_floats()[0], 11.0f);
+    }
+  });
+}
+
+TEST(Fabric, RequestTestPollsWithoutBlocking) {
+  Fabric fabric(2);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.barrier(); // hold the send until rank 1 has probed emptiness
+      ep.send_ids(1, 0, {42}, TrafficClass::kControl);
+    } else {
+      auto req = ep.irecv_ids(0, 0, TrafficClass::kControl);
+      EXPECT_FALSE(req.test()); // nothing sent yet: must not block
+      EXPECT_FALSE(req.done());
+      ep.barrier();
+      req.wait();
+      EXPECT_TRUE(req.done());
+      EXPECT_EQ(req.take_ids(), (std::vector<NodeId>{42}));
+    }
+  });
+}
+
+TEST(Fabric, WaitAllUnderConcurrentRanks) {
+  // Every rank exchanges with every other rank over several rounds with
+  // all receives posted up front — the all-to-all shape of the trainer's
+  // pipelined boundary exchange, at 8 concurrent ranks.
+  constexpr PartId kRanks = 8;
+  constexpr int kRounds = 5;
+  Fabric fabric(kRanks);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    const PartId n = ep.nranks();
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<comm::Request> reqs;
+      std::vector<PartId> peer_of;
+      // Post all receives first (reversed peer order), then the sends.
+      for (PartId j = n - 1; j >= 0; --j) {
+        if (j == ep.rank()) continue;
+        reqs.push_back(ep.irecv_floats(j, round, TrafficClass::kFeature));
+        peer_of.push_back(j);
+      }
+      for (PartId j = 0; j < n; ++j) {
+        if (j == ep.rank()) continue;
+        (void)ep.isend_floats(
+            j, round, {static_cast<float>(ep.rank() * 100 + round)},
+            TrafficClass::kFeature);
+      }
+      comm::wait_all(reqs);
+      for (std::size_t k = 0; k < reqs.size(); ++k) {
+        const auto payload = reqs[k].take_floats();
+        ASSERT_EQ(payload.size(), 1u);
+        EXPECT_FLOAT_EQ(payload[0],
+                        static_cast<float>(peer_of[k] * 100 + round));
+      }
+    }
+  });
+}
+
+TEST(Fabric, AsyncAccountingMatchesBlocking) {
+  // isend/irecv must account bytes exactly like send/recv.
+  Fabric fabric(2);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    if (ep.rank() == 0) {
+      (void)ep.isend_floats(1, 0, std::vector<float>(64, 1.0f),
+                            TrafficClass::kFeature);
+    } else {
+      auto req = ep.irecv_floats(0, 0, TrafficClass::kFeature);
+      (void)req.take_floats();
+    }
+    ep.barrier();
+  });
+  EXPECT_EQ(fabric.endpoint(0).stats().tx_bytes[static_cast<int>(
+                TrafficClass::kFeature)],
+            256);
+  EXPECT_EQ(fabric.total_rx_bytes(TrafficClass::kFeature), 256);
+}
+
 TEST(Fabric, ManyRanksStress) {
   constexpr PartId kRanks = 12;
   Fabric fabric(kRanks);

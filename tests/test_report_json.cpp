@@ -25,6 +25,7 @@ api::RunReport sample_report() {
   e.reduce_s = 1e-9;
   e.sample_s = 0.001953125;
   e.swap_s = 0.0;
+  e.overlap_s = 0.015625;
   e.feature_bytes = 123456789012345;  // > 2^32, < 2^53
   e.grad_bytes = 4096;
   e.control_bytes = 17;
@@ -55,6 +56,7 @@ void expect_reports_equal(const api::RunReport& a, const api::RunReport& b) {
     EXPECT_EQ(a.epochs[i].reduce_s, b.epochs[i].reduce_s);
     EXPECT_EQ(a.epochs[i].sample_s, b.epochs[i].sample_s);
     EXPECT_EQ(a.epochs[i].swap_s, b.epochs[i].swap_s);
+    EXPECT_EQ(a.epochs[i].overlap_s, b.epochs[i].overlap_s);
     EXPECT_EQ(a.epochs[i].feature_bytes, b.epochs[i].feature_bytes);
     EXPECT_EQ(a.epochs[i].grad_bytes, b.epochs[i].grad_bytes);
     EXPECT_EQ(a.epochs[i].control_bytes, b.epochs[i].control_bytes);
@@ -111,6 +113,199 @@ TEST(ReportJson, DerivedBlockPresent) {
   ASSERT_NE(derived, nullptr);
   EXPECT_GT(derived->at("throughput_eps").as_double(), 0.0);
   EXPECT_GT(derived->at("total_train_s").as_double(), 0.0);
+}
+
+TEST(ReportJson, PreOverlapArtifactsStillParse) {
+  // Artifacts written before EpochBreakdown::overlap_s existed have no such
+  // key; the reader must default it to 0 rather than throw.
+  json::Value v = api::to_json(sample_report());
+  json::Value epochs = json::Value::array();
+  for (std::size_t i = 0; i < v.at("epochs").size(); ++i) {
+    json::Value e = json::Value::object();
+    for (const auto& [key, val] : v.at("epochs")[i].members())
+      if (key != "overlap_s") e.set(key, val);
+    epochs.push_back(std::move(e));
+  }
+  v.set("epochs", std::move(epochs));
+  const api::RunReport parsed = api::run_report_from_json(v);
+  for (const auto& e : parsed.epochs) EXPECT_EQ(e.overlap_s, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// RunConfig (de)serialization.
+// ---------------------------------------------------------------------------
+
+api::RunConfig sample_config() {
+  api::RunConfig cfg;
+  cfg.method = api::Method::kBns;
+  cfg.dataset.preset = "reddit";
+  cfg.dataset.scale = 0.75;
+  SyntheticSpec custom;
+  custom.name = "custom \"shape\"";
+  custom.n = 1234;
+  custom.m = 45678;
+  custom.communities = 7;
+  custom.num_classes = 5;
+  custom.feat_dim = 24;
+  custom.p_intra = 0.875;
+  custom.degree_skew = 1.75;
+  custom.feature_noise = 1.25;
+  custom.feature_signal = 0.5;
+  custom.label_noise = 0.0625;
+  custom.multilabel = true;
+  custom.labels_per_node = 4;
+  custom.train_frac = 0.5;
+  custom.val_frac = 0.25;
+  custom.seed = 99;
+  cfg.dataset.custom = custom;
+  cfg.partition.kind = api::PartitionSpec::Kind::kBfs;
+  cfg.partition.nparts = 6;
+  cfg.partition.seed = 17;
+  cfg.trainer.num_layers = 4;
+  cfg.trainer.hidden = 96;
+  cfg.trainer.model = core::ModelKind::kGat;
+  cfg.trainer.gat_heads = 3;
+  cfg.trainer.dropout = 0.25f;
+  cfg.trainer.lr = 0.0078125f;
+  cfg.trainer.epochs = 42;
+  cfg.trainer.sample_rate = 0.125f;
+  cfg.trainer.variant = core::SamplingVariant::kBoundaryEdge;
+  cfg.trainer.unbiased_scaling = false;
+  cfg.trainer.eval_every = 7;
+  cfg.trainer.seed = 1234567;
+  cfg.trainer.cost.latency_s = 2.5e-5;
+  cfg.trainer.cost.bytes_per_s = 3.0e7;
+  cfg.trainer.simulate_host_swap = true;
+  cfg.trainer.overlap = true;
+  cfg.comm.overlap = true;
+  cfg.minibatch.lr = 0.5f;
+  cfg.minibatch.batch_size = 777;
+  cfg.minibatch.batches_per_epoch = 3;
+  cfg.minibatch.fanout = 15;
+  cfg.minibatch.layer_budget = 321;
+  cfg.minibatch.num_clusters = 12;
+  cfg.minibatch.clusters_per_batch = 5;
+  cfg.minibatch.saint_budget = 888;
+  cfg.cagnet_c = 2;
+  return cfg;
+}
+
+void expect_configs_equal(const api::RunConfig& a, const api::RunConfig& b) {
+  EXPECT_EQ(a.method, b.method);
+  EXPECT_EQ(a.custom_method, b.custom_method);
+  EXPECT_EQ(a.dataset.preset, b.dataset.preset);
+  EXPECT_EQ(a.dataset.scale, b.dataset.scale);
+  ASSERT_EQ(a.dataset.custom.has_value(), b.dataset.custom.has_value());
+  if (a.dataset.custom) {
+    const auto& x = *a.dataset.custom;
+    const auto& y = *b.dataset.custom;
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.n, y.n);
+    EXPECT_EQ(x.m, y.m);
+    EXPECT_EQ(x.communities, y.communities);
+    EXPECT_EQ(x.num_classes, y.num_classes);
+    EXPECT_EQ(x.feat_dim, y.feat_dim);
+    EXPECT_EQ(x.p_intra, y.p_intra);
+    EXPECT_EQ(x.degree_skew, y.degree_skew);
+    EXPECT_EQ(x.feature_noise, y.feature_noise);
+    EXPECT_EQ(x.feature_signal, y.feature_signal);
+    EXPECT_EQ(x.label_noise, y.label_noise);
+    EXPECT_EQ(x.multilabel, y.multilabel);
+    EXPECT_EQ(x.labels_per_node, y.labels_per_node);
+    EXPECT_EQ(x.train_frac, y.train_frac);
+    EXPECT_EQ(x.val_frac, y.val_frac);
+    EXPECT_EQ(x.seed, y.seed);
+  }
+  EXPECT_EQ(a.partition.kind, b.partition.kind);
+  EXPECT_EQ(a.partition.nparts, b.partition.nparts);
+  EXPECT_EQ(a.partition.seed, b.partition.seed);
+  EXPECT_EQ(a.trainer.num_layers, b.trainer.num_layers);
+  EXPECT_EQ(a.trainer.hidden, b.trainer.hidden);
+  EXPECT_EQ(a.trainer.model, b.trainer.model);
+  EXPECT_EQ(a.trainer.gat_heads, b.trainer.gat_heads);
+  EXPECT_EQ(a.trainer.dropout, b.trainer.dropout);
+  EXPECT_EQ(a.trainer.lr, b.trainer.lr);
+  EXPECT_EQ(a.trainer.epochs, b.trainer.epochs);
+  EXPECT_EQ(a.trainer.sample_rate, b.trainer.sample_rate);
+  EXPECT_EQ(a.trainer.variant, b.trainer.variant);
+  EXPECT_EQ(a.trainer.unbiased_scaling, b.trainer.unbiased_scaling);
+  EXPECT_EQ(a.trainer.eval_every, b.trainer.eval_every);
+  EXPECT_EQ(a.trainer.seed, b.trainer.seed);
+  EXPECT_EQ(a.trainer.cost.latency_s, b.trainer.cost.latency_s);
+  EXPECT_EQ(a.trainer.cost.bytes_per_s, b.trainer.cost.bytes_per_s);
+  EXPECT_EQ(a.trainer.simulate_host_swap, b.trainer.simulate_host_swap);
+  EXPECT_EQ(a.trainer.overlap, b.trainer.overlap);
+  EXPECT_EQ(a.comm.overlap, b.comm.overlap);
+  EXPECT_EQ(a.minibatch.lr, b.minibatch.lr);
+  EXPECT_EQ(a.minibatch.batch_size, b.minibatch.batch_size);
+  EXPECT_EQ(a.minibatch.batches_per_epoch, b.minibatch.batches_per_epoch);
+  EXPECT_EQ(a.minibatch.fanout, b.minibatch.fanout);
+  EXPECT_EQ(a.minibatch.layer_budget, b.minibatch.layer_budget);
+  EXPECT_EQ(a.minibatch.num_clusters, b.minibatch.num_clusters);
+  EXPECT_EQ(a.minibatch.clusters_per_batch, b.minibatch.clusters_per_batch);
+  EXPECT_EQ(a.minibatch.saint_budget, b.minibatch.saint_budget);
+  EXPECT_EQ(a.cagnet_c, b.cagnet_c);
+}
+
+TEST(ConfigJson, RoundTripIsExact) {
+  const api::RunConfig original = sample_config();
+  const api::RunConfig parsed =
+      api::run_config_from_json_string(api::to_json_string(original));
+  expect_configs_equal(original, parsed);
+}
+
+TEST(ConfigJson, DefaultsRoundTrip) {
+  const api::RunConfig parsed =
+      api::run_config_from_json_string(api::to_json_string(api::RunConfig{}));
+  expect_configs_equal(api::RunConfig{}, parsed);
+}
+
+TEST(ConfigJson, MinimalDocumentKeepsDefaults) {
+  // Hand-written configs spell out only what they change.
+  const api::RunConfig cfg = api::run_config_from_json_string(
+      R"({"method": "graph-saint", "trainer": {"epochs": 3}})");
+  EXPECT_EQ(cfg.method, api::Method::kGraphSaint);
+  EXPECT_EQ(cfg.trainer.epochs, 3);
+  const api::RunConfig defaults;
+  EXPECT_EQ(cfg.trainer.hidden, defaults.trainer.hidden);
+  EXPECT_EQ(cfg.partition.nparts, defaults.partition.nparts);
+  EXPECT_EQ(cfg.comm.overlap, defaults.comm.overlap);
+}
+
+TEST(ConfigJson, UnregisteredMethodNameBecomesCustom) {
+  const api::RunConfig cfg = api::run_config_from_json_string(
+      R"({"method": "my-experimental-method"})");
+  EXPECT_EQ(cfg.method, api::Method::kCustom);
+  EXPECT_EQ(cfg.custom_method, "my-experimental-method");
+  EXPECT_THROW((void)api::resolve_method(cfg), CheckError);
+}
+
+TEST(ConfigJson, ReplayReproducesARunExactly) {
+  // The artifact promise: a config serialized next to a report replays to
+  // the identical run (observer aside, everything that matters round-trips).
+  api::RunConfig cfg;
+  SyntheticSpec spec;
+  spec.n = 600;
+  spec.m = 5000;
+  spec.communities = 4;
+  spec.num_classes = 4;
+  spec.feat_dim = 8;
+  spec.seed = 33;
+  cfg.dataset.custom = spec;
+  cfg.partition.nparts = 3;
+  cfg.trainer.num_layers = 2;
+  cfg.trainer.hidden = 16;
+  cfg.trainer.epochs = 4;
+  cfg.trainer.sample_rate = 0.5f;
+  cfg.comm.overlap = true;
+
+  const api::RunReport first = api::run(cfg);
+  const api::RunConfig replayed =
+      api::run_config_from_json_string(api::to_json_string(cfg));
+  const api::RunReport second = api::run(replayed);
+  EXPECT_EQ(first.train_loss, second.train_loss);
+  EXPECT_EQ(first.final_val, second.final_val);
+  EXPECT_EQ(first.final_test, second.final_test);
 }
 
 TEST(Json, ParserRejectsGarbage) {
