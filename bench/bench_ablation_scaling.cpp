@@ -18,11 +18,9 @@ int main(int argc, char** argv) {
   bench::print_banner("Ablation", "unbiased 1/p feature rescaling");
   bench::ReportSink sink("Ablation: 1/p rescaling", opts);
 
-  auto [ds, trainer] = bench::load_preset("products", 0.2 * opts.scale);
-  const auto part = metis_like(ds.graph, 8);
-  api::RunConfig rcfg;
-  rcfg.method = api::Method::kBns;
-  rcfg.trainer = trainer;
+  const auto pr = bench::load_preset("products", 0.2 * opts.scale);
+  api::RunConfig rcfg = pr.config(api::Method::kBns);
+  rcfg.partition.nparts = 8;
   rcfg.trainer.epochs = opts.epochs_or(100);
 
   std::printf("%-10s %16s %16s\n", "p", "scaled acc %", "unscaled acc %");
@@ -30,13 +28,13 @@ int main(int argc, char** argv) {
     rcfg.trainer.sample_rate = p;
     rcfg.trainer.unbiased_scaling = true;
     const double scaled =
-        100.0 * sink.add(bench::label("products scaled p=%.2f", p),
-                         api::run(ds, part, rcfg))
+        100.0 * sink.add(bench::label("products scaled p=%.2f", p), rcfg,
+                         api::run(pr.ds, rcfg))
                     .final_test;
     rcfg.trainer.unbiased_scaling = false;
     const double unscaled =
-        100.0 * sink.add(bench::label("products unscaled p=%.2f", p),
-                         api::run(ds, part, rcfg))
+        100.0 * sink.add(bench::label("products unscaled p=%.2f", p), rcfg,
+                         api::run(pr.ds, rcfg))
                     .final_test;
     std::printf("%-10.2f %16.2f %16.2f\n", p, scaled, unscaled);
   }

@@ -12,11 +12,11 @@ int main(int argc, char** argv) {
   const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Figure 3", "boundary/inner ratio distribution, 192 parts");
 
-  const auto [ds, trainer] = bench::load_preset("papers", opts.scale);
+  const auto pr = bench::load_preset("papers", opts.scale);
   api::PartitionSpec pspec;
   pspec.nparts = 192;
-  const auto part = api::make_partition(ds.graph, pspec);
-  const auto stats = compute_stats(ds.graph, part);
+  const auto part = api::cached_partition(pr.ds.graph, pspec);
+  const auto stats = compute_stats(pr.ds.graph, *part);
 
   std::vector<double> ratios;
   for (PartId i = 0; i < 192; ++i) ratios.push_back(stats.ratio(i));

@@ -13,20 +13,18 @@ using namespace bnsgcn;
 void run_dataset(const char* title, const char* preset, double scale,
                  const std::vector<PartId>& parts,
                  const api::BenchOptions& opts, bench::ReportSink& sink) {
-  auto [ds, trainer] = bench::load_preset(preset, scale);
+  const auto pr = bench::load_preset(preset, scale);
   std::printf("\n--- %s ---\n", title);
   std::printf("%-8s %-8s %12s %12s %12s %12s %10s\n", "parts", "p",
               "compute(s)", "comm(s)", "reduce(s)", "epoch(s)", "comm%");
-  api::RunConfig rcfg;
-  rcfg.method = api::Method::kBns;
-  rcfg.trainer = trainer;
+  api::RunConfig rcfg = pr.config(api::Method::kBns);
   rcfg.trainer.epochs = opts.epochs_or(5);
   for (const PartId m : parts) {
-    const auto part = metis_like(ds.graph, m);
+    rcfg.partition.nparts = m; // partitioned once, cached across the p-sweep
     for (const float p : {1.0f, 0.1f, 0.01f}) {
       rcfg.trainer.sample_rate = p;
       const auto& r = sink.add(bench::label("%s m=%d p=%.2f", preset, m, p),
-                               api::run(ds, part, rcfg));
+                               rcfg, api::run(pr.ds, rcfg));
       const auto e = r.mean_epoch();
       std::printf("%-8d %-8.2f %12.4f %12.4f %12.4f %12.4f %9.1f%%\n", m, p,
                   e.compute_s, e.comm_s, e.reduce_s, e.total_s(),

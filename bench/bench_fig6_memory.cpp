@@ -13,22 +13,20 @@ using namespace bnsgcn;
 void run_dataset(const char* title, const char* preset, double scale,
                  const std::vector<PartId>& parts,
                  const api::BenchOptions& opts, bench::ReportSink& sink) {
-  auto [ds, trainer] = bench::load_preset(preset, scale);
+  const auto pr = bench::load_preset(preset, scale);
   std::printf("\n--- %s ---\n", title);
   std::printf("%-8s", "parts");
   for (const float p : {0.5f, 0.1f, 0.01f}) std::printf("   p=%-6.2f", p);
   std::printf("  (memory reduction vs p=1)\n");
-  api::RunConfig rcfg;
-  rcfg.method = api::Method::kBns;
-  rcfg.trainer = trainer;
+  api::RunConfig rcfg = pr.config(api::Method::kBns);
   rcfg.trainer.epochs = opts.epochs_or(4);
   for (const PartId m : parts) {
-    const auto part = metis_like(ds.graph, m);
+    rcfg.partition.nparts = m; // partitioned once, cached across the p-sweep
     std::printf("%-8d", m);
     for (const float p : {0.5f, 0.1f, 0.01f}) {
       rcfg.trainer.sample_rate = p;
       const auto& r = sink.add(bench::label("%s m=%d p=%.2f", preset, m, p),
-                               api::run(ds, part, rcfg));
+                               rcfg, api::run(pr.ds, rcfg));
       std::printf("   %7.1f%%", 100.0 * r.memory.reduction_vs_full());
     }
     std::printf("\n");

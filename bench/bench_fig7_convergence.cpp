@@ -12,12 +12,10 @@ using namespace bnsgcn;
 void run_dataset(const char* title, const char* preset, double scale,
                  PartId parts, const api::BenchOptions& opts,
                  bench::ReportSink& sink) {
-  auto [ds, trainer] = bench::load_preset(preset, scale);
+  const auto pr = bench::load_preset(preset, scale);
   std::printf("\n--- %s (%d partitions) ---\n", title, parts);
-  const auto part = metis_like(ds.graph, parts);
-  api::RunConfig rcfg;
-  rcfg.method = api::Method::kBns;
-  rcfg.trainer = trainer;
+  api::RunConfig rcfg = pr.config(api::Method::kBns);
+  rcfg.partition.nparts = parts; // partitioned once, cached across p
   rcfg.trainer.epochs = opts.epochs_or(100);
   rcfg.trainer.eval_every = std::max(1, rcfg.trainer.epochs / 12);
 
@@ -25,8 +23,8 @@ void run_dataset(const char* title, const char* preset, double scale,
   std::vector<std::vector<core::EvalPoint>> curves;
   for (const float p : {1.0f, 0.1f, 0.01f, 0.0f}) {
     rcfg.trainer.sample_rate = p;
-    curves.push_back(sink.add(bench::label("%s p=%.2f", preset, p),
-                              api::run(ds, part, rcfg))
+    curves.push_back(sink.add(bench::label("%s p=%.2f", preset, p), rcfg,
+                              api::run(pr.ds, rcfg))
                          .curve);
     std::printf("  p=%-8.2f", p);
   }

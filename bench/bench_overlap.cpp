@@ -20,7 +20,8 @@ using namespace bnsgcn;
 void run_dataset(const char* title, const char* preset, double scale,
                  const std::vector<PartId>& parts,
                  const api::BenchOptions& opts, bench::ReportSink& sink) {
-  auto [ds, trainer] = bench::load_preset(preset, scale);
+  const auto pr = bench::load_preset(preset, scale);
+  const Dataset& ds = pr.ds;
   std::printf("\n--- %s (n=%d, avg deg %.1f) ---\n", title, ds.num_nodes(),
               ds.graph.average_degree());
   // "saved" compares the overlapped run against its own blocking-equivalent
@@ -32,13 +33,11 @@ void run_dataset(const char* title, const char* preset, double scale,
   std::printf("%-24s %10s %10s %9s %8s\n", "config", "block s/ep",
               "ovlp s/ep", "saved", "hidden");
 
-  api::RunConfig base;
-  base.method = api::Method::kBns;
-  base.trainer = trainer;
+  api::RunConfig base = pr.config(api::Method::kBns);
   base.trainer.epochs = opts.epochs_or(5); // throughput measurement only
 
   for (const PartId m : parts) {
-    const auto part = metis_like(ds.graph, m);
+    base.partition.nparts = m; // partitioned once, cached for all 4 runs
     for (const float p : {1.0f, 0.1f}) {
       auto cfg = base;
       cfg.trainer.sample_rate = p;
@@ -46,12 +45,12 @@ void run_dataset(const char* title, const char* preset, double scale,
       cfg.comm.overlap = false;
       const auto blocking = sink.add(
           bench::label("%s m=%d p=%.2f blocking", preset, m, p), cfg,
-          api::run(ds, part, cfg));
+          api::run(ds, cfg));
 
       cfg.comm.overlap = true;
       const auto overlapped = sink.add(
           bench::label("%s m=%d p=%.2f overlap", preset, m, p), cfg,
-          api::run(ds, part, cfg));
+          api::run(ds, cfg));
 
       const double tb = blocking.epoch_time_s();
       const double to = overlapped.epoch_time_s();

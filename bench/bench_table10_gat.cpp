@@ -11,23 +11,24 @@ using namespace bnsgcn;
 void run_dataset(const char* title, const char* preset, double scale,
                  std::uint64_t seed, const api::BenchOptions& opts,
                  bench::ReportSink& sink) {
-  const auto [ds, trainer] = bench::load_preset(preset, scale);
+  const auto pr = bench::load_preset(preset, scale);
   api::RunConfig rcfg;
   rcfg.method = api::Method::kBns;
+  rcfg.dataset = pr.spec;
+  rcfg.partition.nparts = 10; // partitioned once, cached across p
   rcfg.trainer.model = core::ModelKind::kGat;
   rcfg.trainer.gat_heads = 2;
   rcfg.trainer.num_layers = 2;
   rcfg.trainer.hidden = 32;
   rcfg.trainer.epochs = opts.epochs_or(5);
   rcfg.trainer.seed = seed;
-  const auto part = metis_like(ds.graph, 10);
 
   std::printf("\n--- %s ---\n", title);
   double base = 0.0;
   for (const float p : {1.0f, 0.1f, 0.01f, 0.0f}) {
     rcfg.trainer.sample_rate = p;
-    const auto r = sink.add(bench::label("%s gat p=%.2f", preset, p),
-                            api::run(ds, part, rcfg));
+    const auto r = sink.add(bench::label("%s gat p=%.2f", preset, p), rcfg,
+                            api::run(pr.ds, rcfg));
     const double t = r.mean_epoch().total_s();
     if (p == 1.0f) base = t;
     std::printf("BNS-GAT (p=%-4.2f)  epoch %8.4fs   speedup %5.2fx\n", p, t,

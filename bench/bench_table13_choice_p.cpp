@@ -30,16 +30,14 @@ int main(int argc, char** argv) {
     std::printf(" %8.1f", p);
   std::printf("\n");
   for (auto& row : rows) {
-    const auto part = metis_like(row.run.ds.graph, row.parts);
-    api::RunConfig rcfg;
-    rcfg.method = api::Method::kBns;
-    rcfg.trainer = row.run.trainer;
+    api::RunConfig rcfg = row.run.config(api::Method::kBns);
+    rcfg.partition.nparts = row.parts; // partitioned once, cached across p
     rcfg.trainer.epochs = opts.epochs_or(100);
     std::printf("%-26s", row.name.c_str());
     for (const float p : {0.1f, 0.3f, 0.5f, 0.8f, 1.0f}) {
       rcfg.trainer.sample_rate = p;
-      const auto r = sink.add(bench::label("%s p=%.1f", row.preset, p),
-                              api::run(row.run.ds, part, rcfg));
+      const auto r = sink.add(bench::label("%s p=%.1f", row.preset, p), rcfg,
+                              api::run(row.run.ds, rcfg));
       std::printf(" %8.2f", 100.0 * r.final_test);
     }
     std::printf("\n");

@@ -10,7 +10,8 @@ int main(int argc, char** argv) {
   const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Table 1", "boundary vs inner nodes, 10-way partition");
 
-  const auto [ds, trainer] = bench::load_preset("reddit", opts.scale);
+  const auto pr = bench::load_preset("reddit", opts.scale);
+  const Dataset& ds = pr.ds;
   std::printf("dataset: %s  n=%d  arcs=%lld  avg deg=%.1f\n\n",
               ds.name.c_str(), ds.num_nodes(),
               static_cast<long long>(ds.graph.num_arcs()),
@@ -18,8 +19,8 @@ int main(int argc, char** argv) {
 
   api::PartitionSpec pspec;
   pspec.nparts = 10;
-  const auto part = api::make_partition(ds.graph, pspec);
-  const auto stats = compute_stats(ds.graph, part);
+  const auto part = api::cached_partition(ds.graph, pspec);
+  const auto stats = compute_stats(ds.graph, *part);
 
   std::printf("%-10s %12s %17s %18s\n", "Partition", "# Inner", "# Boundary",
               "Boundary/Inner");

@@ -12,8 +12,12 @@ int main(int argc, char** argv) {
   const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Table 2", "empirical feature-approximation variance");
 
-  const auto [ds, trainer] = bench::load_preset("products", 0.2 * opts.scale);
-  const auto part = metis_like(ds.graph, 8);
+  const auto pr = bench::load_preset("products", 0.2 * opts.scale);
+  const Dataset& ds = pr.ds;
+  api::PartitionSpec pspec;
+  pspec.nparts = 8;
+  const auto part_ptr = api::cached_partition(ds.graph, pspec);
+  const Partitioning& part = *part_ptr;
 
   std::printf("%-6s %10s %12s %12s %12s %12s\n", "p", "budget", "BNS",
               "LADIES", "FastGCN", "GraphSAGE");

@@ -13,11 +13,11 @@ int main(int argc, char** argv) {
                       "total train time + accuracy vs samplers (products)");
   bench::ReportSink sink("Table 5", opts);
 
-  auto [ds, trainer] = bench::load_preset("products", 0.2 * opts.scale);
-  trainer.epochs = opts.epochs_or(80);
+  auto pr = bench::load_preset("products", 0.2 * opts.scale);
+  const Dataset& ds = pr.ds;
+  pr.trainer.epochs = opts.epochs_or(80);
 
-  api::RunConfig bcfg;
-  bcfg.trainer = trainer;
+  api::RunConfig bcfg = pr.config();
   bcfg.minibatch.batch_size = std::max<NodeId>(256, ds.num_nodes() / 16);
   bcfg.minibatch.batches_per_epoch = 4;
   bcfg.minibatch.clusters_per_batch = 6; // ClusterGCN needs decent coverage
@@ -29,20 +29,18 @@ int main(int argc, char** argv) {
     bcfg.method = m;
     const auto& info = api::method_info(m);
     const auto& r =
-        sink.add(bench::label("products %s", info.name.c_str()),
+        sink.add(bench::label("products %s", info.name.c_str()), bcfg,
                  api::run(ds, bcfg));
     std::printf("%-24s %16.2f %12.2f\n", info.display.c_str(), r.wall_time_s,
                 100.0 * r.final_test);
   }
 
-  api::RunConfig rcfg;
-  rcfg.method = api::Method::kBns;
-  rcfg.trainer = trainer;
-  const auto part = metis_like(ds.graph, 10);
+  api::RunConfig rcfg = pr.config(api::Method::kBns);
+  rcfg.partition.nparts = 10; // partitioned once, cached across p
   for (const float p : {1.0f, 0.1f, 0.01f}) {
     rcfg.trainer.sample_rate = p;
-    const auto& r = sink.add(bench::label("products bns p=%.2f", p),
-                             api::run(ds, part, rcfg));
+    const auto& r = sink.add(bench::label("products bns p=%.2f", p), rcfg,
+                             api::run(ds, rcfg));
     // Simulated total (compute + modeled comm/reduce + sampling), so the
     // BNS rows carry their full interconnect cost just as the baselines
     // carry their full sampling cost.

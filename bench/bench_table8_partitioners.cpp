@@ -13,10 +13,9 @@ using namespace bnsgcn;
 void run_dataset(const char* title, const char* preset, double scale,
                  PartId parts, const api::BenchOptions& opts,
                  bench::ReportSink& sink) {
-  auto [ds, trainer] = bench::load_preset(preset, scale);
-  api::RunConfig rcfg;
-  rcfg.method = api::Method::kBns;
-  rcfg.trainer = trainer;
+  const auto pr = bench::load_preset(preset, scale);
+  const Dataset& ds = pr.ds;
+  api::RunConfig rcfg = pr.config(api::Method::kBns);
   rcfg.trainer.epochs = opts.epochs_or(5);
   std::printf("\n--- %s (%d partitions) ---\n", title, parts);
   std::printf("%-10s %14s %12s %16s\n", "partition", "throughput x",
@@ -26,16 +25,19 @@ void run_dataset(const char* title, const char* preset, double scale,
     pspec.kind = metis ? api::PartitionSpec::Kind::kMetis
                        : api::PartitionSpec::Kind::kRandom;
     pspec.nparts = parts;
-    pspec.seed = trainer.seed;
-    const auto part = api::make_partition(ds.graph, pspec);
-    const auto stats = compute_stats(ds.graph, part);
+    pspec.seed = pr.trainer.seed;
+    // The stats need the Partitioning itself; going through the cache
+    // means the two api::run calls below hit instead of re-partitioning.
+    const auto part = api::cached_partition(ds.graph, pspec);
+    const auto stats = compute_stats(ds.graph, *part);
     const char* kind = metis ? "metis" : "random";
+    rcfg.partition = pspec;
     rcfg.trainer.sample_rate = 1.0f;
-    const auto full = sink.add(bench::label("%s %s p=1", preset, kind),
-                               api::run(ds, part, rcfg));
+    const auto full = sink.add(bench::label("%s %s p=1", preset, kind), rcfg,
+                               api::run(ds, rcfg));
     rcfg.trainer.sample_rate = 0.1f;
-    const auto bns = sink.add(bench::label("%s %s p=0.1", preset, kind),
-                              api::run(ds, part, rcfg));
+    const auto bns = sink.add(bench::label("%s %s p=0.1", preset, kind), rcfg,
+                              api::run(ds, rcfg));
     std::printf("%-10s %13.1fx %11.2fx %16lld\n", metis ? "METIS" : "Random",
                 bns.throughput_eps() / full.throughput_eps(),
                 bns.memory.max_model_bytes() /

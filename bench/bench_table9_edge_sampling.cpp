@@ -31,26 +31,30 @@ float matched_edge_rate(const Dataset& ds, const Partitioning& part, float p,
 void run_dataset(const char* title, const char* preset, double scale,
                  PartId parts, const api::BenchOptions& opts,
                  bench::ReportSink& sink) {
-  auto [ds, trainer] = bench::load_preset(preset, scale);
-  const auto part = metis_like(ds.graph, parts);
+  const auto pr = bench::load_preset(preset, scale);
+  const Dataset& ds = pr.ds;
+  api::PartitionSpec pspec;
+  pspec.nparts = parts;
+  // matched_edge_rate needs the Partitioning itself; the cache then serves
+  // the three training runs below without re-partitioning.
+  const auto part = api::cached_partition(ds.graph, pspec);
   const float p = 0.1f;
-  const float q_bes = matched_edge_rate(ds, part, p, true);
-  const float q_de = matched_edge_rate(ds, part, p, false);
+  const float q_bes = matched_edge_rate(ds, *part, p, true);
+  const float q_de = matched_edge_rate(ds, *part, p, false);
   std::printf("\n--- %s (%d partitions; matched edge drop: BES q=%.3f, "
               "DropEdge q=%.3f) ---\n", title, parts, q_bes, q_de);
   std::printf("%-12s %18s %14s %12s\n", "method", "epoch comm (MB)",
               "epoch time (s)", "score %");
 
-  api::RunConfig rcfg;
-  rcfg.method = api::Method::kBns;
-  rcfg.trainer = trainer;
+  api::RunConfig rcfg = pr.config(api::Method::kBns);
+  rcfg.partition = pspec;
   rcfg.trainer.epochs = opts.epochs_or(80);
   const auto row = [&](const char* name, core::SamplingVariant variant,
                        float rate) {
     rcfg.trainer.variant = variant;
     rcfg.trainer.sample_rate = rate;
     const auto r = sink.add(bench::label("%s %s q=%.3f", preset, name, rate),
-                            api::run(ds, part, rcfg));
+                            rcfg, api::run(ds, rcfg));
     const auto e = r.mean_epoch();
     std::printf("%-12s %18.2f %14.4f %12.2f\n", name,
                 bench::mb(e.feature_bytes), e.total_s(),

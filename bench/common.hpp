@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "api/cli.hpp"
+#include "api/partition_cache.hpp"
 #include "api/presets.hpp"
 #include "api/run.hpp"
 #include "api/serialize.hpp"
@@ -45,17 +46,32 @@ template <typename... Args>
 }
 
 /// A registry dataset at bench scale together with its registered trainer
-/// config — the starting point of most benches.
+/// config — the starting point of most benches. Carries the DatasetSpec
+/// `ds` was built from so every RunConfig the bench records names its
+/// dataset exactly (the replayable-artifact contract, docs/BENCHMARKS.md).
 struct PresetRun {
+  api::DatasetSpec spec;
   Dataset ds;
   core::TrainerConfig trainer;
+
+  /// A RunConfig pre-filled with this preset's dataset spec and trainer —
+  /// partition/sampling knobs are the bench's to set. Runs built from it
+  /// replay from the artifact alone via api::run_config_from_json.
+  [[nodiscard]] api::RunConfig config(
+      api::Method method = api::Method::kBns) const {
+    api::RunConfig cfg;
+    cfg.method = method;
+    cfg.dataset = spec;
+    cfg.trainer = trainer;
+    return cfg;
+  }
 };
 
 inline PresetRun load_preset(const char* name, double scale) {
   api::DatasetSpec spec;
   spec.preset = name;
   spec.scale = scale;
-  return {api::make_dataset(spec), api::preset_trainer_config(name)};
+  return {spec, api::make_dataset(spec), api::preset_trainer_config(name)};
 }
 
 /// Collects a bench's labeled runs and, when --json <path> was given,

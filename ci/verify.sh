@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verify: docs link check, then configure, build everything
-# (library, 21 benches, 4 examples, 27 test binaries) and run the full
-# test suite — including test_overlap, the blocking-vs-overlapped
-# bit-parity gate of the async fabric (run once more by name so a
-# regression there is called out explicitly).
+# (library, benches, examples, test binaries) and run the full test
+# suite — including test_overlap, the blocking-vs-overlapped bit-parity
+# gate of the async fabric (run once more by name so a regression there
+# is called out explicitly) — then the artifact replay gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,3 +19,13 @@ cmake -B build -S . "${GENERATOR[@]}"
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 ctest --test-dir build --output-on-failure -R test_overlap
+
+# Replay gate: every artifact row records its RunConfig; re-running one
+# must reproduce the recorded deterministic metrics exactly
+# (docs/BENCHMARKS.md "JSON artifact schema"). Record a small sweep, then
+# replay its first row in a fresh process.
+REPLAY_ARTIFACT=build/replay_gate_artifact.json
+rm -f "$REPLAY_ARTIFACT"
+./build/bench/bench_table13_choice_p --scale 0.2 --epochs 3 \
+  --json "$REPLAY_ARTIFACT" > /dev/null
+./build/bench/bench_replay "$REPLAY_ARTIFACT" --rows 1

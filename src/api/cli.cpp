@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/partition_cache.hpp"
+
 namespace bnsgcn::api {
 
 namespace {
@@ -31,11 +33,14 @@ bool parse_int(const std::string& s, int& out) {
 
 std::string bench_usage(const std::string& argv0) {
   return "usage: " + argv0 +
-         " [--scale <x>] [--epochs <n>] [--json <path>]\n"
+         " [--scale <x>] [--epochs <n>] [--json <path>]"
+         " [--part-cache <dir>]\n"
          "  --scale <x>   dataset size multiplier (default 1.0; 2-4 gives\n"
          "                closer-to-paper shapes, <1 is a quick smoke run)\n"
          "  --epochs <n>  override every run's epoch count\n"
-         "  --json <path> write the bench's runs as a JSON artifact\n";
+         "  --json <path> write the bench's runs as a JSON artifact\n"
+         "  --part-cache <dir> persist partitionings to <dir> and reuse\n"
+         "                them across bench processes\n";
 }
 
 std::optional<BenchOptions> try_parse_bench_args(
@@ -80,6 +85,16 @@ std::optional<BenchOptions> try_parse_bench_args(
       opts.json_path = *v;
       continue;
     }
+    if (arg == "--part-cache") {
+      const std::string* v = value("--part-cache");
+      if (v == nullptr) return std::nullopt;
+      if (v->empty()) {
+        error = "--part-cache needs a directory";
+        return std::nullopt;
+      }
+      opts.part_cache_dir = *v;
+      continue;
+    }
     error = "unknown argument '" + arg + "'";
     return std::nullopt;
   }
@@ -90,7 +105,14 @@ BenchOptions parse_bench_args(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   std::string error;
   const auto opts = try_parse_bench_args(args, error);
-  if (opts) return *opts;
+  if (opts) {
+    if (!opts->part_cache_dir.empty()) {
+      PartitionCacheConfig cache_cfg;
+      cache_cfg.disk_dir = opts->part_cache_dir;
+      configure_partition_cache(std::move(cache_cfg));
+    }
+    return *opts;
+  }
   const std::string usage = bench_usage(argc > 0 ? argv[0] : "bench");
   if (error == "help") {
     std::printf("%s", usage.c_str());

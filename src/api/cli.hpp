@@ -8,14 +8,18 @@ namespace bnsgcn::api {
 
 /// Shared command-line options of the bench binaries (replaces the old
 /// undocumented BNSGCN_BENCH_SCALE environment variable):
-///   --scale <x>   multiply dataset sizes (default 1.0; 2-4 approaches
-///                 closer-to-paper shapes)
-///   --epochs <n>  override every run's epoch count (smoke-testing knob)
-///   --json <path> also write the bench's runs as a JSON artifact
+///   --scale <x>       multiply dataset sizes (default 1.0; 2-4 approaches
+///                     closer-to-paper shapes)
+///   --epochs <n>      override every run's epoch count (smoke-testing knob)
+///   --json <path>     also write the bench's runs as a JSON artifact
+///   --part-cache <dir> persist computed partitionings to <dir> and reuse
+///                     them across bench processes (partition cache disk
+///                     store; the in-memory cache is always on)
 struct BenchOptions {
   double scale = 1.0;
   std::optional<int> epochs;
-  std::string json_path;  // empty = no artifact
+  std::string json_path;        // empty = no artifact
+  std::string part_cache_dir;   // empty = in-memory cache only
 
   /// Epoch count for a bench section that defaults to `fallback`.
   [[nodiscard]] int epochs_or(int fallback) const {
@@ -32,7 +36,9 @@ struct BenchOptions {
 [[nodiscard]] std::string bench_usage(const std::string& argv0);
 
 /// Bench-main convenience: parse argv; on --help print usage and exit(0),
-/// on bad input print the error to stderr and exit(2).
+/// on bad input print the error to stderr and exit(2). When --part-cache
+/// was given, also points the global partition cache at that directory
+/// (the one side effect — try_parse_bench_args has none).
 [[nodiscard]] BenchOptions parse_bench_args(int argc, char** argv);
 
 } // namespace bnsgcn::api

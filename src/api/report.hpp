@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "api/partition_cache.hpp"
 #include "core/memory_model.hpp"
 #include "core/trainer.hpp"
 
@@ -32,6 +33,11 @@ struct RunReport {
   std::vector<core::EpochBreakdown> epochs;
   core::MemoryReport memory;               // empty for minibatch methods
   double wall_time_s = 0.0;                // measured end-to-end wall time
+  /// What this run's partition lookup cost (delta of the global cache's
+  /// counters around it): misses=1 means the partitioner actually ran,
+  /// hits=1 or disk_hits=1 means it was served. All-zero for methods
+  /// without a partition and for the explicit-Partitioning run overload.
+  PartitionCacheStats partition_cache;
 
   /// Trained epoch count. Falls back to the breakdown count for custom
   /// methods that don't track losses.

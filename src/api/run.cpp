@@ -1,5 +1,6 @@
 #include "api/run.hpp"
 
+#include "api/partition_cache.hpp"
 #include "common/check.hpp"
 #include "core/proxies.hpp"
 #include "partition/metis_like.hpp"
@@ -9,8 +10,15 @@ namespace bnsgcn::api {
 Partitioning make_partition(const Csr& graph, const PartitionSpec& spec) {
   BNSGCN_CHECK_MSG(spec.nparts >= 1, "partition spec needs nparts >= 1");
   switch (spec.kind) {
-    case PartitionSpec::Kind::kMetis:
-      return metis_like(graph, spec.nparts);
+    case PartitionSpec::Kind::kMetis: {
+      // The spec seed must reach the partitioner: dropping it here made
+      // every kMetis spec collapse onto MetisLikeOptions' fixed default,
+      // so seed sweeps silently reused one partition (and the cache key,
+      // which includes the seed, would have lied about what was computed).
+      MetisLikeOptions opts;
+      opts.seed = spec.seed;
+      return metis_like(graph, spec.nparts, opts);
+    }
     case PartitionSpec::Kind::kRandom: {
       Rng rng(spec.seed);
       return random_partition(graph.n, spec.nparts, rng);
@@ -164,8 +172,12 @@ RunReport run(const Dataset& ds, const RunConfig& cfg) {
   const MethodInfo& info = resolve_method(cfg);
   if (!info.needs_partition)
     return finish(info.runner(ds, nullptr, cfg), info, ds);
-  const Partitioning part = make_partition(ds.graph, cfg.partition);
-  return finish(info.runner(ds, &part, cfg), info, ds);
+  PartitionCacheStats lookup;
+  const std::shared_ptr<const Partitioning> part =
+      partition_cache().get(ds.graph, cfg.partition, &lookup);
+  RunReport report = finish(info.runner(ds, part.get(), cfg), info, ds);
+  report.partition_cache = lookup;
+  return report;
 }
 
 RunReport run(const RunConfig& cfg) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "api/partition_spec.hpp"
 #include "api/presets.hpp"
 #include "api/report.hpp"
 #include "baselines/minibatch.hpp"
@@ -29,17 +30,6 @@ enum class Method {
   kGraphSaint,        // subgraph sampling via degree-weighted node budget
   kCustom,
 };
-
-/// How to partition the graph for partition-parallel methods.
-struct PartitionSpec {
-  enum class Kind { kMetis, kRandom, kHash, kBfs } kind = Kind::kMetis;
-  PartId nparts = 1;
-  std::uint64_t seed = 1;  // kRandom / kBfs only
-};
-
-/// Materialize a partitioning per the spec.
-[[nodiscard]] Partitioning make_partition(const Csr& graph,
-                                          const PartitionSpec& spec);
 
 /// Communication-fabric knobs shared by the partition-parallel methods
 /// (BNS, the ROC proxy, and — where applicable — the CAGNET proxy).
@@ -108,14 +98,19 @@ void register_method(MethodInfo info);
 
 /// Run `cfg` end to end: build the dataset from cfg.dataset, partition per
 /// cfg.partition (when the method needs one), train, and return the
-/// unified report.
+/// unified report. Partitioning goes through the process-global partition
+/// cache (api/partition_cache.hpp): sweeping many configs over one
+/// (graph, spec) pays for the partitioner once, and
+/// RunReport::partition_cache records what this run hit.
 [[nodiscard]] RunReport run(const RunConfig& cfg);
 
-/// Same, over a prebuilt dataset (partition still built per cfg.partition).
+/// Same, over a prebuilt dataset (partition still built per cfg.partition,
+/// through the cache).
 [[nodiscard]] RunReport run(const Dataset& ds, const RunConfig& cfg);
 
-/// Same, over a prebuilt dataset and partitioning — the hot loop form for
-/// benches that sweep sampling rates over one partitioning.
+/// Same, over a prebuilt dataset and partitioning — for callers that
+/// construct partitionings outside the spec vocabulary. Bypasses the
+/// partition cache (the caller owns `part`).
 [[nodiscard]] RunReport run(const Dataset& ds, const Partitioning& part,
                             const RunConfig& cfg);
 

@@ -86,6 +86,12 @@ json::Value to_json(const RunReport& r) {
   v.set("epochs", std::move(epochs));
   v.set("memory", to_json(r.memory));
   v.set("wall_time_s", r.wall_time_s);
+  json::Value pc = json::Value::object();
+  pc.set("hits", r.partition_cache.hits);
+  pc.set("disk_hits", r.partition_cache.disk_hits);
+  pc.set("misses", r.partition_cache.misses);
+  pc.set("evictions", r.partition_cache.evictions);
+  v.set("partition_cache", std::move(pc));
   // Derived headline numbers, for consumers that only want the summary.
   json::Value derived = json::Value::object();
   derived.set("throughput_eps", r.throughput_eps());
@@ -112,6 +118,13 @@ RunReport run_report_from_json(const json::Value& v) {
     r.epochs.push_back(breakdown_from_json(e));
   r.memory = memory_from_json(v.at("memory"));
   r.wall_time_s = v.at("wall_time_s").as_double();
+  // Absent in artifacts written before the partition cache existed.
+  if (const auto* pc = v.get("partition_cache")) {
+    r.partition_cache.hits = pc->at("hits").as_int64();
+    r.partition_cache.disk_hits = pc->at("disk_hits").as_int64();
+    r.partition_cache.misses = pc->at("misses").as_int64();
+    r.partition_cache.evictions = pc->at("evictions").as_int64();
+  }
   // "derived" is intentionally not read back: it is recomputed from the
   // stored fields by the accessors.
   return r;

@@ -4,15 +4,25 @@
 
 namespace bnsgcn::core {
 
+namespace {
+
+/// Range-check the rate *before* the delegating constructor hands it to
+/// make_planner: an out-of-range rate must never reach a planner (whose
+/// 1/rate scaling and Bernoulli draws assume [0, 1]).
+const BoundarySampler::Options& validated(const BoundarySampler::Options& o) {
+  BNSGCN_CHECK(o.rate >= 0.0f && o.rate <= 1.0f);
+  return o;
+}
+
+} // namespace
+
 BoundarySampler::BoundarySampler(const LocalGraph& lg, const Options& opts)
     : BoundarySampler(
           lg,
-          make_planner(opts.variant,
+          make_planner(validated(opts).variant,
                        {.rate = opts.rate,
                         .unbiased_scaling = opts.unbiased_scaling}),
-          opts) {
-  BNSGCN_CHECK(opts.rate >= 0.0f && opts.rate <= 1.0f);
-}
+          opts) {}
 
 BoundarySampler::BoundarySampler(const LocalGraph& lg,
                                  std::unique_ptr<EpochPlanner> planner,

@@ -1,0 +1,74 @@
+#include "graph/fingerprint.hpp"
+
+#include <cstdio>
+
+namespace bnsgcn {
+
+namespace {
+
+/// One 64-bit mixing lane (splitmix64-style finalizer folded into a
+/// running state). Written from first principles, like Rng, so the value
+/// is identical across standard libraries and platforms.
+struct Lane {
+  std::uint64_t h;
+
+  explicit Lane(std::uint64_t seed) : h(seed) {}
+
+  void mix(std::uint64_t x) {
+    x *= 0x9E3779B97F4A7C15ULL;
+    x ^= x >> 32;
+    h ^= x;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 29;
+  }
+
+  [[nodiscard]] std::uint64_t finish() const {
+    std::uint64_t x = h;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+  }
+};
+
+} // namespace
+
+std::string GraphFingerprint::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+GraphFingerprint fingerprint(const Csr& g) {
+  // Two independently seeded lanes over the same stream: a 128-bit value
+  // makes accidental collisions across a cache's lifetime negligible.
+  Lane a(0x8F2D1A6B'C3E47051ULL ^ kFingerprintVersion);
+  Lane b(0x1B873593'CC9E2D51ULL ^ kFingerprintVersion);
+  const auto feed = [&](std::uint64_t x) {
+    a.mix(x);
+    b.mix(~x);
+  };
+
+  // Length-prefix every section so (offsets, nbrs) boundaries cannot
+  // alias: e.g. shrinking offsets while growing nbrs changes the prefix.
+  feed(static_cast<std::uint64_t>(g.n));
+  feed(g.offsets.size());
+  for (const EdgeId o : g.offsets) feed(static_cast<std::uint64_t>(o));
+  feed(g.nbrs.size());
+  // Pack two 32-bit neighbor ids per mix step: halves the multiply count
+  // on the dominant array without weakening sensitivity (each id still
+  // lands in a distinct bit range of the word).
+  std::size_t i = 0;
+  for (; i + 1 < g.nbrs.size(); i += 2) {
+    feed((static_cast<std::uint64_t>(static_cast<std::uint32_t>(g.nbrs[i]))
+          << 32) |
+         static_cast<std::uint32_t>(g.nbrs[i + 1]));
+  }
+  if (i < g.nbrs.size())
+    feed(static_cast<std::uint64_t>(static_cast<std::uint32_t>(g.nbrs[i])));
+
+  return {a.finish(), b.finish()};
+}
+
+} // namespace bnsgcn

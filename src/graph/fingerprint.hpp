@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace bnsgcn {
+
+/// 128-bit structural fingerprint of a Csr graph: a fast, deterministic
+/// hash over (n, offsets, nbrs). Two graphs with the same fingerprint are
+/// treated as structurally identical by the partition cache; any mutation
+/// of the adjacency (added/removed arc, renumbered node) changes it.
+///
+/// The value is stable across processes and runs (pure function of the
+/// arrays, no pointers or ASLR involved), which is what lets an on-disk
+/// partition store be keyed by it. It is *not* stable across changes to
+/// the hash function itself — bump kFingerprintVersion when the mixing
+/// changes so stale disk entries key differently instead of colliding.
+struct GraphFingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const GraphFingerprint&,
+                         const GraphFingerprint&) = default;
+
+  /// 32 lowercase hex chars (hi then lo) — filename-safe.
+  [[nodiscard]] std::string hex() const;
+};
+
+inline constexpr std::uint32_t kFingerprintVersion = 1;
+
+/// Hash the graph's structure. O(n + m), word-at-a-time mixing; far
+/// cheaper than any partitioner, so callers can fingerprint on every
+/// cache lookup instead of tracking graph identity themselves.
+[[nodiscard]] GraphFingerprint fingerprint(const Csr& g);
+
+} // namespace bnsgcn

@@ -3,45 +3,21 @@
 #include <cstdint>
 #include <fstream>
 
+#include "common/binary_io.hpp"
 #include "common/check.hpp"
 
 namespace bnsgcn {
 
 namespace {
 
+using io::read_pod;
+using io::read_vec;
+using io::write_pod;
+using io::write_vec;
+
 constexpr std::uint32_t kCsrMagic = 0x42475243;     // "CRGB"
 constexpr std::uint32_t kDatasetMagic = 0x42475244; // "DRGB"
 constexpr std::uint32_t kVersion = 1;
-
-template <typename T>
-void write_pod(std::ofstream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::ifstream& is) {
-  T value{};
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  BNSGCN_CHECK_MSG(static_cast<bool>(is), "truncated file");
-  return value;
-}
-
-template <typename T>
-void write_vec(std::ofstream& os, const std::vector<T>& v) {
-  write_pod(os, static_cast<std::uint64_t>(v.size()));
-  os.write(reinterpret_cast<const char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
-
-template <typename T>
-std::vector<T> read_vec(std::ifstream& is) {
-  const auto n = read_pod<std::uint64_t>(is);
-  std::vector<T> v(static_cast<std::size_t>(n));
-  is.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(T)));
-  BNSGCN_CHECK_MSG(static_cast<bool>(is), "truncated file");
-  return v;
-}
 
 void write_matrix(std::ofstream& os, const Matrix& m) {
   write_pod(os, m.rows());

@@ -1,0 +1,42 @@
+#include "partition/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/binary_io.hpp"
+#include "common/check.hpp"
+
+namespace bnsgcn {
+
+namespace {
+
+constexpr std::uint32_t kPartMagic = 0x42475250; // "PRGB"
+constexpr std::uint32_t kVersion = 1;
+
+} // namespace
+
+void save_partitioning(const Partitioning& p, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  BNSGCN_CHECK_MSG(static_cast<bool>(os), "cannot open " + path);
+  io::write_pod(os, kPartMagic);
+  io::write_pod(os, kVersion);
+  io::write_pod(os, p.nparts);
+  io::write_vec(os, p.owner);
+  BNSGCN_CHECK_MSG(static_cast<bool>(os), "write failed: " + path);
+}
+
+Partitioning load_partitioning(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  BNSGCN_CHECK_MSG(static_cast<bool>(is), "cannot open " + path);
+  BNSGCN_CHECK_MSG(io::read_pod<std::uint32_t>(is) == kPartMagic,
+                   "bad magic");
+  BNSGCN_CHECK_MSG(io::read_pod<std::uint32_t>(is) == kVersion,
+                   "bad version");
+  Partitioning p;
+  p.nparts = io::read_pod<PartId>(is);
+  p.owner = io::read_vec<PartId>(is);
+  p.validate();
+  return p;
+}
+
+} // namespace bnsgcn

@@ -202,14 +202,36 @@ TEST(ApiPartition, SpecsProduceValidPartitionings) {
   }
 }
 
+TEST(ApiPartition, MetisSpecSeedReachesThePartitioner) {
+  // Regression: make_partition used to drop PartitionSpec::seed for kMetis
+  // (always calling metis_like with default options), so seed sweeps
+  // silently reused one partition and the cache key would have lied.
+  const Dataset ds = easy_dataset(31);
+  api::PartitionSpec spec;
+  spec.kind = api::PartitionSpec::Kind::kMetis;
+  spec.nparts = 4;
+  spec.seed = 1;
+  const Partitioning a = api::make_partition(ds.graph, spec);
+  spec.seed = 2;
+  const Partitioning b = api::make_partition(ds.graph, spec);
+  EXPECT_NE(a.owner, b.owner); // different seeds → different partitions
+  // And the spec seed maps onto MetisLikeOptions::seed exactly.
+  MetisLikeOptions opts;
+  opts.seed = 2;
+  EXPECT_EQ(b.owner, metis_like(ds.graph, 4, opts).owner);
+}
+
 TEST(ApiCli, ParsesAllFlags) {
   std::string error;
   const auto opts = api::try_parse_bench_args(
-      {"--scale", "2.5", "--epochs", "7", "--json", "/tmp/out.json"}, error);
+      {"--scale", "2.5", "--epochs", "7", "--json", "/tmp/out.json",
+       "--part-cache", "/tmp/part-cache"},
+      error);
   ASSERT_TRUE(opts.has_value()) << error;
   EXPECT_DOUBLE_EQ(opts->scale, 2.5);
   EXPECT_EQ(opts->epochs_or(99), 7);
   EXPECT_EQ(opts->json_path, "/tmp/out.json");
+  EXPECT_EQ(opts->part_cache_dir, "/tmp/part-cache");
 }
 
 TEST(ApiCli, DefaultsAndErrors) {
@@ -226,6 +248,9 @@ TEST(ApiCli, DefaultsAndErrors) {
   EXPECT_FALSE(
       api::try_parse_bench_args({"--epochs", "zero"}, error).has_value());
   EXPECT_FALSE(api::try_parse_bench_args({"--bogus"}, error).has_value());
+  EXPECT_FALSE(api::try_parse_bench_args({"--part-cache"}, error).has_value());
+  EXPECT_FALSE(
+      api::try_parse_bench_args({"--part-cache", ""}, error).has_value());
   EXPECT_FALSE(api::try_parse_bench_args({"--help"}, error).has_value());
   EXPECT_EQ(error, "help");
 }

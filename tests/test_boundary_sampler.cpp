@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "common/check.hpp"
 #include "core/boundary_sampler.hpp"
 #include "graph/generators.hpp"
 #include "nn/layer.hpp"
@@ -49,6 +50,28 @@ TEST(BoundarySampler, FullPlanMatchesLocalGraph) {
   EXPECT_EQ(plan.send_rows, lgs[0].send_sets);
   EXPECT_FLOAT_EQ(plan.halo_scale, 1.0f);
   EXPECT_EQ(plan.dropped_edges, 0);
+}
+
+TEST(BoundarySampler, OutOfRangeRateIsRejectedBeforePlannerConstruction) {
+  // Regression: the delegating constructor used to build the planner from
+  // opts.rate *before* the range check ran, so an invalid rate reached
+  // make_planner (whose 1/rate scaling assumes [0, 1]). The check must
+  // fire first — construction throws and no planner ever sees the value.
+  const auto lgs = two_part_graph(200, 1200, 9, nullptr);
+  using Options = BoundarySampler::Options;
+  EXPECT_THROW(
+      BoundarySampler(lgs[0],
+                      Options{.variant = SamplingVariant::kBns, .rate = 1.5f}),
+      CheckError);
+  EXPECT_THROW(
+      BoundarySampler(lgs[0], Options{.variant = SamplingVariant::kBns,
+                                      .rate = -0.25f}),
+      CheckError);
+  // Boundary values of the valid range still construct.
+  EXPECT_NO_THROW(BoundarySampler(
+      lgs[0], Options{.variant = SamplingVariant::kBns, .rate = 0.0f}));
+  EXPECT_NO_THROW(BoundarySampler(
+      lgs[0], Options{.variant = SamplingVariant::kBns, .rate = 1.0f}));
 }
 
 TEST(BoundarySampler, EmptyPlanDropsEverything) {

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "graph/fingerprint.hpp"
+#include "graph/generators.hpp"
+
+namespace bnsgcn {
+namespace {
+
+Csr sample_graph(std::uint64_t seed = 1, NodeId n = 500, EdgeId m = 3000) {
+  Rng rng(seed);
+  return gen::erdos_renyi(n, m, rng);
+}
+
+TEST(Fingerprint, DeterministicAndCopyStable) {
+  const Csr g = sample_graph();
+  const GraphFingerprint a = fingerprint(g);
+  const GraphFingerprint b = fingerprint(g);
+  EXPECT_EQ(a, b);
+  const Csr copy = g; // value identity, not object identity
+  EXPECT_EQ(fingerprint(copy), a);
+}
+
+TEST(Fingerprint, DifferentGraphsDiffer) {
+  EXPECT_NE(fingerprint(sample_graph(1)), fingerprint(sample_graph(2)));
+  EXPECT_NE(fingerprint(sample_graph(1, 500)),
+            fingerprint(sample_graph(1, 501)));
+}
+
+TEST(Fingerprint, SingleEdgeMutationChangesIt) {
+  const Csr g = sample_graph();
+  CooBuilder b(g.n);
+  bool skipped_one = false;
+  for (NodeId v = 0; v < g.n; ++v) {
+    for (const NodeId u : g.neighbors(v)) {
+      if (u < v) continue; // each undirected edge once
+      if (!skipped_one) {
+        skipped_one = true; // drop exactly one edge
+        continue;
+      }
+      b.add_edge(v, u);
+    }
+  }
+  ASSERT_TRUE(skipped_one);
+  EXPECT_NE(fingerprint(b.build()), fingerprint(g));
+}
+
+TEST(Fingerprint, NeighborOrderIsStructural) {
+  // Same edge set built in a different insertion order: CooBuilder
+  // canonicalizes (sort + dedup), so the fingerprint must agree.
+  const Csr g = sample_graph(3, 200, 1000);
+  CooBuilder fwd(g.n), rev(g.n);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < g.n; ++v)
+    for (const NodeId u : g.neighbors(v))
+      if (u > v) edges.emplace_back(v, u);
+  for (const auto& [v, u] : edges) fwd.add_edge(v, u);
+  for (auto it = edges.rbegin(); it != edges.rend(); ++it)
+    rev.add_edge(it->second, it->first);
+  EXPECT_EQ(fingerprint(fwd.build()), fingerprint(rev.build()));
+}
+
+TEST(Fingerprint, EmptyAndTinyGraphs) {
+  const Csr empty;
+  EXPECT_EQ(fingerprint(empty), fingerprint(Csr{}));
+  CooBuilder b(2);
+  b.add_edge(0, 1);
+  const Csr tiny = b.build();
+  EXPECT_NE(fingerprint(tiny), fingerprint(empty));
+}
+
+TEST(Fingerprint, HexIs32LowercaseChars) {
+  const GraphFingerprint fp = fingerprint(sample_graph());
+  const std::string hex = fp.hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (const char c : hex)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  EXPECT_EQ(GraphFingerprint{}.hex(), std::string(32, '0'));
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "api/partition_cache.hpp"
+#include "api/run.hpp"
+#include "graph/generators.hpp"
+#include "partition/metis_like.hpp"
+
+namespace bnsgcn {
+namespace {
+
+Csr sample_graph(std::uint64_t seed = 1, NodeId n = 600, EdgeId m = 4000) {
+  Rng rng(seed);
+  return gen::erdos_renyi(n, m, rng);
+}
+
+api::PartitionSpec metis_spec(PartId nparts, std::uint64_t seed = 1) {
+  return {.kind = api::PartitionSpec::Kind::kMetis,
+          .nparts = nparts,
+          .seed = seed};
+}
+
+std::string fresh_dir(const char* name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(PartitionCache, RepeatedGetHitsAndSharesTheObject) {
+  api::PartitionCache cache;
+  const Csr g = sample_graph();
+  api::PartitionCacheStats lookup;
+  const auto first = cache.get(g, metis_spec(4), &lookup);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(lookup, (api::PartitionCacheStats{.misses = 1}));
+  const auto second = cache.get(g, metis_spec(4), &lookup);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(lookup, (api::PartitionCacheStats{.hits = 1}));
+  EXPECT_EQ(first.get(), second.get()); // literally the same object
+  // And bit-identical to an uncached compute.
+  EXPECT_EQ(first->owner, api::make_partition(g, metis_spec(4)).owner);
+}
+
+TEST(PartitionCache, EverySpecFieldKeys) {
+  api::PartitionCache cache;
+  const Csr g = sample_graph();
+  (void)cache.get(g, metis_spec(4, 1));
+  (void)cache.get(g, metis_spec(4, 2));   // different seed
+  (void)cache.get(g, metis_spec(5, 1));   // different nparts
+  api::PartitionSpec bfs = metis_spec(4, 1);
+  bfs.kind = api::PartitionSpec::Kind::kBfs; // different kind
+  (void)cache.get(g, bfs);
+  EXPECT_EQ(cache.stats().misses, 4);
+  EXPECT_EQ(cache.stats().hits, 0);
+}
+
+TEST(PartitionCache, MutatedGraphChangesTheKey) {
+  api::PartitionCache cache;
+  const Csr g = sample_graph(3);
+  // kRandom partitioning only reads n, so a same-n structural mutation can
+  // only miss if the *fingerprint* catches it — which is the point.
+  api::PartitionSpec spec;
+  spec.kind = api::PartitionSpec::Kind::kRandom;
+  spec.nparts = 3;
+  (void)cache.get(g, spec);
+  Csr mutated = g;
+  // Append one arc to the last node's list (keeps offsets monotone).
+  mutated.nbrs.push_back(0);
+  mutated.offsets.back()++;
+  (void)cache.get(mutated, spec);
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().hits, 0);
+}
+
+TEST(PartitionCache, LruEvictsTheColdestEntry) {
+  api::PartitionCache cache(
+      {.enabled = true, .capacity = 2, .disk_dir = ""});
+  const Csr g = sample_graph(4);
+  (void)cache.get(g, metis_spec(2));
+  (void)cache.get(g, metis_spec(3));
+  (void)cache.get(g, metis_spec(2)); // refresh 2 → 3 is now coldest
+  (void)cache.get(g, metis_spec(4)); // evicts 3
+  EXPECT_EQ(cache.stats().evictions, 1);
+  (void)cache.get(g, metis_spec(2)); // still resident
+  EXPECT_EQ(cache.stats().hits, 2);
+  (void)cache.get(g, metis_spec(3)); // evicted → recomputed
+  EXPECT_EQ(cache.stats().misses, 4);
+}
+
+TEST(PartitionCache, DiskStoreSurvivesAColdCache) {
+  const std::string dir = fresh_dir("part-cache-disk");
+  const Csr g = sample_graph(5);
+  const auto spec = metis_spec(4, 9);
+
+  api::PartitionCache warm({.enabled = true, .capacity = 8, .disk_dir = dir});
+  const auto computed = warm.get(g, spec);
+  EXPECT_EQ(warm.stats().misses, 1);
+
+  // A different cache instance with the same dir models a new process.
+  api::PartitionCache cold({.enabled = true, .capacity = 8, .disk_dir = dir});
+  const auto loaded = cold.get(g, spec);
+  EXPECT_EQ(cold.stats().disk_hits, 1);
+  EXPECT_EQ(cold.stats().misses, 0);
+  EXPECT_EQ(loaded->nparts, computed->nparts);
+  EXPECT_EQ(loaded->owner, computed->owner); // bit-exact across the disk trip
+  // And both identical to a fresh, uncached metis_like with the spec seed.
+  MetisLikeOptions opts;
+  opts.seed = spec.seed;
+  EXPECT_EQ(loaded->owner, metis_like(g, spec.nparts, opts).owner);
+
+  // Second get in the "new process" is now a memory hit.
+  (void)cold.get(g, spec);
+  EXPECT_EQ(cold.stats().hits, 1);
+}
+
+TEST(PartitionCache, DisabledCacheAlwaysComputes) {
+  api::PartitionCache cache(
+      {.enabled = false, .capacity = 8, .disk_dir = ""});
+  const Csr g = sample_graph(6);
+  const auto a = cache.get(g, metis_spec(3));
+  const auto b = cache.get(g, metis_spec(3));
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_NE(a.get(), b.get());      // distinct objects...
+  EXPECT_EQ(a->owner, b->owner);    // ...same deterministic value
+}
+
+TEST(PartitionCache, KeyStringNamesEveryField) {
+  const GraphFingerprint fp = fingerprint(sample_graph());
+  const std::string key =
+      api::PartitionCache::key_string(fp, metis_spec(8, 42));
+  EXPECT_EQ(key, fp.hex() + "-v1-metis-8-42");
+}
+
+TEST(PartitionCache, HashSeedIsCanonicalized) {
+  // hash_partition ignores the seed, so hash specs differing only in seed
+  // must share one entry (a seed sweep over kHash is one partition, not N).
+  api::PartitionCache cache;
+  const Csr g = sample_graph(7);
+  api::PartitionSpec spec;
+  spec.kind = api::PartitionSpec::Kind::kHash;
+  spec.nparts = 4;
+  spec.seed = 1;
+  (void)cache.get(g, spec);
+  spec.seed = 2;
+  (void)cache.get(g, spec);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+// ---------------------------------------------------------------------------
+// api::run integration (the acceptance criterion): a repeated run over the
+// same (dataset, spec) does zero partitioning work and reports it.
+// ---------------------------------------------------------------------------
+
+TEST(PartitionCacheRun, RepeatedRunDoesZeroPartitioningWork) {
+  api::configure_partition_cache({}); // fresh global cache
+  SyntheticSpec spec;
+  spec.n = 600;
+  spec.m = 5000;
+  spec.communities = 4;
+  spec.num_classes = 4;
+  spec.feat_dim = 8;
+  spec.seed = 41;
+  const Dataset ds = make_synthetic(spec);
+
+  api::RunConfig cfg;
+  cfg.method = api::Method::kBns;
+  cfg.partition.nparts = 3;
+  cfg.trainer.num_layers = 2;
+  cfg.trainer.hidden = 16;
+  cfg.trainer.epochs = 2;
+
+  const api::RunReport first = api::run(ds, cfg);
+  EXPECT_EQ(first.partition_cache.misses, 1);
+  EXPECT_EQ(first.partition_cache.hits, 0);
+
+  const api::RunReport second = api::run(ds, cfg);
+  EXPECT_EQ(second.partition_cache.misses, 0); // zero partitioning work
+  EXPECT_EQ(second.partition_cache.hits, 1);
+  // Identical partition → identical training trajectory.
+  EXPECT_EQ(first.train_loss, second.train_loss);
+
+  // The cached partitioning itself is bit-identical to a fresh compute.
+  const auto cached = api::cached_partition(ds.graph, cfg.partition);
+  EXPECT_EQ(cached->owner, api::make_partition(ds.graph, cfg.partition).owner);
+
+  // Methods without a partition never touch the cache.
+  cfg.method = api::Method::kFullGraph;
+  const api::RunReport full = api::run(ds, cfg);
+  EXPECT_EQ(full.partition_cache, api::PartitionCacheStats{});
+  api::configure_partition_cache({}); // leave no state for other tests
+}
+
+} // namespace
+} // namespace bnsgcn

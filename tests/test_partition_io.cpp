@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "graph/generators.hpp"
+#include "partition/io.hpp"
+#include "partition/metis_like.hpp"
+
+namespace bnsgcn {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TEST(PartitionIo, RoundTripIsBitExact) {
+  Rng rng(5);
+  const Csr g = gen::erdos_renyi(800, 5000, rng);
+  const Partitioning p = metis_like(g, 4);
+  const std::string path = tmp_path("roundtrip.part");
+  save_partitioning(p, path);
+  const Partitioning loaded = load_partitioning(path);
+  EXPECT_EQ(loaded.nparts, p.nparts);
+  EXPECT_EQ(loaded.owner, p.owner);
+}
+
+TEST(PartitionIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_partitioning(tmp_path("does-not-exist.part")),
+               CheckError);
+}
+
+TEST(PartitionIo, BadMagicThrows) {
+  const std::string path = tmp_path("bad-magic.part");
+  std::ofstream(path, std::ios::binary) << "this is not a partitioning";
+  EXPECT_THROW((void)load_partitioning(path), CheckError);
+}
+
+TEST(PartitionIo, TruncatedFileThrows) {
+  Rng rng(6);
+  const Csr g = gen::erdos_renyi(300, 2000, rng);
+  const Partitioning p = metis_like(g, 3);
+  const std::string path = tmp_path("truncated.part");
+  save_partitioning(p, path);
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 2);
+  EXPECT_THROW((void)load_partitioning(path), CheckError);
+}
+
+TEST(PartitionIo, CorruptOwnerFailsValidation) {
+  // An out-of-range owner id must be caught by validate() on load, not
+  // silently handed to a trainer.
+  Partitioning p;
+  p.nparts = 2;
+  p.owner = {0, 1, 0, 1};
+  const std::string path = tmp_path("corrupt.part");
+  save_partitioning(p, path);
+  // Flip one owner byte to an invalid partition id.
+  std::fstream f(path,
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(-static_cast<std::streamoff>(sizeof(PartId)), std::ios::end);
+  const PartId bad = 9;
+  f.write(reinterpret_cast<const char*>(&bad), sizeof(bad));
+  f.close();
+  EXPECT_THROW((void)load_partitioning(path), CheckError);
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -33,6 +33,8 @@ api::RunReport sample_report() {
   r.memory.model_bytes = {1.5e6, 2.25e6};
   r.memory.full_bytes = {2000000, 3000000};
   r.wall_time_s = 0.4375;
+  r.partition_cache = {.hits = 3, .disk_hits = 1, .misses = 2,
+                       .evictions = 1};
   return r;
 }
 
@@ -64,6 +66,7 @@ void expect_reports_equal(const api::RunReport& a, const api::RunReport& b) {
   EXPECT_EQ(a.memory.model_bytes, b.memory.model_bytes);
   EXPECT_EQ(a.memory.full_bytes, b.memory.full_bytes);
   EXPECT_EQ(a.wall_time_s, b.wall_time_s);
+  EXPECT_EQ(a.partition_cache, b.partition_cache);
 }
 
 TEST(ReportJson, RoundTripIsExact) {
@@ -129,6 +132,17 @@ TEST(ReportJson, PreOverlapArtifactsStillParse) {
   v.set("epochs", std::move(epochs));
   const api::RunReport parsed = api::run_report_from_json(v);
   for (const auto& e : parsed.epochs) EXPECT_EQ(e.overlap_s, 0.0);
+}
+
+TEST(ReportJson, PrePartitionCacheArtifactsStillParse) {
+  // Artifacts written before the partition cache existed have no
+  // "partition_cache" object; the reader defaults the counters to zero.
+  json::Value v = api::to_json(sample_report());
+  json::Value stripped = json::Value::object();
+  for (const auto& [key, val] : v.members())
+    if (key != "partition_cache") stripped.set(key, val);
+  const api::RunReport parsed = api::run_report_from_json(stripped);
+  EXPECT_EQ(parsed.partition_cache, api::PartitionCacheStats{});
 }
 
 // ---------------------------------------------------------------------------
