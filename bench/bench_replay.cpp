@@ -59,6 +59,11 @@ bool matches(const api::RunReport& want, const api::RunReport& got) {
       return fail("control_bytes");
     if (got.epochs[i].comm_s != want.epochs[i].comm_s)
       return fail("comm_s");
+    // comm_tail_s is deterministic too, but artifacts written before the
+    // field existed parse it as 0 — only compare when the recording has it.
+    if (want.epochs[i].comm_tail_s != 0.0 &&
+        got.epochs[i].comm_tail_s != want.epochs[i].comm_tail_s)
+      return fail("comm_tail_s");
     if (got.epochs[i].reduce_s != want.epochs[i].reduce_s)
       return fail("reduce_s");
   }

@@ -15,6 +15,10 @@
 #include <utility>
 #include <vector>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 #include "api/cli.hpp"
 #include "api/partition_cache.hpp"
 #include "api/presets.hpp"
@@ -112,6 +116,56 @@ class ReportSink {
     return report;
   }
 
+  /// True when stdout is an interactive terminal — the only place the
+  /// carriage-return progress line makes sense (in a pipe or CI log the
+  /// rewrites would concatenate into garbage, so streaming is skipped).
+  [[nodiscard]] static bool stdout_is_tty() {
+#if defined(_WIN32)
+    return false;
+#else
+    static const bool tty = isatty(fileno(stdout)) != 0;
+    return tty;
+#endif
+  }
+
+  /// Wire a live per-epoch progress printer into cfg's Observer slot:
+  /// "<label>: epoch k/N loss=…" rewritten in place on stdout while the
+  /// run trains (TTY only), erased when it finishes. Long bench tables
+  /// stream instead of going silent until the post-hoc print; any
+  /// observer already set on the config keeps firing after the line.
+  static void stream_progress(api::RunConfig& cfg, std::string label) {
+    if (!stdout_is_tty()) return;
+    const core::EpochObserver prior = cfg.trainer.observer;
+    const int total = cfg.trainer.epochs;
+    cfg.trainer.observer = [prior, total, label = std::move(label)](
+                               const core::EpochSnapshot& s) {
+      std::printf("\r  %-44s epoch %3d/%-3d loss %.4f", label.c_str(),
+                  s.epoch, total, s.train_loss);
+      std::fflush(stdout);
+      if (prior) prior(s);
+    };
+  }
+
+  /// Run `cfg` with stream_progress attached, then record the row exactly
+  /// like add() (the recorded config keeps the caller's observer, so the
+  /// artifact row replays as given).
+  api::RunReport run_streamed(std::string label, api::RunConfig cfg) {
+    return run_streamed_with(std::move(label), std::move(cfg),
+                             [](const api::RunConfig& c) {
+                               return api::run(c);
+                             });
+  }
+
+  /// run_streamed over a prebuilt dataset (the sweep-loop form: the graph
+  /// is built once, the partition comes from the cache).
+  api::RunReport run_streamed(std::string label, const Dataset& ds,
+                              api::RunConfig cfg) {
+    return run_streamed_with(std::move(label), std::move(cfg),
+                             [&ds](const api::RunConfig& c) {
+                               return api::run(ds, c);
+                             });
+  }
+
   /// Write the artifact (called from the destructor; explicit form exists
   /// for benches that want to flush before printing a summary).
   void finish() {
@@ -136,6 +190,19 @@ class ReportSink {
   ~ReportSink() { finish(); }
 
  private:
+  /// Shared body of the run_streamed overloads: attach the progress
+  /// observer, run through `run_fn`, erase the progress line, record.
+  template <typename RunFn>
+  api::RunReport run_streamed_with(std::string label, api::RunConfig cfg,
+                                   RunFn run_fn) {
+    const core::EpochObserver prior = cfg.trainer.observer;
+    stream_progress(cfg, label);
+    api::RunReport report = run_fn(cfg);
+    if (stdout_is_tty()) std::printf("\r%*s\r", 78, "");
+    cfg.trainer.observer = prior;
+    return add(std::move(label), cfg, std::move(report));
+  }
+
   static json::Value make_row(std::string label, const api::RunReport& report,
                               const api::RunConfig* cfg) {
     json::Value row = json::Value::object();

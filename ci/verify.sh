@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verify: docs link check, then configure, build everything
 # (library, benches, examples, test binaries) and run the full test
-# suite — including test_overlap, the blocking-vs-overlapped bit-parity
-# gate of the async fabric (run once more by name so a regression there
-# is called out explicitly) — then the artifact replay gate.
+# suite — including test_overlap, the blocking/bulk/stream three-way
+# bit-parity gate of the async fabric (run once more by name so a
+# regression there is called out explicitly) — then a stream-mode
+# bench_overlap smoke and the artifact replay gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,6 +20,13 @@ cmake -B build -S . "${GENERATOR[@]}"
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 ctest --test-dir build --output-on-failure -R test_overlap
+
+# Stream-mode smoke: bench_overlap runs all three schedules on every
+# Fig. 4 config and exits non-zero when losses diverge across modes or
+# the stream schedule hides measurably less than bulk at >= 8 partitions —
+# the stream mode cannot silently regress to blocking. Output stays in
+# the log: the '!!' lines name the violating dataset/row on failure.
+./build/bench/bench_overlap --scale 0.25 --epochs 3
 
 # Replay gate: every artifact row records its RunConfig; re-running one
 # must reproduce the recorded deterministic metrics exactly

@@ -1,5 +1,7 @@
 #include "api/run.hpp"
 
+#include <algorithm>
+
 #include "api/partition_cache.hpp"
 #include "common/check.hpp"
 #include "core/proxies.hpp"
@@ -44,10 +46,12 @@ RunReport finish(RunReport report, const MethodInfo& info,
 }
 
 /// The engine-level trainer config of a partition-parallel run: the api's
-/// CommSpec folds into the one TrainerConfig knob the engine reads.
+/// CommSpec folds into the one TrainerConfig knob the engine reads. The
+/// two spellings combine by taking the more aggressive schedule (modes
+/// are ordered blocking < bulk < stream), so either knob alone works.
 core::TrainerConfig engine_config(const RunConfig& cfg) {
   core::TrainerConfig tcfg = cfg.trainer;
-  tcfg.overlap = cfg.comm.overlap || cfg.trainer.overlap;
+  tcfg.overlap = std::max(cfg.comm.overlap, cfg.trainer.overlap);
   return tcfg;
 }
 

@@ -34,13 +34,16 @@ enum class Method {
 /// Communication-fabric knobs shared by the partition-parallel methods
 /// (BNS, the ROC proxy, and — where applicable — the CAGNET proxy).
 struct CommSpec {
-  /// Overlap boundary exchanges with the halo-independent compute phases
-  /// (async isend/irecv + split-phase layers; docs/ARCHITECTURE.md §4).
-  /// Results are bit-identical to blocking mode; only the simulated epoch
-  /// time (EpochBreakdown::overlap_s) changes. Safe for every method:
-  /// GAT stacks and the CAGNET dense broadcast fall back to blocking, the
-  /// minibatch baselines have no fabric to overlap.
-  bool overlap = false;
+  /// Boundary-exchange schedule (docs/ARCHITECTURE.md §4): blocking, bulk
+  /// (one wait_all hidden behind the halo-independent compute phase) or
+  /// stream (per-peer progressive folds via comm::RequestSet polling).
+  /// Results are bit-identical across all three modes; only the simulated
+  /// epoch time (EpochBreakdown::overlap_s) changes. Safe for every
+  /// method: SAGE and GAT both run the phased schedule, the CAGNET dense
+  /// broadcast ignores the knob, the minibatch baselines have no fabric
+  /// to overlap. JSON spells modes "blocking" / "bulk" / "stream" and
+  /// still accepts the legacy PR 2 bool (true → bulk).
+  core::OverlapMode overlap = core::OverlapMode::kBlocking;
 };
 
 /// Everything one training run needs: what data, how it is partitioned,

@@ -10,6 +10,7 @@ json::Value to_json(const core::EpochBreakdown& e) {
   v.set("sample_s", e.sample_s);
   v.set("swap_s", e.swap_s);
   v.set("overlap_s", e.overlap_s);
+  v.set("comm_tail_s", e.comm_tail_s);
   v.set("feature_bytes", e.feature_bytes);
   v.set("grad_bytes", e.grad_bytes);
   v.set("control_bytes", e.control_bytes);
@@ -23,8 +24,9 @@ core::EpochBreakdown breakdown_from_json(const json::Value& v) {
   e.reduce_s = v.at("reduce_s").as_double();
   e.sample_s = v.at("sample_s").as_double();
   e.swap_s = v.at("swap_s").as_double();
-  // Absent in artifacts written before the overlap field existed.
+  // Absent in artifacts written before these fields existed.
   if (const auto* o = v.get("overlap_s")) e.overlap_s = o->as_double();
+  if (const auto* t = v.get("comm_tail_s")) e.comm_tail_s = t->as_double();
   e.feature_bytes = v.at("feature_bytes").as_int64();
   e.grad_bytes = v.at("grad_bytes").as_int64();
   e.control_bytes = v.at("control_bytes").as_int64();
@@ -174,6 +176,29 @@ core::SamplingVariant variant_from_name(const std::string& s) {
   return core::SamplingVariant::kBns;
 }
 
+const char* overlap_mode_name(core::OverlapMode m) {
+  switch (m) {
+    case core::OverlapMode::kBlocking: return "blocking";
+    case core::OverlapMode::kBulk: return "bulk";
+    case core::OverlapMode::kStream: return "stream";
+  }
+  return "blocking";
+}
+
+/// Reads both the current string spelling and the PR 2 artifact schema,
+/// where the overlap knob was a bool (true meant the bulk pipeline).
+core::OverlapMode overlap_mode_from_json(const json::Value& f) {
+  if (f.kind() == json::Value::Kind::kBool)
+    return f.as_bool() ? core::OverlapMode::kBulk
+                       : core::OverlapMode::kBlocking;
+  const std::string s = f.as_string();
+  if (s == "blocking") return core::OverlapMode::kBlocking;
+  if (s == "bulk") return core::OverlapMode::kBulk;
+  if (s == "stream") return core::OverlapMode::kStream;
+  BNSGCN_CHECK_MSG(false, "unknown overlap mode: " + s);
+  return core::OverlapMode::kBlocking;
+}
+
 const char* partition_kind_name(PartitionSpec::Kind k) {
   switch (k) {
     case PartitionSpec::Kind::kMetis: return "metis";
@@ -279,7 +304,7 @@ json::Value trainer_to_json(const core::TrainerConfig& t) {
   cost.set("bytes_per_s", t.cost.bytes_per_s);
   v.set("cost", std::move(cost));
   v.set("simulate_host_swap", t.simulate_host_swap);
-  v.set("overlap", t.overlap);
+  v.set("overlap", overlap_mode_name(t.overlap));
   // The per-epoch observer is a process-local callback: not serialized.
   return v;
 }
@@ -306,7 +331,7 @@ core::TrainerConfig trainer_from_json(const json::Value& v) {
     read_if(*c, "bytes_per_s", t.cost.bytes_per_s, as_d);
   }
   read_if(v, "simulate_host_swap", t.simulate_host_swap, as_b);
-  read_if(v, "overlap", t.overlap, as_b);
+  read_if(v, "overlap", t.overlap, overlap_mode_from_json);
   return t;
 }
 
@@ -365,7 +390,7 @@ json::Value to_json(const RunConfig& cfg) {
   v.set("trainer", trainer_to_json(cfg.trainer));
 
   json::Value comm = json::Value::object();
-  comm.set("overlap", cfg.comm.overlap);
+  comm.set("overlap", overlap_mode_name(cfg.comm.overlap));
   v.set("comm", std::move(comm));
 
   v.set("minibatch", minibatch_to_json(cfg.minibatch));
@@ -402,7 +427,7 @@ RunConfig run_config_from_json(const json::Value& v) {
   }
   if (const auto* t = v.get("trainer")) cfg.trainer = trainer_from_json(*t);
   if (const auto* c = v.get("comm"))
-    read_if(*c, "overlap", cfg.comm.overlap, as_b);
+    read_if(*c, "overlap", cfg.comm.overlap, overlap_mode_from_json);
   if (const auto* mb = v.get("minibatch"))
     cfg.minibatch = minibatch_from_json(*mb);
   read_if(v, "cagnet_c", cfg.cagnet_c, as_i);

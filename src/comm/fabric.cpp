@@ -1,6 +1,8 @@
 #include "comm/fabric.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/check.hpp"
 
@@ -117,6 +119,55 @@ void wait_all(std::span<Request> requests) {
   // the stragglers — the usual Waitall progression.
   for (auto& r : requests) (void)r.test();
   for (auto& r : requests) r.wait();
+}
+
+std::size_t RequestSet::add(Request req) {
+  const std::size_t idx = requests_.size();
+  requests_.push_back(std::move(req));
+  reported_.push_back(0);
+  ++pending_;
+  return idx;
+}
+
+std::size_t RequestSet::poll(std::vector<std::size_t>& completed) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    if (reported_[i]) continue;
+    if (requests_[i].test()) {
+      reported_[i] = 1;
+      --pending_;
+      completed.push_back(i);
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t RequestSet::wait_any(std::vector<std::size_t>& completed) {
+  if (pending_ == 0) return 0;
+  for (int empty_passes = 0;; ++empty_passes) {
+    const std::size_t n = poll(completed);
+    if (n > 0) return n;
+    // Nothing landed this pass: let sender threads run. A condvar across
+    // several mailboxes would need fabric-level plumbing, so this polls —
+    // but a bare spin-yield would contend with the ranks still computing
+    // (and inflate their measured compute on oversubscribed hosts), so
+    // after a burst of empty passes back off to a real sleep.
+    if (empty_passes < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void RequestSet::wait_all() {
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    if (reported_[i]) continue;
+    requests_[i].wait();
+    reported_[i] = 1;
+    --pending_;
+  }
 }
 
 PartId Endpoint::nranks() const { return fabric_.nranks(); }

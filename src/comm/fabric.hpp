@@ -201,4 +201,52 @@ class Request {
 /// in the requests for take_floats()/take_ids().
 void wait_all(std::span<Request> requests);
 
+/// Completion set over a batch of requests: wait_any-style progress built
+/// on Request::test(). The streaming halo pipeline posts one irecv per
+/// peer, then drains the set as messages land instead of blocking on a
+/// single MPI_Waitall barrier — poll() is one nonblocking progress pass,
+/// wait_any() blocks until at least one pending request completes.
+///
+/// Completion indices are reported exactly once, in arrival order within a
+/// pass; the caller owns any ordering policy on top (the trainer buffers
+/// arrivals and applies them in fixed peer order for determinism).
+class RequestSet {
+ public:
+  RequestSet() = default;
+  RequestSet(RequestSet&&) = default;
+  RequestSet& operator=(RequestSet&&) = default;
+  RequestSet(const RequestSet&) = delete;
+  RequestSet& operator=(const RequestSet&) = delete;
+
+  /// Append a request; returns its index within the set.
+  std::size_t add(Request req);
+
+  [[nodiscard]] std::size_t size() const { return requests_.size(); }
+  /// Requests not yet observed complete by poll()/wait_any()/wait_all().
+  [[nodiscard]] std::size_t pending() const { return pending_; }
+  [[nodiscard]] bool all_done() const { return pending_ == 0; }
+
+  /// One nonblocking progress pass: test() every pending request, append
+  /// the indices that completed during this pass to `completed` (arrival
+  /// scan order). Returns how many completed this pass.
+  std::size_t poll(std::vector<std::size_t>& completed);
+
+  /// Block until at least one pending request completes (poll loop with a
+  /// cooperative yield — the fabric has no multi-mailbox condvar). Appends
+  /// the newly completed indices; returns the count. No-op returning 0
+  /// when nothing is pending.
+  std::size_t wait_any(std::vector<std::size_t>& completed);
+
+  /// Complete everything still pending (MPI_Waitall over the remainder).
+  void wait_all();
+
+  /// Access a member request (e.g. to take_floats() after completion).
+  [[nodiscard]] Request& at(std::size_t i) { return requests_.at(i); }
+
+ private:
+  std::vector<Request> requests_;
+  std::vector<char> reported_;  // index already handed to the caller
+  std::size_t pending_ = 0;
+};
+
 } // namespace bnsgcn::comm

@@ -85,7 +85,7 @@ comm::RankStats diff_stats(const comm::RankStats& now,
 /// barrier, rank 0 reduces). Guarded purely by the fabric barriers.
 struct EpochScratch {
   std::vector<double> compute_s, comm_s, reduce_s, sample_s, swap_s,
-      overlap_s;
+      overlap_s, tail_s;
   std::vector<std::int64_t> feature_rx, grad_rx, control_rx;
   std::vector<std::int64_t> kept_halo;
   std::vector<double> scalar; // generic slot (loss, metric sums)
@@ -97,6 +97,7 @@ struct EpochScratch {
         sample_s(static_cast<std::size_t>(m)),
         swap_s(static_cast<std::size_t>(m)),
         overlap_s(static_cast<std::size_t>(m)),
+        tail_s(static_cast<std::size_t>(m)),
         feature_rx(static_cast<std::size_t>(m)),
         grad_rx(static_cast<std::size_t>(m)),
         control_rx(static_cast<std::size_t>(m)),
@@ -129,8 +130,10 @@ class RankWorker {
 
     layers_ = build_model(cfg_, ds.feat_dim(), ds.num_classes, ep_.rank());
     // The split-phase schedule is the only training path when every layer
-    // supports it (SAGE); GAT falls back to the assembled exchange because
-    // attention normalizes over the full neighbor set at once.
+    // supports it — SAGE and GAT both do (GAT's attention waits for the
+    // finish call, but its per-head linear transforms phase-split); a
+    // custom layer without split support falls back to the assembled
+    // exchange.
     use_phased_ = std::all_of(
         layers_.begin(), layers_.end(),
         [](const auto& l) { return l->supports_phased(); });
@@ -243,19 +246,31 @@ class RankWorker {
   }
 
   // ---- Pipelined (split-phase) exchange -------------------------------
-  // One in-flight boundary exchange: sends are posted eagerly, receives as
-  // requests; the caller computes the halo-independent phase and folds the
-  // payloads afterwards. In blocking mode wait_all runs right after
-  // posting, in overlap mode only at fold time — the fold itself sits at
-  // the same point of the schedule either way, so both modes execute the
-  // identical fp instruction stream.
+  // One in-flight boundary exchange: sends are posted eagerly, receives
+  // into a completion set; the caller computes the halo-independent phase
+  // and folds the payloads afterwards. The fold always applies peers in
+  // ascending index order (deterministic reduction): blocking waits for
+  // everything right after posting, bulk waits at fold time, stream polls
+  // the set and applies each peer the moment it and every earlier peer
+  // have landed — the fold itself sits at the same point of the schedule
+  // with the same order in every mode, so all three execute the identical
+  // fp instruction stream.
 
   struct PendingExchange {
     std::vector<comm::Request> sends;  // complete on posting (eager)
-    std::vector<PartId> peers;         // peer of recvs[k]
-    std::vector<comm::Request> recvs;
-    double sim_s = 0.0;  // simulated wire time of this exchange
+    std::vector<PartId> peers;         // peer of recvs.at(k)
+    comm::RequestSet recvs;
+    double sim_s = 0.0;   // simulated wire time of the whole exchange
+    double tail_s = 0.0;  // slowest single recv-peer message (sim)
   };
+
+  /// Simulated transfer time of one peer message of `rows` feature rows at
+  /// width d (one message: latency + bytes/bandwidth).
+  [[nodiscard]] double peer_msg_sim_s(std::size_t rows, std::int64_t d) const {
+    return cfg_.cost.latency_s +
+           static_cast<double>(rows) * static_cast<double>(d) *
+               static_cast<double>(sizeof(float)) / cfg_.cost.bytes_per_s;
+  }
 
   /// Simulated seconds this plan's per-layer exchange occupies the wire at
   /// feature width d (same latency+bandwidth law as RankStats::sim_seconds;
@@ -304,9 +319,11 @@ class RankWorker {
           ep_.isend_floats(j, tag, std::move(payload), TrafficClass::kFeature));
     }
     for (PartId j = 0; j < ep_.nranks(); ++j) {
-      if (plan.recv_slots[static_cast<std::size_t>(j)].empty()) continue;
+      const auto& slots = plan.recv_slots[static_cast<std::size_t>(j)];
+      if (slots.empty()) continue;
       px.peers.push_back(j);
-      px.recvs.push_back(ep_.irecv_floats(j, tag, TrafficClass::kFeature));
+      (void)px.recvs.add(ep_.irecv_floats(j, tag, TrafficClass::kFeature));
+      px.tail_s = std::max(px.tail_s, peer_msg_sim_s(slots.size(), d));
     }
     return px;
   }
@@ -322,7 +339,7 @@ class RankWorker {
     for (std::size_t k = 0; k < px.recvs.size(); ++k) {
       const auto& slots =
           plan.recv_slots[static_cast<std::size_t>(px.peers[k])];
-      const auto payload = px.recvs[k].take_floats();
+      const auto payload = px.recvs.at(k).take_floats();
       BNSGCN_CHECK(payload.size() == slots.size() * static_cast<std::size_t>(d));
       for (std::size_t t = 0; t < slots.size(); ++t) {
         float* out = dst.data() +
@@ -357,21 +374,23 @@ class RankWorker {
           ep_.isend_floats(j, tag, std::move(payload), TrafficClass::kFeature));
     }
     for (PartId j = 0; j < ep_.nranks(); ++j) {
-      if (plan.send_rows[static_cast<std::size_t>(j)].empty()) continue;
+      const auto& rows = plan.send_rows[static_cast<std::size_t>(j)];
+      if (rows.empty()) continue;
       px.peers.push_back(j);
-      px.recvs.push_back(ep_.irecv_floats(j, tag, TrafficClass::kFeature));
+      (void)px.recvs.add(ep_.irecv_floats(j, tag, TrafficClass::kFeature));
+      px.tail_s = std::max(px.tail_s, peer_msg_sim_s(rows.size(), d));
     }
     return px;
   }
 
   /// Complete the backward exchange: scatter-add remote contributions into
-  /// the inner-gradient block (same per-peer order as the blocking path).
+  /// the inner-gradient block (same per-peer order as every other path).
   void fold_backward(PendingExchange& px, const EpochPlan& plan,
                      Matrix& dinner) {
     const std::int64_t d = dinner.cols();
     for (std::size_t k = 0; k < px.recvs.size(); ++k) {
       const auto& rows = plan.send_rows[static_cast<std::size_t>(px.peers[k])];
-      const auto payload = px.recvs[k].take_floats();
+      const auto payload = px.recvs.at(k).take_floats();
       BNSGCN_CHECK(payload.size() == rows.size() * static_cast<std::size_t>(d));
       for (std::size_t t = 0; t < rows.size(); ++t) {
         float* dst = dinner.data() + static_cast<std::int64_t>(rows[t]) * d;
@@ -379,6 +398,97 @@ class RankWorker {
         for (std::int64_t c = 0; c < d; ++c) dst[c] += src[c];
       }
     }
+  }
+
+  // ---- Streaming fold engine ------------------------------------------
+  // The heart of OverlapMode::kStream: drain the completion set with
+  // wait_any-style progress and hand each peer's slab to the layer (or
+  // the scatter-add) the moment it AND every lower-indexed peer have
+  // landed. Buffer-then-apply-in-order is what keeps the reduction
+  // deterministic: out-of-order arrivals sit completed in their Request
+  // slot (the wire buffer — see comm::Request) until their turn, so the
+  // numeric fold order is identical to a bulk wait_all, while the fold
+  // *work* of early peers overlaps the transfers still in flight.
+  //
+  // Accounting follows the schedule, not the in-process mailboxes (whose
+  // eager delivery reflects thread-scheduling skew, not wire time — the
+  // same convention PR 2 used for the bulk window): under the simulated
+  // wire, the fold of peer k runs while the transfers of peers k+1.. are
+  // still on the wire, so every fold except the last peer's widens the
+  // overlap window. Both engines return that measured extra window —
+  // always 0 for bulk/blocking, whose wait_all precedes the first apply.
+
+  /// Forward engine: scale each slab and fold it through the layer's
+  /// incremental protocol. Fold work is billed to `compute_acc` (it is
+  /// compute the rank performs in every mode).
+  double stream_fold_forward(PendingExchange& px, const EpochPlan& plan,
+                             nn::Layer& layer, float scale, bool stream,
+                             Accumulator& compute_acc) {
+    double window_s = 0.0;
+    if (!stream) px.recvs.wait_all();
+    const std::size_t n = px.recvs.size();
+    std::vector<char> arrived(n, stream ? 0 : 1);
+    std::vector<std::size_t> ready;
+    for (std::size_t next = 0; next < n;) {
+      if (!arrived[next]) {
+        ready.clear();
+        px.recvs.wait_any(ready);
+        for (const std::size_t i : ready) arrived[i] = 1;
+        continue;
+      }
+      auto payload = px.recvs.at(next).take_floats();
+      const auto& slots =
+          plan.recv_slots[static_cast<std::size_t>(px.peers[next])];
+      Stopwatch sw;
+      {
+        ScopedTimer t(compute_acc);
+        if (scale != 1.0f)
+          for (float& v : payload) v *= scale;
+        layer.forward_halo_fold(plan.adj, slots, payload);
+      }
+      if (stream && next + 1 < n) window_s += sw.elapsed_s();
+      ++next;
+    }
+    return window_s;
+  }
+
+  /// Backward engine: scatter-add each peer's gradient slab into the
+  /// inner block, in fixed peer order (the accumulation order every mode
+  /// shares — fp addition is not associative, so this is load-bearing).
+  double stream_fold_backward(PendingExchange& px, const EpochPlan& plan,
+                              Matrix& dinner, bool stream,
+                              Accumulator& compute_acc) {
+    double window_s = 0.0;
+    if (!stream) px.recvs.wait_all();
+    const std::int64_t d = dinner.cols();
+    const std::size_t n = px.recvs.size();
+    std::vector<char> arrived(n, stream ? 0 : 1);
+    std::vector<std::size_t> ready;
+    for (std::size_t next = 0; next < n;) {
+      if (!arrived[next]) {
+        ready.clear();
+        px.recvs.wait_any(ready);
+        for (const std::size_t i : ready) arrived[i] = 1;
+        continue;
+      }
+      const auto payload = px.recvs.at(next).take_floats();
+      const auto& rows =
+          plan.send_rows[static_cast<std::size_t>(px.peers[next])];
+      BNSGCN_CHECK(payload.size() ==
+                   rows.size() * static_cast<std::size_t>(d));
+      Stopwatch sw;
+      {
+        ScopedTimer t(compute_acc);
+        for (std::size_t t2 = 0; t2 < rows.size(); ++t2) {
+          float* dst = dinner.data() + static_cast<std::int64_t>(rows[t2]) * d;
+          const float* src = payload.data() + t2 * static_cast<std::size_t>(d);
+          for (std::int64_t c = 0; c < d; ++c) dst[c] += src[c];
+        }
+      }
+      if (stream && next + 1 < n) window_s += sw.elapsed_s();
+      ++next;
+    }
+    return window_s;
   }
 
   /// ROC proxy: stage a layer activation block through the host, paying
@@ -421,11 +531,20 @@ class RankWorker {
     ++epochs_run_;
 
     // ---- Forward (Algorithm 1 lines 8-11) -----------------------------
-    // Phased path (SAGE): post the exchange, run the inner-only phase
-    // while rows are in flight, fold, finish. Blocking mode waits right
-    // after posting instead — same instruction stream, no overlap window.
+    // Phased path (SAGE and GAT): post the exchange, run the
+    // halo-independent phase while rows are in flight, then fold each
+    // peer through the streaming engine — blocking waits right after
+    // posting, bulk waits before the first fold, stream polls. Identical
+    // instruction stream in all three; only the waits (and therefore the
+    // overlap window) move.
+    const OverlapMode mode = cfg_.overlap;
     const int L = cfg_.num_layers;
     double overlap_acc = 0.0;
+    double tail_acc = 0.0;
+    // Every layer of the epoch folds through the same compacted adjacency,
+    // so the slot→dst reverse incidence is built once — inside layer 0's
+    // in-flight window — and handed to each layer's phase F2a.
+    nn::HaloIncidence halo_inc;
     std::vector<Matrix> h(static_cast<std::size_t>(L) + 1);
     h[0] = x_local_;
     for (int l = 0; l < L; ++l) {
@@ -434,21 +553,26 @@ class RankWorker {
       if (use_phased_) {
         Matrix& h_in = h[static_cast<std::size_t>(l)];
         PendingExchange px = post_forward(h_in, plan, tag);
-        if (!cfg_.overlap) comm::wait_all(px.recvs);
+        tail_acc += px.tail_s;
+        if (mode == OverlapMode::kBlocking) px.recvs.wait_all();
         if (cfg_.simulate_host_swap) host_swap(h_in);
         Stopwatch inflight;
         {
           ScopedTimer t(compute_acc);
           layer.forward_inner(plan.adj, h_in, /*training=*/true);
+          if (l == 0) halo_inc.build(plan.adj, plan.adj.n_dst);
+          layer.forward_halo_begin(plan.adj, halo_inc);
         }
-        if (cfg_.overlap)
-          overlap_acc += std::min(px.sim_s, inflight.elapsed_s());
-        Matrix halo(plan.n_kept_halo, h_in.cols());
-        fold_forward(px, plan, plan.halo_scale, halo, /*halo_row0=*/0);
+        const double inner_s = inflight.elapsed_s();
+        const double fold_pending_s = stream_fold_forward(
+            px, plan, layer, plan.halo_scale,
+            /*stream=*/mode == OverlapMode::kStream, compute_acc);
+        if (mode != OverlapMode::kBlocking)
+          overlap_acc += std::min(px.sim_s, inner_s + fold_pending_s);
         {
           ScopedTimer t(compute_acc);
           h[static_cast<std::size_t>(l) + 1] =
-              layer.forward_halo(plan.adj, halo, lg_.inv_full_degree);
+              layer.forward_halo_finish(plan.adj, lg_.inv_full_degree);
         }
       } else {
         Matrix feats = exchange_forward(h[static_cast<std::size_t>(l)], plan,
@@ -492,7 +616,8 @@ class RankWorker {
       if (use_phased_) {
         // The halo-gradient rows leave for their owners first; the
         // inner-gradient block is computed while they (and the peers'
-        // contributions to our rows) are on the wire.
+        // contributions to our rows) are on the wire, then each peer's
+        // contribution is scatter-added as it lands (fixed peer order).
         Matrix dhalo;
         {
           ScopedTimer t(compute_acc);
@@ -500,16 +625,20 @@ class RankWorker {
         }
         PendingExchange px =
             post_backward(dhalo, /*halo_row0=*/0, plan, plan.halo_scale, tag);
-        if (!cfg_.overlap) comm::wait_all(px.recvs);
+        tail_acc += px.tail_s;
+        if (mode == OverlapMode::kBlocking) px.recvs.wait_all();
         Stopwatch inflight;
         Matrix dinner;
         {
           ScopedTimer t(compute_acc);
           dinner = layer.backward_inner(plan.adj, lg_.inv_full_degree);
         }
-        if (cfg_.overlap)
-          overlap_acc += std::min(px.sim_s, inflight.elapsed_s());
-        fold_backward(px, plan, dinner);
+        const double inner_s = inflight.elapsed_s();
+        const double fold_pending_s = stream_fold_backward(
+            px, plan, dinner, /*stream=*/mode == OverlapMode::kStream,
+            compute_acc);
+        if (mode != OverlapMode::kBlocking)
+          overlap_acc += std::min(px.sim_s, inner_s + fold_pending_s);
         grad = std::move(dinner);
       } else {
         Matrix dfeats;
@@ -548,6 +677,7 @@ class RankWorker {
     // above the epoch-level max.
     scratch_.overlap_s[static_cast<std::size_t>(r)] =
         std::min(overlap_acc, scratch_.comm_s[static_cast<std::size_t>(r)]);
+    scratch_.tail_s[static_cast<std::size_t>(r)] = tail_acc;
     scratch_.reduce_s[static_cast<std::size_t>(r)] =
         delta_reduce.sim_seconds(TrafficClass::kGradient, cfg_.cost);
     scratch_.swap_s[static_cast<std::size_t>(r)] =
@@ -574,6 +704,7 @@ class RankWorker {
         eb.sample_s = std::max(eb.sample_s, scratch_.sample_s[s]);
         eb.swap_s = std::max(eb.swap_s, scratch_.swap_s[s]);
         eb.overlap_s = std::min(eb.overlap_s, scratch_.overlap_s[s]);
+        eb.comm_tail_s = std::max(eb.comm_tail_s, scratch_.tail_s[s]);
         eb.feature_bytes += scratch_.feature_rx[s];
         eb.grad_bytes += scratch_.grad_rx[s];
         eb.control_bytes += scratch_.control_rx[s];
@@ -660,6 +791,7 @@ EpochBreakdown mean_breakdown(std::span<const EpochBreakdown> epochs) {
     mean.sample_s += e.sample_s;
     mean.swap_s += e.swap_s;
     mean.overlap_s += e.overlap_s;
+    mean.comm_tail_s += e.comm_tail_s;
     mean.feature_bytes += e.feature_bytes;
     mean.grad_bytes += e.grad_bytes;
     mean.control_bytes += e.control_bytes;
@@ -671,6 +803,7 @@ EpochBreakdown mean_breakdown(std::span<const EpochBreakdown> epochs) {
   mean.sample_s /= n;
   mean.swap_s /= n;
   mean.overlap_s /= n;
+  mean.comm_tail_s /= n;
   mean.feature_bytes = static_cast<std::int64_t>(mean.feature_bytes / n);
   mean.grad_bytes = static_cast<std::int64_t>(mean.grad_bytes / n);
   mean.control_bytes = static_cast<std::int64_t>(mean.control_bytes / n);

@@ -15,6 +15,20 @@ namespace bnsgcn::core {
 
 enum class ModelKind { kSage, kGat };
 
+/// How the boundary exchanges are scheduled against compute
+/// (docs/ARCHITECTURE.md §4). All three modes execute the identical fp
+/// schedule — per-peer folds applied in fixed peer order — so results are
+/// bit-exact across modes; the knob only moves where the trainer waits:
+///  - kBlocking: wait for every peer right after posting (no overlap).
+///  - kBulk: one wait_all after the halo-independent compute phase; the
+///    exchange hides behind that single phase (the PR 2 pipeline).
+///  - kStream: poll the completion set (comm::RequestSet) and fold each
+///    peer's slab the moment it — and every earlier peer — has landed, so
+///    the fold of peer k also hides the transfer of peers k+1..; this is
+///    what shaves the slow-peer tail at large partition counts.
+/// Ordered by how much wire time each can hide.
+enum class OverlapMode : int { kBlocking = 0, kBulk = 1, kStream = 2 };
+
 /// Per-epoch timing/traffic breakdown (Fig. 5 / Table 6 quantities).
 /// Times are bulk-synchronous: max over ranks per phase. `compute_s` is
 /// measured wall time of the local math; comm/reduce/swap are simulated
@@ -25,13 +39,24 @@ struct EpochBreakdown {
   double reduce_s = 0.0;  // model-gradient allreduce
   double sample_s = 0.0;  // sampler: draw + index negotiation + compaction
   double swap_s = 0.0;    // ROC proxy only
-  /// Exchange time hidden behind the inner-only compute phases when
+  /// Exchange time hidden behind in-flight compute when
   /// communication–computation overlap is on (TrainerConfig::overlap):
   /// per exchange, min(simulated transfer time, measured in-flight
   /// compute), summed over the epoch's forward+backward exchanges and
   /// taken as the min over ranks (a conservative lower bound on what the
-  /// pipeline hides). Always 0 in blocking mode, and never exceeds comm_s.
+  /// pipeline hides). In bulk mode the in-flight compute is the
+  /// halo-independent phase alone; in stream mode it additionally counts
+  /// the per-peer folds performed while later peers were still on the
+  /// wire, so stream's window is a superset of bulk's. Always 0 in
+  /// blocking mode, and never exceeds comm_s.
   double overlap_s = 0.0;
+  /// Per-peer straggler metric: each exchange's slowest single peer
+  /// message (simulated transfer time), summed over the epoch's exchanges,
+  /// max over ranks. Deterministic (a pure function of the sampled
+  /// exchange sets), unlike overlap_s. This is the long tail the stream
+  /// schedule exists to hide: a bulk wait_all cannot release any fold
+  /// until the comm_tail_s straggler lands.
+  double comm_tail_s = 0.0;
   std::int64_t feature_bytes = 0; // global rx over all ranks
   std::int64_t grad_bytes = 0;
   std::int64_t control_bytes = 0;
@@ -96,17 +121,18 @@ struct TrainerConfig {
   /// Compute-normalized PCIe model by default (see CostModel::scaled_pcie3).
   comm::CostModel cost = comm::CostModel::scaled_pcie3();
 
-  /// Overlap the boundary exchanges with the inner-only halves of each
-  /// layer (docs/ARCHITECTURE.md §4): sends/receives are posted first, the
-  /// halo-independent compute runs while they are in flight, and the halo
-  /// contributions are folded in afterwards. Training results are
-  /// bit-identical to blocking mode — both modes execute the same split
-  /// fp schedule; the knob only moves the wait — so the effect is purely
-  /// EpochBreakdown::overlap_s lowering the simulated epoch time. Layers
-  /// without split support (GAT: attention needs all neighbors at once)
-  /// and the CAGNET proxy (dense broadcast has no halo-free portion) fall
-  /// back to blocking; the knob is safe for every method.
-  bool overlap = false;
+  /// Boundary-exchange schedule (docs/ARCHITECTURE.md §4): blocking, bulk
+  /// (one wait_all hidden behind the halo-independent phase) or stream
+  /// (per-peer progressive folds driven by comm::RequestSet). Training
+  /// results are bit-identical across all three — every mode executes the
+  /// same split fp schedule with folds applied in fixed peer order; the
+  /// knob only moves the waits — so the effect is purely
+  /// EpochBreakdown::overlap_s lowering the simulated epoch time. SAGE
+  /// and GAT both run the phased schedule (GAT's per-head linear
+  /// transforms are its halo-independent phase); the CAGNET proxy ignores
+  /// the knob (a dense broadcast has no halo-free portion), so it is safe
+  /// for every method.
+  OverlapMode overlap = OverlapMode::kBlocking;
 
   /// ROC proxy: stage each layer's inner activations through a host swap
   /// channel (kSwap traffic), reproducing Fig. 1(b)'s CPU-GPU swaps.

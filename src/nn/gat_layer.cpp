@@ -1,5 +1,6 @@
 #include "nn/gat_layer.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/ops.hpp"
@@ -45,6 +46,25 @@ std::vector<Matrix*> GatLayer::grads() {
   return out;
 }
 
+void GatLayer::transform_rows(Head& h, const Matrix& block, NodeId row0) {
+  if (block.rows() == 0) return;
+  const std::int64_t dh = h.w.cols();
+  Matrix tmp(block.rows(), dh);
+  ops::gemm_nn(block, h.w, tmp);
+  std::copy(tmp.data(), tmp.data() + tmp.size(),
+            h.wh.data() + static_cast<std::int64_t>(row0) * dh);
+}
+
+void GatLayer::score_src_rows(Head& h, NodeId row0, NodeId count) {
+  const std::int64_t dh = h.w.cols();
+  for (NodeId u = row0; u < row0 + count; ++u) {
+    const float* row = h.wh.data() + static_cast<std::int64_t>(u) * dh;
+    float acc = 0.0f;
+    for (std::int64_t c = 0; c < dh; ++c) acc += row[c] * h.a_src.data()[c];
+    h.s_src[static_cast<std::size_t>(u)] = acc;
+  }
+}
+
 Matrix GatLayer::forward(const BipartiteCsr& adj, const Matrix& feats,
                          std::span<const float> inv_deg, bool training) {
   (void)inv_deg; // attention renormalizes; see class comment
@@ -52,25 +72,12 @@ Matrix GatLayer::forward(const BipartiteCsr& adj, const Matrix& feats,
   cached_training_ = training;
   feats_cache_ = feats;
 
-  const std::size_t n_entries =
-      static_cast<std::size_t>(adj.num_edges()) +
-      static_cast<std::size_t>(adj.n_dst);
-  Matrix out(adj.n_dst, d_out_);
-
-  for (std::size_t hi = 0; hi < heads_.size(); ++hi) {
-    Head& h = heads_[hi];
+  for (auto& h : heads_) {
     h.wh.resize(adj.n_src, d_head_);
     ops::gemm_nn(feats, h.w, h.wh);
-
     h.s_src.assign(static_cast<std::size_t>(adj.n_src), 0.0f);
+    score_src_rows(h, 0, adj.n_src);
     h.s_dst.assign(static_cast<std::size_t>(adj.n_dst), 0.0f);
-    for (NodeId u = 0; u < adj.n_src; ++u) {
-      const float* row = h.wh.data() + static_cast<std::int64_t>(u) * d_head_;
-      float acc = 0.0f;
-      for (std::int64_t c = 0; c < d_head_; ++c)
-        acc += row[c] * h.a_src.data()[c];
-      h.s_src[static_cast<std::size_t>(u)] = acc;
-    }
     for (NodeId v = 0; v < adj.n_dst; ++v) {
       const float* row = h.wh.data() + static_cast<std::int64_t>(v) * d_head_;
       float acc = 0.0f;
@@ -78,7 +85,18 @@ Matrix GatLayer::forward(const BipartiteCsr& adj, const Matrix& feats,
         acc += row[c] * h.a_dst.data()[c];
       h.s_dst[static_cast<std::size_t>(v)] = acc;
     }
+  }
+  return attention_forward(adj, training);
+}
 
+Matrix GatLayer::attention_forward(const BipartiteCsr& adj, bool training) {
+  const std::size_t n_entries =
+      static_cast<std::size_t>(adj.num_edges()) +
+      static_cast<std::size_t>(adj.n_dst);
+  Matrix out(adj.n_dst, d_out_);
+
+  for (std::size_t hi = 0; hi < heads_.size(); ++hi) {
+    Head& h = heads_[hi];
     h.alpha.assign(n_entries, 0.0f);
     h.slope.assign(n_entries, 0.0f);
 
@@ -130,6 +148,75 @@ Matrix GatLayer::forward(const BipartiteCsr& adj, const Matrix& feats,
   return out;
 }
 
+void GatLayer::forward_inner(const BipartiteCsr& adj,
+                             const Matrix& inner_feats, bool training) {
+  BNSGCN_CHECK(inner_feats.cols() == d_in_);
+  BNSGCN_CHECK(inner_feats.rows() == adj.n_dst);
+  cached_training_ = training;
+  // Assemble the feats cache incrementally: inner block now, one peer slab
+  // per fold. Backward then runs the fused dW GEMM over the identical
+  // matrix the fused forward would have cached.
+  feats_cache_.resize(adj.n_src, d_in_);
+  std::copy(inner_feats.data(), inner_feats.data() + inner_feats.size(),
+            feats_cache_.data());
+  for (auto& h : heads_) {
+    h.wh.resize(adj.n_src, d_head_);
+    transform_rows(h, inner_feats, 0);
+    h.s_src.assign(static_cast<std::size_t>(adj.n_src), 0.0f);
+    score_src_rows(h, 0, adj.n_dst);
+    h.s_dst.assign(static_cast<std::size_t>(adj.n_dst), 0.0f);
+    for (NodeId v = 0; v < adj.n_dst; ++v) {
+      const float* row = h.wh.data() + static_cast<std::int64_t>(v) * d_head_;
+      float acc = 0.0f;
+      for (std::int64_t c = 0; c < d_head_; ++c)
+        acc += row[c] * h.a_dst.data()[c];
+      h.s_dst[static_cast<std::size_t>(v)] = acc;
+    }
+  }
+}
+
+void GatLayer::forward_halo_begin(const BipartiteCsr&,
+                                  const HaloIncidence&) {
+  // The incidence is for aggregation-style folds; GAT's per-peer slabs go
+  // straight through the per-head transform instead.
+}
+
+void GatLayer::forward_halo_fold(const BipartiteCsr& adj,
+                                 std::span<const NodeId> slots,
+                                 std::span<const float> rows) {
+  BNSGCN_CHECK(rows.size() == slots.size() * static_cast<std::size_t>(d_in_));
+  if (slots.empty()) return;
+  // Stage the slab once (contiguous rows), push it through each head's W
+  // — the halo share of the linear transform, done while later peers are
+  // still in flight — and scatter rows to their halo positions.
+  Matrix slab(static_cast<NodeId>(slots.size()), d_in_);
+  std::copy(rows.begin(), rows.end(), slab.data());
+  for (std::size_t t = 0; t < slots.size(); ++t) {
+    const NodeId u = adj.n_dst + slots[t];
+    BNSGCN_CHECK(u >= adj.n_dst && u < adj.n_src);
+    std::copy(rows.data() + t * static_cast<std::size_t>(d_in_),
+              rows.data() + (t + 1) * static_cast<std::size_t>(d_in_),
+              feats_cache_.data() + static_cast<std::int64_t>(u) * d_in_);
+  }
+  for (auto& h : heads_) {
+    Matrix tmp(slab.rows(), d_head_);
+    ops::gemm_nn(slab, h.w, tmp);
+    for (std::size_t t = 0; t < slots.size(); ++t) {
+      const NodeId u = adj.n_dst + slots[t];
+      std::copy(tmp.data() + static_cast<std::int64_t>(t) * d_head_,
+                tmp.data() + static_cast<std::int64_t>(t + 1) * d_head_,
+                h.wh.data() + static_cast<std::int64_t>(u) * d_head_);
+      score_src_rows(h, u, 1);
+    }
+  }
+}
+
+Matrix GatLayer::forward_halo_finish(const BipartiteCsr& adj,
+                                     std::span<const float> inv_deg) {
+  (void)inv_deg; // attention renormalizes; see class comment
+  return attention_forward(adj, cached_training_);
+}
+
 Matrix GatLayer::backward(const BipartiteCsr& adj, const Matrix& dout,
                           std::span<const float> inv_deg) {
   (void)inv_deg;
@@ -144,70 +231,125 @@ Matrix GatLayer::backward(const BipartiteCsr& adj, const Matrix& dout,
   for (std::size_t hi = 0; hi < heads_.size(); ++hi) {
     Head& h = heads_[hi];
     Matrix dwh(adj.n_src, d_head_);
-    std::vector<float> ds_src(static_cast<std::size_t>(adj.n_src), 0.0f);
-    std::vector<float> ds_dst(static_cast<std::size_t>(adj.n_dst), 0.0f);
-
-    for (NodeId v = 0; v < adj.n_dst; ++v) {
-      const auto nb = adj.neighbors(v);
-      const std::size_t base = entry_offset(adj, v);
-      const std::size_t cnt = nb.size() + 1;
-      const float* gv = g.data() + static_cast<std::int64_t>(v) * d_out_ +
-                        static_cast<std::int64_t>(hi) * d_head_;
-
-      // dα_vu = <g_v, Wh_u>; also the α·g contribution to dWh_u.
-      float dot_sum = 0.0f; // Σ_k α_vk dα_vk for softmax backward
-      // First pass: compute dα and accumulate α-weighted dWh.
-      // (store dα temporarily in a small stack buffer)
-      std::vector<float> dalpha(cnt);
-      for (std::size_t i = 0; i < cnt; ++i) {
-        const NodeId u = (i < nb.size()) ? nb[i] : v;
-        const float* whu =
-            h.wh.data() + static_cast<std::int64_t>(u) * d_head_;
-        float da = 0.0f;
-        for (std::int64_t c = 0; c < d_head_; ++c) da += gv[c] * whu[c];
-        dalpha[i] = da;
-        dot_sum += h.alpha[base + i] * da;
-        float* t = dwh.data() + static_cast<std::int64_t>(u) * d_head_;
-        const float a = h.alpha[base + i];
-        for (std::int64_t c = 0; c < d_head_; ++c) t[c] += a * gv[c];
-      }
-      // Softmax + LeakyReLU backward into the score sums.
-      for (std::size_t i = 0; i < cnt; ++i) {
-        const NodeId u = (i < nb.size()) ? nb[i] : v;
-        const float de =
-            h.alpha[base + i] * (dalpha[i] - dot_sum) * h.slope[base + i];
-        ds_src[static_cast<std::size_t>(u)] += de;
-        ds_dst[static_cast<std::size_t>(v)] += de;
-      }
-    }
-
-    // s_src[u] = <Wh_u, a_src> → da_src = Whᵀ ds_src; dWh_u += ds_src[u]·a_src
-    for (NodeId u = 0; u < adj.n_src; ++u) {
-      const float d = ds_src[static_cast<std::size_t>(u)];
-      if (d == 0.0f) continue;
-      const float* whu = h.wh.data() + static_cast<std::int64_t>(u) * d_head_;
-      float* t = dwh.data() + static_cast<std::int64_t>(u) * d_head_;
-      for (std::int64_t c = 0; c < d_head_; ++c) {
-        h.da_src.data()[c] += d * whu[c];
-        t[c] += d * h.a_src.data()[c];
-      }
-    }
-    for (NodeId v = 0; v < adj.n_dst; ++v) {
-      const float d = ds_dst[static_cast<std::size_t>(v)];
-      if (d == 0.0f) continue;
-      const float* whv = h.wh.data() + static_cast<std::int64_t>(v) * d_head_;
-      float* t = dwh.data() + static_cast<std::int64_t>(v) * d_head_;
-      for (std::int64_t c = 0; c < d_head_; ++c) {
-        h.da_dst.data()[c] += d * whv[c];
-        t[c] += d * h.a_dst.data()[c];
-      }
-    }
-
+    attention_backward_head(adj, g, hi, dwh);
     // Wh = feats·W → dW += featsᵀ·dWh; dfeats += dWh·Wᵀ
     ops::gemm_tn(feats_cache_, dwh, h.dw, 1.0f, 1.0f);
     ops::gemm_nt(dwh, h.w, dfeats, 1.0f, 1.0f);
   }
   return dfeats;
+}
+
+void GatLayer::attention_backward_head(const BipartiteCsr& adj,
+                                       const Matrix& g, std::size_t hi,
+                                       Matrix& dwh) {
+  Head& h = heads_[hi];
+  std::vector<float> ds_src(static_cast<std::size_t>(adj.n_src), 0.0f);
+  std::vector<float> ds_dst(static_cast<std::size_t>(adj.n_dst), 0.0f);
+
+  for (NodeId v = 0; v < adj.n_dst; ++v) {
+    const auto nb = adj.neighbors(v);
+    const std::size_t base = entry_offset(adj, v);
+    const std::size_t cnt = nb.size() + 1;
+    const float* gv = g.data() + static_cast<std::int64_t>(v) * d_out_ +
+                      static_cast<std::int64_t>(hi) * d_head_;
+
+    // dα_vu = <g_v, Wh_u>; also the α·g contribution to dWh_u.
+    float dot_sum = 0.0f; // Σ_k α_vk dα_vk for softmax backward
+    // First pass: compute dα and accumulate α-weighted dWh.
+    // (store dα temporarily in a small stack buffer)
+    std::vector<float> dalpha(cnt);
+    for (std::size_t i = 0; i < cnt; ++i) {
+      const NodeId u = (i < nb.size()) ? nb[i] : v;
+      const float* whu =
+          h.wh.data() + static_cast<std::int64_t>(u) * d_head_;
+      float da = 0.0f;
+      for (std::int64_t c = 0; c < d_head_; ++c) da += gv[c] * whu[c];
+      dalpha[i] = da;
+      dot_sum += h.alpha[base + i] * da;
+      float* t = dwh.data() + static_cast<std::int64_t>(u) * d_head_;
+      const float a = h.alpha[base + i];
+      for (std::int64_t c = 0; c < d_head_; ++c) t[c] += a * gv[c];
+    }
+    // Softmax + LeakyReLU backward into the score sums.
+    for (std::size_t i = 0; i < cnt; ++i) {
+      const NodeId u = (i < nb.size()) ? nb[i] : v;
+      const float de =
+          h.alpha[base + i] * (dalpha[i] - dot_sum) * h.slope[base + i];
+      ds_src[static_cast<std::size_t>(u)] += de;
+      ds_dst[static_cast<std::size_t>(v)] += de;
+    }
+  }
+
+  // s_src[u] = <Wh_u, a_src> → da_src = Whᵀ ds_src; dWh_u += ds_src[u]·a_src
+  for (NodeId u = 0; u < adj.n_src; ++u) {
+    const float d = ds_src[static_cast<std::size_t>(u)];
+    if (d == 0.0f) continue;
+    const float* whu = h.wh.data() + static_cast<std::int64_t>(u) * d_head_;
+    float* t = dwh.data() + static_cast<std::int64_t>(u) * d_head_;
+    for (std::int64_t c = 0; c < d_head_; ++c) {
+      h.da_src.data()[c] += d * whu[c];
+      t[c] += d * h.a_src.data()[c];
+    }
+  }
+  for (NodeId v = 0; v < adj.n_dst; ++v) {
+    const float d = ds_dst[static_cast<std::size_t>(v)];
+    if (d == 0.0f) continue;
+    const float* whv = h.wh.data() + static_cast<std::int64_t>(v) * d_head_;
+    float* t = dwh.data() + static_cast<std::int64_t>(v) * d_head_;
+    for (std::int64_t c = 0; c < d_head_; ++c) {
+      h.da_dst.data()[c] += d * whv[c];
+      t[c] += d * h.a_dst.data()[c];
+    }
+  }
+}
+
+Matrix GatLayer::backward_halo(const BipartiteCsr& adj, const Matrix& dout,
+                               std::span<const float> inv_deg) {
+  (void)inv_deg;
+  BNSGCN_CHECK(dout.rows() == adj.n_dst && dout.cols() == d_out_);
+  // Everything the wire needs runs before the gradient exchange is
+  // posted: activation backward, the attention backward (dWh per head,
+  // cached for B2), and the halo-source input gradients. The fused dW
+  // GEMMs and the inner gradients wait for backward_inner — they feed
+  // nothing until the epoch-end allreduce / the next layer down.
+  Matrix g = dout;
+  if (cached_training_ && !dropout_mask_.empty())
+    ops::dropout_backward(g, dropout_mask_);
+  if (opts_.relu) ops::relu_backward(g, relu_mask_);
+
+  const NodeId n_halo = adj.n_src - adj.n_dst;
+  Matrix dhalo(n_halo, d_in_);
+  for (std::size_t hi = 0; hi < heads_.size(); ++hi) {
+    Head& h = heads_[hi];
+    h.dwh.resize(adj.n_src, d_head_); // zero-filled accumulation target
+    attention_backward_head(adj, g, hi, h.dwh);
+    if (n_halo == 0) continue;
+    // The halo row range of dWh·Wᵀ, per head in order — bit-identical to
+    // the fused gemm_nt's rows because each output row is independent.
+    Matrix tmp(n_halo, d_head_);
+    std::copy(h.dwh.data() + static_cast<std::int64_t>(adj.n_dst) * d_head_,
+              h.dwh.data() + static_cast<std::int64_t>(adj.n_src) * d_head_,
+              tmp.data());
+    ops::gemm_nt(tmp, h.w, dhalo, 1.0f, 1.0f);
+  }
+  return dhalo;
+}
+
+Matrix GatLayer::backward_inner(const BipartiteCsr& adj,
+                                std::span<const float> inv_deg) {
+  (void)inv_deg;
+  Matrix dinner(adj.n_dst, d_in_);
+  for (auto& h : heads_) {
+    // Wh = feats·W → dW += featsᵀ·dWh, over the assembled feats cache —
+    // the identical fused GEMM, deferred into the in-flight window.
+    ops::gemm_tn(feats_cache_, h.dwh, h.dw, 1.0f, 1.0f);
+    Matrix tmp(adj.n_dst, d_head_);
+    std::copy(h.dwh.data(),
+              h.dwh.data() + static_cast<std::int64_t>(adj.n_dst) * d_head_,
+              tmp.data());
+    ops::gemm_nt(tmp, h.w, dinner, 1.0f, 1.0f);
+  }
+  return dinner;
 }
 
 } // namespace bnsgcn::nn

@@ -31,6 +31,33 @@ class GatLayer final : public Layer {
   Matrix backward(const BipartiteCsr& adj, const Matrix& dout,
                   std::span<const float> inv_deg) override;
 
+  // Split-phase protocol (see Layer). Attention itself needs the full
+  // neighbor set at once, but the per-head linear transforms Wh and the
+  // score projections are per-row: phase F1 transforms the inner block,
+  // each per-peer fold transforms that peer's halo slab the moment it
+  // lands, and only the attention softmax waits for the finish call. The
+  // row-split GEMMs reproduce the fused forward bit-for-bit (gemm_nn is
+  // row-independent), so entering the phased schedule changes no GAT
+  // numerics. Backward: B1 runs activation+attention backward and emits
+  // the halo-source input gradients for the wire; B2 computes dW (from the
+  // cached assembled feats, one fused GEMM) and the inner input gradients
+  // while the gradient exchange is in flight.
+  [[nodiscard]] bool supports_phased() const override { return true; }
+  void forward_inner(const BipartiteCsr& adj, const Matrix& inner_feats,
+                     bool training) override;
+  void forward_halo_begin(const BipartiteCsr& adj,
+                          const HaloIncidence& inc) override;
+  void forward_halo_fold(const BipartiteCsr& adj,
+                         std::span<const NodeId> slots,
+                         std::span<const float> rows) override;
+  [[nodiscard]] Matrix forward_halo_finish(
+      const BipartiteCsr& adj, std::span<const float> inv_deg) override;
+  [[nodiscard]] Matrix backward_halo(const BipartiteCsr& adj,
+                                     const Matrix& dout,
+                                     std::span<const float> inv_deg) override;
+  [[nodiscard]] Matrix backward_inner(
+      const BipartiteCsr& adj, std::span<const float> inv_deg) override;
+
   std::vector<Matrix*> params() override;
   std::vector<Matrix*> grads() override;
 
@@ -49,6 +76,7 @@ class GatLayer final : public Layer {
     std::vector<float> slope;   // LeakyReLU derivative per entry
     std::vector<float> s_src;   // n_src
     std::vector<float> s_dst;   // n_dst
+    Matrix dwh;                 // backward split: (n_src, d_head), B1→B2
   };
 
   /// Entry offset of dst v in the per-edge arrays (each dst owns deg+1
@@ -58,6 +86,24 @@ class GatLayer final : public Layer {
     return static_cast<std::size_t>(
         adj.offsets[static_cast<std::size_t>(v)] + v);
   }
+
+  /// The attention forward over fully-assembled per-head wh/s caches:
+  /// shared by the fused forward and forward_halo_finish so the two paths
+  /// are the same code (and therefore bitwise identical).
+  [[nodiscard]] Matrix attention_forward(const BipartiteCsr& adj,
+                                         bool training);
+  /// The attention backward of head `hi` over the cached alpha/slope/wh:
+  /// accumulates da_src/da_dst and the per-source dWh into `dwh` (pre-sized
+  /// (n_src, d_head), zeroed). Shared by the fused backward and the B1
+  /// phase so both paths are the same code.
+  void attention_backward_head(const BipartiteCsr& adj, const Matrix& g,
+                               std::size_t hi, Matrix& dwh);
+  /// Transform a row block through head `h` and place it at wh rows
+  /// [row0, row0+block.rows()): the fused gemm split by rows (bit-exact
+  /// because gemm_nn computes each output row independently).
+  static void transform_rows(Head& h, const Matrix& block, NodeId row0);
+  /// Fill s_src entries for wh rows [row0, row0+count).
+  static void score_src_rows(Head& h, NodeId row0, NodeId count);
 
   Options opts_;
   std::int64_t d_head_;

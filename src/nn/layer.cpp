@@ -83,33 +83,69 @@ void mean_aggregate_inner(const BipartiteCsr& adj, const Matrix& inner_src,
   }
 }
 
-void mean_aggregate_halo_finish(const BipartiteCsr& adj,
-                                const Matrix& halo_src,
-                                std::span<const float> inv_deg, Matrix& out) {
-  const NodeId n_lo = adj.n_src - static_cast<NodeId>(halo_src.rows());
-  BNSGCN_CHECK(n_lo >= 0);
-  BNSGCN_CHECK(static_cast<NodeId>(inv_deg.size()) == adj.n_dst);
-  const std::int64_t d = out.cols();
-  BNSGCN_CHECK(halo_src.rows() == 0 || halo_src.cols() == d);
+void HaloIncidence::build(const BipartiteCsr& adj, NodeId lo) {
+  n_lo = lo;
+  n_halo = adj.n_src - lo;
+  BNSGCN_CHECK(n_halo >= 0);
   const bool weighted = !adj.edge_scale.empty();
+  // Counting pass, then a fill pass — the standard CSR transpose, but only
+  // over the halo-source entries.
+  offsets.assign(static_cast<std::size_t>(n_halo) + 1, 0);
+  for (std::size_t e = 0; e < adj.nbrs.size(); ++e) {
+    const NodeId u = adj.nbrs[e];
+    if (u >= lo) ++offsets[static_cast<std::size_t>(u - lo) + 1];
+  }
+  for (std::size_t s = 1; s < offsets.size(); ++s) offsets[s] += offsets[s - 1];
+  dsts.assign(static_cast<std::size_t>(offsets.back()), 0);
+  scales.assign(static_cast<std::size_t>(offsets.back()), 1.0f);
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
   for (NodeId v = 0; v < adj.n_dst; ++v) {
-    float* o = out.data() + static_cast<std::int64_t>(v) * d;
-    const float w = inv_deg[static_cast<std::size_t>(v)];
-    if (w == 0.0f) { // mean_aggregate leaves such rows zero; match it
-      for (std::int64_t c = 0; c < d; ++c) o[c] = 0.0f;
-      continue;
-    }
     const auto begin = static_cast<std::size_t>(
         adj.offsets[static_cast<std::size_t>(v)]);
     const auto end = static_cast<std::size_t>(
         adj.offsets[static_cast<std::size_t>(v) + 1]);
     for (std::size_t e = begin; e < end; ++e) {
       const NodeId u = adj.nbrs[e];
-      if (u < n_lo) continue; // inner source: already summed
-      const float es = weighted ? adj.edge_scale[e] : 1.0f;
-      const float* s =
-          halo_src.data() + static_cast<std::int64_t>(u - n_lo) * d;
-      for (std::int64_t c = 0; c < d; ++c) o[c] += es * s[c];
+      if (u < lo) continue;
+      const auto at = static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(u - lo)]++);
+      dsts[at] = v;
+      if (weighted) scales[at] = adj.edge_scale[e];
+    }
+  }
+}
+
+void mean_aggregate_halo_fold(const HaloIncidence& inc,
+                              std::span<const NodeId> slots,
+                              std::span<const float> rows, std::int64_t d,
+                              Matrix& out) {
+  BNSGCN_CHECK(rows.size() == slots.size() * static_cast<std::size_t>(d));
+  BNSGCN_CHECK(out.cols() == d);
+  for (std::size_t t = 0; t < slots.size(); ++t) {
+    const NodeId s = slots[t];
+    BNSGCN_CHECK(s >= 0 && s < inc.n_halo);
+    const float* row = rows.data() + t * static_cast<std::size_t>(d);
+    const auto begin = static_cast<std::size_t>(
+        inc.offsets[static_cast<std::size_t>(s)]);
+    const auto end = static_cast<std::size_t>(
+        inc.offsets[static_cast<std::size_t>(s) + 1]);
+    for (std::size_t e = begin; e < end; ++e) {
+      float* o = out.data() + static_cast<std::int64_t>(inc.dsts[e]) * d;
+      const float es = inc.scales[e];
+      for (std::int64_t c = 0; c < d; ++c) o[c] += es * row[c];
+    }
+  }
+}
+
+void mean_aggregate_finish(std::span<const float> inv_deg, Matrix& out) {
+  BNSGCN_CHECK(static_cast<NodeId>(inv_deg.size()) == out.rows());
+  const std::int64_t d = out.cols();
+  for (NodeId v = 0; v < out.rows(); ++v) {
+    float* o = out.data() + static_cast<std::int64_t>(v) * d;
+    const float w = inv_deg[static_cast<std::size_t>(v)];
+    if (w == 0.0f) { // mean_aggregate leaves such rows zero; match it
+      for (std::int64_t c = 0; c < d; ++c) o[c] = 0.0f;
+      continue;
     }
     for (std::int64_t c = 0; c < d; ++c) o[c] *= w;
   }
@@ -170,8 +206,17 @@ void Layer::forward_inner(const BipartiteCsr&, const Matrix&, bool) {
   BNSGCN_CHECK_MSG(false, "layer does not support phased forward");
 }
 
-Matrix Layer::forward_halo(const BipartiteCsr&, const Matrix&,
-                           std::span<const float>) {
+void Layer::forward_halo_begin(const BipartiteCsr&, const HaloIncidence&) {
+  BNSGCN_CHECK_MSG(false, "layer does not support phased forward");
+}
+
+void Layer::forward_halo_fold(const BipartiteCsr&, std::span<const NodeId>,
+                              std::span<const float>) {
+  BNSGCN_CHECK_MSG(false, "layer does not support phased forward");
+}
+
+Matrix Layer::forward_halo_finish(const BipartiteCsr&,
+                                  std::span<const float>) {
   BNSGCN_CHECK_MSG(false, "layer does not support phased forward");
   return {};
 }

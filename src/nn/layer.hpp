@@ -75,11 +75,38 @@ void mean_aggregate_backward(const BipartiteCsr& adj, const Matrix& dout,
 void mean_aggregate_inner(const BipartiteCsr& adj, const Matrix& inner_src,
                           Matrix& out);
 
-/// Phase 2: add the halo-source sums (halo_src row h is source
-/// n_lo + h, n_lo = adj.n_src - halo_src.rows()) and scale rows by inv_deg.
-void mean_aggregate_halo_finish(const BipartiteCsr& adj,
-                                const Matrix& halo_src,
-                                std::span<const float> inv_deg, Matrix& out);
+/// Reverse incidence of the halo sources of a compacted adjacency: for
+/// each halo slot s (source id n_lo + s), the (dst, edge_scale) entries
+/// that reference it. This is what lets a consumer fold one peer's
+/// received rows into the destination aggregate the moment the slab lands
+/// (streaming fold) instead of waiting for the assembled halo block.
+/// Built in O(n_dst + edges); entries of one slot keep adjacency order.
+struct HaloIncidence {
+  NodeId n_lo = 0;     // first halo source id; slots index from here
+  NodeId n_halo = 0;   // number of halo slots
+  std::vector<EdgeId> offsets;  // size n_halo + 1
+  std::vector<NodeId> dsts;     // destination row of each entry
+  std::vector<float> scales;    // edge_scale of each entry (1 when unweighted)
+
+  void build(const BipartiteCsr& adj, NodeId n_lo);
+};
+
+/// Phase 2a (streaming fold): out[dst,:] += es * rows[t,:] for every
+/// incidence entry of slot slots[t]. `rows` is one peer's halo slab
+/// (slots.size() rows of width d, row-major, already 1/p-scaled by the
+/// caller). Folding peers in a fixed order makes the per-destination
+/// summation order deterministic: inner terms first (mean_aggregate_inner,
+/// adjacency order), then halo terms in (peer, slot, incidence) order —
+/// identical across blocking, bulk and stream schedules.
+void mean_aggregate_halo_fold(const HaloIncidence& inc,
+                              std::span<const NodeId> slots,
+                              std::span<const float> rows, std::int64_t d,
+                              Matrix& out);
+
+/// Phase 2b: the mean normalization, applied once every fold landed:
+/// out[v,:] *= inv_deg[v], with inv_deg == 0 rows forced to zero (the
+/// convention mean_aggregate established for isolated destinations).
+void mean_aggregate_finish(std::span<const float> inv_deg, Matrix& out);
 
 /// Halo half of the backward scatter: dhalo[u - n_lo,:] += w * dout[v,:]
 /// for sources u >= n_lo. dhalo must be pre-sized to (n_src - n_lo, d).
@@ -110,16 +137,21 @@ class Layer {
                           std::span<const float> inv_deg) = 0;
 
   // --- Split-phase protocol (communication–computation overlap) ----------
-  // A layer returning true from supports_phased() implements the four
-  // phase methods below. forward_inner + forward_halo together compute one
-  // layer forward with all halo-dependent work isolated in the second
-  // call, so the caller can run forward_inner while the halo feature rows
-  // are still in flight. backward_halo + backward_inner split backward the
-  // same way: the halo-feature gradients come out first (they must hit the
-  // wire), the inner-gradient block second (it can be computed while the
-  // remote contributions travel). The phase pair is the only forward path
-  // of the partition-parallel trainer — in blocking mode too — so blocking
-  // and overlapped runs execute the identical fp schedule.
+  // A layer returning true from supports_phased() implements the phase
+  // methods below. The forward is split into F1 (halo-independent compute)
+  // plus an *incremental* halo fold: the trainer calls
+  // forward_halo_begin once, then forward_halo_fold once per peer — in
+  // fixed peer order, in every schedule — as that peer's slab becomes
+  // available, and forward_halo_finish when every peer folded. Streaming
+  // mode feeds slabs the moment they land (buffering out-of-order
+  // arrivals until their turn), bulk/blocking feed them after a wait_all;
+  // because the fold order is the same everywhere, all three schedules
+  // execute the identical fp instruction stream. backward_halo +
+  // backward_inner split backward: the halo-feature gradients come out
+  // first (they must hit the wire), the inner-gradient block second (it
+  // can be computed while the remote contributions travel); the backward
+  // fold (scatter-add of peer contributions) lives in the trainer and
+  // follows the same fixed-peer-order rule.
 
   [[nodiscard]] virtual bool supports_phased() const { return false; }
 
@@ -128,11 +160,25 @@ class Layer {
   virtual void forward_inner(const BipartiteCsr& adj,
                              const Matrix& inner_feats, bool training);
 
-  /// Phase F2: fold the received halo block ((n_src - n_dst, d_in), already
-  /// 1/p-scaled by the caller) and finish the layer; returns (n_dst, d_out).
-  [[nodiscard]] virtual Matrix forward_halo(const BipartiteCsr& adj,
-                                            const Matrix& halo_feats,
-                                            std::span<const float> inv_deg);
+  /// Phase F2a: receive the epoch's halo fold state. `inc` is the
+  /// slot→dst reverse incidence of `adj`, built by the caller once per
+  /// epoch (every layer of an epoch shares one compacted adjacency) and
+  /// kept alive until the epoch's last fold. Called once per layer
+  /// forward, after forward_inner and before the first fold; part of the
+  /// in-flight compute window.
+  virtual void forward_halo_begin(const BipartiteCsr& adj,
+                                  const HaloIncidence& inc);
+
+  /// Phase F2b: fold one peer's halo slab — rows.size() == slots.size() *
+  /// d_in, row t is halo slot slots[t], already 1/p-scaled by the caller.
+  /// Must be called in ascending peer order (deterministic reduction).
+  virtual void forward_halo_fold(const BipartiteCsr& adj,
+                                 std::span<const NodeId> slots,
+                                 std::span<const float> rows);
+
+  /// Phase F2c: every peer folded — finish the layer ((n_dst, d_out)).
+  [[nodiscard]] virtual Matrix forward_halo_finish(
+      const BipartiteCsr& adj, std::span<const float> inv_deg);
 
   /// Phase B1: parameter gradients plus the halo-source input gradients
   /// ((n_src - n_dst, d_in)) — everything the backward exchange sends.

@@ -59,11 +59,24 @@ void SageLayer::forward_inner(const BipartiteCsr& adj,
   ops::add_row_bias(out_partial_, b_);
 }
 
-Matrix SageLayer::forward_halo(const BipartiteCsr& adj,
-                               const Matrix& halo_feats,
-                               std::span<const float> inv_deg) {
-  BNSGCN_CHECK(halo_feats.rows() == adj.n_src - adj.n_dst);
-  mean_aggregate_halo_finish(adj, halo_feats, inv_deg, z_partial_);
+void SageLayer::forward_halo_begin(const BipartiteCsr& adj,
+                                   const HaloIncidence& inc) {
+  BNSGCN_CHECK(inc.n_lo == adj.n_dst && inc.n_halo == adj.n_src - adj.n_dst);
+  halo_inc_ = &inc;
+}
+
+void SageLayer::forward_halo_fold(const BipartiteCsr& adj,
+                                  std::span<const NodeId> slots,
+                                  std::span<const float> rows) {
+  (void)adj; // geometry is frozen in the incidence received by _begin
+  BNSGCN_CHECK(halo_inc_ != nullptr);
+  mean_aggregate_halo_fold(*halo_inc_, slots, rows, d_in_, z_partial_);
+}
+
+Matrix SageLayer::forward_halo_finish(const BipartiteCsr& adj,
+                                      std::span<const float> inv_deg) {
+  (void)adj;
+  mean_aggregate_finish(inv_deg, z_partial_);
 
   Matrix out = std::move(out_partial_);
   w_half_.resize(d_in_, d_out_);

@@ -25,14 +25,20 @@ class SageLayer final : public Layer {
                   std::span<const float> inv_deg) override;
 
   // Split-phase protocol (see Layer): the mean aggregator decomposes into
-  // an inner-source partial sum plus a halo fold, and the backward scatter
-  // into disjoint inner/halo target halves, so SAGE supports full overlap.
+  // an inner-source partial sum plus per-peer halo folds (streamed through
+  // the slot→dst reverse incidence as each slab lands), and the backward
+  // scatter into disjoint inner/halo target halves, so SAGE supports full
+  // streaming overlap.
   [[nodiscard]] bool supports_phased() const override { return true; }
   void forward_inner(const BipartiteCsr& adj, const Matrix& inner_feats,
                      bool training) override;
-  [[nodiscard]] Matrix forward_halo(const BipartiteCsr& adj,
-                                    const Matrix& halo_feats,
-                                    std::span<const float> inv_deg) override;
+  void forward_halo_begin(const BipartiteCsr& adj,
+                          const HaloIncidence& inc) override;
+  void forward_halo_fold(const BipartiteCsr& adj,
+                         std::span<const NodeId> slots,
+                         std::span<const float> rows) override;
+  [[nodiscard]] Matrix forward_halo_finish(
+      const BipartiteCsr& adj, std::span<const float> inv_deg) override;
   [[nodiscard]] Matrix backward_halo(const BipartiteCsr& adj,
                                      const Matrix& dout,
                                      std::span<const float> inv_deg) override;
@@ -59,8 +65,10 @@ class SageLayer final : public Layer {
   Matrix dropout_mask_;
   bool cached_training_ = false;
 
-  // Split-phase scratch (valid between the two calls of a phase pair).
-  Matrix z_partial_;     // forward: unnormalized inner-source sums
+  // Split-phase scratch (valid between the calls of a phase group).
+  Matrix z_partial_;     // forward: unnormalized inner+folded-halo sums
+  const HaloIncidence* halo_inc_ = nullptr; // trainer-owned, set per epoch
+                                            // by forward_halo_begin
   Matrix self_cache_;    // forward: the inner feature block
   Matrix out_partial_;   // forward: self·W_self + b, built in phase F1
   Matrix w_half_;        // staging copy of one d_in-row half of w_

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -280,6 +281,135 @@ TEST(Fabric, AsyncAccountingMatchesBlocking) {
                 TrafficClass::kFeature)],
             256);
   EXPECT_EQ(fabric.total_rx_bytes(TrafficClass::kFeature), 256);
+}
+
+TEST(RequestSet, PollReportsEachCompletionExactlyOnce) {
+  Fabric fabric(2);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.barrier(); // let rank 1 probe the empty set first
+      ep.send_floats(1, 0, {1.0f}, TrafficClass::kFeature);
+      ep.send_floats(1, 1, {2.0f}, TrafficClass::kFeature);
+      ep.barrier();
+    } else {
+      comm::RequestSet set;
+      EXPECT_EQ(set.add(ep.irecv_floats(0, 0, TrafficClass::kFeature)), 0u);
+      EXPECT_EQ(set.add(ep.irecv_floats(0, 1, TrafficClass::kFeature)), 1u);
+      EXPECT_EQ(set.size(), 2u);
+      EXPECT_EQ(set.pending(), 2u);
+      std::vector<std::size_t> done;
+      EXPECT_EQ(set.poll(done), 0u); // nothing sent yet: must not block
+      EXPECT_TRUE(done.empty());
+      ep.barrier();
+      // Drain with wait_any until both land; indices must appear exactly
+      // once across all passes.
+      while (!set.all_done()) (void)set.wait_any(done);
+      std::sort(done.begin(), done.end());
+      EXPECT_EQ(done, (std::vector<std::size_t>{0, 1}));
+      EXPECT_EQ(set.pending(), 0u);
+      EXPECT_EQ(set.poll(done), 0u); // completed requests never re-report
+      EXPECT_FLOAT_EQ(set.at(0).take_floats()[0], 1.0f);
+      EXPECT_FLOAT_EQ(set.at(1).take_floats()[0], 2.0f);
+      ep.barrier();
+    }
+  });
+}
+
+TEST(RequestSet, WaitAllCompletesTheRemainder) {
+  Fabric fabric(2);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    if (ep.rank() == 0) {
+      for (int tag = 0; tag < 3; ++tag)
+        ep.send_floats(1, tag, {static_cast<float>(tag)},
+                       TrafficClass::kFeature);
+    } else {
+      comm::RequestSet set;
+      for (int tag = 0; tag < 3; ++tag)
+        (void)set.add(ep.irecv_floats(0, tag, TrafficClass::kFeature));
+      set.wait_all();
+      EXPECT_TRUE(set.all_done());
+      std::vector<std::size_t> done;
+      EXPECT_EQ(set.poll(done), 0u); // wait_all already accounted for them
+      for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_FLOAT_EQ(set.at(i).take_floats()[0], static_cast<float>(i));
+    }
+  });
+}
+
+TEST(Fabric, StreamingSlabStressAcrossManyRanks) {
+  // The streaming fold's wire pattern at full stress: every rank sends
+  // every other rank several tagged slabs in a rank-dependent (scrambled)
+  // order while concurrently polling a RequestSet over interleaved irecvs
+  // posted in yet another order. No slab may be lost, duplicated, or
+  // routed to the wrong request, and the byte accounting must add up
+  // exactly — out-of-order tagged delivery is what the deterministic
+  // fold's buffer-then-apply rule relies on.
+  constexpr PartId kRanks = 5;
+  constexpr int kRounds = 4;   // "layers": one exchange per round
+  constexpr int kSlabFloats = 7;
+  Fabric fabric(kRanks);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    const PartId n = ep.nranks();
+    const PartId me = ep.rank();
+    for (int round = 0; round < kRounds; ++round) {
+      // Tags encode (round, sender) so concurrent rounds cannot cross.
+      const auto tag_of = [round](PartId sender) {
+        return round * 64 + static_cast<int>(sender);
+      };
+      comm::RequestSet set;
+      std::vector<PartId> peer_of;
+      // Post receives in a rank-rotated order (every rank different).
+      for (PartId off = 1; off < n; ++off) {
+        const PartId peer = (me + off) % n;
+        peer_of.push_back(peer);
+        (void)set.add(ep.irecv_floats(peer, tag_of(peer),
+                                      TrafficClass::kFeature));
+      }
+      // Sends interleave with polling; order rotates the other way.
+      std::vector<std::size_t> done;
+      for (PartId off = 1; off < n; ++off) {
+        const PartId to = (me + n - off) % n;
+        std::vector<float> slab(kSlabFloats);
+        for (int c = 0; c < kSlabFloats; ++c)
+          slab[static_cast<std::size_t>(c)] =
+              static_cast<float>(me * 1000 + round * 100 + c);
+        (void)ep.isend_floats(to, tag_of(me), std::move(slab),
+                              TrafficClass::kFeature);
+        (void)set.poll(done); // make progress mid-send, test() path
+      }
+      while (!set.all_done()) (void)set.wait_any(done);
+      // Exactly one completion per peer, none duplicated.
+      std::sort(done.begin(), done.end());
+      ASSERT_EQ(done.size(), static_cast<std::size_t>(n - 1));
+      for (std::size_t k = 0; k < done.size(); ++k) EXPECT_EQ(done[k], k);
+      // Every slab intact and from the right peer.
+      for (std::size_t k = 0; k < peer_of.size(); ++k) {
+        const auto payload = set.at(k).take_floats();
+        ASSERT_EQ(payload.size(), static_cast<std::size_t>(kSlabFloats));
+        for (int c = 0; c < kSlabFloats; ++c)
+          EXPECT_FLOAT_EQ(payload[static_cast<std::size_t>(c)],
+                          static_cast<float>(peer_of[k] * 1000 + round * 100 +
+                                             c));
+      }
+    }
+    ep.barrier();
+  });
+  // Byte accounting: every rank sent and received (n-1) slabs per round.
+  const auto slab_bytes =
+      static_cast<std::int64_t>(kSlabFloats * sizeof(float));
+  const std::int64_t expect_per_rank =
+      slab_bytes * (kRanks - 1) * kRounds;
+  for (PartId r = 0; r < kRanks; ++r) {
+    const auto& st = fabric.endpoint(r).stats();
+    EXPECT_EQ(st.tx_bytes[static_cast<int>(TrafficClass::kFeature)],
+              expect_per_rank);
+    EXPECT_EQ(st.rx_bytes[static_cast<int>(TrafficClass::kFeature)],
+              expect_per_rank);
+    EXPECT_EQ(st.rx_msgs[static_cast<int>(TrafficClass::kFeature)],
+              (kRanks - 1) * kRounds);
+  }
+  EXPECT_EQ(fabric.total_rx_bytes(TrafficClass::kFeature),
+            expect_per_rank * kRanks);
 }
 
 TEST(Fabric, ManyRanksStress) {

@@ -26,6 +26,7 @@ api::RunReport sample_report() {
   e.sample_s = 0.001953125;
   e.swap_s = 0.0;
   e.overlap_s = 0.015625;
+  e.comm_tail_s = 0.0078125;
   e.feature_bytes = 123456789012345;  // > 2^32, < 2^53
   e.grad_bytes = 4096;
   e.control_bytes = 17;
@@ -59,6 +60,7 @@ void expect_reports_equal(const api::RunReport& a, const api::RunReport& b) {
     EXPECT_EQ(a.epochs[i].sample_s, b.epochs[i].sample_s);
     EXPECT_EQ(a.epochs[i].swap_s, b.epochs[i].swap_s);
     EXPECT_EQ(a.epochs[i].overlap_s, b.epochs[i].overlap_s);
+    EXPECT_EQ(a.epochs[i].comm_tail_s, b.epochs[i].comm_tail_s);
     EXPECT_EQ(a.epochs[i].feature_bytes, b.epochs[i].feature_bytes);
     EXPECT_EQ(a.epochs[i].grad_bytes, b.epochs[i].grad_bytes);
     EXPECT_EQ(a.epochs[i].control_bytes, b.epochs[i].control_bytes);
@@ -190,8 +192,8 @@ api::RunConfig sample_config() {
   cfg.trainer.cost.latency_s = 2.5e-5;
   cfg.trainer.cost.bytes_per_s = 3.0e7;
   cfg.trainer.simulate_host_swap = true;
-  cfg.trainer.overlap = true;
-  cfg.comm.overlap = true;
+  cfg.trainer.overlap = core::OverlapMode::kStream;
+  cfg.comm.overlap = core::OverlapMode::kBulk;
   cfg.minibatch.lr = 0.5f;
   cfg.minibatch.batch_size = 777;
   cfg.minibatch.batches_per_epoch = 3;
@@ -294,6 +296,60 @@ TEST(ConfigJson, UnregisteredMethodNameBecomesCustom) {
   EXPECT_THROW((void)api::resolve_method(cfg), CheckError);
 }
 
+TEST(ConfigJson, OverlapModeRoundTripsEveryValue) {
+  for (const auto mode :
+       {core::OverlapMode::kBlocking, core::OverlapMode::kBulk,
+        core::OverlapMode::kStream}) {
+    api::RunConfig cfg;
+    cfg.comm.overlap = mode;
+    cfg.trainer.overlap = mode;
+    const api::RunConfig parsed =
+        api::run_config_from_json_string(api::to_json_string(cfg));
+    EXPECT_EQ(parsed.comm.overlap, mode);
+    EXPECT_EQ(parsed.trainer.overlap, mode);
+  }
+}
+
+TEST(ConfigJson, LegacyOverlapBoolStillParses) {
+  // PR 2/3 artifacts serialized the knob as a bool: true was the (then
+  // only) bulk pipeline, false was blocking. Both spellings must keep
+  // loading, in both the comm block and the trainer block.
+  const api::RunConfig on = api::run_config_from_json_string(
+      R"({"comm": {"overlap": true}, "trainer": {"overlap": true}})");
+  EXPECT_EQ(on.comm.overlap, core::OverlapMode::kBulk);
+  EXPECT_EQ(on.trainer.overlap, core::OverlapMode::kBulk);
+  const api::RunConfig off = api::run_config_from_json_string(
+      R"({"comm": {"overlap": false}, "trainer": {"overlap": false}})");
+  EXPECT_EQ(off.comm.overlap, core::OverlapMode::kBlocking);
+  EXPECT_EQ(off.trainer.overlap, core::OverlapMode::kBlocking);
+}
+
+TEST(ConfigJson, OverlapModeStringsParse) {
+  const api::RunConfig cfg = api::run_config_from_json_string(
+      R"({"comm": {"overlap": "stream"}, "trainer": {"overlap": "bulk"}})");
+  EXPECT_EQ(cfg.comm.overlap, core::OverlapMode::kStream);
+  EXPECT_EQ(cfg.trainer.overlap, core::OverlapMode::kBulk);
+  EXPECT_THROW((void)api::run_config_from_json_string(
+                   R"({"comm": {"overlap": "warp"}})"),
+               CheckError);
+}
+
+TEST(ReportJson, PreTailArtifactsStillParse) {
+  // Artifacts written before EpochBreakdown::comm_tail_s existed have no
+  // such key; the reader must default it to 0 rather than throw.
+  json::Value v = api::to_json(sample_report());
+  json::Value epochs = json::Value::array();
+  for (std::size_t i = 0; i < v.at("epochs").size(); ++i) {
+    json::Value e = json::Value::object();
+    for (const auto& [key, val] : v.at("epochs")[i].members())
+      if (key != "comm_tail_s") e.set(key, val);
+    epochs.push_back(std::move(e));
+  }
+  v.set("epochs", std::move(epochs));
+  const api::RunReport parsed = api::run_report_from_json(v);
+  for (const auto& e : parsed.epochs) EXPECT_EQ(e.comm_tail_s, 0.0);
+}
+
 TEST(ConfigJson, ReplayReproducesARunExactly) {
   // The artifact promise: a config serialized next to a report replays to
   // the identical run (observer aside, everything that matters round-trips).
@@ -311,7 +367,7 @@ TEST(ConfigJson, ReplayReproducesARunExactly) {
   cfg.trainer.hidden = 16;
   cfg.trainer.epochs = 4;
   cfg.trainer.sample_rate = 0.5f;
-  cfg.comm.overlap = true;
+  cfg.comm.overlap = core::OverlapMode::kStream;
 
   const api::RunReport first = api::run(cfg);
   const api::RunConfig replayed =
