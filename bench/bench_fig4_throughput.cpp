@@ -26,15 +26,19 @@ void run_dataset(const char* title, const char* preset, double scale,
   // Each m is partitioned once (first method to reach it) and served from
   // the partition cache for the other five rows of the column.
   const auto row = [&](const std::string& name, const api::RunConfig& base) {
-    std::printf("%-22s", name.c_str());
+    // run_streamed: live per-epoch progress (TTY only) + the recorded,
+    // replayable artifact row. The progress line rewrites in place, so the
+    // table row prints after the sweep instead of column by column.
+    std::vector<double> eps;
     for (const PartId m : parts) {
       auto cfg = base;
       cfg.partition.nparts = m;
-      const auto& r = sink.add(
-          bench::label("%s %s m=%d", preset, name.c_str(), m), cfg,
-          api::run(ds, cfg));
-      std::printf(" %10.2f", r.throughput_eps());
+      const auto& r = sink.run_streamed(
+          bench::label("%s %s m=%d", preset, name.c_str(), m), ds, cfg);
+      eps.push_back(r.throughput_eps());
     }
+    std::printf("%-22s", name.c_str());
+    for (const double v : eps) std::printf(" %10.2f", v);
     std::printf("  epochs/s\n");
   };
 

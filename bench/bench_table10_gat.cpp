@@ -27,8 +27,11 @@ void run_dataset(const char* title, const char* preset, double scale,
   double base = 0.0;
   for (const float p : {1.0f, 0.1f, 0.01f, 0.0f}) {
     rcfg.trainer.sample_rate = p;
-    const auto r = sink.add(bench::label("%s gat p=%.2f", preset, p), rcfg,
-                            api::run(pr.ds, rcfg));
+    // run_streamed: live per-epoch progress (TTY only) + the recorded,
+    // replayable artifact row (the progress line erases itself before the
+    // result line below prints).
+    const auto r = sink.run_streamed(bench::label("%s gat p=%.2f", preset, p),
+                                     pr.ds, rcfg);
     const double t = r.mean_epoch().total_s();
     if (p == 1.0f) base = t;
     std::printf("BNS-GAT (p=%-4.2f)  epoch %8.4fs   speedup %5.2fx\n", p, t,

@@ -33,13 +33,18 @@ int main(int argc, char** argv) {
     api::RunConfig rcfg = row.run.config(api::Method::kBns);
     rcfg.partition.nparts = row.parts; // partitioned once, cached across p
     rcfg.trainer.epochs = opts.epochs_or(100);
-    std::printf("%-26s", row.name.c_str());
+    // run_streamed: live per-epoch progress (TTY only) + the recorded,
+    // replayable artifact row. The progress line rewrites in place, so the
+    // table row prints after the sweep instead of column by column.
+    std::vector<double> test_pct;
     for (const float p : {0.1f, 0.3f, 0.5f, 0.8f, 1.0f}) {
       rcfg.trainer.sample_rate = p;
-      const auto r = sink.add(bench::label("%s p=%.1f", row.preset, p), rcfg,
-                              api::run(row.run.ds, rcfg));
-      std::printf(" %8.2f", 100.0 * r.final_test);
+      const auto r = sink.run_streamed(
+          bench::label("%s p=%.1f", row.preset, p), row.run.ds, rcfg);
+      test_pct.push_back(100.0 * r.final_test);
     }
+    std::printf("%-26s", row.name.c_str());
+    for (const double v : test_pct) std::printf(" %8.2f", v);
     std::printf("\n");
   }
   std::printf("\npaper shape check: scores flat across p (within a few "

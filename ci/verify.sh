@@ -21,12 +21,33 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 ctest --test-dir build --output-on-failure -R test_overlap
 
-# Stream-mode smoke: bench_overlap runs all three schedules on every
-# Fig. 4 config and exits non-zero when losses diverge across modes or
-# the stream schedule hides measurably less than bulk at >= 8 partitions —
-# the stream mode cannot silently regress to blocking. Output stays in
-# the log: the '!!' lines name the violating dataset/row on failure.
-./build/bench/bench_overlap --scale 0.25 --epochs 3
+# Schedule-fuzz gate: first the pinned seed (the exact sweep CI has run
+# before — any failure here is a regression, reproducible as printed),
+# then a smoke sweep seeded from the commit SHA: every commit probes a
+# fresh region of the schedule space, while any given commit is hermetic
+# — the same tree always runs the same draws, so a red CI bisects to a
+# commit, never to a calendar day. Divergences print the reproducing
+# --fuzz-seed.
+BNSGCN_FUZZ_SEED=20260729 BNSGCN_FUZZ_ITERS=8 ./build/tests/test_schedule_fuzz
+SMOKE_SEED=$((16#$(git rev-parse --short=8 HEAD 2>/dev/null || echo 2bd5)))
+./build/tests/test_schedule_fuzz --fuzz-seed="$SMOKE_SEED" --fuzz-iters=6
+
+# Four-schedule smoke: bench_overlap runs blocking/bulk/stream/chunked-
+# stream on every Fig. 4 config and exits non-zero when losses diverge
+# bitwise across schedules or when stream OR chunked stream hides
+# measurably less than bulk at >= 8 partitions — neither schedule can
+# silently regress to blocking. Output stays in the log: the '!!' lines
+# name the violating dataset/row on failure. The artifact feeds the
+# chunked-stream replay gate below.
+OVERLAP_ARTIFACT=build/overlap_gate_artifact.json
+rm -f "$OVERLAP_ARTIFACT"
+./build/bench/bench_overlap --scale 0.25 --epochs 3 --json "$OVERLAP_ARTIFACT"
+
+# Chunked-stream replay gate: the first four rows of the overlap artifact
+# are one config under all four schedules (chunked stream included);
+# replaying them proves the chunk knob round-trips through the recorded
+# RunConfig and reproduces the deterministic metrics exactly.
+./build/bench/bench_replay "$OVERLAP_ARTIFACT" --rows 4
 
 # Replay gate: every artifact row records its RunConfig; re-running one
 # must reproduce the recorded deterministic metrics exactly

@@ -52,6 +52,10 @@ RunReport finish(RunReport report, const MethodInfo& info,
 core::TrainerConfig engine_config(const RunConfig& cfg) {
   core::TrainerConfig tcfg = cfg.trainer;
   tcfg.overlap = std::max(cfg.comm.overlap, cfg.trainer.overlap);
+  // The api-level chunk spelling wins when set; otherwise the engine-level
+  // value (possibly 0 = unchunked) stands.
+  if (cfg.comm.inner_chunk_rows > 0)
+    tcfg.inner_chunk_rows = cfg.comm.inner_chunk_rows;
   return tcfg;
 }
 

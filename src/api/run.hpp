@@ -44,6 +44,15 @@ struct CommSpec {
   /// to overlap. JSON spells modes "blocking" / "bulk" / "stream" and
   /// still accepts the legacy PR 2 bool (true → bulk).
   core::OverlapMode overlap = core::OverlapMode::kBlocking;
+
+  /// Chunk size (destination rows) of the halo-independent forward phase:
+  /// with a positive value the trainer polls the completion set between
+  /// F1 row chunks, so stream-mode folds interleave mid-F1
+  /// (TrainerConfig::inner_chunk_rows has the full story). 0 = unchunked.
+  /// Results are bit-identical for every value. This api-level spelling
+  /// wins over trainer.inner_chunk_rows when nonzero; JSON key
+  /// "inner_chunk_rows".
+  NodeId inner_chunk_rows = 0;
 };
 
 /// Everything one training run needs: what data, how it is partitioned,

@@ -305,7 +305,9 @@ json::Value trainer_to_json(const core::TrainerConfig& t) {
   v.set("cost", std::move(cost));
   v.set("simulate_host_swap", t.simulate_host_swap);
   v.set("overlap", overlap_mode_name(t.overlap));
-  // The per-epoch observer is a process-local callback: not serialized.
+  v.set("inner_chunk_rows", static_cast<std::int64_t>(t.inner_chunk_rows));
+  // The per-epoch observer is a process-local callback, and the
+  // fabric_shuffle_seed a test-only arrival scrambler: not serialized.
   return v;
 }
 
@@ -332,6 +334,10 @@ core::TrainerConfig trainer_from_json(const json::Value& v) {
   }
   read_if(v, "simulate_host_swap", t.simulate_host_swap, as_b);
   read_if(v, "overlap", t.overlap, overlap_mode_from_json);
+  read_if(v, "inner_chunk_rows", t.inner_chunk_rows,
+          [](const json::Value& f) {
+            return static_cast<NodeId>(f.as_int64());
+          });
   return t;
 }
 
@@ -391,6 +397,8 @@ json::Value to_json(const RunConfig& cfg) {
 
   json::Value comm = json::Value::object();
   comm.set("overlap", overlap_mode_name(cfg.comm.overlap));
+  comm.set("inner_chunk_rows",
+           static_cast<std::int64_t>(cfg.comm.inner_chunk_rows));
   v.set("comm", std::move(comm));
 
   v.set("minibatch", minibatch_to_json(cfg.minibatch));
@@ -426,8 +434,13 @@ RunConfig run_config_from_json(const json::Value& v) {
     read_if(*p, "seed", cfg.partition.seed, as_u64);
   }
   if (const auto* t = v.get("trainer")) cfg.trainer = trainer_from_json(*t);
-  if (const auto* c = v.get("comm"))
+  if (const auto* c = v.get("comm")) {
     read_if(*c, "overlap", cfg.comm.overlap, overlap_mode_from_json);
+    read_if(*c, "inner_chunk_rows", cfg.comm.inner_chunk_rows,
+            [](const json::Value& f) {
+              return static_cast<NodeId>(f.as_int64());
+            });
+  }
   if (const auto* mb = v.get("minibatch"))
     cfg.minibatch = minibatch_from_json(*mb);
   read_if(v, "cagnet_c", cfg.cagnet_c, as_i);

@@ -60,6 +60,33 @@ void Fabric::reset_stats() {
   for (auto& ep : endpoints_) ep->stats().reset();
 }
 
+void Fabric::enable_delivery_shuffle(std::uint64_t seed, int max_hold) {
+  BNSGCN_CHECK(max_hold >= 1);
+  shuffle_ = true;
+  shuffle_seed_ = seed;
+  shuffle_max_hold_ = max_hold;
+}
+
+int Fabric::hold_of(PartId from, PartId to, int tag) const {
+  if (!shuffle_) return 0;
+  // splitmix64 over the message's stable identity (seed, from, to, tag) —
+  // deliberately not a deposit counter, whose value would depend on the
+  // interleaving of concurrent sender threads and make a failing fuzz
+  // seed irreproducible. Tags are the trainer's per-phase sequence, so
+  // (from, to, tag) names each boundary message uniquely within a run.
+  std::uint64_t z = shuffle_seed_ ^
+                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                         from)) << 42) ^
+                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                         to)) << 21) ^
+                    static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<int>(z % static_cast<std::uint64_t>(shuffle_max_hold_));
+}
+
 Fabric::Message Fabric::take_matching(Mailbox& box, int tag) {
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
@@ -81,6 +108,10 @@ bool Fabric::try_take_matching(Mailbox& box, int tag, Message& out) {
       std::find_if(box.queue.begin(), box.queue.end(),
                    [tag](const Message& m) { return m.tag == tag; });
   if (it == box.queue.end()) return false;
+  if (it->hold > 0) { // delivery shuffle: not yet "arrived" for probes
+    --it->hold;
+    return false;
+  }
   out = std::move(*it);
   box.queue.erase(it);
   return true;
@@ -188,8 +219,10 @@ void Endpoint::send_floats(PartId to, int tag, std::vector<float> payload,
     std::lock_guard<std::mutex> lock(box.mu);
     peer.rx_bytes[static_cast<int>(cls)] += bytes;
     ++peer.rx_msgs[static_cast<int>(cls)];
-    box.queue.push_back(
-        Fabric::Message{.tag = tag, .floats = std::move(payload), .ids = {}});
+    box.queue.push_back(Fabric::Message{.tag = tag,
+                                        .hold = fabric_.hold_of(rank_, to, tag),
+                                        .floats = std::move(payload),
+                                        .ids = {}});
   }
   box.cv.notify_all();
 }
@@ -215,8 +248,10 @@ void Endpoint::send_ids(PartId to, int tag, std::vector<NodeId> payload,
     std::lock_guard<std::mutex> lock(box.mu);
     peer.rx_bytes[static_cast<int>(cls)] += bytes;
     ++peer.rx_msgs[static_cast<int>(cls)];
-    box.queue.push_back(
-        Fabric::Message{.tag = tag, .floats = {}, .ids = std::move(payload)});
+    box.queue.push_back(Fabric::Message{.tag = tag,
+                                        .hold = fabric_.hold_of(rank_, to, tag),
+                                        .floats = {},
+                                        .ids = std::move(payload)});
   }
   box.cv.notify_all();
 }

@@ -117,12 +117,29 @@ class Fabric {
   [[nodiscard]] std::int64_t total_rx_bytes(TrafficClass cls) const;
   void reset_stats();
 
+  /// Test-only arrival-order shuffle: every message deposited after this
+  /// call is held back for a seeded-pseudorandom number of *nonblocking*
+  /// probes (0..max_hold-1) — each failed test()/poll() pass over its
+  /// mailbox decrements the hold — so the completion order a RequestSet
+  /// observes is scrambled relative to the deposit order. Blocking
+  /// receives (recv_*, Request::wait) ignore holds entirely, so nothing
+  /// can deadlock and blocking-mode schedules are unaffected. Byte
+  /// accounting is untouched (it happens at deposit time). This exists
+  /// for the schedule-fuzz harness: training results must be bit-exact
+  /// under any arrival order, because the consumers buffer arrivals and
+  /// apply them in fixed peer order. Call before the rank threads start.
+  void enable_delivery_shuffle(std::uint64_t seed, int max_hold = 8);
+
  private:
   friend class Endpoint;
   friend class Request;
 
   struct Message {
     int tag = 0;
+    /// Delivery-shuffle hold: nonblocking probes left before this message
+    /// becomes visible to test()/poll() (0 outside the shuffle). Blocking
+    /// takes ignore it.
+    int hold = 0;
     std::vector<float> floats;
     std::vector<NodeId> ids;
   };
@@ -139,11 +156,21 @@ class Fabric {
   }
   Message take_matching(Mailbox& box, int tag);
   /// Nonblocking variant: true and fills `out` when a matching message was
-  /// already delivered, false otherwise.
+  /// already delivered (and its shuffle hold, if any, has expired — a held
+  /// match costs one probe and reports "not yet"), false otherwise.
   bool try_take_matching(Mailbox& box, int tag, Message& out);
+  /// Hold count of a deposited message under the shuffle (0 when the
+  /// shuffle is off). A pure function of (seed, from, to, tag) — stable
+  /// message identity, not a deposit counter — so the holds a given seed
+  /// produces are independent of thread scheduling and a failing fuzz
+  /// draw replays with the identical arrival perturbation.
+  int hold_of(PartId from, PartId to, int tag) const;
 
   PartId nranks_;
   CostModel cost_;
+  bool shuffle_ = false;
+  std::uint64_t shuffle_seed_ = 0;
+  int shuffle_max_hold_ = 0;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
 

@@ -401,94 +401,115 @@ class RankWorker {
   }
 
   // ---- Streaming fold engine ------------------------------------------
-  // The heart of OverlapMode::kStream: drain the completion set with
-  // wait_any-style progress and hand each peer's slab to the layer (or
-  // the scatter-add) the moment it AND every lower-indexed peer have
-  // landed. Buffer-then-apply-in-order is what keeps the reduction
-  // deterministic: out-of-order arrivals sit completed in their Request
-  // slot (the wire buffer — see comm::Request) until their turn, so the
-  // numeric fold order is identical to a bulk wait_all, while the fold
-  // *work* of early peers overlaps the transfers still in flight.
+  // The heart of OverlapMode::kStream: make progress on the completion set
+  // and hand each peer's slab to the layer (or the scatter-add) the moment
+  // it AND every lower-indexed peer have landed. Buffer-then-apply-in-order
+  // is what keeps the reduction deterministic: out-of-order arrivals sit
+  // completed in their Request slot (the wire buffer — see comm::Request)
+  // until their turn, so the numeric fold order is identical to a bulk
+  // wait_all, while the fold *work* of early peers overlaps the transfers
+  // still in flight. poll() is the nonblocking pass the trainer runs
+  // between F1 chunks (folds interleave mid-F1); drain() completes the
+  // remainder with wait_any progress.
   //
   // Accounting follows the schedule, not the in-process mailboxes (whose
   // eager delivery reflects thread-scheduling skew, not wire time — the
   // same convention PR 2 used for the bulk window): under the simulated
   // wire, the fold of peer k runs while the transfers of peers k+1.. are
   // still on the wire, so every fold except the last peer's widens the
-  // overlap window. Both engines return that measured extra window —
+  // overlap window. window_s() reports that measured extra window —
   // always 0 for bulk/blocking, whose wait_all precedes the first apply.
 
-  /// Forward engine: scale each slab and fold it through the layer's
-  /// incremental protocol. Fold work is billed to `compute_acc` (it is
-  /// compute the rank performs in every mode).
-  double stream_fold_forward(PendingExchange& px, const EpochPlan& plan,
-                             nn::Layer& layer, float scale, bool stream,
-                             Accumulator& compute_acc) {
-    double window_s = 0.0;
-    if (!stream) px.recvs.wait_all();
-    const std::size_t n = px.recvs.size();
-    std::vector<char> arrived(n, stream ? 0 : 1);
-    std::vector<std::size_t> ready;
-    for (std::size_t next = 0; next < n;) {
-      if (!arrived[next]) {
-        ready.clear();
-        px.recvs.wait_any(ready);
-        for (const std::size_t i : ready) arrived[i] = 1;
-        continue;
-      }
-      auto payload = px.recvs.at(next).take_floats();
-      const auto& slots =
-          plan.recv_slots[static_cast<std::size_t>(px.peers[next])];
-      Stopwatch sw;
-      {
-        ScopedTimer t(compute_acc);
-        if (scale != 1.0f)
-          for (float& v : payload) v *= scale;
-        layer.forward_halo_fold(plan.adj, slots, payload);
-      }
-      if (stream && next + 1 < n) window_s += sw.elapsed_s();
-      ++next;
+  class FoldDriver {
+   public:
+    FoldDriver(PendingExchange& px, bool stream)
+        : px_(px), stream_(stream),
+          arrived_(px.recvs.size(), stream ? 0 : 1) {}
+
+    /// Nonblocking progress pass: mark what landed, apply every ready
+    /// in-order peer through `apply(k, payload)`. No-op outside stream
+    /// mode (bulk/blocking apply only at drain time).
+    template <typename ApplyFn>
+    void poll(ApplyFn&& apply, Accumulator& compute_acc) {
+      if (!stream_ || next_ >= arrived_.size()) return;
+      ready_.clear();
+      (void)px_.recvs.poll(ready_);
+      for (const std::size_t i : ready_) arrived_[i] = 1;
+      apply_ready(apply, compute_acc);
     }
-    return window_s;
+
+    /// Block until every peer has been applied.
+    template <typename ApplyFn>
+    void drain(ApplyFn&& apply, Accumulator& compute_acc) {
+      if (!stream_) px_.recvs.wait_all();
+      apply_ready(apply, compute_acc);
+      while (next_ < arrived_.size()) {
+        ready_.clear();
+        (void)px_.recvs.wait_any(ready_);
+        for (const std::size_t i : ready_) arrived_[i] = 1;
+        apply_ready(apply, compute_acc);
+      }
+    }
+
+    /// Stream window: fold seconds of every peer but the last (the folds
+    /// that ran while at least one later transfer was still in flight).
+    [[nodiscard]] double window_s() const { return window_s_; }
+
+   private:
+    template <typename ApplyFn>
+    void apply_ready(ApplyFn& apply, Accumulator& compute_acc) {
+      const std::size_t n = arrived_.size();
+      while (next_ < n && arrived_[next_]) {
+        auto payload = px_.recvs.at(next_).take_floats();
+        Stopwatch sw;
+        {
+          ScopedTimer t(compute_acc);
+          apply(next_, std::move(payload));
+        }
+        if (stream_ && next_ + 1 < n) window_s_ += sw.elapsed_s();
+        ++next_;
+      }
+    }
+
+    PendingExchange& px_;
+    bool stream_;
+    std::vector<char> arrived_; // landed, possibly not yet applied
+    std::vector<std::size_t> ready_;
+    std::size_t next_ = 0;      // first peer not yet applied
+    double window_s_ = 0.0;
+  };
+
+  /// Forward fold: scale the slab and hand it to the layer's incremental
+  /// protocol. Fold work is billed to the compute accumulator by the
+  /// driver (it is compute the rank performs in every mode).
+  auto make_forward_fold(PendingExchange& px, const EpochPlan& plan,
+                         nn::Layer& layer, float scale) {
+    return [&px, &plan, &layer, scale](std::size_t k,
+                                       std::vector<float> payload) {
+      const auto& slots =
+          plan.recv_slots[static_cast<std::size_t>(px.peers[k])];
+      if (scale != 1.0f)
+        for (float& v : payload) v *= scale;
+      layer.forward_halo_fold(plan.adj, slots, payload);
+    };
   }
 
-  /// Backward engine: scatter-add each peer's gradient slab into the
-  /// inner block, in fixed peer order (the accumulation order every mode
-  /// shares — fp addition is not associative, so this is load-bearing).
-  double stream_fold_backward(PendingExchange& px, const EpochPlan& plan,
-                              Matrix& dinner, bool stream,
-                              Accumulator& compute_acc) {
-    double window_s = 0.0;
-    if (!stream) px.recvs.wait_all();
-    const std::int64_t d = dinner.cols();
-    const std::size_t n = px.recvs.size();
-    std::vector<char> arrived(n, stream ? 0 : 1);
-    std::vector<std::size_t> ready;
-    for (std::size_t next = 0; next < n;) {
-      if (!arrived[next]) {
-        ready.clear();
-        px.recvs.wait_any(ready);
-        for (const std::size_t i : ready) arrived[i] = 1;
-        continue;
-      }
-      const auto payload = px.recvs.at(next).take_floats();
+  /// Backward fold: scatter-add the peer's gradient slab into the inner
+  /// block, in fixed peer order (the accumulation order every mode shares
+  /// — fp addition is not associative, so this is load-bearing).
+  auto make_backward_fold(PendingExchange& px, const EpochPlan& plan,
+                          Matrix& dinner) {
+    return [&px, &plan, &dinner](std::size_t k, std::vector<float> payload) {
+      const std::int64_t d = dinner.cols();
       const auto& rows =
-          plan.send_rows[static_cast<std::size_t>(px.peers[next])];
-      BNSGCN_CHECK(payload.size() ==
-                   rows.size() * static_cast<std::size_t>(d));
-      Stopwatch sw;
-      {
-        ScopedTimer t(compute_acc);
-        for (std::size_t t2 = 0; t2 < rows.size(); ++t2) {
-          float* dst = dinner.data() + static_cast<std::int64_t>(rows[t2]) * d;
-          const float* src = payload.data() + t2 * static_cast<std::size_t>(d);
-          for (std::int64_t c = 0; c < d; ++c) dst[c] += src[c];
-        }
+          plan.send_rows[static_cast<std::size_t>(px.peers[k])];
+      BNSGCN_CHECK(payload.size() == rows.size() * static_cast<std::size_t>(d));
+      for (std::size_t t = 0; t < rows.size(); ++t) {
+        float* dst = dinner.data() + static_cast<std::int64_t>(rows[t]) * d;
+        const float* src = payload.data() + t * static_cast<std::size_t>(d);
+        for (std::int64_t c = 0; c < d; ++c) dst[c] += src[c];
       }
-      if (stream && next + 1 < n) window_s += sw.elapsed_s();
-      ++next;
-    }
-    return window_s;
+    };
   }
 
   /// ROC proxy: stage a layer activation block through the host, paying
@@ -532,12 +553,14 @@ class RankWorker {
 
     // ---- Forward (Algorithm 1 lines 8-11) -----------------------------
     // Phased path (SAGE and GAT): post the exchange, run the
-    // halo-independent phase while rows are in flight, then fold each
-    // peer through the streaming engine — blocking waits right after
-    // posting, bulk waits before the first fold, stream polls. Identical
-    // instruction stream in all three; only the waits (and therefore the
-    // overlap window) move.
+    // halo-independent phase in row chunks while rows are in flight —
+    // polling the completion set between chunks, so in stream mode peer
+    // folds interleave mid-F1 — then drain the remaining peers through
+    // the fold driver. Blocking waits right after posting, bulk waits at
+    // drain time, stream polls. Identical instruction stream in all
+    // three; only the waits (and therefore the overlap window) move.
     const OverlapMode mode = cfg_.overlap;
+    const bool stream = mode == OverlapMode::kStream;
     const int L = cfg_.num_layers;
     double overlap_acc = 0.0;
     double tail_acc = 0.0;
@@ -556,19 +579,35 @@ class RankWorker {
         tail_acc += px.tail_s;
         if (mode == OverlapMode::kBlocking) px.recvs.wait_all();
         if (cfg_.simulate_host_swap) host_swap(h_in);
-        Stopwatch inflight;
+        // The in-flight window is accumulated phase by phase (not wall
+        // time across the loop) so interleaved fold work is not counted
+        // twice — the driver tracks the fold share separately.
+        Accumulator window_acc;
         {
           ScopedTimer t(compute_acc);
-          layer.forward_inner(plan.adj, h_in, /*training=*/true);
+          ScopedTimer w(window_acc);
+          layer.forward_inner_begin(plan.adj, h_in, /*training=*/true);
           if (l == 0) halo_inc.build(plan.adj, plan.adj.n_dst);
           layer.forward_halo_begin(plan.adj, halo_inc);
         }
-        const double inner_s = inflight.elapsed_s();
-        const double fold_pending_s = stream_fold_forward(
-            px, plan, layer, plan.halo_scale,
-            /*stream=*/mode == OverlapMode::kStream, compute_acc);
+        FoldDriver fold(px, stream);
+        auto apply = make_forward_fold(px, plan, layer, plan.halo_scale);
+        const NodeId n_dst = plan.adj.n_dst;
+        const NodeId step =
+            cfg_.inner_chunk_rows > 0 ? cfg_.inner_chunk_rows : n_dst;
+        for (NodeId r0 = 0; r0 < n_dst; r0 += step) {
+          const NodeId r1 = std::min<NodeId>(r0 + step, n_dst);
+          {
+            ScopedTimer t(compute_acc);
+            ScopedTimer w(window_acc);
+            layer.forward_inner_chunk(plan.adj, r0, r1);
+          }
+          fold.poll(apply, compute_acc);
+        }
+        fold.drain(apply, compute_acc);
         if (mode != OverlapMode::kBlocking)
-          overlap_acc += std::min(px.sim_s, inner_s + fold_pending_s);
+          overlap_acc +=
+              std::min(px.sim_s, window_acc.seconds() + fold.window_s());
         {
           ScopedTimer t(compute_acc);
           h[static_cast<std::size_t>(l) + 1] =
@@ -601,21 +640,37 @@ class RankWorker {
     }
 
     // ---- Backward (line 13) ---------------------------------------------
+    // Cross-layer pipeline: layer l's parameter-gradient phase (B3 —
+    // nothing reads dW/db before the epoch-end allreduce) is deferred out
+    // of its own exchange window and executed while layer l−1's exchange
+    // is in flight, so backward work of one layer hides the wire time of
+    // the next. The deferral happens in every mode (the values cannot
+    // change — each layer's accumulators are disjoint), so all three
+    // schedules keep executing the identical fp instruction stream; only
+    // stream/bulk credit the extra in-flight window.
     for (auto& l : layers_) l->zero_grads();
     Matrix grad = std::move(dlogits);
+    int deferred_params = -1; // layer with its B3 phase still pending
     for (int l = L - 1; l >= 0; --l) {
       auto& layer = *layers_[static_cast<std::size_t>(l)];
       if (l == 0) {
         // Input-feature gradients are not needed; run the plain backward
-        // for the parameter gradients only.
+        // for the parameter gradients only, then settle the last deferred
+        // B3 (no exchange is left to hide it behind).
         ScopedTimer t(compute_acc);
         (void)layer.backward(plan.adj, grad, lg_.inv_full_degree);
+        if (deferred_params >= 0) {
+          layers_[static_cast<std::size_t>(deferred_params)]->backward_params(
+              plan.adj);
+          deferred_params = -1;
+        }
         break;
       }
       const int tag = next_tag();
       if (use_phased_) {
         // The halo-gradient rows leave for their owners first; the
-        // inner-gradient block is computed while they (and the peers'
+        // inner-gradient block — and the layer above's deferred
+        // parameter gradients — are computed while they (and the peers'
         // contributions to our rows) are on the wire, then each peer's
         // contribution is scatter-added as it lands (fixed peer order).
         Matrix dhalo;
@@ -627,18 +682,27 @@ class RankWorker {
             post_backward(dhalo, /*halo_row0=*/0, plan, plan.halo_scale, tag);
         tail_acc += px.tail_s;
         if (mode == OverlapMode::kBlocking) px.recvs.wait_all();
-        Stopwatch inflight;
+        Accumulator window_acc;
         Matrix dinner;
         {
           ScopedTimer t(compute_acc);
+          ScopedTimer w(window_acc);
           dinner = layer.backward_inner(plan.adj, lg_.inv_full_degree);
         }
-        const double inner_s = inflight.elapsed_s();
-        const double fold_pending_s = stream_fold_backward(
-            px, plan, dinner, /*stream=*/mode == OverlapMode::kStream,
-            compute_acc);
+        FoldDriver fold(px, stream);
+        auto apply = make_backward_fold(px, plan, dinner);
+        fold.poll(apply, compute_acc);
+        if (deferred_params >= 0) {
+          ScopedTimer t(compute_acc);
+          ScopedTimer w(window_acc);
+          layers_[static_cast<std::size_t>(deferred_params)]->backward_params(
+              plan.adj);
+        }
+        deferred_params = l;
+        fold.drain(apply, compute_acc);
         if (mode != OverlapMode::kBlocking)
-          overlap_acc += std::min(px.sim_s, inner_s + fold_pending_s);
+          overlap_acc +=
+              std::min(px.sim_s, window_acc.seconds() + fold.window_s());
         grad = std::move(dinner);
       } else {
         Matrix dfeats;
@@ -826,12 +890,15 @@ BnsTrainer::BnsTrainer(const Dataset& ds, const Partitioning& part,
     : ds_(ds), cfg_(cfg), part_(part) {
   BNSGCN_CHECK(cfg.num_layers >= 1);
   BNSGCN_CHECK(cfg.sample_rate >= 0.0f && cfg.sample_rate <= 1.0f);
+  BNSGCN_CHECK(cfg.inner_chunk_rows >= 0);
   local_graphs_ = build_local_graphs(ds.graph, part_);
 }
 
 TrainResult BnsTrainer::train() {
   const PartId m = part_.nparts;
   comm::Fabric fabric(m, cfg_.cost);
+  if (cfg_.fabric_shuffle_seed != 0)
+    fabric.enable_delivery_shuffle(cfg_.fabric_shuffle_seed);
   EpochScratch scratch(m);
   TrainResult result;
 

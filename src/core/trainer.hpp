@@ -47,8 +47,11 @@ struct EpochBreakdown {
   /// pipeline hides). In bulk mode the in-flight compute is the
   /// halo-independent phase alone; in stream mode it additionally counts
   /// the per-peer folds performed while later peers were still on the
-  /// wire, so stream's window is a superset of bulk's. Always 0 in
-  /// blocking mode, and never exceeds comm_s.
+  /// wire, so stream's window is a superset of bulk's. Every backward
+  /// exchange's window further includes the cross-layer-deferred
+  /// parameter-gradient phase of the layer above (Layer::backward_params),
+  /// which the trainer executes while that exchange is in flight. Always
+  /// 0 in blocking mode, and never exceeds comm_s.
   double overlap_s = 0.0;
   /// Per-peer straggler metric: each exchange's slowest single peer
   /// message (simulated transfer time), summed over the epoch's exchanges,
@@ -133,6 +136,27 @@ struct TrainerConfig {
   /// the knob (a dense broadcast has no halo-free portion), so it is safe
   /// for every method.
   OverlapMode overlap = OverlapMode::kBlocking;
+
+  /// Chunk size (destination rows) of the halo-independent forward phase
+  /// F1. 0 = one chunk covering every row (the PR 4 behavior). With a
+  /// positive chunk the trainer polls the completion set between chunks,
+  /// so in stream mode peer folds interleave *mid-F1* instead of queueing
+  /// until F1 returns — the finer the chunks, the earlier an early peer's
+  /// fold starts hiding the transfers still in flight. Training results
+  /// are bit-identical for every value (F1 is row-independent and the
+  /// fold targets are disjoint from the chunk targets — see nn::Layer);
+  /// the knob only moves the poll points. Ignored outside the phased
+  /// path. RunConfig.comm.inner_chunk_rows is the config-file spelling.
+  NodeId inner_chunk_rows = 0;
+
+  /// Test-only: when nonzero, the fabric holds each deposited message back
+  /// for a seeded-pseudorandom number of nonblocking probes
+  /// (comm::Fabric::enable_delivery_shuffle), scrambling the completion
+  /// order the streaming poll loop observes. Training results must not
+  /// change — the deterministic fold rule buffers arrivals and applies
+  /// them in fixed peer order — which is exactly what the schedule-fuzz
+  /// harness asserts. Not serialized.
+  std::uint64_t fabric_shuffle_seed = 0;
 
   /// ROC proxy: stage each layer's inner activations through a host swap
   /// channel (kSwap traffic), reproducing Fig. 1(b)'s CPU-GPU swaps.

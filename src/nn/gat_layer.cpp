@@ -65,6 +65,16 @@ void GatLayer::score_src_rows(Head& h, NodeId row0, NodeId count) {
   }
 }
 
+void GatLayer::score_dst_rows(Head& h, NodeId row0, NodeId count) {
+  const std::int64_t dh = h.w.cols();
+  for (NodeId v = row0; v < row0 + count; ++v) {
+    const float* row = h.wh.data() + static_cast<std::int64_t>(v) * dh;
+    float acc = 0.0f;
+    for (std::int64_t c = 0; c < dh; ++c) acc += row[c] * h.a_dst.data()[c];
+    h.s_dst[static_cast<std::size_t>(v)] = acc;
+  }
+}
+
 Matrix GatLayer::forward(const BipartiteCsr& adj, const Matrix& feats,
                          std::span<const float> inv_deg, bool training) {
   (void)inv_deg; // attention renormalizes; see class comment
@@ -78,13 +88,7 @@ Matrix GatLayer::forward(const BipartiteCsr& adj, const Matrix& feats,
     h.s_src.assign(static_cast<std::size_t>(adj.n_src), 0.0f);
     score_src_rows(h, 0, adj.n_src);
     h.s_dst.assign(static_cast<std::size_t>(adj.n_dst), 0.0f);
-    for (NodeId v = 0; v < adj.n_dst; ++v) {
-      const float* row = h.wh.data() + static_cast<std::int64_t>(v) * d_head_;
-      float acc = 0.0f;
-      for (std::int64_t c = 0; c < d_head_; ++c)
-        acc += row[c] * h.a_dst.data()[c];
-      h.s_dst[static_cast<std::size_t>(v)] = acc;
-    }
+    score_dst_rows(h, 0, adj.n_dst);
   }
   return attention_forward(adj, training);
 }
@@ -148,30 +152,54 @@ Matrix GatLayer::attention_forward(const BipartiteCsr& adj, bool training) {
   return out;
 }
 
-void GatLayer::forward_inner(const BipartiteCsr& adj,
-                             const Matrix& inner_feats, bool training) {
+void GatLayer::forward_inner_begin(const BipartiteCsr& adj,
+                                   const Matrix& inner_feats, bool training) {
   BNSGCN_CHECK(inner_feats.cols() == d_in_);
   BNSGCN_CHECK(inner_feats.rows() == adj.n_dst);
   cached_training_ = training;
   // Assemble the feats cache incrementally: inner block now, one peer slab
   // per fold. Backward then runs the fused dW GEMM over the identical
-  // matrix the fused forward would have cached.
+  // matrix the fused forward would have cached. The per-row transform and
+  // score work runs in the chunks; inner chunks (rows < n_dst) and halo
+  // folds (rows >= n_dst) touch disjoint rows of wh/s_src, so folds may
+  // land at any point of the chunk loop.
   feats_cache_.resize(adj.n_src, d_in_);
   std::copy(inner_feats.data(), inner_feats.data() + inner_feats.size(),
             feats_cache_.data());
+  inner_cache_ = &inner_feats;
   for (auto& h : heads_) {
     h.wh.resize(adj.n_src, d_head_);
-    transform_rows(h, inner_feats, 0);
     h.s_src.assign(static_cast<std::size_t>(adj.n_src), 0.0f);
-    score_src_rows(h, 0, adj.n_dst);
     h.s_dst.assign(static_cast<std::size_t>(adj.n_dst), 0.0f);
-    for (NodeId v = 0; v < adj.n_dst; ++v) {
-      const float* row = h.wh.data() + static_cast<std::int64_t>(v) * d_head_;
-      float acc = 0.0f;
-      for (std::int64_t c = 0; c < d_head_; ++c)
-        acc += row[c] * h.a_dst.data()[c];
-      h.s_dst[static_cast<std::size_t>(v)] = acc;
+  }
+}
+
+void GatLayer::forward_inner_chunk(const BipartiteCsr& adj, NodeId row0,
+                                   NodeId row1) {
+  BNSGCN_CHECK(row0 >= 0 && row0 <= row1 && row1 <= adj.n_dst);
+  const NodeId cnt = row1 - row0;
+  if (cnt == 0) return;
+  if (row0 == 0 && row1 == adj.n_dst) {
+    // Whole block in one chunk (the unchunked default): transform straight
+    // from the caller's inner block, skipping the staging copy.
+    for (auto& h : heads_) {
+      transform_rows(h, *inner_cache_, 0);
+      score_src_rows(h, 0, cnt);
+      score_dst_rows(h, 0, cnt);
     }
+    return;
+  }
+  // Stage the chunk once (shared across heads), push it through each
+  // head's W and score projections — row-split, so bit-identical to the
+  // fused transform for every chunking.
+  Matrix block(cnt, d_in_);
+  std::copy(feats_cache_.data() + static_cast<std::int64_t>(row0) * d_in_,
+            feats_cache_.data() + static_cast<std::int64_t>(row1) * d_in_,
+            block.data());
+  for (auto& h : heads_) {
+    transform_rows(h, block, row0);
+    score_src_rows(h, row0, cnt);
+    score_dst_rows(h, row0, cnt);
   }
 }
 
@@ -340,9 +368,6 @@ Matrix GatLayer::backward_inner(const BipartiteCsr& adj,
   (void)inv_deg;
   Matrix dinner(adj.n_dst, d_in_);
   for (auto& h : heads_) {
-    // Wh = feats·W → dW += featsᵀ·dWh, over the assembled feats cache —
-    // the identical fused GEMM, deferred into the in-flight window.
-    ops::gemm_tn(feats_cache_, h.dwh, h.dw, 1.0f, 1.0f);
     Matrix tmp(adj.n_dst, d_head_);
     std::copy(h.dwh.data(),
               h.dwh.data() + static_cast<std::int64_t>(adj.n_dst) * d_head_,
@@ -350,6 +375,15 @@ Matrix GatLayer::backward_inner(const BipartiteCsr& adj,
     ops::gemm_nt(tmp, h.w, dinner, 1.0f, 1.0f);
   }
   return dinner;
+}
+
+void GatLayer::backward_params(const BipartiteCsr&) {
+  // Deferred B3: Wh = feats·W → dW += featsᵀ·dWh, over the assembled feats
+  // cache — the identical fused GEMM, pushed by the trainer into the next
+  // layer's exchange window (feats_cache_ and dwh survive until the next
+  // forward; da_src/da_dst were already accumulated in B1).
+  for (auto& h : heads_)
+    ops::gemm_tn(feats_cache_, h.dwh, h.dw, 1.0f, 1.0f);
 }
 
 } // namespace bnsgcn::nn

@@ -33,18 +33,24 @@ class GatLayer final : public Layer {
 
   // Split-phase protocol (see Layer). Attention itself needs the full
   // neighbor set at once, but the per-head linear transforms Wh and the
-  // score projections are per-row: phase F1 transforms the inner block,
-  // each per-peer fold transforms that peer's halo slab the moment it
-  // lands, and only the attention softmax waits for the finish call. The
-  // row-split GEMMs reproduce the fused forward bit-for-bit (gemm_nn is
-  // row-independent), so entering the phased schedule changes no GAT
-  // numerics. Backward: B1 runs activation+attention backward and emits
-  // the halo-source input gradients for the wire; B2 computes dW (from the
-  // cached assembled feats, one fused GEMM) and the inner input gradients
-  // while the gradient exchange is in flight.
+  // score projections are per-row: phase F1 transforms the inner block in
+  // destination-row chunks (polls interleave between chunks), each
+  // per-peer fold transforms that peer's halo slab the moment it lands —
+  // inner chunks and halo folds write disjoint rows of wh/s_src, so their
+  // interleaving is free — and only the attention softmax waits for the
+  // finish call. The row-split GEMMs reproduce the fused forward
+  // bit-for-bit (gemm_nn is row-independent), so neither the phased
+  // schedule nor any chunk size changes GAT numerics. Backward: B1 runs
+  // activation+attention backward and emits the halo-source input
+  // gradients for the wire; B2 computes the inner input gradients while
+  // the gradient exchange is in flight; B3 (backward_params, deferred by
+  // the trainer into the next layer's exchange window) runs the fused dW
+  // GEMM over the cached assembled feats.
   [[nodiscard]] bool supports_phased() const override { return true; }
-  void forward_inner(const BipartiteCsr& adj, const Matrix& inner_feats,
-                     bool training) override;
+  void forward_inner_begin(const BipartiteCsr& adj, const Matrix& inner_feats,
+                           bool training) override;
+  void forward_inner_chunk(const BipartiteCsr& adj, NodeId row0,
+                           NodeId row1) override;
   void forward_halo_begin(const BipartiteCsr& adj,
                           const HaloIncidence& inc) override;
   void forward_halo_fold(const BipartiteCsr& adj,
@@ -57,6 +63,7 @@ class GatLayer final : public Layer {
                                      std::span<const float> inv_deg) override;
   [[nodiscard]] Matrix backward_inner(
       const BipartiteCsr& adj, std::span<const float> inv_deg) override;
+  void backward_params(const BipartiteCsr& adj) override;
 
   std::vector<Matrix*> params() override;
   std::vector<Matrix*> grads() override;
@@ -104,6 +111,9 @@ class GatLayer final : public Layer {
   static void transform_rows(Head& h, const Matrix& block, NodeId row0);
   /// Fill s_src entries for wh rows [row0, row0+count).
   static void score_src_rows(Head& h, NodeId row0, NodeId count);
+  /// Fill s_dst entries for wh rows [row0, row0+count) — shared by the
+  /// fused forward and the chunked F1 so both paths are the same code.
+  static void score_dst_rows(Head& h, NodeId row0, NodeId count);
 
   Options opts_;
   std::int64_t d_head_;
@@ -111,6 +121,10 @@ class GatLayer final : public Layer {
   Rng dropout_rng_;
 
   Matrix feats_cache_;
+  /// The inner block handed to forward_inner_begin; valid through the F1
+  /// chunks (the trainer keeps the layer inputs alive for the whole
+  /// forward). Lets the whole-block chunk skip the staging copy.
+  const Matrix* inner_cache_ = nullptr;
   Matrix relu_mask_;
   Matrix dropout_mask_;
   bool cached_training_ = false;

@@ -60,14 +60,16 @@ void mean_aggregate_backward(const BipartiteCsr& adj, const Matrix& dout,
   }
 }
 
-void mean_aggregate_inner(const BipartiteCsr& adj, const Matrix& inner_src,
-                          Matrix& out) {
+void mean_aggregate_inner_rows(const BipartiteCsr& adj,
+                               const Matrix& inner_src, NodeId row0,
+                               NodeId row1, Matrix& out) {
   const NodeId n_lo = static_cast<NodeId>(inner_src.rows());
   BNSGCN_CHECK(n_lo <= adj.n_src);
+  BNSGCN_CHECK(row0 >= 0 && row0 <= row1 && row1 <= adj.n_dst);
+  BNSGCN_CHECK(out.rows() == adj.n_dst && out.cols() == inner_src.cols());
   const std::int64_t d = inner_src.cols();
-  out.resize(adj.n_dst, d); // resize zero-fills
   const bool weighted = !adj.edge_scale.empty();
-  for (NodeId v = 0; v < adj.n_dst; ++v) {
+  for (NodeId v = row0; v < row1; ++v) {
     float* o = out.data() + static_cast<std::int64_t>(v) * d;
     const auto begin = static_cast<std::size_t>(
         adj.offsets[static_cast<std::size_t>(v)]);
@@ -202,7 +204,11 @@ void mean_aggregate_backward_inner(const BipartiteCsr& adj, const Matrix& dout,
   }
 }
 
-void Layer::forward_inner(const BipartiteCsr&, const Matrix&, bool) {
+void Layer::forward_inner_begin(const BipartiteCsr&, const Matrix&, bool) {
+  BNSGCN_CHECK_MSG(false, "layer does not support phased forward");
+}
+
+void Layer::forward_inner_chunk(const BipartiteCsr&, NodeId, NodeId) {
   BNSGCN_CHECK_MSG(false, "layer does not support phased forward");
 }
 
@@ -230,6 +236,11 @@ Matrix Layer::backward_halo(const BipartiteCsr&, const Matrix&,
 Matrix Layer::backward_inner(const BipartiteCsr&, std::span<const float>) {
   BNSGCN_CHECK_MSG(false, "layer does not support phased backward");
   return {};
+}
+
+void Layer::backward_params(const BipartiteCsr&) {
+  // Default: nothing deferred — a phased layer that accumulates its
+  // parameter gradients inside backward_inner stays correct.
 }
 
 void Layer::zero_grads() {

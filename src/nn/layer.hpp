@@ -60,20 +60,31 @@ void mean_aggregate_backward(const BipartiteCsr& adj, const Matrix& dout,
 // The source block of a partition-parallel layer is [inner; halo]: rows
 // below `n_lo` are locally owned, rows at and above it arrive over the
 // fabric. The *_inner pass consumes only local sources and can therefore
-// run while the halo rows are still in flight; the *_halo pass folds the
-// received block in and applies the mean normalization last:
-//   halo_finish(inner(x)) == inv_deg ⊙ (sum_inner + sum_halo)
-// Per destination row this reorders the summation (inner terms first, halo
-// terms second) relative to the interleaved single-pass mean_aggregate, so
-// results differ from it by fp32 reassociation only. The backward splits
-// are bitwise identical to mean_aggregate_backward because every scattered
-// target receives its contributions in the same (dst, edge) order.
+// run while the halo rows are still in flight — in row chunks, so folds
+// can interleave mid-pass; the halo folds accumulate into a buffer of
+// their own, and the finish pass combines and normalizes:
+//   finish == inv_deg ⊙ (sum_inner + sum_halo)
+// Per destination row the summation order is: inner terms (adjacency
+// order), then the halo sum (accumulated in (peer, slot, incidence)
+// order) added as one term — independent of chunking and of *when* folds
+// land relative to chunks, which is what keeps every schedule and every
+// chunk size bit-identical. Relative to the interleaved single-pass
+// mean_aggregate this reassociates the per-row sum (fp32 drift only).
+// The backward splits are bitwise identical to mean_aggregate_backward
+// because every scattered target receives its contributions in the same
+// (dst, edge) order.
 // ---------------------------------------------------------------------------
 
-/// Phase 1: out[v,:] = sum over neighbors u < inner_src.rows() of
-/// edge_scale * inner_src[u,:] (unnormalized). out is resized and zeroed.
-void mean_aggregate_inner(const BipartiteCsr& adj, const Matrix& inner_src,
-                          Matrix& out);
+/// Phase 1, row-chunked: out[v,:] = sum over neighbors u <
+/// inner_src.rows() of edge_scale * inner_src[u,:] (unnormalized), for
+/// destinations [row0, row1) only, accumulated into a pre-sized, caller-
+/// zeroed `out`. Per-row work is independent, so any chunking of
+/// [0, n_dst) into ranges produces the bit-identical matrix — which is
+/// what lets the trainer interleave RequestSet polls between chunks
+/// without perturbing the fp schedule.
+void mean_aggregate_inner_rows(const BipartiteCsr& adj,
+                               const Matrix& inner_src, NodeId row0,
+                               NodeId row1, Matrix& out);
 
 /// Reverse incidence of the halo sources of a compacted adjacency: for
 /// each halo slot s (source id n_lo + s), the (dst, edge_scale) entries
@@ -95,9 +106,10 @@ struct HaloIncidence {
 /// incidence entry of slot slots[t]. `rows` is one peer's halo slab
 /// (slots.size() rows of width d, row-major, already 1/p-scaled by the
 /// caller). Folding peers in a fixed order makes the per-destination
-/// summation order deterministic: inner terms first (mean_aggregate_inner,
-/// adjacency order), then halo terms in (peer, slot, incidence) order —
-/// identical across blocking, bulk and stream schedules.
+/// summation order deterministic: inner terms first
+/// (mean_aggregate_inner_rows, adjacency order), then halo terms in
+/// (peer, slot, incidence) order — identical across blocking, bulk and
+/// stream schedules.
 void mean_aggregate_halo_fold(const HaloIncidence& inc,
                               std::span<const NodeId> slots,
                               std::span<const float> rows, std::int64_t d,
@@ -138,27 +150,47 @@ class Layer {
 
   // --- Split-phase protocol (communication–computation overlap) ----------
   // A layer returning true from supports_phased() implements the phase
-  // methods below. The forward is split into F1 (halo-independent compute)
-  // plus an *incremental* halo fold: the trainer calls
-  // forward_halo_begin once, then forward_halo_fold once per peer — in
-  // fixed peer order, in every schedule — as that peer's slab becomes
-  // available, and forward_halo_finish when every peer folded. Streaming
-  // mode feeds slabs the moment they land (buffering out-of-order
-  // arrivals until their turn), bulk/blocking feed them after a wait_all;
-  // because the fold order is the same everywhere, all three schedules
-  // execute the identical fp instruction stream. backward_halo +
-  // backward_inner split backward: the halo-feature gradients come out
-  // first (they must hit the wire), the inner-gradient block second (it
-  // can be computed while the remote contributions travel); the backward
-  // fold (scatter-add of peer contributions) lives in the trainer and
-  // follows the same fixed-peer-order rule.
+  // methods below. The forward is split into F1 (halo-independent compute,
+  // driven in destination-row chunks) plus an *incremental* halo fold: the
+  // trainer calls forward_inner_begin and forward_halo_begin once, then
+  // alternates forward_inner_chunk with forward_halo_fold — folds in
+  // fixed peer order, in every schedule — and forward_halo_finish when
+  // every chunk ran and every peer folded. A fold may land before, between
+  // or after any F1 chunk: implementations must keep the fold target
+  // disjoint from the chunk target (SAGE accumulates halo sums in a
+  // separate buffer combined at finish; GAT's halo rows are naturally
+  // disjoint from its inner rows), so the result is a pure function of
+  // (chunk partition of [0, n_dst)) ∪ (peer fold order) — and since chunks
+  // are row-independent and the peer order is pinned, bit-identical for
+  // every chunk size and every schedule. Streaming mode feeds slabs the
+  // moment they land (buffering out-of-order arrivals until their turn),
+  // bulk/blocking feed them after a wait_all. backward_halo +
+  // backward_inner + backward_params split backward: the halo-feature
+  // gradients come out first (they must hit the wire), the inner-gradient
+  // block second (it can be computed while the remote contributions
+  // travel), and the parameter gradients last — nothing reads them before
+  // the epoch-end allreduce, so the trainer defers backward_params(l)
+  // into layer l−1's exchange window (the cross-layer backward pipeline);
+  // the backward fold (scatter-add of peer contributions) lives in the
+  // trainer and follows the same fixed-peer-order rule.
 
   [[nodiscard]] virtual bool supports_phased() const { return false; }
 
-  /// Phase F1: consume the locally-owned source block ((n_dst, d_in) —
-  /// inner sources of the trainer layout). Caches partial state.
-  virtual void forward_inner(const BipartiteCsr& adj,
-                             const Matrix& inner_feats, bool training);
+  /// Phase F1 setup: cache the locally-owned source block ((n_dst, d_in) —
+  /// inner sources of the trainer layout) and size the partial state. No
+  /// per-row work happens here; the chunks do it. `inner_feats` must stay
+  /// valid until the last forward_inner_chunk returns (implementations
+  /// may keep a reference instead of copying).
+  virtual void forward_inner_begin(const BipartiteCsr& adj,
+                                   const Matrix& inner_feats, bool training);
+
+  /// Phase F1 chunk: run the halo-independent compute for destination rows
+  /// [row0, row1). The trainer covers [0, n_dst) with disjoint ascending
+  /// ranges; between chunks it may poll the completion set and fold peers.
+  /// Row-independent by contract, so the chunking never changes results.
+  virtual void forward_inner_chunk(const BipartiteCsr& adj, NodeId row0,
+                                   NodeId row1);
+
 
   /// Phase F2a: receive the epoch's halo fold state. `inc` is the
   /// slot→dst reverse incidence of `adj`, built by the caller once per
@@ -187,9 +219,20 @@ class Layer {
                                              std::span<const float> inv_deg);
 
   /// Phase B2: the inner-source input gradients ((n_dst, d_in)), computed
-  /// from state cached by backward_halo.
+  /// from state cached by backward_halo. Must not touch the parameter
+  /// gradients — those belong to backward_params.
   [[nodiscard]] virtual Matrix backward_inner(const BipartiteCsr& adj,
                                               std::span<const float> inv_deg);
+
+  /// Phase B3: accumulate the parameter gradients (dW, db, …) from state
+  /// cached by backward_halo/backward_inner. Called exactly once per
+  /// backward, but possibly *late*: the trainer defers layer l's call into
+  /// layer l−1's exchange window (and runs the last one after layer 0's
+  /// backward), always before the gradient allreduce. Cached state must
+  /// therefore survive until the next forward. Default is a no-op so a
+  /// custom phased layer may keep computing its parameter gradients inside
+  /// backward_inner and simply not split.
+  virtual void backward_params(const BipartiteCsr& adj);
 
   [[nodiscard]] virtual std::vector<Matrix*> params() = 0;
   [[nodiscard]] virtual std::vector<Matrix*> grads() = 0;

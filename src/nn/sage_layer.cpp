@@ -41,28 +41,57 @@ Matrix SageLayer::forward(const BipartiteCsr& adj, const Matrix& feats,
   return out;
 }
 
-void SageLayer::forward_inner(const BipartiteCsr& adj,
-                              const Matrix& inner_feats, bool training) {
+void SageLayer::forward_inner_begin(const BipartiteCsr& adj,
+                                    const Matrix& inner_feats, bool training) {
   BNSGCN_CHECK(inner_feats.cols() == d_in_);
   BNSGCN_CHECK(inner_feats.rows() == adj.n_dst);
   cached_training_ = training;
-  // Everything halo-independent runs here, inside the overlap window: the
-  // inner-source partial aggregation AND the self half of the transform
-  // (u·W splits as z·W[:d_in] + self·W[d_in:] under the concat layout).
-  mean_aggregate_inner(adj, inner_feats, z_partial_);
+  // Setup only: the halo-independent work — inner-source partial
+  // aggregation AND the self half of the transform (u·W splits as
+  // z·W[:d_in] + self·W[d_in:] under the concat layout) — runs in the row
+  // chunks, so RequestSet polls (and peer folds) can interleave.
   self_cache_ = inner_feats;
+  z_partial_.resize(adj.n_dst, d_in_); // resize zero-fills
   w_half_.resize(d_in_, d_out_);
   std::copy(w_.data() + d_in_ * d_out_, w_.data() + 2 * d_in_ * d_out_,
             w_half_.data());
   out_partial_.resize(adj.n_dst, d_out_);
-  ops::gemm_nn(self_cache_, w_half_, out_partial_);
-  ops::add_row_bias(out_partial_, b_);
+}
+
+void SageLayer::forward_inner_chunk(const BipartiteCsr& adj, NodeId row0,
+                                    NodeId row1) {
+  mean_aggregate_inner_rows(adj, self_cache_, row0, row1, z_partial_);
+  if (row0 == 0 && row1 == adj.n_dst) {
+    // Whole block in one chunk: skip the staging copies.
+    ops::gemm_nn(self_cache_, w_half_, out_partial_);
+    ops::add_row_bias(out_partial_, b_);
+    return;
+  }
+  const NodeId cnt = row1 - row0;
+  if (cnt <= 0) return;
+  // Row-split self transform: stage the chunk, transform, bias, place.
+  // gemm_nn computes each output row independently (fixed k-loop order),
+  // so the chunked rows are bit-identical to the fused GEMM's.
+  Matrix block(cnt, d_in_);
+  std::copy(self_cache_.data() + static_cast<std::int64_t>(row0) * d_in_,
+            self_cache_.data() + static_cast<std::int64_t>(row1) * d_in_,
+            block.data());
+  Matrix tmp(cnt, d_out_);
+  ops::gemm_nn(block, w_half_, tmp);
+  ops::add_row_bias(tmp, b_);
+  std::copy(tmp.data(), tmp.data() + tmp.size(),
+            out_partial_.data() + static_cast<std::int64_t>(row0) * d_out_);
 }
 
 void SageLayer::forward_halo_begin(const BipartiteCsr& adj,
                                    const HaloIncidence& inc) {
   BNSGCN_CHECK(inc.n_lo == adj.n_dst && inc.n_halo == adj.n_src - adj.n_dst);
   halo_inc_ = &inc;
+  // Folds accumulate here, not in z_partial_: a fold may land before the
+  // F1 chunk that computes its destination rows, and the separate buffer
+  // is what keeps the per-row order (inner terms, then the halo sum)
+  // independent of that timing.
+  z_halo_.resize(adj.n_dst, d_in_); // resize zero-fills
 }
 
 void SageLayer::forward_halo_fold(const BipartiteCsr& adj,
@@ -70,12 +99,14 @@ void SageLayer::forward_halo_fold(const BipartiteCsr& adj,
                                   std::span<const float> rows) {
   (void)adj; // geometry is frozen in the incidence received by _begin
   BNSGCN_CHECK(halo_inc_ != nullptr);
-  mean_aggregate_halo_fold(*halo_inc_, slots, rows, d_in_, z_partial_);
+  mean_aggregate_halo_fold(*halo_inc_, slots, rows, d_in_, z_halo_);
 }
 
 Matrix SageLayer::forward_halo_finish(const BipartiteCsr& adj,
                                       std::span<const float> inv_deg) {
   (void)adj;
+  for (std::int64_t i = 0; i < z_partial_.size(); ++i)
+    z_partial_.data()[i] += z_halo_.data()[i];
   mean_aggregate_finish(inv_deg, z_partial_);
 
   Matrix out = std::move(out_partial_);
@@ -121,12 +152,17 @@ Matrix SageLayer::backward_halo(const BipartiteCsr& adj, const Matrix& dout,
 
 Matrix SageLayer::backward_inner(const BipartiteCsr& adj,
                                  std::span<const float> inv_deg) {
-  ops::gemm_tn(u_cache_, g_cache_, dw_, 1.0f, 1.0f);
-  ops::col_sum(g_cache_, db_);
-
   Matrix dinner = dself_cache_; // the self half lands on inner rows 1:1
   mean_aggregate_backward_inner(adj, dz_cache_, inv_deg, adj.n_dst, dinner);
   return dinner;
+}
+
+void SageLayer::backward_params(const BipartiteCsr&) {
+  // Deferred B3: dW/db feed nothing before the epoch-end allreduce, so the
+  // trainer runs this inside the *next* layer's exchange window. u_cache_
+  // and g_cache_ stay untouched until the next forward.
+  ops::gemm_tn(u_cache_, g_cache_, dw_, 1.0f, 1.0f);
+  ops::col_sum(g_cache_, db_);
 }
 
 Matrix SageLayer::backward(const BipartiteCsr& adj, const Matrix& dout,

@@ -25,13 +25,18 @@ class SageLayer final : public Layer {
                   std::span<const float> inv_deg) override;
 
   // Split-phase protocol (see Layer): the mean aggregator decomposes into
-  // an inner-source partial sum plus per-peer halo folds (streamed through
-  // the slot→dst reverse incidence as each slab lands), and the backward
-  // scatter into disjoint inner/halo target halves, so SAGE supports full
-  // streaming overlap.
+  // an inner-source partial sum (chunked by destination row — each row's
+  // work is independent, so any chunking is bit-exact) plus per-peer halo
+  // folds (streamed through the slot→dst reverse incidence as each slab
+  // lands, into a separate accumulator combined at finish so folds may
+  // interleave mid-F1), and the backward scatter into disjoint inner/halo
+  // target halves, so SAGE supports full streaming overlap. Parameter
+  // gradients live in backward_params (the cross-layer-deferred B3 phase).
   [[nodiscard]] bool supports_phased() const override { return true; }
-  void forward_inner(const BipartiteCsr& adj, const Matrix& inner_feats,
-                     bool training) override;
+  void forward_inner_begin(const BipartiteCsr& adj, const Matrix& inner_feats,
+                           bool training) override;
+  void forward_inner_chunk(const BipartiteCsr& adj, NodeId row0,
+                           NodeId row1) override;
   void forward_halo_begin(const BipartiteCsr& adj,
                           const HaloIncidence& inc) override;
   void forward_halo_fold(const BipartiteCsr& adj,
@@ -44,6 +49,7 @@ class SageLayer final : public Layer {
                                      std::span<const float> inv_deg) override;
   [[nodiscard]] Matrix backward_inner(
       const BipartiteCsr& adj, std::span<const float> inv_deg) override;
+  void backward_params(const BipartiteCsr& adj) override;
 
   std::vector<Matrix*> params() override { return {&w_, &b_}; }
   std::vector<Matrix*> grads() override { return {&dw_, &db_}; }
@@ -66,7 +72,10 @@ class SageLayer final : public Layer {
   bool cached_training_ = false;
 
   // Split-phase scratch (valid between the calls of a phase group).
-  Matrix z_partial_;     // forward: unnormalized inner+folded-halo sums
+  Matrix z_partial_;     // forward: unnormalized inner-source sums
+  Matrix z_halo_;        // forward: folded halo sums — separate from
+                         // z_partial_ so folds may land mid-F1 without
+                         // perturbing the per-row order; combined at finish
   const HaloIncidence* halo_inc_ = nullptr; // trainer-owned, set per epoch
                                             // by forward_halo_begin
   Matrix self_cache_;    // forward: the inner feature block

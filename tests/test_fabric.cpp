@@ -336,6 +336,121 @@ TEST(RequestSet, WaitAllCompletesTheRemainder) {
   });
 }
 
+TEST(RequestSet, EmptySetIsTriviallyDone) {
+  // Zero requests: every operation must be a no-op, not a hang — the
+  // trainer hits this on ranks whose sampled plan keeps no halo (p=0, or
+  // an isolated partition).
+  comm::RequestSet set;
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.pending(), 0u);
+  EXPECT_TRUE(set.all_done());
+  std::vector<std::size_t> done;
+  EXPECT_EQ(set.poll(done), 0u);
+  EXPECT_EQ(set.wait_any(done), 0u); // must return, not block
+  set.wait_all();
+  EXPECT_TRUE(done.empty());
+}
+
+TEST(RequestSet, WaitAnyAfterExhaustionReturnsImmediately) {
+  // Once every member completed, further wait_any calls must return 0
+  // without blocking (a buggy loop re-entering wait_any after the last
+  // fold would otherwise deadlock) and report no duplicate indices.
+  Fabric fabric(2);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send_floats(1, 0, {1.0f}, TrafficClass::kFeature);
+      ep.send_floats(1, 1, {2.0f}, TrafficClass::kFeature);
+    } else {
+      comm::RequestSet set;
+      (void)set.add(ep.irecv_floats(0, 0, TrafficClass::kFeature));
+      (void)set.add(ep.irecv_floats(0, 1, TrafficClass::kFeature));
+      std::vector<std::size_t> done;
+      while (!set.all_done()) (void)set.wait_any(done);
+      ASSERT_EQ(done.size(), 2u);
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        EXPECT_EQ(set.wait_any(done), 0u);
+        EXPECT_EQ(set.poll(done), 0u);
+      }
+      EXPECT_EQ(done.size(), 2u); // no re-reports
+      set.wait_all();             // idempotent on the exhausted set
+      EXPECT_EQ(set.pending(), 0u);
+    }
+  });
+}
+
+TEST(RequestSet, PollDuringPartialCompletionAccountsBytesExactly) {
+  // Three posted receives, deliveries staggered one at a time: after each
+  // delivery a poll must report exactly that one new completion, and the
+  // receiver-side byte counters must show exactly the delivered slabs —
+  // pending irecvs contribute nothing.
+  constexpr int kFloats = 10;
+  const auto slab_bytes = static_cast<std::int64_t>(kFloats * sizeof(float));
+  Fabric fabric(2);
+  run_ranks(fabric, [&](comm::Endpoint& ep) {
+    if (ep.rank() == 0) {
+      for (int tag = 0; tag < 3; ++tag) {
+        ep.barrier(); // rank 1 probed the current state
+        ep.send_floats(1, tag, std::vector<float>(kFloats, 1.0f),
+                       TrafficClass::kFeature);
+        ep.barrier(); // delivery visible before the next probe
+      }
+      ep.barrier();
+    } else {
+      comm::RequestSet set;
+      for (int tag = 0; tag < 3; ++tag)
+        (void)set.add(ep.irecv_floats(0, tag, TrafficClass::kFeature));
+      std::vector<std::size_t> done;
+      for (int k = 0; k < 3; ++k) {
+        EXPECT_EQ(set.poll(done), 0u) << "nothing new before delivery " << k;
+        ep.barrier();
+        ep.barrier();
+        done.clear();
+        EXPECT_EQ(set.poll(done), 1u);
+        EXPECT_EQ(done, (std::vector<std::size_t>{static_cast<std::size_t>(k)}));
+        EXPECT_EQ(set.pending(), static_cast<std::size_t>(2 - k));
+        EXPECT_EQ(ep.stats().rx_bytes[static_cast<int>(TrafficClass::kFeature)],
+                  slab_bytes * (k + 1));
+        EXPECT_EQ(ep.stats().rx_msgs[static_cast<int>(TrafficClass::kFeature)],
+                  k + 1);
+      }
+      for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(set.at(i).take_floats().size(),
+                  static_cast<std::size_t>(kFloats));
+      ep.barrier();
+    }
+  });
+  EXPECT_EQ(fabric.total_rx_bytes(TrafficClass::kFeature), slab_bytes * 3);
+}
+
+TEST(Fabric, DeliveryShuffleHoldsProbesButNotBlockingTakes) {
+  // The test-only arrival shuffle defers nonblocking probes for a bounded
+  // number of passes and never touches blocking receives or the byte
+  // accounting.
+  Fabric fabric(2);
+  fabric.enable_delivery_shuffle(/*seed=*/12345, /*max_hold=*/4);
+  run_ranks(fabric, [](comm::Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.send_floats(1, 0, {1.0f, 2.0f}, TrafficClass::kFeature);
+      ep.send_floats(1, 1, {3.0f}, TrafficClass::kFeature);
+      ep.barrier();
+    } else {
+      ep.barrier(); // both messages deposited
+      // Nonblocking path: at most max_hold failed probes, then delivery.
+      auto req = ep.irecv_floats(0, 0, TrafficClass::kFeature);
+      int probes = 0;
+      while (!req.test()) {
+        ASSERT_LE(++probes, 4) << "hold must expire within max_hold probes";
+      }
+      EXPECT_EQ(req.take_floats(), (std::vector<float>{1.0f, 2.0f}));
+      // Blocking path: delivers immediately regardless of any hold.
+      EXPECT_EQ(ep.recv_floats(0, 1, TrafficClass::kFeature),
+                (std::vector<float>{3.0f}));
+    }
+  });
+  EXPECT_EQ(fabric.total_rx_bytes(TrafficClass::kFeature),
+            static_cast<std::int64_t>(3 * sizeof(float)));
+}
+
 TEST(Fabric, StreamingSlabStressAcrossManyRanks) {
   // The streaming fold's wire pattern at full stress: every rank sends
   // every other rank several tagged slabs in a rank-dependent (scrambled)

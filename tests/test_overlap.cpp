@@ -147,6 +147,38 @@ TEST(Overlap, BitIdenticalMultilabel) {
   expect_modes_bit_identical(ds, part, cfg);
 }
 
+TEST(Overlap, ChunkedF1BitIdenticalAcrossChunkSizes) {
+  // The F1 chunk size moves only the poll points (F1 is row-independent
+  // and folds target disjoint buffers), so every chunking of every
+  // schedule must train bit-identically to the unchunked blocking run —
+  // for SAGE and GAT alike. Chunk 1 is the pathological
+  // one-poll-per-row case; 1<<20 exceeds every partition (one chunk, but
+  // through the chunked code path).
+  const Dataset ds = easy_dataset(173);
+  const auto part = metis_like(ds.graph, 4);
+  for (const ModelKind model : {ModelKind::kSage, ModelKind::kGat}) {
+    auto cfg = base_config();
+    cfg.model = model;
+    cfg.gat_heads = model == ModelKind::kGat ? 2 : 1;
+    cfg.epochs = 3;
+    cfg.overlap = OverlapMode::kBlocking;
+    cfg.inner_chunk_rows = 0;
+    const auto baseline = BnsTrainer(ds, part, cfg).train();
+    for (const OverlapMode mode : kAllModes) {
+      for (const NodeId chunk : {1, 19, 1 << 20}) {
+        cfg.overlap = mode;
+        cfg.inner_chunk_rows = chunk;
+        const auto got = BnsTrainer(ds, part, cfg).train();
+        EXPECT_EQ(baseline.train_loss, got.train_loss)
+            << "model " << static_cast<int>(model) << " mode "
+            << static_cast<int>(mode) << " chunk " << chunk;
+        EXPECT_EQ(baseline.final_val, got.final_val);
+        EXPECT_EQ(baseline.final_test, got.final_test);
+      }
+    }
+  }
+}
+
 TEST(Overlap, HiddenTimeIsRealAndBounded) {
   const Dataset ds = easy_dataset(113);
   const auto part = metis_like(ds.graph, 4);

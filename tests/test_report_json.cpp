@@ -193,7 +193,9 @@ api::RunConfig sample_config() {
   cfg.trainer.cost.bytes_per_s = 3.0e7;
   cfg.trainer.simulate_host_swap = true;
   cfg.trainer.overlap = core::OverlapMode::kStream;
+  cfg.trainer.inner_chunk_rows = 96;
   cfg.comm.overlap = core::OverlapMode::kBulk;
+  cfg.comm.inner_chunk_rows = 48;
   cfg.minibatch.lr = 0.5f;
   cfg.minibatch.batch_size = 777;
   cfg.minibatch.batches_per_epoch = 3;
@@ -251,7 +253,9 @@ void expect_configs_equal(const api::RunConfig& a, const api::RunConfig& b) {
   EXPECT_EQ(a.trainer.cost.bytes_per_s, b.trainer.cost.bytes_per_s);
   EXPECT_EQ(a.trainer.simulate_host_swap, b.trainer.simulate_host_swap);
   EXPECT_EQ(a.trainer.overlap, b.trainer.overlap);
+  EXPECT_EQ(a.trainer.inner_chunk_rows, b.trainer.inner_chunk_rows);
   EXPECT_EQ(a.comm.overlap, b.comm.overlap);
+  EXPECT_EQ(a.comm.inner_chunk_rows, b.comm.inner_chunk_rows);
   EXPECT_EQ(a.minibatch.lr, b.minibatch.lr);
   EXPECT_EQ(a.minibatch.batch_size, b.minibatch.batch_size);
   EXPECT_EQ(a.minibatch.batches_per_epoch, b.minibatch.batches_per_epoch);
@@ -308,6 +312,15 @@ TEST(ConfigJson, OverlapModeRoundTripsEveryValue) {
     EXPECT_EQ(parsed.comm.overlap, mode);
     EXPECT_EQ(parsed.trainer.overlap, mode);
   }
+}
+
+TEST(ConfigJson, ChunkKnobAbsentKeepsUnchunkedDefault) {
+  // Artifacts written before the chunked inner phase have no
+  // inner_chunk_rows key in either block: both sides must stay 0.
+  const api::RunConfig cfg = api::run_config_from_json_string(
+      R"({"comm": {"overlap": "stream"}, "trainer": {"epochs": 2}})");
+  EXPECT_EQ(cfg.comm.inner_chunk_rows, 0);
+  EXPECT_EQ(cfg.trainer.inner_chunk_rows, 0);
 }
 
 TEST(ConfigJson, LegacyOverlapBoolStillParses) {
