@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "core/boundary_sampler.hpp"
 #include "core/epoch_planner.hpp"
 #include "core/local_graph.hpp"
@@ -29,6 +31,48 @@ void BM_GemmNN(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * 64 * 64 * 2);
 }
 BENCHMARK(BM_GemmNN)->Arg(1024)->Arg(8192);
+
+// The chunked-stream F1 transform, two ways: the old staged path (copy each
+// row chunk to a scratch block, full gemm_nn on the block, copy the result
+// into place) vs the row-range kernel writing the output rows directly.
+// Same FLOPs; the delta is pure staging-copy overhead.
+void BM_GemmChunkedStaged(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  const std::int64_t chunk = 128;
+  Rng rng(1);
+  Matrix a(n, 64), b(64, 64), c(n, 64);
+  a.randomize_gaussian(rng, 1.0f);
+  b.randomize_gaussian(rng, 1.0f);
+  for (auto _ : state) {
+    for (std::int64_t r0 = 0; r0 < n; r0 += chunk) {
+      const std::int64_t r1 = std::min(n, r0 + chunk);
+      Matrix block(r1 - r0, 64), tmp(r1 - r0, 64);
+      std::copy(a.data() + r0 * 64, a.data() + r1 * 64, block.data());
+      ops::gemm_nn(block, b, tmp);
+      std::copy(tmp.data(), tmp.data() + tmp.size(), c.data() + r0 * 64);
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64 * 2);
+}
+BENCHMARK(BM_GemmChunkedStaged)->Arg(1024)->Arg(8192);
+
+void BM_GemmChunkedRows(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  const std::int64_t chunk = 128;
+  Rng rng(1);
+  Matrix a(n, 64), b(64, 64), c(n, 64);
+  a.randomize_gaussian(rng, 1.0f);
+  b.randomize_gaussian(rng, 1.0f);
+  for (auto _ : state) {
+    for (std::int64_t r0 = 0; r0 < n; r0 += chunk) {
+      ops::gemm_nn_rows(a, b, c, r0, std::min(n, r0 + chunk));
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64 * 2);
+}
+BENCHMARK(BM_GemmChunkedRows)->Arg(1024)->Arg(8192);
 
 void BM_MeanAggregate(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));

@@ -21,6 +21,13 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 ctest --test-dir build --output-on-failure -R test_overlap
 
+# Transport gates, run once more by name so a socket-fabric regression is
+# called out explicitly: framing/shutdown unit tests, then the
+# cross-process parity suite (forked UDS/TCP rank processes must train
+# bit-identically to the in-process mailbox and report measured timing).
+ctest --test-dir build --output-on-failure -R test_transport
+ctest --test-dir build --output-on-failure -R test_multiprocess
+
 # Schedule-fuzz gate: first the pinned seed (the exact sweep CI has run
 # before — any failure here is a regression, reproducible as printed),
 # then a smoke sweep seeded from the commit SHA: every commit probes a
@@ -42,6 +49,14 @@ SMOKE_SEED=$((16#$(git rev-parse --short=8 HEAD 2>/dev/null || echo 2bd5)))
 OVERLAP_ARTIFACT=build/overlap_gate_artifact.json
 rm -f "$OVERLAP_ARTIFACT"
 ./build/bench/bench_overlap --scale 0.25 --epochs 3 --json "$OVERLAP_ARTIFACT"
+
+# Multi-process UDS smoke: the same bench over the real socket fabric at
+# 2 partitions — one forked OS process per rank, sockets under $TMPDIR
+# (no fixed TCP ports; hermetic under parallel CI). Losses must stay
+# bit-identical across schedules; comm columns are measured wall-clock,
+# so the simulated overlap envelope is (correctly) not gated here.
+./build/bench/bench_overlap --transport uds --parts 2 --scale 0.25 \
+  --epochs 2 --json build/overlap_uds_smoke.json
 
 # Chunked-stream replay gate: the first four rows of the overlap artifact
 # are one config under all four schedules (chunked stream included);

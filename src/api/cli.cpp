@@ -34,13 +34,19 @@ bool parse_int(const std::string& s, int& out) {
 std::string bench_usage(const std::string& argv0) {
   return "usage: " + argv0 +
          " [--scale <x>] [--epochs <n>] [--json <path>]"
-         " [--part-cache <dir>]\n"
+         " [--part-cache <dir>] [--transport <t>] [--parts <list>]\n"
          "  --scale <x>   dataset size multiplier (default 1.0; 2-4 gives\n"
          "                closer-to-paper shapes, <1 is a quick smoke run)\n"
          "  --epochs <n>  override every run's epoch count\n"
          "  --json <path> write the bench's runs as a JSON artifact\n"
          "  --part-cache <dir> persist partitionings to <dir> and reuse\n"
-         "                them across bench processes\n";
+         "                them across bench processes\n"
+         "  --transport <t> fabric backend: mailbox (default; in-process\n"
+         "                threads, simulated comm times), uds or tcp (one\n"
+         "                process per rank, measured comm times)\n"
+         "  --parts <list> comma-separated partition counts to sweep,\n"
+         "                e.g. --parts 2,4 (benches without a partition\n"
+         "                sweep ignore it)\n";
 }
 
 std::optional<BenchOptions> try_parse_bench_args(
@@ -93,6 +99,48 @@ std::optional<BenchOptions> try_parse_bench_args(
         return std::nullopt;
       }
       opts.part_cache_dir = *v;
+      continue;
+    }
+    if (arg == "--transport") {
+      const std::string* v = value("--transport");
+      if (v == nullptr) return std::nullopt;
+      if (*v == "mailbox") {
+        opts.transport = comm::TransportKind::kMailbox;
+      } else if (*v == "uds") {
+        opts.transport = comm::TransportKind::kUds;
+      } else if (*v == "tcp") {
+        opts.transport = comm::TransportKind::kTcp;
+      } else {
+        error = "--transport needs mailbox, uds or tcp, got '" + *v + "'";
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (arg == "--parts") {
+      const std::string* v = value("--parts");
+      if (v == nullptr) return std::nullopt;
+      opts.parts.clear();
+      std::size_t pos = 0;
+      bool ok = !v->empty();
+      while (ok && pos <= v->size()) {
+        const std::size_t comma = v->find(',', pos);
+        const std::string item =
+            v->substr(pos, comma == std::string::npos ? std::string::npos
+                                                      : comma - pos);
+        int n = 0;
+        if (!parse_int(item, n) || n < 1) {
+          ok = false;
+          break;
+        }
+        opts.parts.push_back(n);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      if (!ok) {
+        error = "--parts needs comma-separated positive integers, got '" +
+                *v + "'";
+        return std::nullopt;
+      }
       continue;
     }
     error = "unknown argument '" + arg + "'";

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "comm/transport.hpp"
+
 namespace bnsgcn::api {
 
 /// Shared command-line options of the bench binaries (replaces the old
@@ -15,11 +17,18 @@ namespace bnsgcn::api {
 ///   --part-cache <dir> persist computed partitionings to <dir> and reuse
 ///                     them across bench processes (partition cache disk
 ///                     store; the in-memory cache is always on)
+///   --transport <t>   fabric backend: mailbox (in-process threads,
+///                     simulated comm times — the default), uds or tcp
+///                     (one OS process per rank, measured comm times)
+///   --parts <list>    comma-separated partition counts to sweep (benches
+///                     that sweep partition counts; others ignore it)
 struct BenchOptions {
   double scale = 1.0;
   std::optional<int> epochs;
   std::string json_path;        // empty = no artifact
   std::string part_cache_dir;   // empty = in-memory cache only
+  comm::TransportKind transport = comm::TransportKind::kMailbox;
+  std::vector<int> parts;       // empty = the bench's default sweep
 
   /// Epoch count for a bench section that defaults to `fallback`.
   [[nodiscard]] int epochs_or(int fallback) const {

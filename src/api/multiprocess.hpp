@@ -1,0 +1,26 @@
+#pragma once
+
+#include "api/run.hpp"
+
+namespace bnsgcn::api {
+
+/// Multi-process BNS-GCN runtime: fork one OS process per partition, each
+/// running the unchanged core::BnsTrainer rank loop over a socket fabric
+/// (cfg.comm.transport selects UDS or TCP; see comm/process_group.hpp for
+/// the bootstrap). The trainer — dataset, partitioning, local graphs — is
+/// built before forking, so children inherit it copy-on-write and nothing
+/// is serialized on the way in; rank 0 streams its aggregated RunReport
+/// back over a pipe as JSON (doubles round-trip bit-exactly at %.17g).
+///
+/// Losses and byte counts are bit-identical to the in-process mailbox run
+/// of the same config; comm/overlap/tail/reduce times are measured
+/// wall-clock instead of simulated (EpochBreakdown::timing == kMeasured).
+///
+/// Throws if any rank exits nonzero (the failing rank's message goes to
+/// stderr; peers unwind via the fabric's shutdown path rather than
+/// hanging).
+[[nodiscard]] RunReport run_multiprocess(const Dataset& ds,
+                                         const Partitioning& part,
+                                         const RunConfig& cfg);
+
+} // namespace bnsgcn::api

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "api/multiprocess.hpp"
 #include "api/partition_cache.hpp"
 #include "common/check.hpp"
 #include "core/proxies.hpp"
@@ -45,26 +46,16 @@ RunReport finish(RunReport report, const MethodInfo& info,
   return report;
 }
 
-/// The engine-level trainer config of a partition-parallel run: the api's
-/// CommSpec folds into the one TrainerConfig knob the engine reads. The
-/// two spellings combine by taking the more aggressive schedule (modes
-/// are ordered blocking < bulk < stream), so either knob alone works.
-core::TrainerConfig engine_config(const RunConfig& cfg) {
-  core::TrainerConfig tcfg = cfg.trainer;
-  tcfg.overlap = std::max(cfg.comm.overlap, cfg.trainer.overlap);
-  // The api-level chunk spelling wins when set; otherwise the engine-level
-  // value (possibly 0 = unchunked) stands.
-  if (cfg.comm.inner_chunk_rows > 0)
-    tcfg.inner_chunk_rows = cfg.comm.inner_chunk_rows;
-  return tcfg;
-}
-
 std::deque<MethodInfo>& mutable_registry() {
   static std::deque<MethodInfo> registry = [] {
     std::deque<MethodInfo> r;
     r.push_back({Method::kBns, "bns", "BNS-GCN", /*needs_partition=*/true,
                  [](const Dataset& ds, const Partitioning* part,
                     const RunConfig& cfg) {
+                   // A socket transport spawns one OS process per rank
+                   // (api/multiprocess.hpp); the mailbox trains in-process.
+                   if (cfg.comm.transport != comm::TransportKind::kMailbox)
+                     return run_multiprocess(ds, *part, cfg);
                    return RunReport::from_train_result(
                        core::BnsTrainer(ds, *part, engine_config(cfg))
                            .train(),
@@ -134,6 +125,18 @@ std::deque<MethodInfo>& mutable_registry() {
 }
 
 } // namespace
+
+// The two overlap spellings combine by taking the more aggressive schedule
+// (modes are ordered blocking < bulk < stream), so either knob alone works.
+core::TrainerConfig engine_config(const RunConfig& cfg) {
+  core::TrainerConfig tcfg = cfg.trainer;
+  tcfg.overlap = std::max(cfg.comm.overlap, cfg.trainer.overlap);
+  // The api-level chunk spelling wins when set; otherwise the engine-level
+  // value (possibly 0 = unchunked) stands.
+  if (cfg.comm.inner_chunk_rows > 0)
+    tcfg.inner_chunk_rows = cfg.comm.inner_chunk_rows;
+  return tcfg;
+}
 
 const std::deque<MethodInfo>& method_registry() {
   return mutable_registry();

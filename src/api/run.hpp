@@ -53,6 +53,17 @@ struct CommSpec {
   /// wins over trainer.inner_chunk_rows when nonzero; JSON key
   /// "inner_chunk_rows".
   NodeId inner_chunk_rows = 0;
+
+  /// Fabric backend. kMailbox (default) trains every rank as a thread over
+  /// the in-process deterministic fabric, with comm/overlap times simulated
+  /// from byte counts. kUds / kTcp spawn one OS process per rank connected
+  /// by a socket fabric (api/multiprocess.hpp): identical losses and byte
+  /// counts — the schedule and fold orders are transport-invariant — but
+  /// comm/overlap/tail/reduce become measured wall-clock
+  /// (RunReport::timing_source == "measured"). Only Method::kBns routes to
+  /// the multi-process runtime; JSON key "transport", values
+  /// "mailbox" / "uds" / "tcp".
+  comm::TransportKind transport = comm::TransportKind::kMailbox;
 };
 
 /// Everything one training run needs: what data, how it is partitioned,
@@ -107,6 +118,12 @@ void register_method(MethodInfo info);
 
 /// The method resolved from `cfg` (built-in or custom).
 [[nodiscard]] const MethodInfo& resolve_method(const RunConfig& cfg);
+
+/// The engine-level trainer config of a partition-parallel run: the api's
+/// CommSpec folds into the TrainerConfig knobs the engine reads (overlap
+/// mode, chunking). Shared with the multi-process runtime so both runtimes
+/// resolve the config identically.
+[[nodiscard]] core::TrainerConfig engine_config(const RunConfig& cfg);
 
 /// Run `cfg` end to end: build the dataset from cfg.dataset, partition per
 /// cfg.partition (when the method needs one), train, and return the

@@ -14,6 +14,10 @@ json::Value to_json(const core::EpochBreakdown& e) {
   v.set("feature_bytes", e.feature_bytes);
   v.set("grad_bytes", e.grad_bytes);
   v.set("control_bytes", e.control_bytes);
+  // Written only for measured (socket-fabric) runs; absent means simulated,
+  // which keeps every pre-existing artifact byte-identical.
+  if (e.timing == comm::TimingSource::kMeasured)
+    v.set("timing_source", "measured");
   return v;
 }
 
@@ -27,6 +31,13 @@ core::EpochBreakdown breakdown_from_json(const json::Value& v) {
   // Absent in artifacts written before these fields existed.
   if (const auto* o = v.get("overlap_s")) e.overlap_s = o->as_double();
   if (const auto* t = v.get("comm_tail_s")) e.comm_tail_s = t->as_double();
+  if (const auto* ts = v.get("timing_source")) {
+    const std::string s = ts->as_string();
+    BNSGCN_CHECK_MSG(s == "measured" || s == "simulated",
+                     "unknown timing_source: " + s);
+    e.timing = s == "measured" ? comm::TimingSource::kMeasured
+                               : comm::TimingSource::kSimulated;
+  }
   e.feature_bytes = v.at("feature_bytes").as_int64();
   e.grad_bytes = v.at("grad_bytes").as_int64();
   e.control_bytes = v.at("control_bytes").as_int64();
@@ -88,6 +99,11 @@ json::Value to_json(const RunReport& r) {
   v.set("epochs", std::move(epochs));
   v.set("memory", to_json(r.memory));
   v.set("wall_time_s", r.wall_time_s);
+  // Headline timing provenance (mirrors the per-epoch flags): written only
+  // for measured runs so pre-existing artifacts stay byte-identical.
+  if (!r.epochs.empty() &&
+      r.epochs.front().timing == comm::TimingSource::kMeasured)
+    v.set("timing_source", "measured");
   json::Value pc = json::Value::object();
   pc.set("hits", r.partition_cache.hits);
   pc.set("disk_hits", r.partition_cache.disk_hits);
@@ -399,6 +415,7 @@ json::Value to_json(const RunConfig& cfg) {
   comm.set("overlap", overlap_mode_name(cfg.comm.overlap));
   comm.set("inner_chunk_rows",
            static_cast<std::int64_t>(cfg.comm.inner_chunk_rows));
+  comm.set("transport", comm::transport_kind_name(cfg.comm.transport));
   v.set("comm", std::move(comm));
 
   v.set("minibatch", minibatch_to_json(cfg.minibatch));
@@ -440,6 +457,10 @@ RunConfig run_config_from_json(const json::Value& v) {
             [](const json::Value& f) {
               return static_cast<NodeId>(f.as_int64());
             });
+    // Absent in configs written before socket transports existed: mailbox.
+    read_if(*c, "transport", cfg.comm.transport, [](const json::Value& f) {
+      return comm::transport_kind_from_name(f.as_string());
+    });
   }
   if (const auto* mb = v.get("minibatch"))
     cfg.minibatch = minibatch_from_json(*mb);

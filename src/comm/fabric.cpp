@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "comm/mailbox_transport.hpp"
 #include "common/check.hpp"
 
 namespace bnsgcn::comm {
@@ -30,22 +31,21 @@ double RankStats::sim_seconds(TrafficClass cls, const CostModel& cost) const {
 }
 
 Fabric::Fabric(PartId nranks, CostModel cost)
-    : nranks_(nranks), cost_(cost),
-      barrier_(static_cast<std::size_t>(nranks)),
-      reduce_slots_(static_cast<std::size_t>(nranks)),
-      scalar_slots_(static_cast<std::size_t>(nranks), 0.0),
-      gather_slots_(static_cast<std::size_t>(nranks)) {
-  BNSGCN_CHECK(nranks >= 1);
-  mailboxes_.resize(static_cast<std::size_t>(nranks) *
-                    static_cast<std::size_t>(nranks));
-  for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
-  endpoints_.reserve(static_cast<std::size_t>(nranks));
-  for (PartId r = 0; r < nranks; ++r)
+    : Fabric(std::make_unique<MailboxTransport>(nranks), cost) {}
+
+Fabric::Fabric(std::unique_ptr<Transport> transport, CostModel cost)
+    : transport_(std::move(transport)), cost_(cost) {
+  BNSGCN_CHECK(transport_ != nullptr && transport_->nranks() >= 1);
+  const PartId n = transport_->nranks();
+  endpoints_.reserve(static_cast<std::size_t>(n));
+  for (PartId r = 0; r < n; ++r)
     endpoints_.push_back(std::unique_ptr<Endpoint>(new Endpoint(*this, r)));
 }
 
 Endpoint& Fabric::endpoint(PartId rank) {
-  BNSGCN_CHECK(rank >= 0 && rank < nranks_);
+  BNSGCN_CHECK(rank >= 0 && rank < nranks());
+  BNSGCN_CHECK_MSG(transport_->serves(rank),
+                   "this process's transport does not carry the rank");
   return *endpoints_[static_cast<std::size_t>(rank)];
 }
 
@@ -61,76 +61,26 @@ void Fabric::reset_stats() {
 }
 
 void Fabric::enable_delivery_shuffle(std::uint64_t seed, int max_hold) {
-  BNSGCN_CHECK(max_hold >= 1);
-  shuffle_ = true;
-  shuffle_seed_ = seed;
-  shuffle_max_hold_ = max_hold;
-}
-
-int Fabric::hold_of(PartId from, PartId to, int tag) const {
-  if (!shuffle_) return 0;
-  // splitmix64 over the message's stable identity (seed, from, to, tag) —
-  // deliberately not a deposit counter, whose value would depend on the
-  // interleaving of concurrent sender threads and make a failing fuzz
-  // seed irreproducible. Tags are the trainer's per-phase sequence, so
-  // (from, to, tag) names each boundary message uniquely within a run.
-  std::uint64_t z = shuffle_seed_ ^
-                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
-                         from)) << 42) ^
-                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
-                         to)) << 21) ^
-                    static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
-  z += 0x9E3779B97F4A7C15ULL;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  z ^= z >> 31;
-  return static_cast<int>(z % static_cast<std::uint64_t>(shuffle_max_hold_));
-}
-
-Fabric::Message Fabric::take_matching(Mailbox& box, int tag) {
-  std::unique_lock<std::mutex> lock(box.mu);
-  for (;;) {
-    const auto it =
-        std::find_if(box.queue.begin(), box.queue.end(),
-                     [tag](const Message& m) { return m.tag == tag; });
-    if (it != box.queue.end()) {
-      Message msg = std::move(*it);
-      box.queue.erase(it);
-      return msg;
-    }
-    box.cv.wait(lock);
-  }
-}
-
-bool Fabric::try_take_matching(Mailbox& box, int tag, Message& out) {
-  std::lock_guard<std::mutex> lock(box.mu);
-  const auto it =
-      std::find_if(box.queue.begin(), box.queue.end(),
-                   [tag](const Message& m) { return m.tag == tag; });
-  if (it == box.queue.end()) return false;
-  if (it->hold > 0) { // delivery shuffle: not yet "arrived" for probes
-    --it->hold;
-    return false;
-  }
-  out = std::move(*it);
-  box.queue.erase(it);
-  return true;
+  transport_->enable_delivery_shuffle(seed, max_hold);
 }
 
 bool Request::test() {
   if (done()) return true;
-  if (state_->fabric->try_take_matching(*state_->box, state_->tag,
-                                        state_->payload)) {
+  Endpoint& ep = *state_->owner;
+  if (ep.transport().try_recv(ep.rank(), state_->from, state_->tag,
+                              state_->payload)) {
     state_->done = true;
+    ep.account_rx(state_->cls, state_->payload);
   }
   return done();
 }
 
 void Request::wait() {
   if (done()) return;
-  state_->payload =
-      state_->fabric->take_matching(*state_->box, state_->tag);
+  Endpoint& ep = *state_->owner;
+  state_->payload = ep.transport().recv(ep.rank(), state_->from, state_->tag);
   state_->done = true;
+  ep.account_rx(state_->cls, state_->payload);
 }
 
 std::vector<float> Request::take_floats() {
@@ -183,7 +133,9 @@ std::size_t RequestSet::wait_any(std::vector<std::size_t>& completed) {
     // several mailboxes would need fabric-level plumbing, so this polls —
     // but a bare spin-yield would contend with the ranks still computing
     // (and inflate their measured compute on oversubscribed hosts), so
-    // after a burst of empty passes back off to a real sleep.
+    // after a burst of empty passes back off to a real sleep. The socket
+    // backend's try_recv blocks in poll(2) anyway, so the yield is only
+    // ever hit on the mailbox.
     if (empty_passes < 64) {
       std::this_thread::yield();
     } else {
@@ -203,6 +155,18 @@ void RequestSet::wait_all() {
 
 PartId Endpoint::nranks() const { return fabric_.nranks(); }
 
+TimingSource Endpoint::timing() const { return fabric_.timing(); }
+
+Transport& Endpoint::transport() { return *fabric_.transport_; }
+
+void Endpoint::account_rx(TrafficClass cls, const Wire& msg) {
+  const auto bytes =
+      static_cast<std::int64_t>(msg.floats.size() * sizeof(float)) +
+      static_cast<std::int64_t>(msg.ids.size() * sizeof(NodeId));
+  stats_.rx_bytes[static_cast<int>(cls)] += bytes;
+  ++stats_.rx_msgs[static_cast<int>(cls)];
+}
+
 void Endpoint::send_floats(PartId to, int tag, std::vector<float> payload,
                            TrafficClass cls) {
   BNSGCN_CHECK(to >= 0 && to < fabric_.nranks() && to != rank_);
@@ -210,28 +174,19 @@ void Endpoint::send_floats(PartId to, int tag, std::vector<float> payload,
       static_cast<std::int64_t>(payload.size() * sizeof(float));
   stats_.tx_bytes[static_cast<int>(cls)] += bytes;
   ++stats_.tx_msgs[static_cast<int>(cls)];
-  auto& peer = fabric_.endpoint(to).stats_;
-  // Receiver-side counters are written by the sender thread; the receiver
-  // only reads them after a barrier, so plain writes would race with other
-  // senders — guard with the mailbox lock below (same critical section).
-  auto& box = fabric_.mailbox(rank_, to);
-  {
-    std::lock_guard<std::mutex> lock(box.mu);
-    peer.rx_bytes[static_cast<int>(cls)] += bytes;
-    ++peer.rx_msgs[static_cast<int>(cls)];
-    box.queue.push_back(Fabric::Message{.tag = tag,
-                                        .hold = fabric_.hold_of(rank_, to, tag),
-                                        .floats = std::move(payload),
-                                        .ids = {}});
-  }
-  box.cv.notify_all();
+  transport().send(rank_, to,
+                   Wire{.tag = tag,
+                        .hold = 0,
+                        .is_ids = false,
+                        .floats = std::move(payload),
+                        .ids = {}});
 }
 
 std::vector<float> Endpoint::recv_floats(PartId from, int tag,
                                          TrafficClass cls) {
-  (void)cls; // rx accounting happens on the sender side under the box lock
   BNSGCN_CHECK(from >= 0 && from < fabric_.nranks() && from != rank_);
-  auto msg = fabric_.take_matching(fabric_.mailbox(from, rank_), tag);
+  Wire msg = transport().recv(rank_, from, tag);
+  account_rx(cls, msg);
   return std::move(msg.floats);
 }
 
@@ -242,32 +197,27 @@ void Endpoint::send_ids(PartId to, int tag, std::vector<NodeId> payload,
       static_cast<std::int64_t>(payload.size() * sizeof(NodeId));
   stats_.tx_bytes[static_cast<int>(cls)] += bytes;
   ++stats_.tx_msgs[static_cast<int>(cls)];
-  auto& peer = fabric_.endpoint(to).stats_;
-  auto& box = fabric_.mailbox(rank_, to);
-  {
-    std::lock_guard<std::mutex> lock(box.mu);
-    peer.rx_bytes[static_cast<int>(cls)] += bytes;
-    ++peer.rx_msgs[static_cast<int>(cls)];
-    box.queue.push_back(Fabric::Message{.tag = tag,
-                                        .hold = fabric_.hold_of(rank_, to, tag),
-                                        .floats = {},
-                                        .ids = std::move(payload)});
-  }
-  box.cv.notify_all();
+  transport().send(rank_, to,
+                   Wire{.tag = tag,
+                        .hold = 0,
+                        .is_ids = true,
+                        .floats = {},
+                        .ids = std::move(payload)});
 }
 
 std::vector<NodeId> Endpoint::recv_ids(PartId from, int tag,
                                        TrafficClass cls) {
-  (void)cls;
   BNSGCN_CHECK(from >= 0 && from < fabric_.nranks() && from != rank_);
-  auto msg = fabric_.take_matching(fabric_.mailbox(from, rank_), tag);
+  Wire msg = transport().recv(rank_, from, tag);
+  account_rx(cls, msg);
   return std::move(msg.ids);
 }
 
 Request Endpoint::isend_floats(PartId to, int tag, std::vector<float> payload,
                                TrafficClass cls) {
-  // The mailbox deposit never blocks, so an "immediate" send completes on
-  // posting; the Request exists for a uniform wait_all over mixed batches.
+  // The backend deposit/queue never blocks indefinitely, so an
+  // "immediate" send completes on posting; the Request exists for a
+  // uniform wait_all over mixed batches.
   send_floats(to, tag, std::move(payload), cls);
   auto state = std::make_unique<Request::State>();
   state->done = true;
@@ -283,12 +233,12 @@ Request Endpoint::isend_ids(PartId to, int tag, std::vector<NodeId> payload,
 }
 
 Request Endpoint::irecv_floats(PartId from, int tag, TrafficClass cls) {
-  (void)cls; // rx accounting happens on the sender side under the box lock
   BNSGCN_CHECK(from >= 0 && from < fabric_.nranks() && from != rank_);
   auto state = std::make_unique<Request::State>();
-  state->fabric = &fabric_;
-  state->box = &fabric_.mailbox(from, rank_);
+  state->owner = this;
+  state->from = from;
   state->tag = tag;
+  state->cls = cls;
   return Request(std::move(state));
 }
 
@@ -296,19 +246,10 @@ Request Endpoint::irecv_ids(PartId from, int tag, TrafficClass cls) {
   return irecv_floats(from, tag, cls); // same matching; payload kind differs
 }
 
-void Endpoint::barrier() { fabric_.barrier_.arrive_and_wait(); }
+void Endpoint::barrier() { transport().barrier(rank_); }
 
 void Endpoint::allreduce_sum(std::span<float> data, TrafficClass cls) {
-  auto& slot = fabric_.reduce_slots_[static_cast<std::size_t>(rank_)];
-  slot.assign(data.begin(), data.end());
-  barrier();
-  // Every rank reads all slots; writes finished before the barrier.
-  for (PartId r = 0; r < fabric_.nranks(); ++r) {
-    if (r == rank_) continue;
-    const auto& other = fabric_.reduce_slots_[static_cast<std::size_t>(r)];
-    BNSGCN_CHECK(other.size() == data.size());
-    for (std::size_t i = 0; i < data.size(); ++i) data[i] += other[i];
-  }
+  transport().allreduce_sum(rank_, data);
   // Ring-allreduce accounting: each rank moves 2*(n-1)/n of the payload.
   const auto n = fabric_.nranks();
   if (n > 1) {
@@ -320,49 +261,36 @@ void Endpoint::allreduce_sum(std::span<float> data, TrafficClass cls) {
     stats_.tx_msgs[static_cast<int>(cls)] += 2 * (n - 1);
     stats_.rx_msgs[static_cast<int>(cls)] += 2 * (n - 1);
   }
-  barrier(); // protect slots from the next collective
 }
 
 double Endpoint::allreduce_sum_scalar(double value) {
-  fabric_.scalar_slots_[static_cast<std::size_t>(rank_)] = value;
-  barrier();
-  double sum = 0.0;
-  for (const double v : fabric_.scalar_slots_) sum += v;
-  barrier();
-  return sum;
+  return transport().allreduce_sum_scalar(rank_, value);
 }
 
 double Endpoint::allreduce_max_scalar(double value) {
-  fabric_.scalar_slots_[static_cast<std::size_t>(rank_)] = value;
-  barrier();
-  double mx = fabric_.scalar_slots_[0];
-  for (const double v : fabric_.scalar_slots_) mx = std::max(mx, v);
-  barrier();
-  return mx;
+  return transport().allreduce_max_scalar(rank_, value);
 }
 
 std::vector<std::vector<NodeId>> Endpoint::allgather_ids(
     std::vector<NodeId> ids, TrafficClass cls) {
   const auto own_bytes = static_cast<std::int64_t>(ids.size() * sizeof(NodeId));
-  fabric_.gather_slots_[static_cast<std::size_t>(rank_)] = std::move(ids);
-  barrier();
-  std::vector<std::vector<NodeId>> out(
-      static_cast<std::size_t>(fabric_.nranks()));
+  auto out = transport().allgather_ids(rank_, std::move(ids));
   std::int64_t rx = 0;
-  for (PartId r = 0; r < fabric_.nranks(); ++r) {
-    out[static_cast<std::size_t>(r)] =
-        fabric_.gather_slots_[static_cast<std::size_t>(r)];
+  for (PartId r = 0; r < fabric_.nranks(); ++r)
     if (r != rank_)
       rx += static_cast<std::int64_t>(out[static_cast<std::size_t>(r)].size() *
                                       sizeof(NodeId));
-  }
   const auto n = fabric_.nranks();
   stats_.tx_bytes[static_cast<int>(cls)] += own_bytes * (n - 1);
   stats_.rx_bytes[static_cast<int>(cls)] += rx;
   stats_.tx_msgs[static_cast<int>(cls)] += n - 1;
   stats_.rx_msgs[static_cast<int>(cls)] += n - 1;
-  barrier();
   return out;
+}
+
+std::vector<std::vector<double>> Endpoint::allgather_doubles(
+    std::vector<double> vals) {
+  return transport().allgather_doubles(rank_, vals);
 }
 
 } // namespace bnsgcn::comm

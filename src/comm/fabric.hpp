@@ -1,16 +1,13 @@
 #pragma once
 
 #include <array>
-#include <condition_variable>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
-#include "common/barrier.hpp"
-#include "common/types.hpp"
 #include "comm/cost_model.hpp"
+#include "comm/transport.hpp"
+#include "common/types.hpp"
 
 namespace bnsgcn::comm {
 
@@ -51,13 +48,21 @@ class Request;
 /// thread owning the rank; the i-prefixed calls return a Request that the
 /// same thread later completes with wait()/test(). Collectives must be
 /// entered by every rank (standard MPI-style contract).
+///
+/// All byte accounting lives here, above the transport: tx is counted when
+/// a send is posted, rx when a receive *completes* on the receiving rank.
+/// Each rank therefore only ever writes its own counters, whatever backend
+/// carries the bytes — and identical schedules account identical traffic
+/// on every backend.
 class Endpoint {
  public:
   [[nodiscard]] PartId rank() const { return rank_; }
   [[nodiscard]] PartId nranks() const;
+  /// Simulated (mailbox) or measured wall-clock (sockets) timing.
+  [[nodiscard]] TimingSource timing() const;
 
-  /// Tagged point-to-point. Payloads are moved through an in-process
-  /// mailbox; bytes are accounted on both ends.
+  /// Tagged point-to-point. Payloads are moved through the transport
+  /// backend (in-process mailbox or a socket).
   void send_floats(PartId to, int tag, std::vector<float> payload,
                    TrafficClass cls);
   [[nodiscard]] std::vector<float> recv_floats(PartId from, int tag,
@@ -67,10 +72,11 @@ class Endpoint {
   [[nodiscard]] std::vector<NodeId> recv_ids(PartId from, int tag,
                                              TrafficClass cls);
 
-  /// Nonblocking point-to-point. isend deposits into the peer's mailbox and
-  /// completes immediately (mailboxes are unbounded, like an eager-protocol
-  /// MPI send); irecv posts a receive that completes when a matching message
-  /// is delivered. Complete with Request::wait()/test() or comm::wait_all.
+  /// Nonblocking point-to-point. isend hands the payload to the backend
+  /// and completes immediately (mailboxes are unbounded and socket sends
+  /// queue locally, like an eager-protocol MPI send); irecv posts a
+  /// receive that completes when a matching message is delivered.
+  /// Complete with Request::wait()/test() or comm::wait_all.
   [[nodiscard]] Request isend_floats(PartId to, int tag,
                                      std::vector<float> payload,
                                      TrafficClass cls);
@@ -90,109 +96,82 @@ class Endpoint {
   /// Gather every rank's id list; result[r] is rank r's contribution.
   [[nodiscard]] std::vector<std::vector<NodeId>> allgather_ids(
       std::vector<NodeId> ids, TrafficClass cls = TrafficClass::kControl);
+  /// Gather every rank's metric vector; result[r] is rank r's values.
+  /// Deliberately unaccounted: this carries the epoch-breakdown reduction
+  /// (formerly shared-memory scratch), which must not perturb the traffic
+  /// counters it reports.
+  [[nodiscard]] std::vector<std::vector<double>> allgather_doubles(
+      std::vector<double> vals);
 
   [[nodiscard]] RankStats& stats() { return stats_; }
   [[nodiscard]] const RankStats& stats() const { return stats_; }
 
  private:
   friend class Fabric;
+  friend class Request;
   Endpoint(Fabric& fabric, PartId rank) : fabric_(fabric), rank_(rank) {}
+
+  Transport& transport();
+  void account_rx(TrafficClass cls, const Wire& msg);
 
   Fabric& fabric_;
   PartId rank_;
   RankStats stats_;
 };
 
-/// In-process communication fabric over `nranks` logical ranks (one thread
-/// each). Substitutes for Gloo/NCCL; see DESIGN.md §1.
+/// Communication fabric over `nranks` logical ranks: per-rank Endpoints
+/// (stats + accounting) in front of a pluggable Transport backend. The
+/// default backend is the in-process mailbox (one thread per rank); the
+/// socket backends carry one rank per OS process. See DESIGN.md §1.
 class Fabric {
  public:
+  /// In-process mailbox fabric (the deterministic test double).
   explicit Fabric(PartId nranks, CostModel cost = CostModel::pcie3_x16());
+  /// Fabric over an explicit backend (e.g. SocketTransport).
+  Fabric(std::unique_ptr<Transport> transport, CostModel cost);
 
-  [[nodiscard]] PartId nranks() const { return nranks_; }
+  [[nodiscard]] PartId nranks() const { return transport_->nranks(); }
   [[nodiscard]] Endpoint& endpoint(PartId rank);
   [[nodiscard]] const CostModel& cost_model() const { return cost_; }
+  [[nodiscard]] TimingSource timing() const { return transport_->timing(); }
+  [[nodiscard]] Transport& transport() { return *transport_; }
 
-  /// Sum of a traffic class's rx bytes over all ranks (global volume).
+  /// Sum of a traffic class's rx bytes over all ranks (global volume;
+  /// only the ranks this process serves contribute).
   [[nodiscard]] std::int64_t total_rx_bytes(TrafficClass cls) const;
   void reset_stats();
 
-  /// Test-only arrival-order shuffle: every message deposited after this
-  /// call is held back for a seeded-pseudorandom number of *nonblocking*
-  /// probes (0..max_hold-1) — each failed test()/poll() pass over its
-  /// mailbox decrements the hold — so the completion order a RequestSet
-  /// observes is scrambled relative to the deposit order. Blocking
-  /// receives (recv_*, Request::wait) ignore holds entirely, so nothing
-  /// can deadlock and blocking-mode schedules are unaffected. Byte
-  /// accounting is untouched (it happens at deposit time). This exists
-  /// for the schedule-fuzz harness: training results must be bit-exact
-  /// under any arrival order, because the consumers buffer arrivals and
-  /// apply them in fixed peer order. Call before the rank threads start.
+  /// Tear the fabric down from `rank`'s side so peers blocked on it
+  /// unwind with ShutdownError instead of hanging. Called by a failing
+  /// rank's error path; idempotent.
+  void shutdown(PartId rank) { transport_->shutdown(rank); }
+
+  /// Test-only arrival-order shuffle (mailbox backend only); see
+  /// MailboxTransport::enable_delivery_shuffle. Call before the rank
+  /// threads start.
   void enable_delivery_shuffle(std::uint64_t seed, int max_hold = 8);
 
  private:
   friend class Endpoint;
-  friend class Request;
 
-  struct Message {
-    int tag = 0;
-    /// Delivery-shuffle hold: nonblocking probes left before this message
-    /// becomes visible to test()/poll() (0 outside the shuffle). Blocking
-    /// takes ignore it.
-    int hold = 0;
-    std::vector<float> floats;
-    std::vector<NodeId> ids;
-  };
-  struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Message> queue;
-  };
-
-  Mailbox& mailbox(PartId from, PartId to) {
-    return *mailboxes_[static_cast<std::size_t>(from) *
-                           static_cast<std::size_t>(nranks_) +
-                       static_cast<std::size_t>(to)];
-  }
-  Message take_matching(Mailbox& box, int tag);
-  /// Nonblocking variant: true and fills `out` when a matching message was
-  /// already delivered (and its shuffle hold, if any, has expired — a held
-  /// match costs one probe and reports "not yet"), false otherwise.
-  bool try_take_matching(Mailbox& box, int tag, Message& out);
-  /// Hold count of a deposited message under the shuffle (0 when the
-  /// shuffle is off). A pure function of (seed, from, to, tag) — stable
-  /// message identity, not a deposit counter — so the holds a given seed
-  /// produces are independent of thread scheduling and a failing fuzz
-  /// draw replays with the identical arrival perturbation.
-  int hold_of(PartId from, PartId to, int tag) const;
-
-  PartId nranks_;
+  std::unique_ptr<Transport> transport_;
   CostModel cost_;
-  bool shuffle_ = false;
-  std::uint64_t shuffle_seed_ = 0;
-  int shuffle_max_hold_ = 0;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
-
-  // Collective scratch: per-rank contribution slots + two-phase barrier.
-  Barrier barrier_;
-  std::vector<std::vector<float>> reduce_slots_;
-  std::vector<double> scalar_slots_;
-  std::vector<std::vector<NodeId>> gather_slots_;
 };
 
 /// Handle to a nonblocking operation. Sends are complete on creation
 /// (eager deposit); receives complete when the matching message is taken
-/// out of the mailbox by test()/wait(). Movable, non-copyable; must be
+/// out of the backend by test()/wait(). Movable, non-copyable; must be
 /// completed (or destroyed) by the thread owning the posting endpoint.
 ///
 /// Payload buffers are double-buffered across the exchange: the in-flight
-/// bytes live in the sender-deposited mailbox Message while the consumer
-/// keeps computing on its own matrices; wait() moves the message into the
-/// request's private slot, and take_floats()/take_ids() move it out again
-/// into the fold destination. The network-side and compute-side buffers are
-/// therefore never the same memory, which is what lets the trainer fold a
-/// finished exchange while the next one's deposits are already arriving.
+/// bytes live in the backend (mailbox message / socket frame) while the
+/// consumer keeps computing on its own matrices; wait() moves the message
+/// into the request's private slot, and take_floats()/take_ids() move it
+/// out again into the fold destination. The network-side and compute-side
+/// buffers are therefore never the same memory, which is what lets the
+/// trainer fold a finished exchange while the next one's deposits are
+/// already arriving.
 class Request {
  public:
   Request() = default;
@@ -214,11 +193,12 @@ class Request {
  private:
   friend class Endpoint;
   struct State {
-    Fabric* fabric = nullptr;
-    Fabric::Mailbox* box = nullptr;  // null for completed sends
+    Endpoint* owner = nullptr;  // null for completed sends
+    PartId from = 0;
     int tag = 0;
+    TrafficClass cls = TrafficClass::kFeature;
     bool done = false;
-    Fabric::Message payload;
+    Wire payload;
   };
   explicit Request(std::unique_ptr<State> state) : state_(std::move(state)) {}
   std::unique_ptr<State> state_;

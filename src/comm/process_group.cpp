@@ -1,0 +1,116 @@
+#include "comm/process_group.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace bnsgcn::comm {
+
+namespace {
+
+std::string make_uds_dir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string base = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  if (base.back() == '/') base.pop_back();
+  // sun_path is ~108 bytes; leave room for "/r<rank>.sock". A pathological
+  // $TMPDIR falls back to /tmp rather than failing bind with ENAMETOOLONG.
+  if (base.size() > 80) base = "/tmp";
+  std::string tmpl = base + "/bnsgcn-uds-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  BNSGCN_CHECK_MSG(::mkdtemp(buf.data()) != nullptr,
+                   "mkdtemp failed for uds sockets");
+  return std::string(buf.data());
+}
+
+int bind_uds_listener(const std::string& path, int backlog) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  BNSGCN_CHECK(fd >= 0);
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  BNSGCN_CHECK_MSG(path.size() < sizeof(sa.sun_path),
+                   "uds path too long: " + path);
+  std::strncpy(sa.sun_path, path.c_str(), sizeof(sa.sun_path) - 1);
+  BNSGCN_CHECK_MSG(
+      ::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0,
+      "bind failed for " + path + ": " + std::strerror(errno));
+  BNSGCN_CHECK(::listen(fd, backlog) == 0);
+  return fd;
+}
+
+int bind_tcp_listener(std::uint16_t* port_out, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  BNSGCN_CHECK(fd >= 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = 0; // ephemeral: the kernel picks a free port
+  BNSGCN_CHECK_MSG(
+      ::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0,
+      std::string("tcp bind failed: ") + std::strerror(errno));
+  BNSGCN_CHECK(::listen(fd, backlog) == 0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  BNSGCN_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                             &len) == 0);
+  *port_out = ntohs(bound.sin_port);
+  return fd;
+}
+
+} // namespace
+
+LocalGroup make_local_group(TransportKind kind, PartId nranks) {
+  BNSGCN_CHECK(kind == TransportKind::kUds || kind == TransportKind::kTcp);
+  BNSGCN_CHECK(nranks >= 1);
+  LocalGroup group;
+  group.endpoints.kind = kind;
+  group.endpoints.addrs.resize(static_cast<std::size_t>(nranks));
+  group.listen_fds.resize(static_cast<std::size_t>(nranks), -1);
+  const int backlog = static_cast<int>(nranks) + 1;
+  if (kind == TransportKind::kUds) {
+    group.uds_dir = make_uds_dir();
+    for (PartId r = 0; r < nranks; ++r) {
+      const std::string path =
+          group.uds_dir + "/r" + std::to_string(r) + ".sock";
+      group.endpoints.addrs[static_cast<std::size_t>(r)] = path;
+      group.listen_fds[static_cast<std::size_t>(r)] =
+          bind_uds_listener(path, backlog);
+    }
+  } else {
+    for (PartId r = 0; r < nranks; ++r) {
+      std::uint16_t port = 0;
+      group.listen_fds[static_cast<std::size_t>(r)] =
+          bind_tcp_listener(&port, backlog);
+      group.endpoints.addrs[static_cast<std::size_t>(r)] =
+          "127.0.0.1:" + std::to_string(port);
+    }
+  }
+  return group;
+}
+
+void cleanup_local_group(LocalGroup& group, bool fds_taken) {
+  if (!fds_taken) {
+    for (int& fd : group.listen_fds) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+  } else {
+    for (int& fd : group.listen_fds) fd = -1;
+  }
+  if (group.endpoints.kind == TransportKind::kUds && !group.uds_dir.empty()) {
+    for (const auto& path : group.endpoints.addrs) ::unlink(path.c_str());
+    ::rmdir(group.uds_dir.c_str());
+    group.uds_dir.clear();
+  }
+}
+
+} // namespace bnsgcn::comm

@@ -1,0 +1,31 @@
+#include "comm/transport.hpp"
+
+#include "common/check.hpp"
+
+namespace bnsgcn::comm {
+
+const char* transport_kind_name(TransportKind k) {
+  switch (k) {
+    case TransportKind::kMailbox: return "mailbox";
+    case TransportKind::kUds: return "uds";
+    case TransportKind::kTcp: return "tcp";
+  }
+  return "mailbox";
+}
+
+TransportKind transport_kind_from_name(const std::string& name) {
+  if (name == "mailbox") return TransportKind::kMailbox;
+  if (name == "uds") return TransportKind::kUds;
+  if (name == "tcp") return TransportKind::kTcp;
+  BNSGCN_CHECK_MSG(false, "unknown transport: " + name);
+  return TransportKind::kMailbox;
+}
+
+void Transport::enable_delivery_shuffle(std::uint64_t /*seed*/,
+                                        int /*max_hold*/) {
+  BNSGCN_CHECK_MSG(false,
+                   "delivery shuffle is only supported by the mailbox "
+                   "transport (it is a schedule-fuzz test hook)");
+}
+
+} // namespace bnsgcn::comm

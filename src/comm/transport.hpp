@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bnsgcn::comm {
+
+/// Which message backend carries a run's traffic. The mailbox is the
+/// in-process deterministic test double; uds/tcp are real sockets driven
+/// by the multi-process runtime (one OS process per rank).
+enum class TransportKind { kMailbox = 0, kUds = 1, kTcp = 2 };
+
+/// How a run's `overlap_s`/`comm_tail_s` were obtained: schedule-simulated
+/// from the cost model (mailbox) or measured wall-clock (sockets).
+enum class TimingSource { kSimulated = 0, kMeasured = 1 };
+
+[[nodiscard]] const char* transport_kind_name(TransportKind k);
+[[nodiscard]] TransportKind transport_kind_from_name(const std::string& name);
+
+/// Thrown from blocking fabric calls when the fabric has been shut down
+/// (a peer failed and closed its side, or shutdown() was called). Lets
+/// surviving ranks unwind instead of hanging on a dead peer.
+class ShutdownError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One tagged message as the transport moves it. Exactly one of
+/// floats/ids is populated (`is_ids` says which); `hold` is the mailbox
+/// delivery-shuffle counter and is zero everywhere else.
+struct Wire {
+  int tag = 0;
+  int hold = 0;
+  bool is_ids = false;
+  std::vector<float> floats;
+  std::vector<NodeId> ids;
+};
+
+/// Message backend behind the Fabric/Endpoint API. A transport moves
+/// payloads and synchronises ranks; all byte/time *accounting* stays in
+/// Endpoint so every backend reports identical traffic for identical
+/// schedules. Blocking calls for a rank must be made from the thread (or
+/// process) owning that rank.
+///
+/// Determinism contract (required for cross-backend bit parity):
+///  - per (from → to) pair, messages arrive in send order;
+///  - allreduce_sum folds peer contributions in ascending rank order,
+///    skipping self (self is the in-place base);
+///  - scalar allreduces fold all contributions, self included, in
+///    ascending rank order;
+///  - allgather results are indexed by rank.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual PartId nranks() const = 0;
+  /// True when this transport instance carries the given rank (the
+  /// mailbox serves all ranks in one process; a socket transport serves
+  /// exactly the rank whose process constructed it).
+  [[nodiscard]] virtual bool serves(PartId rank) const = 0;
+  [[nodiscard]] virtual TimingSource timing() const = 0;
+
+  /// Tagged point-to-point. send never blocks indefinitely (eager
+  /// deposit or queued write); recv blocks until a matching message
+  /// arrives; try_recv is one nonblocking progress-and-probe pass.
+  /// Blocking and probing calls throw ShutdownError once the fabric is
+  /// shut down or the peer is gone.
+  virtual void send(PartId from, PartId to, Wire msg) = 0;
+  virtual bool try_recv(PartId rank, PartId from, int tag, Wire& out) = 0;
+  [[nodiscard]] virtual Wire recv(PartId rank, PartId from, int tag) = 0;
+
+  /// Collectives; every rank must enter each in the same order.
+  virtual void barrier(PartId rank) = 0;
+  virtual void allreduce_sum(PartId rank, std::span<float> data) = 0;
+  [[nodiscard]] virtual double allreduce_sum_scalar(PartId rank,
+                                                    double value) = 0;
+  [[nodiscard]] virtual double allreduce_max_scalar(PartId rank,
+                                                    double value) = 0;
+  [[nodiscard]] virtual std::vector<std::vector<NodeId>> allgather_ids(
+      PartId rank, std::vector<NodeId> ids) = 0;
+  [[nodiscard]] virtual std::vector<std::vector<double>> allgather_doubles(
+      PartId rank, const std::vector<double>& vals) = 0;
+
+  /// Tear the fabric down from `rank`'s side: wake every blocked call
+  /// with ShutdownError (mailbox) / close the sockets so peers' blocking
+  /// reads error out (sockets). Idempotent; called by a failing rank so
+  /// survivors unwind instead of deadlocking.
+  virtual void shutdown(PartId rank) = 0;
+
+  /// Test-only arrival-order shuffle; only the mailbox supports it.
+  virtual void enable_delivery_shuffle(std::uint64_t seed, int max_hold);
+};
+
+} // namespace bnsgcn::comm

@@ -10,6 +10,7 @@ Barrier::Barrier(std::size_t parties) : parties_(parties) {
 
 bool Barrier::arrive_and_wait() {
   std::unique_lock<std::mutex> lock(mu_);
+  if (poisoned_) throw BarrierPoisoned();
   const std::size_t gen = generation_;
   if (++waiting_ == parties_) {
     waiting_ = 0;
@@ -17,8 +18,17 @@ bool Barrier::arrive_and_wait() {
     cv_.notify_all();
     return true;
   }
-  cv_.wait(lock, [&] { return generation_ != gen; });
+  cv_.wait(lock, [&] { return generation_ != gen || poisoned_; });
+  if (generation_ == gen) throw BarrierPoisoned();
   return false;
+}
+
+void Barrier::poison() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
 }
 
 } // namespace bnsgcn

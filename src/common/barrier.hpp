@@ -3,8 +3,16 @@
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
+#include <stdexcept>
 
 namespace bnsgcn {
+
+/// Thrown from arrive_and_wait() once the barrier has been poisoned: a
+/// party died and will never arrive, so waiting would deadlock.
+class BarrierPoisoned : public std::runtime_error {
+ public:
+  BarrierPoisoned() : std::runtime_error("barrier poisoned") {}
+};
 
 /// Reusable N-party barrier (generation-counted).
 ///
@@ -17,7 +25,12 @@ class Barrier {
 
   /// Blocks until all parties arrive. Returns true for exactly one caller
   /// per generation (the "serial" thread), mirroring pthread_barrier.
+  /// Throws BarrierPoisoned (now and forever) once poison() was called.
   bool arrive_and_wait();
+
+  /// Mark the barrier dead and wake every waiter with BarrierPoisoned.
+  /// Called by a party that is unwinding with an error; irreversible.
+  void poison();
 
  private:
   std::mutex mu_;
@@ -25,6 +38,7 @@ class Barrier {
   std::size_t parties_;
   std::size_t waiting_ = 0;
   std::size_t generation_ = 0;
+  bool poisoned_ = false;
 };
 
 } // namespace bnsgcn

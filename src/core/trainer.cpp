@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <exception>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "common/stopwatch.hpp"
@@ -81,38 +83,16 @@ comm::RankStats diff_stats(const comm::RankStats& now,
   return d;
 }
 
-/// Cross-thread scratch for per-epoch reductions (ranks write their slot,
-/// barrier, rank 0 reduces). Guarded purely by the fabric barriers.
-struct EpochScratch {
-  std::vector<double> compute_s, comm_s, reduce_s, sample_s, swap_s,
-      overlap_s, tail_s;
-  std::vector<std::int64_t> feature_rx, grad_rx, control_rx;
-  std::vector<std::int64_t> kept_halo;
-  std::vector<double> scalar; // generic slot (loss, metric sums)
-
-  explicit EpochScratch(PartId m)
-      : compute_s(static_cast<std::size_t>(m)),
-        comm_s(static_cast<std::size_t>(m)),
-        reduce_s(static_cast<std::size_t>(m)),
-        sample_s(static_cast<std::size_t>(m)),
-        swap_s(static_cast<std::size_t>(m)),
-        overlap_s(static_cast<std::size_t>(m)),
-        tail_s(static_cast<std::size_t>(m)),
-        feature_rx(static_cast<std::size_t>(m)),
-        grad_rx(static_cast<std::size_t>(m)),
-        control_rx(static_cast<std::size_t>(m)),
-        kept_halo(static_cast<std::size_t>(m)),
-        scalar(static_cast<std::size_t>(m)) {}
-};
-
-/// Per-rank training state and logic. One instance per thread.
+/// Per-rank training state and logic. One instance per rank — a thread on
+/// the mailbox fabric, a whole OS process on a socket fabric. Cross-rank
+/// reductions all go through the endpoint's collectives (no shared
+/// memory), so the same code runs unchanged in both runtimes.
 class RankWorker {
  public:
   RankWorker(const Dataset& ds, const TrainerConfig& cfg,
-             const LocalGraph& lg, comm::Endpoint& ep, EpochScratch& scratch,
-             TrainResult& result)
-      : ds_(ds), cfg_(cfg), lg_(lg), ep_(ep), scratch_(scratch),
-        result_(result) {
+             const LocalGraph& lg, comm::Endpoint& ep, TrainResult& result)
+      : ds_(ds), cfg_(cfg), lg_(lg), ep_(ep), result_(result),
+        measured_(ep.timing() == comm::TimingSource::kMeasured) {
     const NodeId n_in = lg_.n_inner();
     x_local_ = slice_rows(ds.features, lg_.inner_global);
     if (ds.multilabel) {
@@ -169,9 +149,9 @@ class RankWorker {
       result_.train_loss.reserve(static_cast<std::size_t>(cfg_.epochs));
       result_.epochs.reserve(static_cast<std::size_t>(cfg_.epochs));
     }
-    ep_.barrier();
+    // Stats are written only by their own rank (tx at post, rx at receive
+    // completion), so the snapshot needs no cross-rank ordering.
     snap_ = ep_.stats();
-    ep_.barrier(); // no rank starts epoch 0 before all snapshots are read
 
     for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
       const double loss = run_train_epoch(epoch);
@@ -182,12 +162,10 @@ class RankWorker {
       if (last || (cfg_.eval_every > 0 && (epoch + 1) % cfg_.eval_every == 0)) {
         evaluated = true;
         const auto [val, test] = evaluate();
-        // Exclude evaluation traffic from the next epoch's breakdown: the
-        // first barrier orders every rank's eval sends before the snapshot
-        // reads, the second keeps next-epoch sends out of the reads.
-        ep_.barrier();
+        // Exclude evaluation traffic from the next epoch's breakdown. All
+        // of this rank's eval receives completed inside evaluate() (its
+        // exchanges are blocking), so a bare re-snapshot suffices.
         snap_ = ep_.stats();
-        ep_.barrier();
         if (ep_.rank() == 0) {
           result_.curve.push_back(
               {.epoch = epoch + 1, .val = val, .test = test,
@@ -262,6 +240,13 @@ class RankWorker {
     comm::RequestSet recvs;
     double sim_s = 0.0;   // simulated wire time of the whole exchange
     double tail_s = 0.0;  // slowest single recv-peer message (sim)
+    // Measured-timing capture (socket fabrics; also tracked on the mailbox
+    // where it is simply unused). The Stopwatch starts when the exchange is
+    // posted; span is frozen at the last receive completion — right after
+    // the wait in blocking mode, inside the fold driver otherwise.
+    Stopwatch clock;
+    double meas_span_s = 0.0;  // post -> last receive completion
+    double wait_s = 0.0;       // portion of the span spent blocked in waits
   };
 
   /// Simulated transfer time of one peer message of `rows` feature rows at
@@ -435,20 +420,30 @@ class RankWorker {
       ready_.clear();
       (void)px_.recvs.poll(ready_);
       for (const std::size_t i : ready_) arrived_[i] = 1;
+      freeze_span();
       apply_ready(apply, compute_acc);
     }
 
     /// Block until every peer has been applied.
     template <typename ApplyFn>
     void drain(ApplyFn&& apply, Accumulator& compute_acc) {
-      if (!stream_) px_.recvs.wait_all();
+      if (!stream_) {
+        Stopwatch w;
+        px_.recvs.wait_all();
+        px_.wait_s += w.elapsed_s();
+        freeze_span();
+      }
       apply_ready(apply, compute_acc);
       while (next_ < arrived_.size()) {
         ready_.clear();
+        Stopwatch w;
         (void)px_.recvs.wait_any(ready_);
+        px_.wait_s += w.elapsed_s();
         for (const std::size_t i : ready_) arrived_[i] = 1;
+        freeze_span();
         apply_ready(apply, compute_acc);
       }
+      freeze_span();
     }
 
     /// Stream window: fold seconds of every peer but the last (the folds
@@ -456,6 +451,13 @@ class RankWorker {
     [[nodiscard]] double window_s() const { return window_s_; }
 
    private:
+    /// Measured span ends at the last receive completion; record it the
+    /// first time the set drains empty (later passes are no-ops).
+    void freeze_span() {
+      if (px_.meas_span_s == 0.0 && px_.recvs.all_done())
+        px_.meas_span_s = px_.clock.elapsed_s();
+    }
+
     template <typename ApplyFn>
     void apply_ready(ApplyFn& apply, Accumulator& compute_acc) {
       const std::size_t n = arrived_.size();
@@ -524,7 +526,6 @@ class RankWorker {
   }
 
   double run_train_epoch(int epoch) {
-    (void)epoch;
     // Snapshots chain across epochs: a fast peer may begin its next epoch's
     // sends before this rank reads a fresh snapshot, so "now" is never read
     // at epoch *start* — each delta runs from the previous epoch's end.
@@ -551,6 +552,13 @@ class RankWorker {
     kept_halo_accum_ += plan.n_kept_halo;
     ++epochs_run_;
 
+    // Test-only fault injection (TrainerConfig::fail_rank): die before the
+    // first forward exchange, leaving peers blocked on sends that will
+    // never come — the fabric's shutdown path must unwind them.
+    if (epoch == 0 && cfg_.fail_rank == ep_.rank())
+      throw std::runtime_error("injected failure: rank " +
+                               std::to_string(ep_.rank()));
+
     // ---- Forward (Algorithm 1 lines 8-11) -----------------------------
     // Phased path (SAGE and GAT): post the exchange, run the
     // halo-independent phase in row chunks while rows are in flight —
@@ -564,6 +572,10 @@ class RankWorker {
     const int L = cfg_.num_layers;
     double overlap_acc = 0.0;
     double tail_acc = 0.0;
+    // Measured counterparts (socket fabrics): per-exchange wall-clock span
+    // and the blocked share of it, folded into the breakdown instead of
+    // the cost-model projections when ep_.timing() is kMeasured.
+    double meas_comm = 0.0, meas_overlap = 0.0, meas_tail = 0.0;
     // Every layer of the epoch folds through the same compacted adjacency,
     // so the slot→dst reverse incidence is built once — inside layer 0's
     // in-flight window — and handed to each layer's phase F2a.
@@ -577,7 +589,12 @@ class RankWorker {
         Matrix& h_in = h[static_cast<std::size_t>(l)];
         PendingExchange px = post_forward(h_in, plan, tag);
         tail_acc += px.tail_s;
-        if (mode == OverlapMode::kBlocking) px.recvs.wait_all();
+        if (mode == OverlapMode::kBlocking) {
+          Stopwatch w;
+          px.recvs.wait_all();
+          px.wait_s += w.elapsed_s();
+          px.meas_span_s = px.clock.elapsed_s();
+        }
         if (cfg_.simulate_host_swap) host_swap(h_in);
         // The in-flight window is accumulated phase by phase (not wall
         // time across the loop) so interleaved fold work is not counted
@@ -608,6 +625,10 @@ class RankWorker {
         if (mode != OverlapMode::kBlocking)
           overlap_acc +=
               std::min(px.sim_s, window_acc.seconds() + fold.window_s());
+        meas_comm += px.meas_span_s;
+        meas_tail += px.meas_span_s;
+        meas_overlap +=
+            std::clamp(px.meas_span_s - px.wait_s, 0.0, px.meas_span_s);
         {
           ScopedTimer t(compute_acc);
           h[static_cast<std::size_t>(l) + 1] =
@@ -681,7 +702,12 @@ class RankWorker {
         PendingExchange px =
             post_backward(dhalo, /*halo_row0=*/0, plan, plan.halo_scale, tag);
         tail_acc += px.tail_s;
-        if (mode == OverlapMode::kBlocking) px.recvs.wait_all();
+        if (mode == OverlapMode::kBlocking) {
+          Stopwatch w;
+          px.recvs.wait_all();
+          px.wait_s += w.elapsed_s();
+          px.meas_span_s = px.clock.elapsed_s();
+        }
         Accumulator window_acc;
         Matrix dinner;
         {
@@ -703,6 +729,10 @@ class RankWorker {
         if (mode != OverlapMode::kBlocking)
           overlap_acc +=
               std::min(px.sim_s, window_acc.seconds() + fold.window_s());
+        meas_comm += px.meas_span_s;
+        meas_tail += px.meas_span_s;
+        meas_overlap +=
+            std::clamp(px.meas_span_s - px.wait_s, 0.0, px.meas_span_s);
         grad = std::move(dinner);
       } else {
         Matrix dfeats;
@@ -717,7 +747,9 @@ class RankWorker {
     // ---- Gradient allreduce + update (lines 14-15) ----------------------
     const comm::RankStats before_reduce = ep_.stats();
     auto flat = nn::flatten_grads(layers_);
+    Stopwatch reduce_sw;
     ep_.allreduce_sum(flat, TrafficClass::kGradient);
+    const double reduce_meas_s = reduce_sw.elapsed_s();
     nn::apply_flat_grads(flat, layers_);
     {
       ScopedTimer t(compute_acc);
@@ -731,51 +763,69 @@ class RankWorker {
     snap_ = after;
     const comm::RankStats delta = diff_stats(after, before);
     const comm::RankStats delta_reduce = diff_stats(after, before_reduce);
-    const PartId r = ep_.rank();
-    scratch_.compute_s[static_cast<std::size_t>(r)] = compute_acc.seconds();
-    scratch_.sample_s[static_cast<std::size_t>(r)] = sample_acc.seconds();
-    scratch_.comm_s[static_cast<std::size_t>(r)] =
-        delta.sim_seconds(TrafficClass::kFeature, cfg_.cost);
-    // Per-exchange hidden time, clamped so the documented overlap_s <=
-    // comm_s invariant holds even when the per-exchange max(tx, rx) sums
-    // above the epoch-level max.
-    scratch_.overlap_s[static_cast<std::size_t>(r)] =
-        std::min(overlap_acc, scratch_.comm_s[static_cast<std::size_t>(r)]);
-    scratch_.tail_s[static_cast<std::size_t>(r)] = tail_acc;
-    scratch_.reduce_s[static_cast<std::size_t>(r)] =
-        delta_reduce.sim_seconds(TrafficClass::kGradient, cfg_.cost);
-    scratch_.swap_s[static_cast<std::size_t>(r)] =
-        delta.sim_seconds(TrafficClass::kSwap, cfg_.cost);
-    scratch_.feature_rx[static_cast<std::size_t>(r)] =
-        delta.rx_bytes[static_cast<int>(TrafficClass::kFeature)];
-    scratch_.grad_rx[static_cast<std::size_t>(r)] =
-        delta.rx_bytes[static_cast<int>(TrafficClass::kGradient)];
-    scratch_.control_rx[static_cast<std::size_t>(r)] =
-        delta.rx_bytes[static_cast<int>(TrafficClass::kControl)];
-    ep_.barrier();
-    if (r == 0) {
+    double comm_s, overlap_s, tail_s, reduce_s;
+    if (measured_) {
+      comm_s = meas_comm;
+      // Clamped so the documented overlap_s <= comm_s invariant holds.
+      overlap_s = std::min(meas_overlap, comm_s);
+      tail_s = meas_tail;
+      reduce_s = reduce_meas_s;
+    } else {
+      comm_s = delta.sim_seconds(TrafficClass::kFeature, cfg_.cost);
+      // Per-exchange hidden time, clamped so the documented overlap_s <=
+      // comm_s invariant holds even when the per-exchange max(tx, rx)
+      // sums above the epoch-level max.
+      overlap_s = std::min(overlap_acc, comm_s);
+      tail_s = tail_acc;
+      reduce_s = delta_reduce.sim_seconds(TrafficClass::kGradient, cfg_.cost);
+    }
+    // The breakdown reduction rides an (unaccounted) allgather instead of
+    // shared-memory scratch, so it works across OS processes. Byte counts
+    // travel as doubles: per-epoch volumes are integers far below 2^53,
+    // so the round trip is exact.
+    const std::vector<double> local = {
+        compute_acc.seconds(),
+        sample_acc.seconds(),
+        comm_s,
+        overlap_s,
+        tail_s,
+        reduce_s,
+        delta.sim_seconds(TrafficClass::kSwap, cfg_.cost),
+        static_cast<double>(
+            delta.rx_bytes[static_cast<int>(TrafficClass::kFeature)]),
+        static_cast<double>(
+            delta.rx_bytes[static_cast<int>(TrafficClass::kGradient)]),
+        static_cast<double>(
+            delta.rx_bytes[static_cast<int>(TrafficClass::kControl)])};
+    const auto slots = ep_.allgather_doubles(local);
+    if (ep_.rank() == 0) {
       EpochBreakdown eb;
+      eb.timing = measured_ ? comm::TimingSource::kMeasured
+                            : comm::TimingSource::kSimulated;
       const PartId m = ep_.nranks();
       // Bulk-synchronous convention: costs take the max over ranks (the
       // slowest rank gates the epoch); the overlap saving takes the min so
       // the reported hidden time is one every rank actually achieved.
-      eb.overlap_s = scratch_.overlap_s[0];
+      eb.overlap_s = slots[0][3];
+      double feature_rx = 0.0, grad_rx = 0.0, control_rx = 0.0;
       for (PartId i = 0; i < m; ++i) {
-        const auto s = static_cast<std::size_t>(i);
-        eb.compute_s = std::max(eb.compute_s, scratch_.compute_s[s]);
-        eb.comm_s = std::max(eb.comm_s, scratch_.comm_s[s]);
-        eb.reduce_s = std::max(eb.reduce_s, scratch_.reduce_s[s]);
-        eb.sample_s = std::max(eb.sample_s, scratch_.sample_s[s]);
-        eb.swap_s = std::max(eb.swap_s, scratch_.swap_s[s]);
-        eb.overlap_s = std::min(eb.overlap_s, scratch_.overlap_s[s]);
-        eb.comm_tail_s = std::max(eb.comm_tail_s, scratch_.tail_s[s]);
-        eb.feature_bytes += scratch_.feature_rx[s];
-        eb.grad_bytes += scratch_.grad_rx[s];
-        eb.control_bytes += scratch_.control_rx[s];
+        const auto& s = slots[static_cast<std::size_t>(i)];
+        eb.compute_s = std::max(eb.compute_s, s[0]);
+        eb.sample_s = std::max(eb.sample_s, s[1]);
+        eb.comm_s = std::max(eb.comm_s, s[2]);
+        eb.overlap_s = std::min(eb.overlap_s, s[3]);
+        eb.comm_tail_s = std::max(eb.comm_tail_s, s[4]);
+        eb.reduce_s = std::max(eb.reduce_s, s[5]);
+        eb.swap_s = std::max(eb.swap_s, s[6]);
+        feature_rx += s[7];
+        grad_rx += s[8];
+        control_rx += s[9];
       }
+      eb.feature_bytes = static_cast<std::int64_t>(feature_rx);
+      eb.grad_bytes = static_cast<std::int64_t>(grad_rx);
+      eb.control_bytes = static_cast<std::int64_t>(control_rx);
       result_.epochs.push_back(eb);
     }
-    ep_.barrier();
     return loss_total;
   }
 
@@ -818,8 +868,8 @@ class RankWorker {
   const TrainerConfig& cfg_;
   const LocalGraph& lg_;
   comm::Endpoint& ep_;
-  EpochScratch& scratch_;
   TrainResult& result_;
+  bool measured_; // ep_.timing() == kMeasured (socket fabrics)
 
   Matrix x_local_;
   std::vector<int> labels_local_;
@@ -894,53 +944,90 @@ BnsTrainer::BnsTrainer(const Dataset& ds, const Partitioning& part,
   local_graphs_ = build_local_graphs(ds.graph, part_);
 }
 
+void BnsTrainer::finalize_rank(comm::Endpoint& ep, double mean_kept_halo,
+                               TrainResult& result) const {
+  // Memory report (Eq. 4): per rank, at the mean sampled halo and at full.
+  // The kept-halo means travel over the fabric (every rank enters the
+  // allgather; rank 0 builds the report), so the path is identical whether
+  // the ranks are threads or processes.
+  const auto kept = ep.allgather_doubles({mean_kept_halo});
+  if (ep.rank() != 0) return;
+  const PartId m = ep.nranks();
+  const auto dims = layer_input_dims(cfg_, ds_.feat_dim());
+  result.memory.model_bytes.assign(static_cast<std::size_t>(m), 0.0);
+  result.memory.full_bytes.assign(static_cast<std::size_t>(m), 0);
+  for (PartId r = 0; r < m; ++r) {
+    const auto& lg = local_graphs_[static_cast<std::size_t>(r)];
+    double model = 0.0;
+    for (const std::int64_t d : dims) {
+      model += (3.0 * lg.n_inner() + kept[static_cast<std::size_t>(r)][0]) *
+               static_cast<double>(d) * static_cast<double>(sizeof(float));
+    }
+    result.memory.model_bytes[static_cast<std::size_t>(r)] = model;
+    result.memory.full_bytes[static_cast<std::size_t>(r)] =
+        MemoryModel::epoch_bytes(lg.n_inner(), lg.n_halo(), dims);
+  }
+}
+
+TrainResult BnsTrainer::train_rank(comm::Fabric& fabric, PartId rank) {
+  BNSGCN_CHECK(rank >= 0 && rank < part_.nparts &&
+               fabric.nranks() == part_.nparts);
+  TrainResult result;
+  Stopwatch wall;
+  RankWorker worker(ds_, cfg_, local_graphs_[static_cast<std::size_t>(rank)],
+                    fabric.endpoint(rank), result);
+  worker.run();
+  finalize_rank(fabric.endpoint(rank), worker.mean_kept_halo(), result);
+  result.wall_time_s = wall.elapsed_s();
+  return result;
+}
+
 TrainResult BnsTrainer::train() {
   const PartId m = part_.nparts;
   comm::Fabric fabric(m, cfg_.cost);
   if (cfg_.fabric_shuffle_seed != 0)
     fabric.enable_delivery_shuffle(cfg_.fabric_shuffle_seed);
-  EpochScratch scratch(m);
   TrainResult result;
 
   Stopwatch wall;
-  std::vector<std::unique_ptr<RankWorker>> workers(
-      static_cast<std::size_t>(m));
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(m));
   threads.reserve(static_cast<std::size_t>(m));
   for (PartId r = 0; r < m; ++r) {
     threads.emplace_back([&, r] {
       try {
-        workers[static_cast<std::size_t>(r)] = std::make_unique<RankWorker>(
-            ds_, cfg_, local_graphs_[static_cast<std::size_t>(r)],
-            fabric.endpoint(r), scratch, result);
-        workers[static_cast<std::size_t>(r)]->run();
+        RankWorker worker(ds_, cfg_,
+                          local_graphs_[static_cast<std::size_t>(r)],
+                          fabric.endpoint(r), result);
+        worker.run();
+        finalize_rank(fabric.endpoint(r), worker.mean_kept_halo(), result);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Tear the fabric down so peers blocked on this rank unwind with
+        // ShutdownError instead of hanging (deadlock-free failure).
+        fabric.shutdown(r);
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (const auto& e : errors)
-    if (e) std::rethrow_exception(e);
-  result.wall_time_s = wall.elapsed_s();
-
-  // Memory report (Eq. 4): per rank, at the mean sampled halo and at full.
-  const auto dims = layer_input_dims(cfg_, ds_.feat_dim());
-  result.memory.model_bytes.assign(static_cast<std::size_t>(m), 0.0);
-  result.memory.full_bytes.assign(static_cast<std::size_t>(m), 0);
-  for (PartId r = 0; r < m; ++r) {
-    const auto& lg = local_graphs_[static_cast<std::size_t>(r)];
-    const double kept = workers[static_cast<std::size_t>(r)]->mean_kept_halo();
-    double model = 0.0;
-    for (const std::int64_t d : dims) {
-      model += (3.0 * lg.n_inner() + kept) * static_cast<double>(d) *
-               static_cast<double>(sizeof(float));
+  // Rethrow the root cause: a ShutdownError is collateral of some other
+  // rank's failure, so prefer any non-shutdown exception.
+  std::exception_ptr first, root;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    if (!first) first = e;
+    if (!root) {
+      try {
+        std::rethrow_exception(e);
+      } catch (const comm::ShutdownError&) {
+      } catch (...) {
+        root = e;
+      }
     }
-    result.memory.model_bytes[static_cast<std::size_t>(r)] = model;
-    result.memory.full_bytes[static_cast<std::size_t>(r)] =
-        MemoryModel::epoch_bytes(lg.n_inner(), lg.n_halo(), dims);
   }
+  if (root) std::rethrow_exception(root);
+  if (first) std::rethrow_exception(first);
+  result.wall_time_s = wall.elapsed_s();
   return result;
 }
 

@@ -63,6 +63,10 @@ struct EpochBreakdown {
   std::int64_t feature_bytes = 0; // global rx over all ranks
   std::int64_t grad_bytes = 0;
   std::int64_t control_bytes = 0;
+  /// Whether comm/overlap/tail/reduce above are simulated from byte counts
+  /// via the CostModel (mailbox fabric) or measured wall-clock spans
+  /// (socket fabrics). compute_s/sample_s are measured either way.
+  comm::TimingSource timing = comm::TimingSource::kSimulated;
 
   [[nodiscard]] double total_s() const {
     return compute_s + (comm_s - overlap_s) + reduce_s + sample_s + swap_s;
@@ -162,6 +166,12 @@ struct TrainerConfig {
   /// channel (kSwap traffic), reproducing Fig. 1(b)'s CPU-GPU swaps.
   bool simulate_host_swap = false;
 
+  /// Test-only: the named rank throws just before epoch 0's first forward
+  /// exchange, exercising the fabric's deadlock-free shutdown path (peers
+  /// must surface comm::ShutdownError instead of hanging in a blocking
+  /// wait on the dead rank's sends). -1 disables. Not serialized.
+  int fail_rank = -1;
+
   /// Optional per-epoch callback (see EpochSnapshot).
   EpochObserver observer;
 };
@@ -202,11 +212,26 @@ class BnsTrainer {
 
   [[nodiscard]] TrainResult train();
 
+  /// Run exactly one rank of the training loop against an externally
+  /// constructed fabric — the multi-process runtime's entry point, where
+  /// each OS process owns one rank of a socket fabric. The in-process
+  /// train() is a thin wrapper: a mailbox fabric plus one thread per rank
+  /// calling this. Only rank 0's result carries the aggregated curves and
+  /// breakdowns (the loop's collectives reduce onto rank 0, exactly as in
+  /// the threaded path); other ranks return a result that participated in
+  /// those collectives but holds only their local view.
+  [[nodiscard]] TrainResult train_rank(comm::Fabric& fabric, PartId rank);
+
   [[nodiscard]] const std::vector<LocalGraph>& local_graphs() const {
     return local_graphs_;
   }
 
  private:
+  /// Post-loop collective bookkeeping for one rank: allgather the kept-halo
+  /// fractions and (on rank 0) attach the memory-model report.
+  void finalize_rank(comm::Endpoint& ep, double mean_kept_halo,
+                     TrainResult& result) const;
+
   const Dataset& ds_;
   TrainerConfig cfg_;
   Partitioning part_;

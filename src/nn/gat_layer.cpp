@@ -46,15 +46,6 @@ std::vector<Matrix*> GatLayer::grads() {
   return out;
 }
 
-void GatLayer::transform_rows(Head& h, const Matrix& block, NodeId row0) {
-  if (block.rows() == 0) return;
-  const std::int64_t dh = h.w.cols();
-  Matrix tmp(block.rows(), dh);
-  ops::gemm_nn(block, h.w, tmp);
-  std::copy(tmp.data(), tmp.data() + tmp.size(),
-            h.wh.data() + static_cast<std::int64_t>(row0) * dh);
-}
-
 void GatLayer::score_src_rows(Head& h, NodeId row0, NodeId count) {
   const std::int64_t dh = h.w.cols();
   for (NodeId u = row0; u < row0 + count; ++u) {
@@ -166,7 +157,6 @@ void GatLayer::forward_inner_begin(const BipartiteCsr& adj,
   feats_cache_.resize(adj.n_src, d_in_);
   std::copy(inner_feats.data(), inner_feats.data() + inner_feats.size(),
             feats_cache_.data());
-  inner_cache_ = &inner_feats;
   for (auto& h : heads_) {
     h.wh.resize(adj.n_src, d_head_);
     h.s_src.assign(static_cast<std::size_t>(adj.n_src), 0.0f);
@@ -179,25 +169,11 @@ void GatLayer::forward_inner_chunk(const BipartiteCsr& adj, NodeId row0,
   BNSGCN_CHECK(row0 >= 0 && row0 <= row1 && row1 <= adj.n_dst);
   const NodeId cnt = row1 - row0;
   if (cnt == 0) return;
-  if (row0 == 0 && row1 == adj.n_dst) {
-    // Whole block in one chunk (the unchunked default): transform straight
-    // from the caller's inner block, skipping the staging copy.
-    for (auto& h : heads_) {
-      transform_rows(h, *inner_cache_, 0);
-      score_src_rows(h, 0, cnt);
-      score_dst_rows(h, 0, cnt);
-    }
-    return;
-  }
-  // Stage the chunk once (shared across heads), push it through each
-  // head's W and score projections — row-split, so bit-identical to the
-  // fused transform for every chunking.
-  Matrix block(cnt, d_in_);
-  std::copy(feats_cache_.data() + static_cast<std::int64_t>(row0) * d_in_,
-            feats_cache_.data() + static_cast<std::int64_t>(row1) * d_in_,
-            block.data());
+  // Row-range transform straight into each head's wh rows — no staging
+  // copy per chunk, and bit-identical to the fused transform for every
+  // chunking (gemm_nn_rows keeps the fixed per-row k-loop order).
   for (auto& h : heads_) {
-    transform_rows(h, block, row0);
+    ops::gemm_nn_rows(feats_cache_, h.w, h.wh, row0, row1);
     score_src_rows(h, row0, cnt);
     score_dst_rows(h, row0, cnt);
   }

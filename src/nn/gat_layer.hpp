@@ -105,10 +105,6 @@ class GatLayer final : public Layer {
   /// phase so both paths are the same code.
   void attention_backward_head(const BipartiteCsr& adj, const Matrix& g,
                                std::size_t hi, Matrix& dwh);
-  /// Transform a row block through head `h` and place it at wh rows
-  /// [row0, row0+block.rows()): the fused gemm split by rows (bit-exact
-  /// because gemm_nn computes each output row independently).
-  static void transform_rows(Head& h, const Matrix& block, NodeId row0);
   /// Fill s_src entries for wh rows [row0, row0+count).
   static void score_src_rows(Head& h, NodeId row0, NodeId count);
   /// Fill s_dst entries for wh rows [row0, row0+count) — shared by the
@@ -121,10 +117,6 @@ class GatLayer final : public Layer {
   Rng dropout_rng_;
 
   Matrix feats_cache_;
-  /// The inner block handed to forward_inner_begin; valid through the F1
-  /// chunks (the trainer keeps the layer inputs alive for the whole
-  /// forward). Lets the whole-block chunk skip the staging copy.
-  const Matrix* inner_cache_ = nullptr;
   Matrix relu_mask_;
   Matrix dropout_mask_;
   bool cached_training_ = false;

@@ -61,26 +61,12 @@ void SageLayer::forward_inner_begin(const BipartiteCsr& adj,
 void SageLayer::forward_inner_chunk(const BipartiteCsr& adj, NodeId row0,
                                     NodeId row1) {
   mean_aggregate_inner_rows(adj, self_cache_, row0, row1, z_partial_);
-  if (row0 == 0 && row1 == adj.n_dst) {
-    // Whole block in one chunk: skip the staging copies.
-    ops::gemm_nn(self_cache_, w_half_, out_partial_);
-    ops::add_row_bias(out_partial_, b_);
-    return;
-  }
-  const NodeId cnt = row1 - row0;
-  if (cnt <= 0) return;
-  // Row-split self transform: stage the chunk, transform, bias, place.
-  // gemm_nn computes each output row independently (fixed k-loop order),
-  // so the chunked rows are bit-identical to the fused GEMM's.
-  Matrix block(cnt, d_in_);
-  std::copy(self_cache_.data() + static_cast<std::int64_t>(row0) * d_in_,
-            self_cache_.data() + static_cast<std::int64_t>(row1) * d_in_,
-            block.data());
-  Matrix tmp(cnt, d_out_);
-  ops::gemm_nn(block, w_half_, tmp);
-  ops::add_row_bias(tmp, b_);
-  std::copy(tmp.data(), tmp.data() + tmp.size(),
-            out_partial_.data() + static_cast<std::int64_t>(row0) * d_out_);
+  // Row-range self transform, straight into the output rows: gemm_nn_rows
+  // computes each row independently with the fixed k-loop order, so any
+  // chunking is bit-identical to the fused GEMM — and no chunk stages
+  // through heap copies.
+  ops::gemm_nn_rows(self_cache_, w_half_, out_partial_, row0, row1);
+  ops::add_row_bias_rows(out_partial_, b_, row0, row1);
 }
 
 void SageLayer::forward_halo_begin(const BipartiteCsr& adj,

@@ -16,19 +16,28 @@ constexpr std::int64_t kBlockK = 256;
 
 void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
              float beta) {
-  const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  BNSGCN_CHECK(c.rows() == a.rows());
+  gemm_nn_rows(a, b, c, 0, a.rows(), alpha, beta);
+}
+
+void gemm_nn_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                  std::int64_t r0, std::int64_t r1, float alpha, float beta) {
+  const std::int64_t k = a.cols(), n = b.cols();
   BNSGCN_CHECK(b.rows() == k);
-  BNSGCN_CHECK(c.rows() == m && c.cols() == n);
-  if (beta == 0.0f) {
-    c.zero();
-  } else if (beta != 1.0f) {
-    scale_inplace(c, beta);
-  }
+  BNSGCN_CHECK(c.cols() == n);
+  BNSGCN_CHECK(0 <= r0 && r0 <= r1 && r1 <= a.rows() && r1 <= c.rows());
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const std::int64_t i1 = std::min(i0 + kBlockM, m);
+  if (beta == 0.0f) {
+    std::fill(pc + r0 * n, pc + r1 * n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::int64_t t = r0 * n; t < r1 * n; ++t) pc[t] *= beta;
+  }
+  // The k-accumulation order per row is fixed by the k0/kk loops alone, so
+  // any [r0, r1) slicing produces bit-identical rows to the full call.
+  for (std::int64_t i0 = r0; i0 < r1; i0 += kBlockM) {
+    const std::int64_t i1 = std::min(i0 + kBlockM, r1);
     for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
       const std::int64_t k1 = std::min(k0 + kBlockK, k);
       for (std::int64_t i = i0; i < i1; ++i) {
@@ -119,9 +128,15 @@ void scale_inplace(Matrix& y, float s) {
 }
 
 void add_row_bias(Matrix& x, const Matrix& bias) {
+  add_row_bias_rows(x, bias, 0, x.rows());
+}
+
+void add_row_bias_rows(Matrix& x, const Matrix& bias, std::int64_t r0,
+                       std::int64_t r1) {
   BNSGCN_CHECK(bias.rows() == 1 && bias.cols() == x.cols());
+  BNSGCN_CHECK(0 <= r0 && r0 <= r1 && r1 <= x.rows());
   const float* pb = bias.data();
-  for (std::int64_t r = 0; r < x.rows(); ++r) {
+  for (std::int64_t r = r0; r < r1; ++r) {
     float* row = x.data() + r * x.cols();
     for (std::int64_t c = 0; c < x.cols(); ++c) row[c] += pb[c];
   }

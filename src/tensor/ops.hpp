@@ -20,6 +20,17 @@ namespace bnsgcn::ops {
 void gemm_nn(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
              float beta = 0.0f);
 
+/// Row-range gemm_nn: C[r,:] = alpha * A[r,:] * B + beta * C[r,:] for rows
+/// r in [r0, r1) only; every other row of C is untouched. A and C may have
+/// more rows than r1 (the chunked-stream forward runs over the inner-row
+/// prefix of a [dst; halo]-shaped pair) — only the addressed range is read
+/// or written, so chunked callers need no staging copies. Per-row results
+/// are bit-identical to gemm_nn over the full shape: the k-accumulation
+/// order is independent of the row blocking.
+void gemm_nn_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                  std::int64_t r0, std::int64_t r1, float alpha = 1.0f,
+                  float beta = 0.0f);
+
 /// C[k,n] = alpha * A[m,k]^T * B[m,n] + beta * C   (weight gradients)
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha = 1.0f,
              float beta = 0.0f);
@@ -42,6 +53,11 @@ void scale_inplace(Matrix& y, float s);
 
 /// out[r,:] = x[r,:] + bias[0,:] for every row.
 void add_row_bias(Matrix& x, const Matrix& bias);
+
+/// add_row_bias over rows [r0, r1) only (chunked-stream companion of
+/// gemm_nn_rows).
+void add_row_bias_rows(Matrix& x, const Matrix& bias, std::int64_t r0,
+                       std::int64_t r1);
 
 /// bias_grad[0,:] += column sums of grad.
 void col_sum(const Matrix& grad, Matrix& out);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/ops.hpp"
@@ -25,6 +26,63 @@ TEST(Ops, GemmNnAlphaBeta) {
   ops::gemm_nn(a, b, c, 2.0f, 1.0f);
   EXPECT_FLOAT_EQ(c.at(0, 0), 5.0f);  // 1 + 2*2
   EXPECT_FLOAT_EQ(c.at(1, 1), 11.0f); // 1 + 2*5
+}
+
+TEST(Ops, GemmNnRowsBitIdenticalToFullGemmForAnyChunking) {
+  // The chunked-stream F1 relies on gemm_nn_rows producing the exact bits
+  // of the fused gemm_nn for every row split (the k-accumulation order is
+  // independent of row blocking). Check several chunkings, including ones
+  // that straddle the 64-row m-block boundary.
+  Rng rng(3);
+  Matrix a(150, 33);
+  Matrix b(33, 17);
+  a.randomize_gaussian(rng, 1.0f);
+  b.randomize_gaussian(rng, 1.0f);
+  Matrix full(150, 17);
+  ops::gemm_nn(a, b, full);
+  for (const std::int64_t chunk : {1, 7, 64, 100, 150}) {
+    Matrix c(150, 17);
+    for (std::int64_t r0 = 0; r0 < 150; r0 += chunk)
+      ops::gemm_nn_rows(a, b, c, r0, std::min<std::int64_t>(150, r0 + chunk));
+    for (std::int64_t i = 0; i < full.size(); ++i)
+      ASSERT_EQ(c.data()[i], full.data()[i]) << "chunk " << chunk;
+  }
+}
+
+TEST(Ops, GemmNnRowsTouchesOnlyTheAddressedRange) {
+  // Rows outside [r0, r1) must be untouched (the chunked forward writes
+  // the inner prefix of a larger output), and beta applies to the range
+  // only.
+  Rng rng(4);
+  Matrix a(10, 5), b(5, 4);
+  a.randomize_gaussian(rng, 1.0f);
+  b.randomize_gaussian(rng, 1.0f);
+  Matrix c(10, 4);
+  for (std::int64_t i = 0; i < c.size(); ++i) c.data()[i] = 9.0f;
+  ops::gemm_nn_rows(a, b, c, 2, 5);
+  Matrix full(10, 4);
+  ops::gemm_nn(a, b, full);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      if (i >= 2 && i < 5) {
+        EXPECT_EQ(c.at(i, j), full.at(i, j));
+      } else {
+        EXPECT_EQ(c.at(i, j), 9.0f) << "row " << i << " clobbered";
+      }
+    }
+  }
+  EXPECT_THROW(ops::gemm_nn_rows(a, b, c, 5, 2), CheckError);
+  EXPECT_THROW(ops::gemm_nn_rows(a, b, c, 0, 11), CheckError);
+}
+
+TEST(Ops, AddRowBiasRowsMatchesFullOnRange) {
+  Matrix x{{1, 2}, {3, 4}, {5, 6}};
+  Matrix bias{{10, 20}};
+  ops::add_row_bias_rows(x, bias, 1, 2);
+  EXPECT_FLOAT_EQ(x.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(x.at(1, 0), 13.0f);
+  EXPECT_FLOAT_EQ(x.at(1, 1), 24.0f);
+  EXPECT_FLOAT_EQ(x.at(2, 1), 6.0f);
 }
 
 TEST(Ops, GemmTnMatchesExplicitTranspose) {
