@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   bench::print_banner("Ablation", "unbiased 1/p feature rescaling");
   bench::ReportSink sink("Ablation: 1/p rescaling", opts);
 
-  const auto pr = bench::load_preset("products", 0.2 * opts.scale);
+  const auto pr = bench::load_preset("products", 0.2 * opts.scale, opts);
   api::RunConfig rcfg = pr.config(api::Method::kBns);
   rcfg.partition.nparts = 8;
   rcfg.trainer.epochs = opts.epochs_or(100);

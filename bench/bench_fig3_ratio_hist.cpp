@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Figure 3", "boundary/inner ratio distribution, 192 parts");
 
-  const auto pr = bench::load_preset("papers", opts.scale);
+  const auto pr = bench::load_preset("papers", opts.scale, opts);
   api::PartitionSpec pspec;
   pspec.nparts = 192;
   const auto part = api::cached_partition(pr.ds.graph, pspec);

@@ -13,7 +13,7 @@ using namespace bnsgcn;
 void run_dataset(const char* title, const char* preset, double scale,
                  const std::vector<PartId>& parts,
                  const api::BenchOptions& opts, bench::ReportSink& sink) {
-  const auto pr = bench::load_preset(preset, scale);
+  const auto pr = bench::load_preset(preset, scale, opts);
   std::printf("\n--- %s ---\n", title);
   std::printf("%-8s %-8s %12s %12s %12s %12s %10s\n", "parts", "p",
               "compute(s)", "comm(s)", "reduce(s)", "epoch(s)", "comm%");

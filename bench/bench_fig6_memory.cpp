@@ -13,7 +13,7 @@ using namespace bnsgcn;
 void run_dataset(const char* title, const char* preset, double scale,
                  const std::vector<PartId>& parts,
                  const api::BenchOptions& opts, bench::ReportSink& sink) {
-  const auto pr = bench::load_preset(preset, scale);
+  const auto pr = bench::load_preset(preset, scale, opts);
   std::printf("\n--- %s ---\n", title);
   std::printf("%-8s", "parts");
   for (const float p : {0.5f, 0.1f, 0.01f}) std::printf("   p=%-6.2f", p);

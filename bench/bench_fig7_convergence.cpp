@@ -12,7 +12,7 @@ using namespace bnsgcn;
 void run_dataset(const char* title, const char* preset, double scale,
                  PartId parts, const api::BenchOptions& opts,
                  bench::ReportSink& sink) {
-  const auto pr = bench::load_preset(preset, scale);
+  const auto pr = bench::load_preset(preset, scale, opts);
   std::printf("\n--- %s (%d partitions) ---\n", title, parts);
   api::RunConfig rcfg = pr.config(api::Method::kBns);
   rcfg.partition.nparts = parts; // partitioned once, cached across p

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
                       "normalized per-partition memory, 192 partitions");
   bench::ReportSink sink("Figure 8", opts);
 
-  const auto pr = bench::load_preset("papers", opts.scale);
+  const auto pr = bench::load_preset("papers", opts.scale, opts);
   api::RunConfig rcfg = pr.config(api::Method::kBns);
   rcfg.partition.nparts = 192; // partitioned once, cached across p
   rcfg.trainer.epochs = opts.epochs_or(3);

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.hpp"
 #include "core/boundary_sampler.hpp"
 #include "core/epoch_planner.hpp"
 #include "core/local_graph.hpp"
@@ -31,6 +32,49 @@ void BM_GemmNN(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * 64 * 64 * 2);
 }
 BENCHMARK(BM_GemmNN)->Arg(1024)->Arg(8192);
+
+// The thread-pool sweep: the same kernels at K ∈ {1,2,4,8} lanes. K=1 rows
+// are the before (bit-for-bit the scalar kernels — the serial fast path
+// never touches the pool); higher-K rows the after. items_per_second is the
+// comparison axis; outputs stay bit-identical across the whole sweep (the
+// determinism contract in common/thread_pool.hpp), which test_ops pins.
+void BM_GemmNNThreads(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  const auto k = static_cast<int>(state.range(1));
+  common::set_ops_threads(k);
+  Rng rng(1);
+  Matrix a(n, 64), b(64, 64), c(n, 64);
+  a.randomize_gaussian(rng, 1.0f);
+  b.randomize_gaussian(rng, 1.0f);
+  for (auto _ : state) {
+    ops::gemm_nn(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  common::set_ops_threads(1);
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64 * 2);
+}
+BENCHMARK(BM_GemmNNThreads)
+    ->ArgsProduct({{1024, 8192}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"});
+
+void BM_GemmTNThreads(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  const auto k = static_cast<int>(state.range(1));
+  common::set_ops_threads(k);
+  Rng rng(1);
+  Matrix a(n, 256), b(n, 64), c(256, 64);
+  a.randomize_gaussian(rng, 1.0f);
+  b.randomize_gaussian(rng, 1.0f);
+  for (auto _ : state) {
+    ops::gemm_tn(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  common::set_ops_threads(1);
+  state.SetItemsProcessed(state.iterations() * n * 256 * 64 * 2);
+}
+BENCHMARK(BM_GemmTNThreads)
+    ->ArgsProduct({{8192}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"});
 
 // The chunked-stream F1 transform, two ways: the old staged path (copy each
 // row chunk to a scratch block, full gemm_nn on the block, copy the result
@@ -95,6 +139,33 @@ void BM_MeanAggregate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.num_arcs() * 64);
 }
 BENCHMARK(BM_MeanAggregate)->Arg(4096)->Arg(32768);
+
+void BM_MeanAggregateThreads(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto k = static_cast<int>(state.range(1));
+  common::set_ops_threads(k);
+  Rng rng(2);
+  const Csr g = gen::rmat(n, static_cast<EdgeId>(n) * 16, rng);
+  nn::BipartiteCsr adj;
+  adj.n_dst = g.n;
+  adj.n_src = g.n;
+  adj.offsets = g.offsets;
+  adj.nbrs = g.nbrs;
+  std::vector<float> inv(static_cast<std::size_t>(g.n), 0.0f);
+  for (NodeId v = 0; v < g.n; ++v)
+    if (g.degree(v) > 0) inv[static_cast<std::size_t>(v)] = 1.0f / g.degree(v);
+  Matrix src(g.n, 64), out;
+  src.randomize_gaussian(rng, 1.0f);
+  for (auto _ : state) {
+    nn::mean_aggregate(adj, src, inv, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  common::set_ops_threads(1);
+  state.SetItemsProcessed(state.iterations() * g.num_arcs() * 64);
+}
+BENCHMARK(BM_MeanAggregateThreads)
+    ->ArgsProduct({{32768}, {1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"});
 
 void BM_EpochPlannerDraw(benchmark::State& state) {
   // Strategy-only cost of one epoch's random draw (no compaction, no

@@ -11,7 +11,7 @@ using namespace bnsgcn;
 void run_dataset(const char* title, const char* preset, double scale,
                  std::uint64_t seed, const api::BenchOptions& opts,
                  bench::ReportSink& sink) {
-  const auto pr = bench::load_preset(preset, scale);
+  const auto pr = bench::load_preset(preset, scale, opts);
   api::RunConfig rcfg;
   rcfg.method = api::Method::kBns;
   rcfg.dataset = pr.spec;

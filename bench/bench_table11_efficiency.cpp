@@ -11,7 +11,7 @@ int main(int argc, char** argv) {
   bench::print_banner("Table 11", "per-epoch train time vs samplers (Reddit)");
   bench::ReportSink sink("Table 11", opts);
 
-  auto pr = bench::load_preset("reddit", 0.4 * opts.scale);
+  auto pr = bench::load_preset("reddit", 0.4 * opts.scale, opts);
   const Dataset& ds = pr.ds;
   pr.trainer.epochs = opts.epochs_or(5);
   pr.trainer.seed = 7;

@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   bench::print_banner("Table 12", "sampling overhead (% of training time)");
   bench::ReportSink sink("Table 12", opts);
 
-  const auto pr = bench::load_preset("reddit", 0.4 * opts.scale);
+  const auto pr = bench::load_preset("reddit", 0.4 * opts.scale, opts);
   const Dataset& ds = pr.ds;
 
   std::printf("minibatch samplers (sampling / total wall time):\n");

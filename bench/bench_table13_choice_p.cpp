@@ -21,9 +21,9 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows;
   rows.push_back({"Reddit-like (2 parts)", "reddit",
-                  bench::load_preset("reddit", 0.3 * s), 2});
+                  bench::load_preset("reddit", 0.3 * s, opts), 2});
   rows.push_back({"products-like (5 parts)", "products",
-                  bench::load_preset("products", 0.2 * s), 5});
+                  bench::load_preset("products", 0.2 * s, opts), 5});
 
   std::printf("%-26s", "dataset \\ p");
   for (const float p : {0.1f, 0.3f, 0.5f, 0.8f, 1.0f})

@@ -10,7 +10,7 @@ int main(int argc, char** argv) {
   const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Table 1", "boundary vs inner nodes, 10-way partition");
 
-  const auto pr = bench::load_preset("reddit", opts.scale);
+  const auto pr = bench::load_preset("reddit", opts.scale, opts);
   const Dataset& ds = pr.ds;
   std::printf("dataset: %s  n=%d  arcs=%lld  avg deg=%.1f\n\n",
               ds.name.c_str(), ds.num_nodes(),

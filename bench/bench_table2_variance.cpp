@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   const auto opts = api::parse_bench_args(argc, argv);
   bench::print_banner("Table 2", "empirical feature-approximation variance");
 
-  const auto pr = bench::load_preset("products", 0.2 * opts.scale);
+  const auto pr = bench::load_preset("products", 0.2 * opts.scale, opts);
   const Dataset& ds = pr.ds;
   api::PartitionSpec pspec;
   pspec.nparts = 8;

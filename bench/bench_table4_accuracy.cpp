@@ -13,7 +13,7 @@ using namespace bnsgcn;
 void run_dataset(const char* title, const char* preset, double scale,
                  const std::vector<PartId>& parts,
                  const api::BenchOptions& opts, bench::ReportSink& sink) {
-  const auto pr = bench::load_preset(preset, scale);
+  const auto pr = bench::load_preset(preset, scale, opts);
   const Dataset& ds = pr.ds;
   std::printf("\n--- %s ---\n", title);
 

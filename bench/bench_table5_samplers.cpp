@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
                       "total train time + accuracy vs samplers (products)");
   bench::ReportSink sink("Table 5", opts);
 
-  auto pr = bench::load_preset("products", 0.2 * opts.scale);
+  auto pr = bench::load_preset("products", 0.2 * opts.scale, opts);
   const Dataset& ds = pr.ds;
   pr.trainer.epochs = opts.epochs_or(80);
 

@@ -31,7 +31,7 @@ float matched_edge_rate(const Dataset& ds, const Partitioning& part, float p,
 void run_dataset(const char* title, const char* preset, double scale,
                  PartId parts, const api::BenchOptions& opts,
                  bench::ReportSink& sink) {
-  const auto pr = bench::load_preset(preset, scale);
+  const auto pr = bench::load_preset(preset, scale, opts);
   const Dataset& ds = pr.ds;
   api::PartitionSpec pspec;
   pspec.nparts = parts;

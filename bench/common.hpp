@@ -71,11 +71,17 @@ struct PresetRun {
   }
 };
 
-inline PresetRun load_preset(const char* name, double scale) {
+/// `opts` carries the cross-bench trainer knobs: every config built from
+/// the returned PresetRun inherits --threads (recorded in artifact rows,
+/// so replays run at the same lane count; results never depend on it).
+inline PresetRun load_preset(const char* name, double scale,
+                             const api::BenchOptions& opts) {
   api::DatasetSpec spec;
   spec.preset = name;
   spec.scale = scale;
-  return {spec, api::make_dataset(spec), api::preset_trainer_config(name)};
+  core::TrainerConfig trainer = api::preset_trainer_config(name);
+  trainer.threads = opts.threads;
+  return {spec, api::make_dataset(spec), std::move(trainer)};
 }
 
 /// Collects a bench's labeled runs and, when --json <path> was given,

@@ -73,3 +73,16 @@ rm -f "$REPLAY_ARTIFACT"
 ./build/bench/bench_table13_choice_p --scale 0.2 --epochs 3 \
   --json "$REPLAY_ARTIFACT" > /dev/null
 ./build/bench/bench_replay "$REPLAY_ARTIFACT" --rows 1
+
+# ThreadSanitizer leg: the kernel thread pool and everything layered on it
+# must be race-free, not just bit-exact. A separate instrumented build runs
+# the pool's own suite, the threads-axis kernel parity matrix, and the
+# trainer (whose threads-parity test runs 3 ranks × 4 oversubscribed lanes
+# — real interleaving even on a one-core runner). TSAN aborts with a
+# nonzero exit on any report, so plain invocation is the gate.
+cmake -B build-tsan -S . "${GENERATOR[@]}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DBNSGCN_TSAN=ON
+cmake --build build-tsan -j --target test_thread_pool test_ops test_trainer
+./build-tsan/tests/test_thread_pool
+./build-tsan/tests/test_ops
+./build-tsan/tests/test_trainer

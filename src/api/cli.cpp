@@ -34,7 +34,8 @@ bool parse_int(const std::string& s, int& out) {
 std::string bench_usage(const std::string& argv0) {
   return "usage: " + argv0 +
          " [--scale <x>] [--epochs <n>] [--json <path>]"
-         " [--part-cache <dir>] [--transport <t>] [--parts <list>]\n"
+         " [--part-cache <dir>] [--transport <t>] [--parts <list>]"
+         " [--threads <k>]\n"
          "  --scale <x>   dataset size multiplier (default 1.0; 2-4 gives\n"
          "                closer-to-paper shapes, <1 is a quick smoke run)\n"
          "  --epochs <n>  override every run's epoch count\n"
@@ -46,7 +47,11 @@ std::string bench_usage(const std::string& argv0) {
          "                process per rank, measured comm times)\n"
          "  --parts <list> comma-separated partition counts to sweep,\n"
          "                e.g. --parts 2,4 (benches without a partition\n"
-         "                sweep ignore it)\n";
+         "                sweep ignore it)\n"
+         "  --threads <k> kernel worker threads per rank (clamped so\n"
+         "                ranks x threads never oversubscribes the\n"
+         "                machine; results are bit-identical for every\n"
+         "                value)\n";
 }
 
 std::optional<BenchOptions> try_parse_bench_args(
@@ -139,6 +144,15 @@ std::optional<BenchOptions> try_parse_bench_args(
       if (!ok) {
         error = "--parts needs comma-separated positive integers, got '" +
                 *v + "'";
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (arg == "--threads") {
+      const std::string* v = value("--threads");
+      if (v == nullptr) return std::nullopt;
+      if (!parse_int(*v, opts.threads) || opts.threads < 1) {
+        error = "--threads needs a positive integer, got '" + *v + "'";
         return std::nullopt;
       }
       continue;

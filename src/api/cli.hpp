@@ -22,6 +22,10 @@ namespace bnsgcn::api {
 ///                     (one OS process per rank, measured comm times)
 ///   --parts <list>    comma-separated partition counts to sweep (benches
 ///                     that sweep partition counts; others ignore it)
+///   --threads <k>     kernel worker threads per rank (TrainerConfig::
+///                     threads; each rank clamps to the P ranks × K threads
+///                     hardware budget — see docs/BENCHMARKS.md). Results
+///                     are bit-identical for every value.
 struct BenchOptions {
   double scale = 1.0;
   std::optional<int> epochs;
@@ -29,6 +33,7 @@ struct BenchOptions {
   std::string part_cache_dir;   // empty = in-memory cache only
   comm::TransportKind transport = comm::TransportKind::kMailbox;
   std::vector<int> parts;       // empty = the bench's default sweep
+  int threads = 1;              // kernel lanes per rank
 
   /// Epoch count for a bench section that defaults to `fallback`.
   [[nodiscard]] int epochs_or(int fallback) const {

@@ -322,8 +322,10 @@ json::Value trainer_to_json(const core::TrainerConfig& t) {
   v.set("simulate_host_swap", t.simulate_host_swap);
   v.set("overlap", overlap_mode_name(t.overlap));
   v.set("inner_chunk_rows", static_cast<std::int64_t>(t.inner_chunk_rows));
+  v.set("threads", t.threads);
   // The per-epoch observer is a process-local callback, and the
-  // fabric_shuffle_seed a test-only arrival scrambler: not serialized.
+  // fabric_shuffle_seed / threads_oversubscribe test-only knobs: not
+  // serialized.
   return v;
 }
 
@@ -354,6 +356,8 @@ core::TrainerConfig trainer_from_json(const json::Value& v) {
           [](const json::Value& f) {
             return static_cast<NodeId>(f.as_int64());
           });
+  // Absent in pre-threads artifacts → the field default of 1 (serial).
+  read_if(v, "threads", t.threads, as_i);
   return t;
 }
 

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/adam.hpp"
 #include "nn/gat_layer.hpp"
 #include "nn/loss.hpp"
@@ -93,6 +94,13 @@ class RankWorker {
              const LocalGraph& lg, comm::Endpoint& ep, TrainResult& result)
       : ds_(ds), cfg_(cfg), lg_(lg), ep_(ep), result_(result),
         measured_(ep.timing() == comm::TimingSource::kMeasured) {
+    // The constructor runs on the rank's own thread (a std::thread under
+    // train(), the forked process's main thread under train_rank), so the
+    // thread-local kernel budget set here covers every op this rank runs.
+    common::set_ops_threads(
+        cfg_.threads_oversubscribe
+            ? cfg_.threads
+            : common::clamp_rank_threads(cfg_.threads, ep_.nranks()));
     const NodeId n_in = lg_.n_inner();
     x_local_ = slice_rows(ds.features, lg_.inner_global);
     if (ds.multilabel) {

@@ -153,6 +153,23 @@ struct TrainerConfig {
   /// path. RunConfig.comm.inner_chunk_rows is the config-file spelling.
   NodeId inner_chunk_rows = 0;
 
+  /// Kernel worker threads per rank (common::ThreadPool lanes inside each
+  /// rank's tensor kernels). Results are bit-identical for every value —
+  /// the pool's fixed-block decomposition preserves each output element's
+  /// accumulation order (docs/ARCHITECTURE.md §6) — so this is purely a
+  /// wall-clock knob. Each rank clamps its effective value to
+  /// common::clamp_rank_threads(threads, nranks): P ranks × K lanes never
+  /// oversubscribe hardware_concurrency, in both the threaded-mailbox and
+  /// forked-process runtimes. RunConfig.trainer.threads is the config-file
+  /// spelling (serialized as "threads", absent → 1).
+  int threads = 1;
+
+  /// Test-only: skip the rank×thread hardware clamp and run exactly
+  /// `threads` lanes even when that oversubscribes the machine. This is
+  /// how the parity/fuzz/TSAN suites exercise real multithreading on
+  /// single-core CI boxes. Not serialized.
+  bool threads_oversubscribe = false;
+
   /// Test-only: when nonzero, the fabric holds each deposited message back
   /// for a seeded-pseudorandom number of nonblocking probes
   /// (comm::Fabric::enable_delivery_shuffle), scrambling the completion

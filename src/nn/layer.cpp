@@ -1,6 +1,21 @@
 #include "nn/layer.hpp"
 
+#include "common/thread_pool.hpp"
+
 namespace bnsgcn::nn {
+
+namespace {
+
+// Parallel grains, mirroring tensor/ops.cpp. Gather-shaped kernels (one
+// writer per destination row) split the row axis; scatter-shaped kernels
+// (source rows fan out to repeating destinations) split the feature axis so
+// each lane owns disjoint columns while walking entries in the serial
+// order. Either way each output element's accumulation order is the scalar
+// kernel's — bit-identical for every thread count (common/thread_pool.hpp).
+constexpr std::int64_t kRowBlock = 64;
+constexpr std::int64_t kColBlock = 64;
+
+} // namespace
 
 void BipartiteCsr::validate() const {
   BNSGCN_CHECK(static_cast<NodeId>(offsets.size()) == n_dst + 1);
@@ -19,22 +34,26 @@ void mean_aggregate(const BipartiteCsr& adj, const Matrix& src,
   const std::int64_t d = src.cols();
   out.resize(adj.n_dst, d);
   const bool weighted = !adj.edge_scale.empty();
-  for (NodeId v = 0; v < adj.n_dst; ++v) {
-    float* o = out.data() + static_cast<std::int64_t>(v) * d;
-    const float w = inv_deg[static_cast<std::size_t>(v)];
-    if (w == 0.0f) continue;
-    const auto begin = static_cast<std::size_t>(
-        adj.offsets[static_cast<std::size_t>(v)]);
-    const auto end = static_cast<std::size_t>(
-        adj.offsets[static_cast<std::size_t>(v) + 1]);
-    for (std::size_t e = begin; e < end; ++e) {
-      const NodeId u = adj.nbrs[e];
-      const float es = weighted ? adj.edge_scale[e] : 1.0f;
-      const float* s = src.data() + static_cast<std::int64_t>(u) * d;
-      for (std::int64_t c = 0; c < d; ++c) o[c] += es * s[c];
+  common::for_blocks(adj.n_dst, kRowBlock, [&](std::int64_t v0,
+                                               std::int64_t v1) {
+    for (NodeId v = static_cast<NodeId>(v0); v < static_cast<NodeId>(v1);
+         ++v) {
+      float* o = out.data() + static_cast<std::int64_t>(v) * d;
+      const float w = inv_deg[static_cast<std::size_t>(v)];
+      if (w == 0.0f) continue;
+      const auto begin = static_cast<std::size_t>(
+          adj.offsets[static_cast<std::size_t>(v)]);
+      const auto end = static_cast<std::size_t>(
+          adj.offsets[static_cast<std::size_t>(v) + 1]);
+      for (std::size_t e = begin; e < end; ++e) {
+        const NodeId u = adj.nbrs[e];
+        const float es = weighted ? adj.edge_scale[e] : 1.0f;
+        const float* s = src.data() + static_cast<std::int64_t>(u) * d;
+        for (std::int64_t c = 0; c < d; ++c) o[c] += es * s[c];
+      }
+      for (std::int64_t c = 0; c < d; ++c) o[c] *= w;
     }
-    for (std::int64_t c = 0; c < d; ++c) o[c] *= w;
-  }
+  });
 }
 
 void mean_aggregate_backward(const BipartiteCsr& adj, const Matrix& dout,
@@ -43,21 +62,25 @@ void mean_aggregate_backward(const BipartiteCsr& adj, const Matrix& dout,
   BNSGCN_CHECK(dsrc.rows() == adj.n_src && dsrc.cols() == dout.cols());
   const std::int64_t d = dout.cols();
   const bool weighted = !adj.edge_scale.empty();
-  for (NodeId v = 0; v < adj.n_dst; ++v) {
-    const float w = inv_deg[static_cast<std::size_t>(v)];
-    if (w == 0.0f) continue;
-    const float* g = dout.data() + static_cast<std::int64_t>(v) * d;
-    const auto begin = static_cast<std::size_t>(
-        adj.offsets[static_cast<std::size_t>(v)]);
-    const auto end = static_cast<std::size_t>(
-        adj.offsets[static_cast<std::size_t>(v) + 1]);
-    for (std::size_t e = begin; e < end; ++e) {
-      const NodeId u = adj.nbrs[e];
-      const float wu = weighted ? w * adj.edge_scale[e] : w;
-      float* t = dsrc.data() + static_cast<std::int64_t>(u) * d;
-      for (std::int64_t c = 0; c < d; ++c) t[c] += wu * g[c];
+  // Scatter into dsrc: the same source row u appears under many v, so lanes
+  // own disjoint column ranges and replay the full v/e walk.
+  common::for_blocks(d, kColBlock, [&](std::int64_t c0, std::int64_t c1) {
+    for (NodeId v = 0; v < adj.n_dst; ++v) {
+      const float w = inv_deg[static_cast<std::size_t>(v)];
+      if (w == 0.0f) continue;
+      const float* g = dout.data() + static_cast<std::int64_t>(v) * d;
+      const auto begin = static_cast<std::size_t>(
+          adj.offsets[static_cast<std::size_t>(v)]);
+      const auto end = static_cast<std::size_t>(
+          adj.offsets[static_cast<std::size_t>(v) + 1]);
+      for (std::size_t e = begin; e < end; ++e) {
+        const NodeId u = adj.nbrs[e];
+        const float wu = weighted ? w * adj.edge_scale[e] : w;
+        float* t = dsrc.data() + static_cast<std::int64_t>(u) * d;
+        for (std::int64_t c = c0; c < c1; ++c) t[c] += wu * g[c];
+      }
     }
-  }
+  });
 }
 
 void mean_aggregate_inner_rows(const BipartiteCsr& adj,
@@ -69,20 +92,26 @@ void mean_aggregate_inner_rows(const BipartiteCsr& adj,
   BNSGCN_CHECK(out.rows() == adj.n_dst && out.cols() == inner_src.cols());
   const std::int64_t d = inner_src.cols();
   const bool weighted = !adj.edge_scale.empty();
-  for (NodeId v = row0; v < row1; ++v) {
-    float* o = out.data() + static_cast<std::int64_t>(v) * d;
-    const auto begin = static_cast<std::size_t>(
-        adj.offsets[static_cast<std::size_t>(v)]);
-    const auto end = static_cast<std::size_t>(
-        adj.offsets[static_cast<std::size_t>(v) + 1]);
-    for (std::size_t e = begin; e < end; ++e) {
-      const NodeId u = adj.nbrs[e];
-      if (u >= n_lo) continue; // halo source: folded by the finish pass
-      const float es = weighted ? adj.edge_scale[e] : 1.0f;
-      const float* s = inner_src.data() + static_cast<std::int64_t>(u) * d;
-      for (std::int64_t c = 0; c < d; ++c) o[c] += es * s[c];
+  // Row blocks anchored at row0, so chunked-stream callers (chunks can be a
+  // single row) see the same split they would inside one big call.
+  common::for_blocks(row1 - row0, kRowBlock, [&](std::int64_t b0,
+                                                 std::int64_t b1) {
+    for (NodeId v = row0 + static_cast<NodeId>(b0);
+         v < row0 + static_cast<NodeId>(b1); ++v) {
+      float* o = out.data() + static_cast<std::int64_t>(v) * d;
+      const auto begin = static_cast<std::size_t>(
+          adj.offsets[static_cast<std::size_t>(v)]);
+      const auto end = static_cast<std::size_t>(
+          adj.offsets[static_cast<std::size_t>(v) + 1]);
+      for (std::size_t e = begin; e < end; ++e) {
+        const NodeId u = adj.nbrs[e];
+        if (u >= n_lo) continue; // halo source: folded by the finish pass
+        const float es = weighted ? adj.edge_scale[e] : 1.0f;
+        const float* s = inner_src.data() + static_cast<std::int64_t>(u) * d;
+        for (std::int64_t c = 0; c < d; ++c) o[c] += es * s[c];
+      }
     }
-  }
+  });
 }
 
 void HaloIncidence::build(const BipartiteCsr& adj, NodeId lo) {
@@ -123,34 +152,42 @@ void mean_aggregate_halo_fold(const HaloIncidence& inc,
                               Matrix& out) {
   BNSGCN_CHECK(rows.size() == slots.size() * static_cast<std::size_t>(d));
   BNSGCN_CHECK(out.cols() == d);
-  for (std::size_t t = 0; t < slots.size(); ++t) {
-    const NodeId s = slots[t];
-    BNSGCN_CHECK(s >= 0 && s < inc.n_halo);
-    const float* row = rows.data() + t * static_cast<std::size_t>(d);
-    const auto begin = static_cast<std::size_t>(
-        inc.offsets[static_cast<std::size_t>(s)]);
-    const auto end = static_cast<std::size_t>(
-        inc.offsets[static_cast<std::size_t>(s) + 1]);
-    for (std::size_t e = begin; e < end; ++e) {
-      float* o = out.data() + static_cast<std::int64_t>(inc.dsts[e]) * d;
-      const float es = inc.scales[e];
-      for (std::int64_t c = 0; c < d; ++c) o[c] += es * row[c];
+  for (const NodeId s : slots) BNSGCN_CHECK(s >= 0 && s < inc.n_halo);
+  // Different slots can hit the same destination row, so this is a scatter:
+  // lanes split the feature axis, each replaying the slot/entry walk.
+  common::for_blocks(d, kColBlock, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::size_t t = 0; t < slots.size(); ++t) {
+      const NodeId s = slots[t];
+      const float* row = rows.data() + t * static_cast<std::size_t>(d);
+      const auto begin = static_cast<std::size_t>(
+          inc.offsets[static_cast<std::size_t>(s)]);
+      const auto end = static_cast<std::size_t>(
+          inc.offsets[static_cast<std::size_t>(s) + 1]);
+      for (std::size_t e = begin; e < end; ++e) {
+        float* o = out.data() + static_cast<std::int64_t>(inc.dsts[e]) * d;
+        const float es = inc.scales[e];
+        for (std::int64_t c = c0; c < c1; ++c) o[c] += es * row[c];
+      }
     }
-  }
+  });
 }
 
 void mean_aggregate_finish(std::span<const float> inv_deg, Matrix& out) {
   BNSGCN_CHECK(static_cast<NodeId>(inv_deg.size()) == out.rows());
   const std::int64_t d = out.cols();
-  for (NodeId v = 0; v < out.rows(); ++v) {
-    float* o = out.data() + static_cast<std::int64_t>(v) * d;
-    const float w = inv_deg[static_cast<std::size_t>(v)];
-    if (w == 0.0f) { // mean_aggregate leaves such rows zero; match it
-      for (std::int64_t c = 0; c < d; ++c) o[c] = 0.0f;
-      continue;
+  common::for_blocks(out.rows(), kRowBlock, [&](std::int64_t v0,
+                                                std::int64_t v1) {
+    for (NodeId v = static_cast<NodeId>(v0); v < static_cast<NodeId>(v1);
+         ++v) {
+      float* o = out.data() + static_cast<std::int64_t>(v) * d;
+      const float w = inv_deg[static_cast<std::size_t>(v)];
+      if (w == 0.0f) { // mean_aggregate leaves such rows zero; match it
+        for (std::int64_t c = 0; c < d; ++c) o[c] = 0.0f;
+        continue;
+      }
+      for (std::int64_t c = 0; c < d; ++c) o[c] *= w;
     }
-    for (std::int64_t c = 0; c < d; ++c) o[c] *= w;
-  }
+  });
 }
 
 void mean_aggregate_backward_halo(const BipartiteCsr& adj, const Matrix& dout,
@@ -161,22 +198,24 @@ void mean_aggregate_backward_halo(const BipartiteCsr& adj, const Matrix& dout,
                dhalo.cols() == dout.cols());
   const std::int64_t d = dout.cols();
   const bool weighted = !adj.edge_scale.empty();
-  for (NodeId v = 0; v < adj.n_dst; ++v) {
-    const float w = inv_deg[static_cast<std::size_t>(v)];
-    if (w == 0.0f) continue;
-    const float* g = dout.data() + static_cast<std::int64_t>(v) * d;
-    const auto begin = static_cast<std::size_t>(
-        adj.offsets[static_cast<std::size_t>(v)]);
-    const auto end = static_cast<std::size_t>(
-        adj.offsets[static_cast<std::size_t>(v) + 1]);
-    for (std::size_t e = begin; e < end; ++e) {
-      const NodeId u = adj.nbrs[e];
-      if (u < n_lo) continue;
-      const float wu = weighted ? w * adj.edge_scale[e] : w;
-      float* t = dhalo.data() + static_cast<std::int64_t>(u - n_lo) * d;
-      for (std::int64_t c = 0; c < d; ++c) t[c] += wu * g[c];
+  common::for_blocks(d, kColBlock, [&](std::int64_t c0, std::int64_t c1) {
+    for (NodeId v = 0; v < adj.n_dst; ++v) {
+      const float w = inv_deg[static_cast<std::size_t>(v)];
+      if (w == 0.0f) continue;
+      const float* g = dout.data() + static_cast<std::int64_t>(v) * d;
+      const auto begin = static_cast<std::size_t>(
+          adj.offsets[static_cast<std::size_t>(v)]);
+      const auto end = static_cast<std::size_t>(
+          adj.offsets[static_cast<std::size_t>(v) + 1]);
+      for (std::size_t e = begin; e < end; ++e) {
+        const NodeId u = adj.nbrs[e];
+        if (u < n_lo) continue;
+        const float wu = weighted ? w * adj.edge_scale[e] : w;
+        float* t = dhalo.data() + static_cast<std::int64_t>(u - n_lo) * d;
+        for (std::int64_t c = c0; c < c1; ++c) t[c] += wu * g[c];
+      }
     }
-  }
+  });
 }
 
 void mean_aggregate_backward_inner(const BipartiteCsr& adj, const Matrix& dout,
@@ -186,22 +225,24 @@ void mean_aggregate_backward_inner(const BipartiteCsr& adj, const Matrix& dout,
   BNSGCN_CHECK(dinner.rows() == n_lo && dinner.cols() == dout.cols());
   const std::int64_t d = dout.cols();
   const bool weighted = !adj.edge_scale.empty();
-  for (NodeId v = 0; v < adj.n_dst; ++v) {
-    const float w = inv_deg[static_cast<std::size_t>(v)];
-    if (w == 0.0f) continue;
-    const float* g = dout.data() + static_cast<std::int64_t>(v) * d;
-    const auto begin = static_cast<std::size_t>(
-        adj.offsets[static_cast<std::size_t>(v)]);
-    const auto end = static_cast<std::size_t>(
-        adj.offsets[static_cast<std::size_t>(v) + 1]);
-    for (std::size_t e = begin; e < end; ++e) {
-      const NodeId u = adj.nbrs[e];
-      if (u >= n_lo) continue;
-      const float wu = weighted ? w * adj.edge_scale[e] : w;
-      float* t = dinner.data() + static_cast<std::int64_t>(u) * d;
-      for (std::int64_t c = 0; c < d; ++c) t[c] += wu * g[c];
+  common::for_blocks(d, kColBlock, [&](std::int64_t c0, std::int64_t c1) {
+    for (NodeId v = 0; v < adj.n_dst; ++v) {
+      const float w = inv_deg[static_cast<std::size_t>(v)];
+      if (w == 0.0f) continue;
+      const float* g = dout.data() + static_cast<std::int64_t>(v) * d;
+      const auto begin = static_cast<std::size_t>(
+          adj.offsets[static_cast<std::size_t>(v)]);
+      const auto end = static_cast<std::size_t>(
+          adj.offsets[static_cast<std::size_t>(v) + 1]);
+      for (std::size_t e = begin; e < end; ++e) {
+        const NodeId u = adj.nbrs[e];
+        if (u >= n_lo) continue;
+        const float wu = weighted ? w * adj.edge_scale[e] : w;
+        float* t = dinner.data() + static_cast<std::int64_t>(u) * d;
+        for (std::int64_t c = c0; c < c1; ++c) t[c] += wu * g[c];
+      }
     }
-  }
+  });
 }
 
 void Layer::forward_inner_begin(const BipartiteCsr&, const Matrix&, bool) {

@@ -3,14 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.hpp"
+
 namespace bnsgcn::ops {
 
 namespace {
 
 // Block sizes chosen for L1/L2 friendliness at the feature widths used by the
-// models (64-612 columns). Correctness does not depend on them.
+// models (64-612 columns). Correctness does not depend on them; neither does
+// bitwise output — kBlockM is also the parallel_for grain for the row-split
+// kernels, and every output element's accumulation runs to completion inside
+// one block (common/thread_pool.hpp, determinism contract).
 constexpr std::int64_t kBlockM = 64;
 constexpr std::int64_t kBlockK = 256;
+
+// Column grain for the scatter-shaped kernels (scatter_add_rows here, the
+// halo folds in nn/layer.cpp): destination rows repeat, so those kernels
+// split the feature axis instead — each lane walks the full entry list but
+// owns a disjoint column range, keeping the per-element entry order intact.
+constexpr std::int64_t kBlockCols = 64;
 
 } // namespace
 
@@ -29,15 +40,19 @@ void gemm_nn_rows(const Matrix& a, const Matrix& b, Matrix& c,
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  if (beta == 0.0f) {
-    std::fill(pc + r0 * n, pc + r1 * n, 0.0f);
-  } else if (beta != 1.0f) {
-    for (std::int64_t t = r0 * n; t < r1 * n; ++t) pc[t] *= beta;
-  }
   // The k-accumulation order per row is fixed by the k0/kk loops alone, so
-  // any [r0, r1) slicing produces bit-identical rows to the full call.
-  for (std::int64_t i0 = r0; i0 < r1; i0 += kBlockM) {
-    const std::int64_t i1 = std::min(i0 + kBlockM, r1);
+  // any [r0, r1) slicing produces bit-identical rows to the full call — and
+  // the same argument makes the kBlockM row blocks thread-safe lanes: each
+  // owns disjoint rows of C and computes them in the serial kernel's order.
+  // Blocks stay anchored at r0, matching the serial i0 tiling exactly.
+  common::for_blocks(r1 - r0, kBlockM, [&](std::int64_t b0, std::int64_t b1) {
+    const std::int64_t i0 = r0 + b0;
+    const std::int64_t i1 = r0 + b1;
+    if (beta == 0.0f) {
+      std::fill(pc + i0 * n, pc + i1 * n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t t = i0 * n; t < i1 * n; ++t) pc[t] *= beta;
+    }
     for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
       const std::int64_t k1 = std::min(k0 + kBlockK, k);
       for (std::int64_t i = i0; i < i1; ++i) {
@@ -50,7 +65,7 @@ void gemm_nn_rows(const Matrix& a, const Matrix& b, Matrix& c,
         }
       }
     }
-  }
+  });
 }
 
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
@@ -58,25 +73,32 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
   const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
   BNSGCN_CHECK(b.rows() == m);
   BNSGCN_CHECK(c.rows() == k && c.cols() == n);
-  if (beta == 0.0f) {
-    c.zero();
-  } else if (beta != 1.0f) {
-    scale_inplace(c, beta);
-  }
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // C[kk,j] += A[i,kk] * B[i,j]: stream rows of A and B together.
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    const float* brow = pb + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = alpha * arow[kk];
-      if (av == 0.0f) continue;
-      float* crow = pc + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // C[kk,j] += A[i,kk] * B[i,j]: stream rows of A and B together. Lanes
+  // split the kk axis (disjoint rows of C); the i loop stays outermost
+  // inside each lane, so every C element still accumulates in ascending-i
+  // order with the same av==0 skips — bit-identical for any lane count.
+  // (The skip must be preserved, not just cheap: adding a 0.0f term is not
+  // bitwise-neutral when the accumulator holds -0.0f.)
+  common::for_blocks(k, kBlockM, [&](std::int64_t kk0, std::int64_t kk1) {
+    if (beta == 0.0f) {
+      std::fill(pc + kk0 * n, pc + kk1 * n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t t = kk0 * n; t < kk1 * n; ++t) pc[t] *= beta;
     }
-  }
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* arow = pa + i * k;
+      const float* brow = pb + i * n;
+      for (std::int64_t kk = kk0; kk < kk1; ++kk) {
+        const float av = alpha * arow[kk];
+        if (av == 0.0f) continue;
+        float* crow = pc + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
 }
 
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
@@ -84,25 +106,29 @@ void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c, float alpha,
   const std::int64_t m = a.rows(), n = a.cols(), k = b.rows();
   BNSGCN_CHECK(b.cols() == n);
   BNSGCN_CHECK(c.rows() == m && c.cols() == k);
-  if (beta == 0.0f) {
-    c.zero();
-  } else if (beta != 1.0f) {
-    scale_inplace(c, beta);
-  }
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // C[i,j] = dot(A.row(i), B.row(j)) — both walks are contiguous.
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * n;
-    float* crow = pc + i * k;
-    for (std::int64_t j = 0; j < k; ++j) {
-      const float* brow = pb + j * n;
-      float acc = 0.0f;
-      for (std::int64_t t = 0; t < n; ++t) acc += arow[t] * brow[t];
-      crow[j] += alpha * acc;
+  // C[i,j] = dot(A.row(i), B.row(j)) — both walks are contiguous, and each
+  // output row is an independent set of local dot products, so the row
+  // split is trivially bit-stable.
+  common::for_blocks(m, kBlockM, [&](std::int64_t i0, std::int64_t i1) {
+    if (beta == 0.0f) {
+      std::fill(pc + i0 * k, pc + i1 * k, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t t = i0 * k; t < i1 * k; ++t) pc[t] *= beta;
     }
-  }
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * n;
+      float* crow = pc + i * k;
+      for (std::int64_t j = 0; j < k; ++j) {
+        const float* brow = pb + j * n;
+        float acc = 0.0f;
+        for (std::int64_t t = 0; t < n; ++t) acc += arow[t] * brow[t];
+        crow[j] += alpha * acc;
+      }
+    }
+  });
 }
 
 void add_inplace(Matrix& y, const Matrix& x) {
@@ -237,11 +263,15 @@ void softmax_rows(Matrix& x) {
 void gather_rows(const Matrix& src, std::span<const NodeId> idx, Matrix& out) {
   out.resize(static_cast<std::int64_t>(idx.size()), src.cols());
   const std::int64_t d = src.cols();
-  for (std::size_t i = 0; i < idx.size(); ++i) {
-    BNSGCN_CHECK(idx[i] >= 0 && idx[i] < src.rows());
-    const float* s = src.data() + static_cast<std::int64_t>(idx[i]) * d;
-    std::copy(s, s + d, out.data() + static_cast<std::int64_t>(i) * d);
-  }
+  const auto n = static_cast<std::int64_t>(idx.size());
+  common::for_blocks(n, kBlockM, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const NodeId r = idx[static_cast<std::size_t>(i)];
+      BNSGCN_CHECK(r >= 0 && r < src.rows());
+      const float* s = src.data() + static_cast<std::int64_t>(r) * d;
+      std::copy(s, s + d, out.data() + i * d);
+    }
+  });
 }
 
 void scatter_add_rows(const Matrix& src, std::span<const NodeId> idx,
@@ -249,12 +279,18 @@ void scatter_add_rows(const Matrix& src, std::span<const NodeId> idx,
   BNSGCN_CHECK(src.rows() == static_cast<std::int64_t>(idx.size()));
   BNSGCN_CHECK(src.cols() == dst.cols());
   const std::int64_t d = src.cols();
-  for (std::size_t i = 0; i < idx.size(); ++i) {
+  for (std::size_t i = 0; i < idx.size(); ++i)
     BNSGCN_CHECK(idx[i] >= 0 && idx[i] < dst.rows());
-    const float* s = src.data() + static_cast<std::int64_t>(i) * d;
-    float* t = dst.data() + static_cast<std::int64_t>(idx[i]) * d;
-    for (std::int64_t c = 0; c < d; ++c) t[c] += s[c];
-  }
+  // idx may repeat destination rows, so lanes split the feature axis: each
+  // walks the whole index list (entry order — and with it each element's
+  // accumulation order — unchanged) but owns a disjoint column range.
+  common::for_blocks(d, kBlockCols, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const float* s = src.data() + static_cast<std::int64_t>(i) * d;
+      float* t = dst.data() + static_cast<std::int64_t>(idx[i]) * d;
+      for (std::int64_t c = c0; c < c1; ++c) t[c] += s[c];
+    }
+  });
 }
 
 void concat_cols(const Matrix& a, const Matrix& b, Matrix& out) {

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
+#include "common/thread_pool.hpp"
+#include "nn/layer.hpp"
 #include "tensor/ops.hpp"
 
 namespace bnsgcn {
@@ -266,6 +270,257 @@ TEST(Ops, ConcatAndSplitColsRoundTrip) {
 TEST(Ops, FrobeniusNorm) {
   Matrix a{{3, 4}};
   EXPECT_NEAR(ops::frobenius_norm_sq(a), 25.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Threads-axis parity matrix: every pooled kernel must be bit-identical to
+// its K=1 scalar path for every thread count. The shapes are deliberately
+// ragged — row/column counts that leave a tail block smaller than the
+// 64-wide parallel grain — so the block decomposition's edge cases are in
+// play, and K=7 exceeds this machine's cores, so lanes genuinely interleave.
+// Comparison is through bit_cast: even a -0.0f vs +0.0f drift fails.
+// ---------------------------------------------------------------------------
+
+constexpr int kParityThreads[] = {1, 2, 3, 7};
+
+void expect_bits_equal(const Matrix& got, const Matrix& want, int threads,
+                       const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::int64_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(got.data()[i]),
+              std::bit_cast<std::uint32_t>(want.data()[i]))
+        << what << " diverges at flat index " << i << " with " << threads
+        << " threads";
+  }
+}
+
+/// Runs `fill` at K=1 and at each K in kParityThreads, comparing outputs
+/// bitwise. `fill` must write its result into the passed matrix.
+template <typename Fill>
+void check_threads_parity(const char* what, Fill&& fill) {
+  Matrix ref;
+  common::set_ops_threads(1);
+  fill(ref);
+  for (const int k : kParityThreads) {
+    Matrix got;
+    common::set_ops_threads(k);
+    fill(got);
+    common::set_ops_threads(1);
+    expect_bits_equal(got, ref, k, what);
+  }
+}
+
+TEST(OpsThreadsParity, GemmNn) {
+  Rng rng(11);
+  Matrix a(201, 33), b(33, 17);
+  a.randomize_gaussian(rng, 1.0f);
+  b.randomize_gaussian(rng, 1.0f);
+  // A few exact zeros so the av==0 skip is exercised under threading.
+  a.data()[5] = 0.0f;
+  a.data()[700] = -0.0f;
+  check_threads_parity("gemm_nn", [&](Matrix& c) {
+    c.resize(201, 17);
+    ops::gemm_nn(a, b, c);
+  });
+  check_threads_parity("gemm_nn alpha/beta", [&](Matrix& c) {
+    c.resize(201, 17);
+    c.fill(0.5f);
+    ops::gemm_nn(a, b, c, 0.7f, 2.0f);
+  });
+}
+
+TEST(OpsThreadsParity, GemmNnRowsRangeSemantics) {
+  // Under threading, gemm_nn_rows must still write rows [r0, r1) only and
+  // produce the bits of the fused full-shape call on that range.
+  Rng rng(12);
+  Matrix a(180, 29), b(29, 13);
+  a.randomize_gaussian(rng, 1.0f);
+  b.randomize_gaussian(rng, 1.0f);
+  Matrix full(180, 13);
+  common::set_ops_threads(1);
+  ops::gemm_nn(a, b, full);
+  for (const int k : kParityThreads) {
+    common::set_ops_threads(k);
+    Matrix c(180, 13);
+    for (std::int64_t i = 0; i < c.size(); ++i) c.data()[i] = 9.0f;
+    ops::gemm_nn_rows(a, b, c, 30, 170);
+    common::set_ops_threads(1);
+    for (std::int64_t i = 0; i < 180; ++i) {
+      for (std::int64_t j = 0; j < 13; ++j) {
+        if (i >= 30 && i < 170) {
+          ASSERT_EQ(std::bit_cast<std::uint32_t>(c.at(i, j)),
+                    std::bit_cast<std::uint32_t>(full.at(i, j)))
+              << "row " << i << " threads " << k;
+        } else {
+          ASSERT_EQ(c.at(i, j), 9.0f)
+              << "row " << i << " clobbered with " << k << " threads";
+        }
+      }
+    }
+  }
+}
+
+TEST(OpsThreadsParity, GemmNnRowsChunkingTimesThreads) {
+  // The chunked-stream F1 calls gemm_nn_rows with chunks as small as one
+  // row; chunking and threading must compose bit-exactly.
+  Rng rng(13);
+  Matrix a(150, 33), b(33, 17);
+  a.randomize_gaussian(rng, 1.0f);
+  b.randomize_gaussian(rng, 1.0f);
+  Matrix full(150, 17);
+  common::set_ops_threads(1);
+  ops::gemm_nn(a, b, full);
+  for (const int k : kParityThreads) {
+    for (const std::int64_t chunk : {1, 7, 64, 150}) {
+      common::set_ops_threads(k);
+      Matrix c(150, 17);
+      for (std::int64_t r0 = 0; r0 < 150; r0 += chunk)
+        ops::gemm_nn_rows(a, b, c, r0, std::min<std::int64_t>(150, r0 + chunk));
+      common::set_ops_threads(1);
+      expect_bits_equal(c, full, k, "gemm_nn_rows chunked");
+    }
+  }
+}
+
+TEST(OpsThreadsParity, GemmTn) {
+  // k=150 splits the kk axis into 64+64+22; the i loop stays outermost in
+  // every lane so each element's ascending-i accumulation (including the
+  // av==0 skips) is the scalar kernel's.
+  Rng rng(14);
+  Matrix a(90, 150), b(90, 40);
+  a.randomize_gaussian(rng, 1.0f);
+  b.randomize_gaussian(rng, 1.0f);
+  a.data()[40] = 0.0f;
+  check_threads_parity("gemm_tn", [&](Matrix& c) {
+    c.resize(150, 40);
+    ops::gemm_tn(a, b, c);
+  });
+  check_threads_parity("gemm_tn beta=1 accumulate", [&](Matrix& c) {
+    c.resize(150, 40);
+    c.fill(0.25f);
+    ops::gemm_tn(a, b, c, 1.0f, 1.0f);
+  });
+}
+
+TEST(OpsThreadsParity, GemmNt) {
+  Rng rng(15);
+  Matrix a(201, 23), b(31, 23);
+  a.randomize_gaussian(rng, 1.0f);
+  b.randomize_gaussian(rng, 1.0f);
+  check_threads_parity("gemm_nt", [&](Matrix& c) {
+    c.resize(201, 31);
+    ops::gemm_nt(a, b, c, 0.9f, 0.0f);
+  });
+}
+
+TEST(OpsThreadsParity, GatherAndScatter) {
+  Rng rng(16);
+  Matrix src(50, 100);
+  src.randomize_gaussian(rng, 1.0f);
+  std::vector<NodeId> idx;
+  for (int i = 0; i < 333; ++i)
+    idx.push_back(static_cast<NodeId>((i * 17 + 3) % 50)); // repeats
+  check_threads_parity("gather_rows", [&](Matrix& out) {
+    ops::gather_rows(src, idx, out);
+  });
+  Matrix rows(static_cast<std::int64_t>(idx.size()), 100);
+  rows.randomize_gaussian(rng, 1.0f);
+  check_threads_parity("scatter_add_rows", [&](Matrix& dst) {
+    dst.resize(50, 100);
+    dst.fill(0.125f);
+    ops::scatter_add_rows(rows, idx, dst);
+  });
+}
+
+// Random bipartite graph with a ragged feature width and optional edge
+// scales — the aggregate kernels' parity fixture.
+nn::BipartiteCsr random_adj(Rng& rng, NodeId n_dst, NodeId n_src,
+                            bool weighted) {
+  nn::BipartiteCsr adj;
+  adj.n_dst = n_dst;
+  adj.n_src = n_src;
+  adj.offsets.push_back(0);
+  for (NodeId v = 0; v < n_dst; ++v) {
+    const int deg = static_cast<int>(rng.next_u64() % 9); // some zero-degree
+    for (int e = 0; e < deg; ++e)
+      adj.nbrs.push_back(static_cast<NodeId>(rng.next_u64() %
+                                             static_cast<std::uint64_t>(n_src)));
+    adj.offsets.push_back(static_cast<EdgeId>(adj.nbrs.size()));
+  }
+  if (weighted) {
+    for (std::size_t e = 0; e < adj.nbrs.size(); ++e)
+      adj.edge_scale.push_back(0.5f + rng.next_float());
+  }
+  adj.validate();
+  return adj;
+}
+
+std::vector<float> inv_degrees(const nn::BipartiteCsr& adj) {
+  std::vector<float> inv(static_cast<std::size_t>(adj.n_dst), 0.0f);
+  for (NodeId v = 0; v < adj.n_dst; ++v) {
+    const auto deg = adj.offsets[static_cast<std::size_t>(v) + 1] -
+                     adj.offsets[static_cast<std::size_t>(v)];
+    if (deg > 0) inv[static_cast<std::size_t>(v)] = 1.0f / static_cast<float>(deg);
+  }
+  return inv;
+}
+
+TEST(OpsThreadsParity, MeanAggregateFamily) {
+  for (const bool weighted : {false, true}) {
+    Rng rng(weighted ? 18 : 17);
+    const NodeId n_dst = 170, n_src = 140, n_lo = 110;
+    const std::int64_t d = 100; // column tail of 36 under the 64 grain
+    const auto adj = random_adj(rng, n_dst, n_src, weighted);
+    const auto inv = inv_degrees(adj);
+    Matrix src(n_src, d), inner(n_lo, d), dout(n_dst, d);
+    src.randomize_gaussian(rng, 1.0f);
+    inner.randomize_gaussian(rng, 1.0f);
+    dout.randomize_gaussian(rng, 1.0f);
+
+    check_threads_parity("mean_aggregate", [&](Matrix& out) {
+      nn::mean_aggregate(adj, src, inv, out);
+    });
+    check_threads_parity("mean_aggregate_inner_rows", [&](Matrix& out) {
+      out.resize(n_dst, d);
+      out.zero();
+      nn::mean_aggregate_inner_rows(adj, inner, 20, 160, out);
+    });
+    check_threads_parity("mean_aggregate_backward", [&](Matrix& dsrc) {
+      dsrc.resize(n_src, d);
+      dsrc.zero();
+      nn::mean_aggregate_backward(adj, dout, inv, dsrc);
+    });
+    check_threads_parity("mean_aggregate_backward_halo", [&](Matrix& dhalo) {
+      dhalo.resize(n_src - n_lo, d);
+      dhalo.zero();
+      nn::mean_aggregate_backward_halo(adj, dout, inv, n_lo, dhalo);
+    });
+    check_threads_parity("mean_aggregate_backward_inner", [&](Matrix& di) {
+      di.resize(n_lo, d);
+      di.zero();
+      nn::mean_aggregate_backward_inner(adj, dout, inv, n_lo, di);
+    });
+
+    nn::HaloIncidence inc;
+    inc.build(adj, n_lo);
+    std::vector<NodeId> slots;
+    for (NodeId s = 0; s < inc.n_halo; s += 2) slots.push_back(s);
+    Matrix halo_rows(static_cast<std::int64_t>(slots.size()), d);
+    halo_rows.randomize_gaussian(rng, 1.0f);
+    const std::span<const float> rows_span(
+        halo_rows.data(), static_cast<std::size_t>(halo_rows.size()));
+    check_threads_parity("mean_aggregate_halo_fold", [&](Matrix& out) {
+      out.resize(n_dst, d);
+      out.fill(0.0625f);
+      nn::mean_aggregate_halo_fold(inc, slots, rows_span, d, out);
+    });
+    check_threads_parity("mean_aggregate_finish", [&](Matrix& out) {
+      out.resize(n_dst, d);
+      out.fill(3.0f);
+      nn::mean_aggregate_finish(inv, out);
+    });
+  }
 }
 
 } // namespace

@@ -194,6 +194,7 @@ api::RunConfig sample_config() {
   cfg.trainer.simulate_host_swap = true;
   cfg.trainer.overlap = core::OverlapMode::kStream;
   cfg.trainer.inner_chunk_rows = 96;
+  cfg.trainer.threads = 6;
   cfg.comm.overlap = core::OverlapMode::kBulk;
   cfg.comm.inner_chunk_rows = 48;
   cfg.minibatch.lr = 0.5f;
@@ -254,6 +255,7 @@ void expect_configs_equal(const api::RunConfig& a, const api::RunConfig& b) {
   EXPECT_EQ(a.trainer.simulate_host_swap, b.trainer.simulate_host_swap);
   EXPECT_EQ(a.trainer.overlap, b.trainer.overlap);
   EXPECT_EQ(a.trainer.inner_chunk_rows, b.trainer.inner_chunk_rows);
+  EXPECT_EQ(a.trainer.threads, b.trainer.threads);
   EXPECT_EQ(a.comm.overlap, b.comm.overlap);
   EXPECT_EQ(a.comm.inner_chunk_rows, b.comm.inner_chunk_rows);
   EXPECT_EQ(a.minibatch.lr, b.minibatch.lr);
@@ -321,6 +323,24 @@ TEST(ConfigJson, ChunkKnobAbsentKeepsUnchunkedDefault) {
       R"({"comm": {"overlap": "stream"}, "trainer": {"epochs": 2}})");
   EXPECT_EQ(cfg.comm.inner_chunk_rows, 0);
   EXPECT_EQ(cfg.trainer.inner_chunk_rows, 0);
+}
+
+TEST(ConfigJson, ThreadsKnobRoundTripsAndAbsentMeansSerial) {
+  // The kernel thread-pool knob serializes as trainer.threads; artifacts
+  // written before the pool landed have no such key and must load as the
+  // serial default (1). The test-only oversubscribe bypass never
+  // serializes.
+  api::RunConfig cfg;
+  cfg.trainer.threads = 4;
+  cfg.trainer.threads_oversubscribe = true;
+  const std::string doc = api::to_json_string(cfg);
+  EXPECT_EQ(doc.find("threads_oversubscribe"), std::string::npos);
+  const api::RunConfig parsed = api::run_config_from_json_string(doc);
+  EXPECT_EQ(parsed.trainer.threads, 4);
+  EXPECT_FALSE(parsed.trainer.threads_oversubscribe);
+  const api::RunConfig legacy = api::run_config_from_json_string(
+      R"({"trainer": {"epochs": 2, "inner_chunk_rows": 8}})");
+  EXPECT_EQ(legacy.trainer.threads, 1);
 }
 
 TEST(ConfigJson, LegacyOverlapBoolStillParses) {

@@ -1,6 +1,7 @@
 // Schedule-fuzz harness: randomized bit-exact parity across the whole
 // execution-schedule space. With three overlap modes × F1 chunking ×
-// cross-layer backward deferral × arbitrary peer-arrival orders, the
+// cross-layer backward deferral × arbitrary peer-arrival orders × kernel
+// thread-pool lane counts, the
 // execution paths multiply far beyond what hand-enumerated cases cover;
 // this harness draws random points of that space from a seeded RNG and
 // asserts each one trains bit-identically to the blocking, unchunked,
@@ -58,13 +59,14 @@ struct Draw {
   SamplingVariant variant = SamplingVariant::kBns;
   int num_layers = 2;
   std::uint64_t model_seed = 7;
+  int threads = 1;
 
   [[nodiscard]] std::string describe() const {
     char buf[256];
     std::snprintf(
         buf, sizeof(buf),
         "seed=%llu nparts=%d model=%s mode=%s chunk=%d shuffle=%llu "
-        "p=%.2f variant=%d layers=%d model_seed=%llu",
+        "p=%.2f variant=%d layers=%d model_seed=%llu threads=%d",
         static_cast<unsigned long long>(seed), nparts,
         model == ModelKind::kGat ? "gat" : "sage",
         mode == OverlapMode::kBlocking
@@ -72,7 +74,7 @@ struct Draw {
             : (mode == OverlapMode::kBulk ? "bulk" : "stream"),
         chunk, static_cast<unsigned long long>(shuffle), sample_rate,
         static_cast<int>(variant), num_layers,
-        static_cast<unsigned long long>(model_seed));
+        static_cast<unsigned long long>(model_seed), threads);
     return buf;
   }
 };
@@ -99,6 +101,13 @@ Draw draw_from_seed(std::uint64_t seed) {
                           : SamplingVariant::kBoundaryEdge;
   d.num_layers = static_cast<int>(rng.next_int(2, 3));
   d.model_seed = rng.next_int(1, 1000);
+  // Kernel thread-pool lanes per rank, a fourth schedule axis: pool ×
+  // overlap-mode × chunk-size × arrival-order must stay bit-exact vs the
+  // single-threaded blocking baseline. Drawn past the core count on
+  // purpose (with the hardware clamp bypassed below) so lanes genuinely
+  // interleave even on a one-core CI box.
+  const int thread_counts[] = {1, 2, 3, 4};
+  d.threads = thread_counts[rng.next_below(4)];
   return d;
 }
 
@@ -142,6 +151,10 @@ TrainerConfig config_of(const Draw& d) {
   cfg.overlap = d.mode;
   cfg.inner_chunk_rows = d.chunk;
   cfg.fabric_shuffle_seed = d.shuffle;
+  cfg.threads = d.threads;
+  // Run the drawn lane count as-is even where nparts × threads exceeds the
+  // machine: the point is schedule coverage, not speed.
+  cfg.threads_oversubscribe = true;
   return cfg;
 }
 
@@ -190,6 +203,7 @@ TrainResult run_draw(const Draw& d, bool baseline) {
     cfg.overlap = OverlapMode::kBlocking;
     cfg.inner_chunk_rows = 0;
     cfg.fabric_shuffle_seed = 0;
+    cfg.threads = 1;
   }
   return BnsTrainer(fuzz_dataset(), fuzz_partition(d.nparts), cfg).train();
 }
@@ -225,6 +239,7 @@ TEST(ScheduleFuzz, PinnedCornerMatrix) {
         d.mode = mode;
         d.chunk = chunk;
         d.shuffle = 0xFADEDBEEFULL;
+        d.threads = chunk == 37 ? 3 : 2; // pool always on in the corners
         SCOPED_TRACE(d.describe());
         const TrainResult got = run_draw(d, /*baseline=*/false);
         expect_parity(base, got, d);
@@ -249,6 +264,7 @@ TEST(ScheduleFuzz, ShuffledArrivalsAloneAreHarmless) {
     d.mode = mode;
     d.chunk = 0;
     d.shuffle = 99991;
+    d.threads = 4;
     SCOPED_TRACE(d.describe());
     const TrainResult got = run_draw(d, /*baseline=*/false);
     expect_parity(base, got, d);

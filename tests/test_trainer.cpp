@@ -140,6 +140,30 @@ TEST(BnsTrainer, DeterministicForSeed) {
     EXPECT_DOUBLE_EQ(a.train_loss[e], b.train_loss[e]);
 }
 
+TEST(BnsTrainer, ThreadPoolLanesAreBitIdenticalToSerial) {
+  // The kernel thread pool is a pure wall-clock knob: a run at 4 lanes per
+  // rank (oversubscribed past the hardware clamp so the pool genuinely
+  // multithreads even on a one-core CI box — this is also the TSAN leg's
+  // trainer coverage) must reproduce the serial run's losses bit for bit.
+  const Dataset ds = easy_dataset(29);
+  Rng rng(3);
+  const auto part = random_partition(ds.num_nodes(), 3, rng);
+  TrainerConfig cfg = base_config();
+  cfg.epochs = 4;
+  cfg.sample_rate = 0.3f;
+  cfg.dropout = 0.2f;
+  cfg.eval_every = 2;
+  const auto serial = BnsTrainer(ds, part, cfg).train();
+  cfg.threads = 4;
+  cfg.threads_oversubscribe = true;
+  const auto pooled = BnsTrainer(ds, part, cfg).train();
+  ASSERT_EQ(serial.train_loss.size(), pooled.train_loss.size());
+  for (std::size_t e = 0; e < serial.train_loss.size(); ++e)
+    EXPECT_EQ(serial.train_loss[e], pooled.train_loss[e]) << "epoch " << e;
+  EXPECT_EQ(serial.final_val, pooled.final_val);
+  EXPECT_EQ(serial.final_test, pooled.final_test);
+}
+
 TEST(BnsTrainer, DropoutTrainingConverges) {
   const Dataset ds = easy_dataset(31);
   TrainerConfig cfg = base_config();
