@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
-# Tier-1 verify: docs link check, then configure, build everything
-# (library, benches, examples, test binaries) and run the full test
-# suite — including test_overlap, the blocking/bulk/stream three-way
-# bit-parity gate of the async fabric (run once more by name so a
+# Tier-1 verify: docs link check, determinism lint, then configure, build
+# everything (library, benches, examples, test binaries, tools) and run the
+# full test suite — including test_overlap, the blocking/bulk/stream
+# three-way bit-parity gate of the async fabric (run once more by name so a
 # regression there is called out explicitly) — then a stream-mode
-# bench_overlap smoke and the artifact replay gate.
+# bench_overlap smoke, the artifact replay gates, and the instrumented
+# build matrix (checked contracts, TSan, ASan+LSan, UBSan).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 ./ci/check_docs_links.sh
 
-GENERATOR=()
 if command -v ninja >/dev/null 2>&1; then
-  GENERATOR=(-G Ninja)
+  export CMAKE_GENERATOR=Ninja
 fi
 
-cmake -B build -S . "${GENERATOR[@]}"
+cmake -B build -S .
 cmake --build build -j
+
+# Determinism lint gate: the machine-checked half of the bit-exactness
+# contract (docs/ARCHITECTURE.md §7). Zero violations on the tree; every
+# legitimate exception carries an in-source `lint: allow(...)` annotation.
+./build/tools/lint_determinism src
+
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 ctest --test-dir build --output-on-failure -R test_overlap
 
@@ -74,15 +80,47 @@ rm -f "$REPLAY_ARTIFACT"
   --json "$REPLAY_ARTIFACT" > /dev/null
 ./build/bench/bench_replay "$REPLAY_ARTIFACT" --rows 1
 
-# ThreadSanitizer leg: the kernel thread pool and everything layered on it
-# must be race-free, not just bit-exact. A separate instrumented build runs
-# the pool's own suite, the threads-axis kernel parity matrix, and the
-# trainer (whose threads-parity test runs 3 ranks × 4 oversubscribed lanes
-# — real interleaving even on a one-core runner). TSAN aborts with a
-# nonzero exit on any report, so plain invocation is the gate.
-cmake -B build-tsan -S . "${GENERATOR[@]}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DBNSGCN_TSAN=ON
-cmake --build build-tsan -j --target test_thread_pool test_ops test_trainer
-./build-tsan/tests/test_thread_pool
-./build-tsan/tests/test_ops
-./build-tsan/tests/test_trainer
+# ---------------------------------------------------------------------------
+# Instrumented build matrix. One line per leg: `preset|targets|extra`.
+#   preset  — a CMakePresets.json configure preset (build dir build-$preset)
+#   targets — build targets; those named test_* are then executed
+#   extra   — optional shell command run after the tests (bench smokes)
+# Adding a leg is one line here plus its preset.
+#
+#   checked — BNSGCN_REQUIRE/BOUNDS/SHAPE contracts compiled in: per-element
+#             kernel bounds, the layer phase-protocol machine, comm framing
+#             and partition boundary audits all verify on real workloads.
+#   tsan    — the kernel thread pool and everything layered on it must be
+#             race-free, not just bit-exact (test_trainer runs 3 ranks × 4
+#             oversubscribed lanes — real interleaving on a one-core runner).
+#   asan    — heap misuse and leaks (LeakSanitizer rides along on Linux).
+#   ubsan   — -fno-sanitize-recover=all, so any UB report is the exit code.
+#
+# Instrumented runs are bounded: reduced fuzz iterations, --scale 0.2
+# bench smokes. Each sanitizer aborts nonzero on a report, so plain
+# invocation is the gate.
+INSTRUMENTED_LEGS=(
+  "checked|test_ops test_transport test_trainer test_schedule_fuzz bench_overlap|./build-checked/bench/bench_overlap --scale 0.2 --epochs 2 --json build-checked/overlap_smoke.json"
+  "tsan|test_thread_pool test_ops test_trainer|"
+  "asan|test_ops test_transport test_trainer test_schedule_fuzz bench_overlap|./build-asan/bench/bench_overlap --scale 0.2 --epochs 2 --json build-asan/overlap_smoke.json"
+  "ubsan|test_ops test_transport test_trainer test_schedule_fuzz|"
+)
+for leg in "${INSTRUMENTED_LEGS[@]}"; do
+  IFS='|' read -r preset targets extra <<< "$leg"
+  echo "== instrumented leg: $preset =="
+  cmake --preset "$preset"
+  # shellcheck disable=SC2086 — targets is a deliberate word list
+  cmake --build "build-$preset" -j --target $targets
+  for t in $targets; do
+    case "$t" in
+      test_schedule_fuzz)
+        BNSGCN_FUZZ_SEED=20260729 BNSGCN_FUZZ_ITERS=2 \
+          "./build-$preset/tests/$t" ;;
+      test_*)
+        "./build-$preset/tests/$t" ;;
+    esac
+  done
+  if [[ -n "$extra" ]]; then
+    eval "$extra"
+  fi
+done

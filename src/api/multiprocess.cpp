@@ -25,8 +25,8 @@ void write_fully(int fd, const std::string& payload) {
     const ssize_t n =
         ::write(fd, payload.data() + off, payload.size() - off);
     if (n < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error("report pipe write failed");
+      BNSGCN_CHECK_MSG(errno == EINTR, "report pipe write failed");
+      continue;
     }
     off += static_cast<std::size_t>(n);
   }
@@ -132,11 +132,12 @@ RunReport run_multiprocess(const Dataset& ds, const Partitioning& part,
   }
   comm::cleanup_local_group(group, /*fds_taken=*/true);
 
-  if (!failed.empty()) {
-    std::string msg = "multi-process run failed on rank(s):";
-    for (const PartId r : failed) msg += " " + std::to_string(r);
-    throw std::runtime_error(msg);
+  std::string failed_msg = "multi-process run failed on rank(s):";
+  for (const PartId r : failed) {
+    failed_msg += ' ';
+    failed_msg += std::to_string(r);
   }
+  BNSGCN_CHECK_MSG(failed.empty(), failed_msg);
   BNSGCN_CHECK_MSG(!payload.empty(), "rank 0 produced no report");
   RunReport report = run_report_from_json_string(payload);
   if (report.method.empty()) report.method = "bns";

@@ -106,6 +106,8 @@ class PartitionCache {
   PartitionCacheConfig cfg_;
   PartitionCacheStats stats_;
   std::list<Entry> lru_;  // front = most recently used
+  // lint: allow(unordered-container) — key→iterator lookup only; eviction
+  // order comes from lru_, the map is never iterated.
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
 };
 

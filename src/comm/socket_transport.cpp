@@ -84,7 +84,15 @@ ParsedTcp parse_tcp_addr(const std::string& addr) {
   const std::string host = addr.substr(0, colon);
   BNSGCN_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &out.host) == 1,
                    "bad tcp host: " + host);
-  out.port = static_cast<std::uint16_t>(std::stoi(addr.substr(colon + 1)));
+  const std::string port = addr.substr(colon + 1);
+  BNSGCN_CHECK_MSG(
+      !port.empty() && port.size() <= 5 &&
+          port.find_first_not_of("0123456789") == std::string::npos,
+      "bad tcp port: " + port);
+  int value = 0;
+  for (const char c : port) value = value * 10 + (c - '0');
+  BNSGCN_CHECK_MSG(value <= 65535, "tcp port out of range: " + port);
+  out.port = static_cast<std::uint16_t>(value);
   return out;
 }
 
@@ -144,6 +152,8 @@ void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
 }
 
 bool FrameDecoder::pop(Frame& out) {
+  BNSGCN_REQUIRE(pos_ <= buf_.size(),
+                 "decoder consumed past the end of its buffer");
   if (buf_.size() - pos_ < kFrameHeaderBytes) return false;
   const std::uint8_t* h = buf_.data() + pos_;
   const auto magic = get_pod<std::uint32_t>(h);
@@ -246,6 +256,8 @@ SocketTransport::~SocketTransport() {
   // queue (a peer's collective ack, the last halo slab); push them out —
   // bounded, so a dead peer cannot wedge destruction — then close.
   try {
+    // lint: allow(raw-clock) — teardown flush deadline; never observed by
+    // numeric state, only bounds how long destruction may block.
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(5);
     for (;;) {
@@ -253,6 +265,7 @@ SocketTransport::~SocketTransport() {
       for (const auto& p : peers_)
         if (p.fd >= 0 && !p.eof && !p.sendq.empty()) dirty = true;
       if (!dirty || stopped_) break;
+      // lint: allow(raw-clock) — same teardown deadline as above.
       if (std::chrono::steady_clock::now() > deadline) break;
       progress(50);
     }
@@ -295,6 +308,8 @@ void SocketTransport::read_peer(Peer& p) {
 void SocketTransport::flush_peer(Peer& p) {
   while (!p.sendq.empty()) {
     const auto& front = p.sendq.front();
+    BNSGCN_REQUIRE(p.send_off < front.size(),
+                   "send cursor at or past the frame end");
     const ssize_t w = ::send(p.fd, front.data() + p.send_off,
                              front.size() - p.send_off, MSG_NOSIGNAL);
     if (w < 0) {
@@ -345,6 +360,7 @@ void SocketTransport::progress(int timeout_ms) {
 void SocketTransport::send_frame(PartId to, Frame f) {
   check_alive();
   BNSGCN_CHECK(to >= 0 && to < nranks_ && to != rank_);
+  BNSGCN_REQUIRE(f.tag != -1, "tag -1 belongs to no tag space");
   Peer& p = peers_[static_cast<std::size_t>(to)];
   if (p.eof || p.fd < 0)
     throw ShutdownError("rank " + std::to_string(rank_) +
@@ -366,6 +382,9 @@ bool SocketTransport::take_from_inbox(Peer& p, int tag, Frame& out) {
 
 Frame SocketTransport::recv_frame(PartId from, int tag) {
   BNSGCN_CHECK(from >= 0 && from < nranks_ && from != rank_);
+  // Tag spaces: point-to-point tags are non-negative (trainer sequence),
+  // collective tags are <= -2 (next_coll_tag); -1 matches neither.
+  BNSGCN_REQUIRE(tag != -1, "tag -1 belongs to no tag space");
   Peer& p = peers_[static_cast<std::size_t>(from)];
   Frame out;
   for (;;) {
@@ -422,9 +441,9 @@ void SocketTransport::barrier(PartId rank) {
   if (rank_ == 0) {
     for (PartId j = 1; j < nranks_; ++j) (void)recv_frame(j, tag);
     for (PartId j = 1; j < nranks_; ++j)
-      send_frame(j, Frame{.kind = FrameKind::kEmpty, .tag = tag});
+      send_frame(j, Frame{.kind = FrameKind::kEmpty, .tag = tag, .payload = {}});
   } else {
-    send_frame(0, Frame{.kind = FrameKind::kEmpty, .tag = tag});
+    send_frame(0, Frame{.kind = FrameKind::kEmpty, .tag = tag, .payload = {}});
     (void)recv_frame(0, tag);
   }
 }

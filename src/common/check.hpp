@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -12,6 +13,17 @@ class CheckError : public std::runtime_error {
   explicit CheckError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// True in checked builds (-DBNSGCN_CHECKED=ON): the contract macro family
+/// below compiles to real checks. In release builds it is false and the
+/// contracts cost nothing — not even an evaluated condition. Use it with
+/// `if constexpr` for contract blocks too large for a single expression
+/// (e.g. a whole-structure audit).
+#ifdef BNSGCN_CHECKED_BUILD
+inline constexpr bool kCheckedBuild = true;
+#else
+inline constexpr bool kCheckedBuild = false;
+#endif
+
 namespace detail {
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
@@ -22,11 +34,23 @@ namespace detail {
   throw CheckError(os.str());
 }
 
+[[noreturn]] inline void bounds_failed(const char* idx_expr,
+                                       const char* n_expr, std::int64_t idx,
+                                       std::int64_t n, const char* file,
+                                       int line) {
+  std::ostringstream os;
+  os << "bounds check failed: " << idx_expr << " == " << idx
+     << " not in [0, " << n_expr << " == " << n << ") at " << file << ":"
+     << line;
+  throw CheckError(os.str());
+}
+
 } // namespace detail
 } // namespace bnsgcn
 
 /// Always-on invariant check (library is used by tests that rely on it firing
-/// in release builds too).
+/// in release builds too). Use for external input validation (wire frames,
+/// files, user config) and cheap entry-point shape checks.
 #define BNSGCN_CHECK(expr)                                                 \
   do {                                                                     \
     if (!(expr))                                                           \
@@ -38,3 +62,55 @@ namespace detail {
     if (!(expr))                                                           \
       ::bnsgcn::detail::check_failed(#expr, __FILE__, __LINE__, (msg));    \
   } while (false)
+
+// ---------------------------------------------------------------------------
+// Checked-build contract family. Compiled out entirely unless the build
+// defines BNSGCN_CHECKED_BUILD (the `checked` preset; CI runs the ops,
+// transport, trainer and schedule-fuzz suites under it). Use these for
+// contracts that are too hot for release builds — per-element bounds in
+// kernel inner loops, phase-protocol ordering, whole-structure audits —
+// where BNSGCN_CHECK would tax the very paths the benchmarks measure.
+//
+//   BNSGCN_REQUIRE(expr, msg)  precondition / invariant with a message
+//   BNSGCN_BOUNDS(idx, n)      0 <= idx < n (reports both values)
+//   BNSGCN_SHAPE(expr, msg)    dimension-agreement contract (same expansion
+//                              as REQUIRE; the distinct name documents what
+//                              kind of contract was violated)
+//
+// In release builds the arguments are NOT evaluated — do not put side
+// effects in contract expressions.
+// ---------------------------------------------------------------------------
+
+#ifdef BNSGCN_CHECKED_BUILD
+
+#define BNSGCN_REQUIRE(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::bnsgcn::detail::check_failed(#expr, __FILE__, __LINE__, (msg));    \
+  } while (false)
+
+#define BNSGCN_BOUNDS(idx, n)                                              \
+  do {                                                                     \
+    const auto bnsgcn_bounds_idx_ = static_cast<std::int64_t>(idx);        \
+    const auto bnsgcn_bounds_n_ = static_cast<std::int64_t>(n);            \
+    if (bnsgcn_bounds_idx_ < 0 || bnsgcn_bounds_idx_ >= bnsgcn_bounds_n_)  \
+      ::bnsgcn::detail::bounds_failed(#idx, #n, bnsgcn_bounds_idx_,        \
+                                      bnsgcn_bounds_n_, __FILE__,          \
+                                      __LINE__);                           \
+  } while (false)
+
+#define BNSGCN_SHAPE(expr, msg) BNSGCN_REQUIRE(expr, msg)
+
+#else
+
+#define BNSGCN_REQUIRE(expr, msg) \
+  do {                            \
+  } while (false)
+#define BNSGCN_BOUNDS(idx, n) \
+  do {                        \
+  } while (false)
+#define BNSGCN_SHAPE(expr, msg) \
+  do {                          \
+  } while (false)
+
+#endif

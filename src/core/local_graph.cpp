@@ -28,6 +28,20 @@ void LocalGraph::validate() const {
     }
   }
   BNSGCN_CHECK(total == halo_global.size());
+  if constexpr (kCheckedBuild) {
+    // Send sets hold inner-local row ids, strictly increasing: they are
+    // emitted in the peer's sorted halo_global order and the global→local
+    // map is monotone within a part, so a regression here means the
+    // exchange would slab rows in the wrong order.
+    for (PartId j = 0; j < nparts; ++j) {
+      const auto& s = send_sets[static_cast<std::size_t>(j)];
+      for (std::size_t k = 0; k < s.size(); ++k) {
+        BNSGCN_BOUNDS(s[k], n_inner());
+        BNSGCN_REQUIRE(k == 0 || s[k - 1] < s[k],
+                       "send set not strictly increasing");
+      }
+    }
+  }
 }
 
 std::vector<LocalGraph> build_local_graphs(const Csr& g,
@@ -117,6 +131,23 @@ std::vector<LocalGraph> build_local_graphs(const Csr& g,
     }
   }
   for (auto& lg : out) lg.validate();
+  if constexpr (kCheckedBuild) {
+    // Cross-rank boundary consistency: rank i sends peer j exactly the rows
+    // peer j expects to receive from i — the two sides of every exchange
+    // edge must agree on the slab length or the fold misaligns.
+    for (PartId i = 0; i < m; ++i) {
+      for (PartId j = 0; j < m; ++j) {
+        BNSGCN_SHAPE(
+            out[static_cast<std::size_t>(i)]
+                    .send_sets[static_cast<std::size_t>(j)]
+                    .size() ==
+                out[static_cast<std::size_t>(j)]
+                    .recv_halo[static_cast<std::size_t>(i)]
+                    .size(),
+            "send/recv boundary sets disagree between ranks");
+      }
+    }
+  }
   return out;
 }
 

@@ -58,6 +58,8 @@ TrainResult run_cagnet_proxy(const Dataset& ds, const Partitioning& part,
   // halo-free compute to hide it behind (the knob stays safe, not useful).
 
   Stopwatch wall;
+  // lint: allow(raw-thread) — rank runtime, one OS thread per simulated rank;
+  // kernel-level parallelism inside each rank still goes through the pool.
   std::vector<std::thread> threads;
   for (PartId r = 0; r < m; ++r) {
     threads.emplace_back([&, r] {

@@ -998,6 +998,8 @@ TrainResult BnsTrainer::train() {
   TrainResult result;
 
   Stopwatch wall;
+  // lint: allow(raw-thread) — rank runtime, one OS thread per simulated rank;
+  // kernel-level parallelism inside each rank still goes through the pool.
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(m));
   threads.reserve(static_cast<std::size_t>(m));

@@ -145,6 +145,7 @@ Matrix GatLayer::attention_forward(const BipartiteCsr& adj, bool training) {
 
 void GatLayer::forward_inner_begin(const BipartiteCsr& adj,
                                    const Matrix& inner_feats, bool training) {
+  phase_check_.on_forward_begin(adj.n_dst);
   BNSGCN_CHECK(inner_feats.cols() == d_in_);
   BNSGCN_CHECK(inner_feats.rows() == adj.n_dst);
   cached_training_ = training;
@@ -166,6 +167,7 @@ void GatLayer::forward_inner_begin(const BipartiteCsr& adj,
 
 void GatLayer::forward_inner_chunk(const BipartiteCsr& adj, NodeId row0,
                                    NodeId row1) {
+  phase_check_.on_forward_chunk(row0, row1);
   BNSGCN_CHECK(row0 >= 0 && row0 <= row1 && row1 <= adj.n_dst);
   const NodeId cnt = row1 - row0;
   if (cnt == 0) return;
@@ -181,6 +183,7 @@ void GatLayer::forward_inner_chunk(const BipartiteCsr& adj, NodeId row0,
 
 void GatLayer::forward_halo_begin(const BipartiteCsr&,
                                   const HaloIncidence&) {
+  phase_check_.on_halo_begin();
   // The incidence is for aggregation-style folds; GAT's per-peer slabs go
   // straight through the per-head transform instead.
 }
@@ -188,6 +191,7 @@ void GatLayer::forward_halo_begin(const BipartiteCsr&,
 void GatLayer::forward_halo_fold(const BipartiteCsr& adj,
                                  std::span<const NodeId> slots,
                                  std::span<const float> rows) {
+  phase_check_.on_halo_fold();
   BNSGCN_CHECK(rows.size() == slots.size() * static_cast<std::size_t>(d_in_));
   if (slots.empty()) return;
   // Stage the slab once (contiguous rows), push it through each head's W
@@ -217,6 +221,7 @@ void GatLayer::forward_halo_fold(const BipartiteCsr& adj,
 
 Matrix GatLayer::forward_halo_finish(const BipartiteCsr& adj,
                                      std::span<const float> inv_deg) {
+  phase_check_.on_halo_finish();
   (void)inv_deg; // attention renormalizes; see class comment
   return attention_forward(adj, cached_training_);
 }
@@ -309,6 +314,7 @@ void GatLayer::attention_backward_head(const BipartiteCsr& adj,
 
 Matrix GatLayer::backward_halo(const BipartiteCsr& adj, const Matrix& dout,
                                std::span<const float> inv_deg) {
+  phase_check_.on_backward_halo();
   (void)inv_deg;
   BNSGCN_CHECK(dout.rows() == adj.n_dst && dout.cols() == d_out_);
   // Everything the wire needs runs before the gradient exchange is
@@ -341,6 +347,7 @@ Matrix GatLayer::backward_halo(const BipartiteCsr& adj, const Matrix& dout,
 
 Matrix GatLayer::backward_inner(const BipartiteCsr& adj,
                                 std::span<const float> inv_deg) {
+  phase_check_.on_backward_inner();
   (void)inv_deg;
   Matrix dinner(adj.n_dst, d_in_);
   for (auto& h : heads_) {
@@ -354,6 +361,7 @@ Matrix GatLayer::backward_inner(const BipartiteCsr& adj,
 }
 
 void GatLayer::backward_params(const BipartiteCsr&) {
+  phase_check_.on_backward_params();
   // Deferred B3: Wh = feats·W → dW += featsᵀ·dWh, over the assembled feats
   // cache — the identical fused GEMM, pushed by the trainer into the next
   // layer's exchange window (feats_cache_ and dwh survive until the next

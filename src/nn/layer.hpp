@@ -132,6 +132,80 @@ void mean_aggregate_backward_inner(const BipartiteCsr& adj, const Matrix& dout,
                                    std::span<const float> inv_deg, NodeId n_lo,
                                    Matrix& dinner);
 
+/// Checked-build monitor of the split-phase protocol documented on Layer
+/// below. Each phased layer owns one and reports its phase entries; in
+/// release builds every method is an early return the optimizer deletes.
+/// Beyond the begin→chunk/fold→finish→backward ordering it also enforces
+/// the chunk contract: disjoint ascending ranges covering exactly
+/// [0, n_dst) by finish time. forward_inner_begin is accepted from the
+/// post-finish state because a fused backward() (layer 0 of the backward
+/// pipeline) never reports to the machine.
+class PhaseChecker {
+ public:
+  void on_forward_begin(NodeId n_dst) {
+    if constexpr (!kCheckedBuild) return;
+    BNSGCN_REQUIRE(state_ == State::kIdle || state_ == State::kFwdDone,
+                   "forward_inner_begin out of order");
+    BNSGCN_REQUIRE(n_dst >= 0, "negative destination count");
+    state_ = State::kFwdInner;
+    n_dst_ = n_dst;
+    next_row_ = 0;
+  }
+  void on_forward_chunk([[maybe_unused]] NodeId row0, NodeId row1) {
+    if constexpr (!kCheckedBuild) return;
+    BNSGCN_REQUIRE(state_ == State::kFwdInner || state_ == State::kFwdHalo,
+                   "forward_inner_chunk outside the forward window");
+    BNSGCN_REQUIRE(row0 == next_row_,
+                   "chunks must cover [0, n_dst) in ascending contiguous "
+                   "ranges");
+    BNSGCN_REQUIRE(row0 <= row1 && row1 <= n_dst_, "chunk range out of range");
+    next_row_ = row1;
+  }
+  void on_halo_begin() {
+    if constexpr (!kCheckedBuild) return;
+    BNSGCN_REQUIRE(state_ == State::kFwdInner,
+                   "forward_halo_begin must follow forward_inner_begin, once");
+    state_ = State::kFwdHalo;
+  }
+  void on_halo_fold() {
+    if constexpr (!kCheckedBuild) return;
+    BNSGCN_REQUIRE(state_ == State::kFwdHalo,
+                   "forward_halo_fold before forward_halo_begin");
+  }
+  void on_halo_finish() {
+    if constexpr (!kCheckedBuild) return;
+    BNSGCN_REQUIRE(state_ == State::kFwdHalo,
+                   "forward_halo_finish before forward_halo_begin");
+    BNSGCN_REQUIRE(next_row_ == n_dst_,
+                   "forward_halo_finish before the chunks covered [0, n_dst)");
+    state_ = State::kFwdDone;
+  }
+  void on_backward_halo() {
+    if constexpr (!kCheckedBuild) return;
+    BNSGCN_REQUIRE(state_ == State::kFwdDone,
+                   "backward_halo without a completed phased forward");
+    state_ = State::kBwdHalo;
+  }
+  void on_backward_inner() {
+    if constexpr (!kCheckedBuild) return;
+    BNSGCN_REQUIRE(state_ == State::kBwdHalo,
+                   "backward_inner must follow backward_halo");
+    state_ = State::kBwdInner;
+  }
+  void on_backward_params() {
+    if constexpr (!kCheckedBuild) return;
+    BNSGCN_REQUIRE(state_ == State::kBwdInner,
+                   "backward_params must settle a backward_inner exactly once");
+    state_ = State::kIdle;
+  }
+
+ private:
+  enum class State { kIdle, kFwdInner, kFwdHalo, kFwdDone, kBwdHalo, kBwdInner };
+  State state_ = State::kIdle;
+  NodeId n_dst_ = 0;
+  NodeId next_row_ = 0;
+};
+
 /// A GCN layer with manual forward/backward. One instance per rank (weights
 /// are replicated and kept in sync by gradient allreduce).
 class Layer {
@@ -248,6 +322,9 @@ class Layer {
   Layer(std::int64_t d_in, std::int64_t d_out) : d_in_(d_in), d_out_(d_out) {}
   std::int64_t d_in_;
   std::int64_t d_out_;
+  /// Phased implementations report each phase entry here (checked builds
+  /// verify the protocol; release builds compile the calls away).
+  PhaseChecker phase_check_;
 };
 
 /// Flatten all gradients of a layer stack into one buffer (the paper's

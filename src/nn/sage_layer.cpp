@@ -43,6 +43,7 @@ Matrix SageLayer::forward(const BipartiteCsr& adj, const Matrix& feats,
 
 void SageLayer::forward_inner_begin(const BipartiteCsr& adj,
                                     const Matrix& inner_feats, bool training) {
+  phase_check_.on_forward_begin(adj.n_dst);
   BNSGCN_CHECK(inner_feats.cols() == d_in_);
   BNSGCN_CHECK(inner_feats.rows() == adj.n_dst);
   cached_training_ = training;
@@ -60,6 +61,7 @@ void SageLayer::forward_inner_begin(const BipartiteCsr& adj,
 
 void SageLayer::forward_inner_chunk(const BipartiteCsr& adj, NodeId row0,
                                     NodeId row1) {
+  phase_check_.on_forward_chunk(row0, row1);
   mean_aggregate_inner_rows(adj, self_cache_, row0, row1, z_partial_);
   // Row-range self transform, straight into the output rows: gemm_nn_rows
   // computes each row independently with the fixed k-loop order, so any
@@ -71,6 +73,7 @@ void SageLayer::forward_inner_chunk(const BipartiteCsr& adj, NodeId row0,
 
 void SageLayer::forward_halo_begin(const BipartiteCsr& adj,
                                    const HaloIncidence& inc) {
+  phase_check_.on_halo_begin();
   BNSGCN_CHECK(inc.n_lo == adj.n_dst && inc.n_halo == adj.n_src - adj.n_dst);
   halo_inc_ = &inc;
   // Folds accumulate here, not in z_partial_: a fold may land before the
@@ -83,6 +86,7 @@ void SageLayer::forward_halo_begin(const BipartiteCsr& adj,
 void SageLayer::forward_halo_fold(const BipartiteCsr& adj,
                                   std::span<const NodeId> slots,
                                   std::span<const float> rows) {
+  phase_check_.on_halo_fold();
   (void)adj; // geometry is frozen in the incidence received by _begin
   BNSGCN_CHECK(halo_inc_ != nullptr);
   mean_aggregate_halo_fold(*halo_inc_, slots, rows, d_in_, z_halo_);
@@ -90,6 +94,7 @@ void SageLayer::forward_halo_fold(const BipartiteCsr& adj,
 
 Matrix SageLayer::forward_halo_finish(const BipartiteCsr& adj,
                                       std::span<const float> inv_deg) {
+  phase_check_.on_halo_finish();
   (void)adj;
   for (std::int64_t i = 0; i < z_partial_.size(); ++i)
     z_partial_.data()[i] += z_halo_.data()[i];
@@ -115,6 +120,7 @@ Matrix SageLayer::forward_halo_finish(const BipartiteCsr& adj,
 
 Matrix SageLayer::backward_halo(const BipartiteCsr& adj, const Matrix& dout,
                                 std::span<const float> inv_deg) {
+  phase_check_.on_backward_halo();
   BNSGCN_CHECK(dout.rows() == adj.n_dst && dout.cols() == d_out_);
   // Only what the wire needs happens before the exchange is posted: the
   // activation backward and the halo-source scatter. Parameter gradients
@@ -138,12 +144,14 @@ Matrix SageLayer::backward_halo(const BipartiteCsr& adj, const Matrix& dout,
 
 Matrix SageLayer::backward_inner(const BipartiteCsr& adj,
                                  std::span<const float> inv_deg) {
+  phase_check_.on_backward_inner();
   Matrix dinner = dself_cache_; // the self half lands on inner rows 1:1
   mean_aggregate_backward_inner(adj, dz_cache_, inv_deg, adj.n_dst, dinner);
   return dinner;
 }
 
 void SageLayer::backward_params(const BipartiteCsr&) {
+  phase_check_.on_backward_params();
   // Deferred B3: dW/db feed nothing before the epoch-end allreduce, so the
   // trainer runs this inside the *next* layer's exchange window. u_cache_
   // and g_cache_ stay untouched until the next forward.

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -97,7 +97,11 @@ CoarseLevel coarsen_once(const WGraph& g, Rng& rng) {
         g.nweights[static_cast<std::size_t>(v)];
   }
 
-  std::vector<std::unordered_map<NodeId, EdgeId>> adj(
+  // Collapse parallel edges with a per-node sort-and-merge. An unordered_map
+  // here would hand the coarse CSR a hash-dependent neighbor order, and every
+  // downstream pass (gain sweeps, refinement tie-breaks) observes that order —
+  // the coarse graph must come out identical on every platform and run.
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj(
       static_cast<std::size_t>(nc));
   for (NodeId v = 0; v < g.n; ++v) {
     const NodeId cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
@@ -106,8 +110,22 @@ CoarseLevel coarsen_once(const WGraph& g, Rng& rng) {
     for (std::size_t i = 0; i < nb.size(); ++i) {
       const NodeId cu = level.fine_to_coarse[static_cast<std::size_t>(nb[i])];
       if (cu == cv) continue;
-      adj[static_cast<std::size_t>(cv)][cu] += ew[i];
+      adj[static_cast<std::size_t>(cv)].emplace_back(cu, ew[i]);
     }
+  }
+  for (NodeId v = 0; v < nc; ++v) {
+    auto& edges = adj[static_cast<std::size_t>(v)];
+    std::sort(edges.begin(), edges.end());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < edges.size();) {
+      std::size_t j = i;
+      EdgeId w = 0;
+      while (j < edges.size() && edges[j].first == edges[i].first)
+        w += edges[j++].second;
+      edges[out++] = {edges[i].first, w};
+      i = j;
+    }
+    edges.resize(out);
   }
   cg.offsets.assign(static_cast<std::size_t>(nc) + 1, 0);
   for (NodeId v = 0; v < nc; ++v)

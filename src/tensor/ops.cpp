@@ -136,6 +136,8 @@ void add_inplace(Matrix& y, const Matrix& x) {
   float* py = y.data();
   const float* px = x.data();
   const std::int64_t n = y.size();
+  // lint: allow(float-accum) — element-wise y[i] += x[i]; no cross-element
+  // reduction, order-independent by construction.
   for (std::int64_t i = 0; i < n; ++i) py[i] += px[i];
 }
 
@@ -144,6 +146,7 @@ void axpy(float a, const Matrix& x, Matrix& y) {
   float* py = y.data();
   const float* px = x.data();
   const std::int64_t n = y.size();
+  // lint: allow(float-accum) — element-wise y[i] += a*x[i]; order-independent.
   for (std::int64_t i = 0; i < n; ++i) py[i] += a * px[i];
 }
 
@@ -164,6 +167,7 @@ void add_row_bias_rows(Matrix& x, const Matrix& bias, std::int64_t r0,
   const float* pb = bias.data();
   for (std::int64_t r = r0; r < r1; ++r) {
     float* row = x.data() + r * x.cols();
+    // lint: allow(float-accum) — element-wise bias add; order-independent.
     for (std::int64_t c = 0; c < x.cols(); ++c) row[c] += pb[c];
   }
 }
@@ -173,6 +177,8 @@ void col_sum(const Matrix& grad, Matrix& out) {
   float* po = out.data();
   for (std::int64_t r = 0; r < grad.rows(); ++r) {
     const float* row = grad.data() + r * grad.cols();
+    // lint: allow(float-accum) — serial reduction in fixed ascending row order;
+    // single-threaded by contract (bias grads are tiny), so the order is fixed.
     for (std::int64_t c = 0; c < grad.cols(); ++c) po[c] += row[c];
   }
 }
@@ -253,7 +259,7 @@ void softmax_rows(Matrix& x) {
     float sum = 0.0f;
     for (std::int64_t c = 0; c < x.cols(); ++c) {
       row[c] = std::exp(row[c] - mx);
-      sum += row[c];
+      sum += row[c]; // lint: allow(float-accum) — serial per-row sum, fixed order
     }
     const float inv = 1.0f / sum;
     for (std::int64_t c = 0; c < x.cols(); ++c) row[c] *= inv;
@@ -267,7 +273,7 @@ void gather_rows(const Matrix& src, std::span<const NodeId> idx, Matrix& out) {
   common::for_blocks(n, kBlockM, [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
       const NodeId r = idx[static_cast<std::size_t>(i)];
-      BNSGCN_CHECK(r >= 0 && r < src.rows());
+      BNSGCN_BOUNDS(r, src.rows());
       const float* s = src.data() + static_cast<std::int64_t>(r) * d;
       std::copy(s, s + d, out.data() + i * d);
     }
@@ -279,8 +285,10 @@ void scatter_add_rows(const Matrix& src, std::span<const NodeId> idx,
   BNSGCN_CHECK(src.rows() == static_cast<std::int64_t>(idx.size()));
   BNSGCN_CHECK(src.cols() == dst.cols());
   const std::int64_t d = src.cols();
-  for (std::size_t i = 0; i < idx.size(); ++i)
-    BNSGCN_CHECK(idx[i] >= 0 && idx[i] < dst.rows());
+  if constexpr (kCheckedBuild) {
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      BNSGCN_BOUNDS(idx[i], dst.rows());
+  }
   // idx may repeat destination rows, so lanes split the feature axis: each
   // walks the whole index list (entry order — and with it each element's
   // accumulation order — unchanged) but owns a disjoint column range.
@@ -336,6 +344,7 @@ float max_abs_diff(const Matrix& a, const Matrix& b) {
 double frobenius_norm_sq(const Matrix& a) {
   double acc = 0.0;
   const float* pa = a.data();
+  // lint: allow(float-accum) — serial double-precision reduction, fixed order.
   for (std::int64_t i = 0; i < a.size(); ++i)
     acc += static_cast<double>(pa[i]) * static_cast<double>(pa[i]);
   return acc;

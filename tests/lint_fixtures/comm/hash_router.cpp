@@ -1,0 +1,15 @@
+// Fixture: unordered containers in an ordering-sensitive path (comm/).
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+void route() {
+  std::unordered_map<int, int> pending;
+  (void)pending;
+  // lint: allow(unordered-container) — membership probe only, never iterated.
+  std::unordered_set<int> seen;
+  (void)seen;
+}
+
+} // namespace fixture

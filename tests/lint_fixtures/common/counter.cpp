@@ -1,0 +1,12 @@
+// Fixture: unordered containers are fine outside ordering-sensitive paths.
+#include <unordered_map>
+
+namespace fixture {
+
+int count_distinct(const int* p, int n) {
+  std::unordered_map<int, int> freq; // common/ is not an ordering path
+  for (int i = 0; i < n; ++i) ++freq[p[i]];
+  return static_cast<int>(freq.size());
+}
+
+} // namespace fixture

@@ -1,0 +1,5 @@
+#include <string>
+
+using namespace std;
+
+inline string shout(const string& s) { return s + "!"; }

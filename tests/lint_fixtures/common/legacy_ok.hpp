@@ -1,0 +1,10 @@
+// lint: allow(pragma-once) — fixture: annotated legacy include-guard style.
+#ifndef BNSGCN_TESTS_LINT_FIXTURES_LEGACY_OK_HPP
+#define BNSGCN_TESTS_LINT_FIXTURES_LEGACY_OK_HPP
+#include <string>
+
+using namespace std; // lint: allow(using-namespace-std) — fixture.
+
+inline string whisper(const string& s) { return s + "..."; }
+
+#endif

@@ -1,0 +1,17 @@
+// Fixture: unseeded randomness outside common/rng.
+#include <random>
+
+namespace fixture {
+
+unsigned draw() {
+  std::random_device rd;
+  return rd();
+}
+
+unsigned draw_fixed() {
+  // lint: allow(raw-random) — one-off fixture entropy, not a training path.
+  std::mt19937 gen(42);
+  return static_cast<unsigned>(gen());
+}
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: raw clock reads outside common/stopwatch.
+#include <chrono>
+
+namespace fixture {
+
+double now_s() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double wall_s() {
+  // lint: allow(raw-clock) — logging timestamp, never feeds numeric state.
+  const auto t = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: raw thread primitives outside the deterministic pool.
+#include <thread>
+
+namespace fixture {
+
+void spawn() {
+  std::thread t([] {});
+  t.join();
+}
+
+void nap() {
+  std::this_thread::yield(); // must not fire: identifier-boundary check
+}
+
+void spawn_annotated() {
+  // lint: allow(raw-thread) — fixture of an annotated rank runtime.
+  std::thread t([] {});
+  t.join();
+}
+
+} // namespace fixture

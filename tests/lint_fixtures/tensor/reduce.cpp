@@ -1,0 +1,23 @@
+// Fixture: += accumulation outside the pooled for_blocks geometry.
+namespace fixture {
+
+float serial_sum(const float* p, long n) {
+  float acc = 0.0f;
+  for (long i = 0; i < n; ++i) acc += p[i];
+  return acc;
+}
+
+void blocked_sum(const float* p, long n, float* out) {
+  common::for_blocks(n, 64, [&](long b0, long b1) {
+    for (long i = b0; i < b1; ++i) out[0] += p[i]; // pooled: no finding
+  });
+}
+
+float annotated_sum(const float* p, long n) {
+  float acc = 0.0f;
+  // lint: allow(float-accum) — element-independent fixture loop.
+  for (long i = 0; i < n; ++i) acc += p[i];
+  return acc;
+}
+
+} // namespace fixture

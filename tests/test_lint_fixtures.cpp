@@ -1,0 +1,91 @@
+// Self-test of tools/lint: every determinism rule fires at the exact
+// file:line the fixture plants it, allow-annotations suppress their
+// occurrence (and nothing else), and the real src/ tree is clean. The
+// expectation is an exact set comparison, so a spuriously-firing rule and a
+// silently-dead rule both fail loudly.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "lint/determinism_lint.hpp"
+
+namespace {
+
+using bnsgcn::lint::Finding;
+using Key = std::tuple<std::string, int, std::string>; // (file, line, rule)
+
+std::set<Key> keys(const std::vector<Finding>& findings) {
+  std::set<Key> out;
+  for (const Finding& f : findings) out.insert({f.file, f.line, f.rule});
+  return out;
+}
+
+std::string dump(const std::set<Key>& ks) {
+  std::string out;
+  for (const auto& [file, line, rule] : ks)
+    out += "  " + file + ":" + std::to_string(line) + " [" + rule + "]\n";
+  return out.empty() ? "  (none)\n" : out;
+}
+
+TEST(LintFixtures, EachRuleFiresExactlyWhereExpected) {
+  const auto findings = bnsgcn::lint::lint_tree(BNSGCN_LINT_FIXTURES_DIR);
+  // One planted violation per rule. Every fixture also carries an
+  // allow-annotated twin (absent here == suppression works) and the
+  // negative probes (std::this_thread, a for_blocks-region accumulation,
+  // unordered containers outside ordering paths) must stay silent.
+  const std::set<Key> expected = {
+      {"comm/hash_router.cpp", 8, "unordered-container"},
+      {"common/legacy.hpp", 1, "pragma-once"},
+      {"common/legacy.hpp", 3, "using-namespace-std"},
+      {"core/seeder.cpp", 7, "raw-random"},
+      {"core/ticker.cpp", 7, "raw-clock"},
+      {"nn/spawner.cpp", 7, "raw-thread"},
+      {"tensor/reduce.cpp", 6, "float-accum"},
+  };
+  const auto got = keys(findings);
+  EXPECT_EQ(got, expected) << "expected:\n"
+                           << dump(expected) << "got:\n"
+                           << dump(got);
+}
+
+TEST(LintFixtures, EveryRuleHasAFixture) {
+  // The fixture set above must exercise the full rule table: a new rule
+  // without a fixture would otherwise ship untested.
+  std::set<std::string> fired;
+  for (const Finding& f : bnsgcn::lint::lint_tree(BNSGCN_LINT_FIXTURES_DIR))
+    fired.insert(f.rule);
+  for (const auto& r : bnsgcn::lint::rules())
+    EXPECT_TRUE(fired.count(r.id)) << "rule has no firing fixture: " << r.id;
+}
+
+TEST(LintFixtures, RealTreeIsClean) {
+  const auto findings = bnsgcn::lint::lint_tree(BNSGCN_SRC_DIR);
+  EXPECT_TRUE(findings.empty()) << dump(keys(findings));
+}
+
+TEST(LintFixtures, AllowAnnotationOnlyCoversItsRule) {
+  // An allow(raw-clock) must not silence a raw-random finding on the same
+  // line: suppression is per (line, rule).
+  const std::string src =
+      "#pragma once\n"
+      "// lint: allow(raw-clock) — wrong rule for the line below\n"
+      "std::mt19937 gen;\n";
+  const auto findings = bnsgcn::lint::lint_file("core/x.hpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-random");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintFixtures, CommentsAndStringsDoNotFire) {
+  const std::string src =
+      "#pragma once\n"
+      "// std::unordered_map in prose, std::thread too\n"
+      "inline const char* kDoc = \"std::random_device\";\n";
+  EXPECT_TRUE(bnsgcn::lint::lint_file("comm/doc.hpp", src).empty());
+}
+
+} // namespace

@@ -55,9 +55,10 @@ TEST(Variance, RejectsBadArguments) {
   const Csr g = gen::erdos_renyi(50, 200, rng);
   const auto part = random_partition(g.n, 2, rng);
   Matrix x(g.n, 4);
-  EXPECT_THROW(core::measure_variance(g, x, part, 0, 0.0f, 10, 1),
+  EXPECT_THROW((void)core::measure_variance(g, x, part, 0, 0.0f, 10, 1),
                CheckError);
-  EXPECT_THROW(core::measure_variance(g, x, part, 0, 0.5f, 0, 1), CheckError);
+  EXPECT_THROW((void)core::measure_variance(g, x, part, 0, 0.5f, 0, 1),
+               CheckError);
 }
 
 } // namespace

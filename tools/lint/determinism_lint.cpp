@@ -1,0 +1,422 @@
+#include "lint/determinism_lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace bnsgcn::lint {
+
+namespace {
+
+// ---------------------------------------------------------------- rule table
+
+const char* kUnordered = "unordered-container";
+const char* kRawClock = "raw-clock";
+const char* kRawRandom = "raw-random";
+const char* kRawThread = "raw-thread";
+const char* kFloatAccum = "float-accum";
+const char* kPragmaOnce = "pragma-once";
+const char* kUsingStd = "using-namespace-std";
+
+/// Directories (relative to the scanned root) whose files feed
+/// serialization, reductions, or comm ordering: anything whose iteration
+/// order could leak into bytes on a wire, bytes on disk, or a float
+/// accumulation. Hash-container *lookup* is fine; owning one at all is
+/// flagged so the exception — and the argument why its order is never
+/// observed — lives next to the container as an allow annotation.
+const char* kOrderingSensitivePrefixes[] = {
+    "comm/", "tensor/", "nn/", "core/", "partition/", "graph/", "api/",
+};
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         std::equal(prefix.begin(), prefix.end(), s.begin());
+}
+
+bool ordering_sensitive(const std::string& rel) {
+  for (const char* p : kOrderingSensitivePrefixes)
+    if (starts_with(rel, p)) return true;
+  return false;
+}
+
+bool is_header(const std::string& rel) {
+  return rel.ends_with(".hpp") || rel.ends_with(".h");
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Find `token` in `line` as a whole token: the char before must not be an
+/// identifier char (so `std::thread` does not match inside an identifier)
+/// and the char after must not be one either — unless the token ends in a
+/// char that legitimately continues (callers pass tokens ending in '(' or
+/// '_' to bypass the suffix check).
+bool has_token(const std::string& line, const std::string& token,
+               bool check_suffix = true) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool pre_ok = pos == 0 || !ident_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool post_ok =
+        !check_suffix || end >= line.size() || !ident_char(line[end]);
+    if (pre_ok && post_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+// ------------------------------------------------- comment/string stripping
+
+/// Replace comments, string literals and char literals with spaces,
+/// preserving newlines (and therefore line numbers). Handles // and block
+/// comments, escape sequences, and the simple R"( ... )" raw-string form.
+std::string sanitize(const std::string& src) {
+  std::string out = src;
+  enum class St { kCode, kLine, kBlock, kStr, kChr, kRaw };
+  St st = St::kCode;
+  std::string raw_close; // for raw strings: )delim"
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char nx = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && nx == '/') {
+          st = St::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && nx == '*') {
+          st = St::kBlock;
+          out[i] = ' ';
+        } else if (c == 'R' && nx == '"' &&
+                   (i == 0 || !ident_char(src[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < src.size() && src[p] != '(') delim += src[p++];
+          raw_close = ")" + delim + "\"";
+          st = St::kRaw;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = St::kStr;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          st = St::kChr;
+          out[i] = ' ';
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && nx == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\' && nx != '\0') {
+          out[i] = ' ';
+          if (nx != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          out[i] = ' ';
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChr:
+        if (c == '\\' && nx != '\0') {
+          out[i] = ' ';
+          if (nx != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          out[i] = ' ';
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kRaw:
+        if (src.compare(i, raw_close.size(), raw_close) == 0) {
+          for (std::size_t k = 0; k < raw_close.size(); ++k)
+            out[i + k] = ' ';
+          i += raw_close.size() - 1;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : s) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(std::move(cur));
+  return lines;
+}
+
+// -------------------------------------------------------- allow annotations
+
+/// Collect `// lint: allow(<rule>)` annotations from the RAW lines (they
+/// live in comments, which the sanitizer strips). Returns (line, rule)
+/// pairs, 1-based.
+std::set<std::pair<int, std::string>> collect_allows(
+    const std::vector<std::string>& raw_lines) {
+  std::set<std::pair<int, std::string>> allows;
+  const std::string marker = "lint: allow(";
+  const auto comment_only = [](const std::string& s) {
+    const std::size_t i = s.find_first_not_of(" \t");
+    return i != std::string::npos && s.compare(i, 2, "//") == 0;
+  };
+  for (std::size_t ln = 0; ln < raw_lines.size(); ++ln) {
+    const std::string& line = raw_lines[ln];
+    std::size_t pos = 0;
+    while ((pos = line.find(marker, pos)) != std::string::npos) {
+      const std::size_t open = pos + marker.size();
+      const std::size_t close = line.find(')', open);
+      if (close != std::string::npos) {
+        const std::string rule = line.substr(open, close - open);
+        allows.emplace(static_cast<int>(ln) + 1, rule);
+        // An annotation opening a comment block covers the whole block and
+        // the first code line after it, so multi-line justifications work.
+        if (comment_only(line)) {
+          std::size_t j = ln + 1;
+          while (j < raw_lines.size() && comment_only(raw_lines[j])) {
+            allows.emplace(static_cast<int>(j) + 1, rule);
+            ++j;
+          }
+          if (j < raw_lines.size())
+            allows.emplace(static_cast<int>(j) + 1, rule);
+        }
+      }
+      pos = open;
+    }
+  }
+  return allows;
+}
+
+bool allowed(const std::set<std::pair<int, std::string>>& allows, int line,
+             const std::string& rule) {
+  return allows.count({line, rule}) > 0 ||
+         allows.count({line - 1, rule}) > 0;
+}
+
+// ----------------------------------------------- float-accum region tracking
+
+/// Mark every line that is lexically inside the body of a
+/// `common::for_blocks(...)` (or `for_blocks(...)`) call — the pooled
+/// block-geometry helpers whose fixed block decomposition is what makes a
+/// `+=` accumulation loop thread-count-invariant. Anything accumulating
+/// outside such a region in tensor/ is a reduction the pool contract does
+/// not cover.
+std::vector<char> for_blocks_regions(const std::string& sanitized,
+                                     std::size_t n_lines) {
+  std::vector<char> in_region(n_lines + 2, 0);
+  std::size_t line = 1;
+  int depth = 0;          // brace depth inside an active region
+  bool pending = false;   // saw for_blocks, waiting for its lambda '{'
+  const std::string tok = "for_blocks";
+  for (std::size_t i = 0; i < sanitized.size(); ++i) {
+    const char c = sanitized[i];
+    if (c == '\n') {
+      ++line;
+      continue;
+    }
+    if (depth == 0 && !pending && c == 'f' &&
+        sanitized.compare(i, tok.size(), tok) == 0 &&
+        (i == 0 || !ident_char(sanitized[i - 1])) &&
+        (i + tok.size() >= sanitized.size() ||
+         !ident_char(sanitized[i + tok.size()]))) {
+      pending = true;
+      i += tok.size() - 1;
+      continue;
+    }
+    if (pending && c == '{') {
+      pending = false;
+      depth = 1;
+      if (line < in_region.size()) in_region[line] = 1;
+      continue;
+    }
+    if (depth > 0) {
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+      if (line < in_region.size()) in_region[line] = 1;
+    }
+  }
+  return in_region;
+}
+
+} // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {kUnordered,
+       "no std::unordered_{map,set} in ordering-sensitive paths (comm, "
+       "tensor, nn, core, partition, graph, api): iteration order feeds "
+       "serialization / reductions / comm ordering"},
+      {kRawClock,
+       "no raw clock reads (steady_clock / system_clock / "
+       "high_resolution_clock) outside common/stopwatch — time flows "
+       "through common::Stopwatch only"},
+      {kRawRandom,
+       "no rand()/srand()/std::random_device/std::mt19937 outside "
+       "common/rng — all randomness is seeded through common::Rng"},
+      {kRawThread,
+       "no raw std::thread/std::jthread/std::async outside "
+       "common/thread_pool.cpp — kernel parallelism goes through the "
+       "deterministic pool"},
+      {kFloatAccum,
+       "no += accumulation loops in tensor/ outside common::for_blocks "
+       "regions — reductions must use the pooled fixed-block geometry"},
+      {kPragmaOnce, "headers must start include guards with #pragma once"},
+      {kUsingStd, "no `using namespace std`"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> lint_file(const std::string& rel,
+                               const std::string& content) {
+  std::vector<Finding> out;
+  const std::vector<std::string> raw_lines = split_lines(content);
+  const std::string sanitized = sanitize(content);
+  const std::vector<std::string> lines = split_lines(sanitized);
+  const auto allows = collect_allows(raw_lines);
+
+  auto report = [&](int line, const char* rule, std::string msg) {
+    if (allowed(allows, line, rule)) return;
+    out.push_back(Finding{rel, line, rule, std::move(msg)});
+  };
+
+  // --- pragma-once -------------------------------------------------------
+  if (is_header(rel) && sanitized.find("#pragma once") == std::string::npos) {
+    report(1, kPragmaOnce, "header lacks #pragma once");
+  }
+
+  const bool sensitive = ordering_sensitive(rel);
+  const bool clock_home = starts_with(rel, "common/stopwatch");
+  const bool rng_home = starts_with(rel, "common/rng");
+  const bool pool_home = rel == "common/thread_pool.cpp";
+  const bool tensor_file = starts_with(rel, "tensor/");
+
+  const std::vector<char> accum_ok =
+      tensor_file ? for_blocks_regions(sanitized, lines.size())
+                  : std::vector<char>{};
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const int ln = static_cast<int>(i) + 1;
+    if (line.empty()) continue;
+
+    // --- using-namespace-std --------------------------------------------
+    if (line.find("using namespace std") != std::string::npos &&
+        has_token(line, "std")) {
+      report(ln, kUsingStd, "`using namespace std` pollutes lookup");
+    }
+
+    // --- unordered-container --------------------------------------------
+    if (sensitive && line.find("std::unordered_") != std::string::npos) {
+      report(ln, kUnordered,
+             "unordered container in an ordering-sensitive path; use a "
+             "sorted structure, or annotate why its order is never "
+             "observed");
+    }
+
+    // --- raw-clock -------------------------------------------------------
+    if (!clock_home &&
+        (has_token(line, "steady_clock", /*check_suffix=*/false) ||
+         has_token(line, "system_clock", /*check_suffix=*/false) ||
+         has_token(line, "high_resolution_clock", /*check_suffix=*/false))) {
+      report(ln, kRawClock,
+             "raw clock read; numeric paths must take time only through "
+             "common::Stopwatch");
+    }
+
+    // --- raw-random ------------------------------------------------------
+    if (!rng_home &&
+        (has_token(line, "std::random_device", /*check_suffix=*/false) ||
+         has_token(line, "std::mt19937", /*check_suffix=*/false) ||
+         has_token(line, "srand", /*check_suffix=*/false) ||
+         (has_token(line, "rand") && line.find("rand(") != std::string::npos &&
+          line.find("srand(") == std::string::npos))) {
+      report(ln, kRawRandom,
+             "unseeded / global randomness; draw through common::Rng");
+    }
+
+    // --- raw-thread ------------------------------------------------------
+    if (!pool_home &&
+        (has_token(line, "std::thread", /*check_suffix=*/false) ||
+         has_token(line, "std::jthread", /*check_suffix=*/false) ||
+         has_token(line, "std::async", /*check_suffix=*/false))) {
+      // `std::this_thread` never matches: the token comparison anchors at
+      // "std::thread" whose preceding chars differ.
+      report(ln, kRawThread,
+             "raw thread primitive outside common/thread_pool.cpp; kernel "
+             "parallelism must use the deterministic pool");
+    }
+
+    // --- float-accum -----------------------------------------------------
+    if (tensor_file && line.find("+=") != std::string::npos &&
+        !(i + 1 < accum_ok.size() && accum_ok[i + 1])) {
+      report(ln, kFloatAccum,
+             "accumulation outside a common::for_blocks region; new "
+             "reductions in tensor/ must use the pooled block geometry (or "
+             "annotate why the loop is element-independent)");
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> lint_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  const fs::path rootp(root);
+  if (!fs::exists(rootp) || !fs::is_directory(rootp)) {
+    throw std::runtime_error("lint root is not a directory: " + root);
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(rootp)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> out;
+  for (const fs::path& p : files) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot read " + p.string());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string rel = fs::relative(p, rootp).generic_string();
+    auto findings = lint_file(rel, ss.str());
+    out.insert(out.end(), std::make_move_iterator(findings.begin()),
+               std::make_move_iterator(findings.end()));
+  }
+  return out;
+}
+
+} // namespace bnsgcn::lint

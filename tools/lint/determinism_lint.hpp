@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bnsgcn::lint {
+
+// ---------------------------------------------------------------------------
+// Determinism lint: repo-specific rules that turn the bit-exactness
+// contracts of docs/ARCHITECTURE.md into machine checks. The engine is a
+// comment/string-stripping line scanner, not a parser — rules are phrased
+// so that a textual match is (conservatively) sufficient, and every
+// legitimate exception is annotated in-source:
+//
+//   // lint: allow(<rule>) — <reason>
+//
+// on the violating line or the line directly above it. Exceptions are
+// therefore always visible in a diff next to the code they excuse.
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string file;    // path as reported (relative to the scanned root)
+  int line = 0;        // 1-based
+  std::string rule;    // rule id, e.g. "raw-thread"
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+/// The rule table (id + one-line summary), in reporting order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+/// Lint one file. `rel` is the path relative to the scanned source root
+/// with '/' separators (path-scoped rules key off it); `content` is the
+/// raw file text.
+[[nodiscard]] std::vector<Finding> lint_file(const std::string& rel,
+                                             const std::string& content);
+
+/// Recursively lint every .hpp/.h/.cpp/.cc under `root`. Findings report
+/// paths relative to `root`. Files are visited in sorted path order so
+/// output is stable. Throws CheckError-style std::runtime_error if root
+/// does not exist.
+[[nodiscard]] std::vector<Finding> lint_tree(const std::string& root);
+
+} // namespace bnsgcn::lint

@@ -1,0 +1,66 @@
+// lint_determinism — walk source trees and enforce the repo's determinism
+// contracts as machine checks. Exit 0 when clean, 1 on violations, 2 on
+// usage/IO errors. CI runs `lint_determinism src` (ci/verify.sh); the rule
+// table is documented in docs/ARCHITECTURE.md §7.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "lint/determinism_lint.hpp"
+
+namespace {
+
+void print_rules() {
+  std::printf("determinism lint rules:\n");
+  for (const auto& r : bnsgcn::lint::rules())
+    std::printf("  %-20s %s\n", r.id.c_str(), r.summary.c_str());
+  std::printf(
+      "\nsuppress a single occurrence with a `// lint: allow(<rule>) — "
+      "<reason>` annotation on the violating line or the line above.\n");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--list-rules] <source-root>...\n", argv[0]);
+      return 0;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: %s [--list-rules] <source-root>...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  int violations = 0;
+  try {
+    for (const std::string& root : roots) {
+      const auto findings = bnsgcn::lint::lint_tree(root);
+      for (const auto& f : findings) {
+        std::printf("%s/%s:%d: [%s] %s\n", root.c_str(), f.file.c_str(),
+                    f.line, f.rule.c_str(), f.message.c_str());
+        ++violations;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lint_determinism: %s\n", e.what());
+    return 2;
+  }
+  if (violations > 0) {
+    std::printf("lint_determinism: %d violation(s)\n", violations);
+    return 1;
+  }
+  std::printf("lint_determinism: clean\n");
+  return 0;
+}
