@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "common.hpp"
+#include "core/local_graph.hpp"
 
 int main(int argc, char** argv) {
   using namespace bnsgcn;
@@ -46,5 +47,62 @@ int main(int argc, char** argv) {
               ratios.front(), pct(0.25), pct(0.5), pct(0.75), ratios.back());
   std::printf("straggler/median ratio: %.2fx (paper: straggler at ~8 vs bulk"
               " ≤ 3)\n", ratios.back() / pct(0.5));
+
+  // Per-peer boundary-row counts: |recv_halo[i][j]| over every ordered peer
+  // pair with traffic. This is exactly the working set the halo cache
+  // (docs/ARCHITECTURE.md §9) holds per (peer, layer) directory, so its
+  // distribution is the data-driven sizing input for RunConfig::comm
+  // .cache_mb — a budget at the top quartile covers 75% of the channels
+  // completely.
+  const auto lgs = core::build_local_graphs(pr.ds.graph, *part);
+  std::vector<std::int64_t> peer_rows;
+  for (const auto& lg : lgs)
+    for (const auto& halo : lg.recv_halo)
+      if (!halo.empty())
+        peer_rows.push_back(static_cast<std::int64_t>(halo.size()));
+  std::sort(peer_rows.begin(), peer_rows.end());
+  if (!peer_rows.empty()) {
+    const double mx_rows = static_cast<double>(peer_rows.back());
+    std::vector<int> rhist(kBuckets, 0);
+    for (const std::int64_t r : peer_rows) {
+      const int b = std::min(
+          kBuckets - 1,
+          static_cast<int>(static_cast<double>(r) / (mx_rows + 1e-9) *
+                           kBuckets));
+      ++rhist[static_cast<std::size_t>(b)];
+    }
+    std::printf("\nper-peer boundary-row histogram (%zu peer channels):\n",
+                peer_rows.size());
+    const int rmax =
+        *std::max_element(rhist.begin(), rhist.end());
+    for (int b = 0; b < kBuckets; ++b) {
+      const int n = rhist[static_cast<std::size_t>(b)];
+      std::printf("[%7.0f,%7.0f) %5d ", mx_rows * b / kBuckets,
+                  mx_rows * (b + 1) / kBuckets, n);
+      for (int i = 0; i < 40 * n / std::max(rmax, 1); ++i) std::printf("#");
+      std::printf("\n");
+    }
+    const auto rpct = [&](double q) {
+      return peer_rows[static_cast<std::size_t>(
+          q * static_cast<double>(peer_rows.size() - 1))];
+    };
+    const std::int64_t d = pr.ds.feat_dim();
+    const auto to_mb = [d](std::int64_t rows) {
+      return (rows * d * static_cast<std::int64_t>(sizeof(float)) +
+              (1 << 20) - 1) >> 20;
+    };
+    std::printf("\nrows/peer: min %lld  p25 %lld  median %lld  p75 %lld  "
+                "max %lld\n",
+                static_cast<long long>(peer_rows.front()),
+                static_cast<long long>(rpct(0.25)),
+                static_cast<long long>(rpct(0.5)),
+                static_cast<long long>(rpct(0.75)),
+                static_cast<long long>(peer_rows.back()));
+    std::printf("suggested cache_mb at feat_dim=%lld: p75 -> %lld MiB/peer, "
+                "max -> %lld MiB/peer\n",
+                static_cast<long long>(d),
+                static_cast<long long>(to_mb(rpct(0.75))),
+                static_cast<long long>(to_mb(peer_rows.back())));
+  }
   return 0;
 }

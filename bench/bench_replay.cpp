@@ -57,6 +57,15 @@ bool matches(const api::RunReport& want, const api::RunReport& got) {
       return fail("grad_bytes");
     if (got.epochs[i].control_bytes != want.epochs[i].control_bytes)
       return fail("control_bytes");
+    // Halo-cache counters are deterministic on every transport (the
+    // directories step at post time from position lists); old artifacts
+    // parse them as 0 and replay with the cache off, so they still match.
+    if (got.epochs[i].cache_hit_rows != want.epochs[i].cache_hit_rows)
+      return fail("cache_hit_rows");
+    if (got.epochs[i].cache_miss_rows != want.epochs[i].cache_miss_rows)
+      return fail("cache_miss_rows");
+    if (got.epochs[i].bytes_saved != want.epochs[i].bytes_saved)
+      return fail("bytes_saved");
     // Measured recordings (socket fabrics: timing_source == "measured")
     // carry wall-clock comm spans — scheduling noise, like compute_s — so
     // only simulated (CostModel-derived) times are bit-compared.

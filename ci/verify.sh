@@ -80,6 +80,18 @@ rm -f "$REPLAY_ARTIFACT"
   --json "$REPLAY_ARTIFACT" > /dev/null
 ./build/bench/bench_replay "$REPLAY_ARTIFACT" --rows 1
 
+# Halo-cache smoke: bench_cache sweeps partition counts x histogram-derived
+# cache budgets and exits non-zero when a cached run's losses diverge
+# bitwise from uncached at staleness=0, when the counters stay zero, or
+# when the top-quartile budget fails to halve warm-epoch feature bytes at
+# 8 partitions (docs/ARCHITECTURE.md §9). Replaying a warm-cache row from
+# its artifact proves cache_mb/cache_staleness round-trip through the
+# recorded RunConfig and the hit/miss/bytes-saved counters reproduce.
+CACHE_ARTIFACT=build/cache_gate_artifact.json
+rm -f "$CACHE_ARTIFACT"
+./build/bench/bench_cache --scale 0.2 --json "$CACHE_ARTIFACT"
+./build/bench/bench_replay "$CACHE_ARTIFACT" --rows 2
+
 # ---------------------------------------------------------------------------
 # Instrumented build matrix. One line per leg: `preset|targets|extra`.
 #   preset  — a CMakePresets.json configure preset (build dir build-$preset)
@@ -101,7 +113,7 @@ rm -f "$REPLAY_ARTIFACT"
 # invocation is the gate.
 INSTRUMENTED_LEGS=(
   "checked|test_ops test_transport test_trainer test_schedule_fuzz bench_overlap|./build-checked/bench/bench_overlap --scale 0.2 --epochs 2 --json build-checked/overlap_smoke.json"
-  "tsan|test_thread_pool test_ops test_trainer|"
+  "tsan|test_thread_pool test_ops test_trainer test_schedule_fuzz|"
   "asan|test_ops test_transport test_trainer test_schedule_fuzz bench_overlap|./build-asan/bench/bench_overlap --scale 0.2 --epochs 2 --json build-asan/overlap_smoke.json"
   "ubsan|test_ops test_transport test_trainer test_schedule_fuzz|"
 )

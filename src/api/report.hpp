@@ -81,6 +81,34 @@ struct RunReport {
   /// epoch totals for partition-parallel methods, wall for minibatch.
   [[nodiscard]] double total_train_s() const;
 
+  /// Halo-cache totals over all epochs (docs/ARCHITECTURE.md §9): boundary
+  /// rows served from the receiver-side cache / shipped over the wire,
+  /// summed across ranks. All zero when RunConfig::comm.cache_mb == 0.
+  [[nodiscard]] std::int64_t cache_hit_rows() const {
+    std::int64_t n = 0;
+    for (const auto& e : epochs) n += e.cache_hit_rows;
+    return n;
+  }
+  [[nodiscard]] std::int64_t cache_miss_rows() const {
+    std::int64_t n = 0;
+    for (const auto& e : epochs) n += e.cache_miss_rows;
+    return n;
+  }
+  /// Gross feature bytes the cache kept off the wire (the index-list
+  /// overhead of delta frames is already inside feature_bytes).
+  [[nodiscard]] std::int64_t cache_bytes_saved() const {
+    std::int64_t n = 0;
+    for (const auto& e : epochs) n += e.bytes_saved;
+    return n;
+  }
+  /// hits / (hits + misses) over the whole run; 0 with the cache off.
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::int64_t total = cache_hit_rows() + cache_miss_rows();
+    return total > 0 ? static_cast<double>(cache_hit_rows()) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+
   /// Wrap an engine-level result (field-for-field move; losses stay
   /// bit-identical, which the parity test in tests/test_api.cpp pins).
   [[nodiscard]] static RunReport from_train_result(core::TrainResult&& tr,

@@ -135,6 +135,12 @@ core::TrainerConfig engine_config(const RunConfig& cfg) {
   // value (possibly 0 = unchunked) stands.
   if (cfg.comm.inner_chunk_rows > 0)
     tcfg.inner_chunk_rows = cfg.comm.inner_chunk_rows;
+  // Halo-cache knobs live on the comm spec (they shape the fabric traffic);
+  // the api-level spelling wins whenever it enables the cache.
+  if (cfg.comm.cache_mb > 0) {
+    tcfg.cache_mb = cfg.comm.cache_mb;
+    tcfg.cache_staleness = cfg.comm.cache_staleness;
+  }
   return tcfg;
 }
 

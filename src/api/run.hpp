@@ -54,6 +54,20 @@ struct CommSpec {
   /// "inner_chunk_rows".
   NodeId inner_chunk_rows = 0;
 
+  /// Per-(peer, layer) halo-cache budget in MiB (docs/ARCHITECTURE.md §9):
+  /// 0 (default) disables the cache; a positive value caches layer-0
+  /// boundary rows (epoch-invariant input features) so warm epochs ship
+  /// only an index list plus the rows the remote rank does not hold.
+  /// Bit-identical losses at cache_staleness == 0, on every transport and
+  /// overlap mode. JSON key "cache_mb", written only when nonzero.
+  std::int64_t cache_mb = 0;
+
+  /// Staleness bound (epochs) for caching layers above 0: their rows
+  /// change every epoch, so a hit replays a row up to this many epochs
+  /// old. 0 (default) = exact — only layer 0 caches. JSON key
+  /// "cache_staleness", written only when the cache is enabled.
+  int cache_staleness = 0;
+
   /// Fabric backend. kMailbox (default) trains every rank as a thread over
   /// the in-process deterministic fabric, with comm/overlap times simulated
   /// from byte counts. kUds / kTcp spawn one OS process per rank connected

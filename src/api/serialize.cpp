@@ -14,6 +14,13 @@ json::Value to_json(const core::EpochBreakdown& e) {
   v.set("feature_bytes", e.feature_bytes);
   v.set("grad_bytes", e.grad_bytes);
   v.set("control_bytes", e.control_bytes);
+  // Written only when a halo cache ran (any counter nonzero); absent keeps
+  // every pre-existing artifact byte-identical.
+  if (e.cache_hit_rows != 0 || e.cache_miss_rows != 0 || e.bytes_saved != 0) {
+    v.set("cache_hit_rows", e.cache_hit_rows);
+    v.set("cache_miss_rows", e.cache_miss_rows);
+    v.set("bytes_saved", e.bytes_saved);
+  }
   // Written only for measured (socket-fabric) runs; absent means simulated,
   // which keeps every pre-existing artifact byte-identical.
   if (e.timing == comm::TimingSource::kMeasured)
@@ -41,6 +48,12 @@ core::EpochBreakdown breakdown_from_json(const json::Value& v) {
   e.feature_bytes = v.at("feature_bytes").as_int64();
   e.grad_bytes = v.at("grad_bytes").as_int64();
   e.control_bytes = v.at("control_bytes").as_int64();
+  // Absent in artifacts written before the halo cache (and in uncached
+  // runs): the zero defaults stand.
+  if (const auto* h = v.get("cache_hit_rows")) e.cache_hit_rows = h->as_int64();
+  if (const auto* m = v.get("cache_miss_rows"))
+    e.cache_miss_rows = m->as_int64();
+  if (const auto* s = v.get("bytes_saved")) e.bytes_saved = s->as_int64();
   return e;
 }
 
@@ -118,6 +131,14 @@ json::Value to_json(const RunReport& r) {
   derived.set("total_train_s", r.total_train_s());
   derived.set("overlap_saved_s", r.overlap_saved_s());
   derived.set("overlap_fraction", r.overlap_fraction());
+  // Halo-cache headline, only when a cache ran (keeps old artifacts
+  // byte-identical).
+  if (r.cache_hit_rows() != 0 || r.cache_miss_rows() != 0) {
+    derived.set("cache_hit_rows", r.cache_hit_rows());
+    derived.set("cache_miss_rows", r.cache_miss_rows());
+    derived.set("cache_bytes_saved", r.cache_bytes_saved());
+    derived.set("cache_hit_rate", r.cache_hit_rate());
+  }
   v.set("derived", std::move(derived));
   return v;
 }
@@ -323,6 +344,12 @@ json::Value trainer_to_json(const core::TrainerConfig& t) {
   v.set("overlap", overlap_mode_name(t.overlap));
   v.set("inner_chunk_rows", static_cast<std::int64_t>(t.inner_chunk_rows));
   v.set("threads", t.threads);
+  // Halo-cache knobs: written only when the cache is on, so configs
+  // predating it (and uncached ones) round-trip byte-identical.
+  if (t.cache_mb > 0) {
+    v.set("cache_mb", t.cache_mb);
+    v.set("cache_staleness", t.cache_staleness);
+  }
   // The per-epoch observer is a process-local callback, and the
   // fabric_shuffle_seed / threads_oversubscribe test-only knobs: not
   // serialized.
@@ -358,6 +385,11 @@ core::TrainerConfig trainer_from_json(const json::Value& v) {
           });
   // Absent in pre-threads artifacts → the field default of 1 (serial).
   read_if(v, "threads", t.threads, as_i);
+  // Absent before the halo cache (and in uncached configs) → disabled.
+  read_if(v, "cache_mb", t.cache_mb, [](const json::Value& f) {
+    return f.as_int64();
+  });
+  read_if(v, "cache_staleness", t.cache_staleness, as_i);
   return t;
 }
 
@@ -420,6 +452,11 @@ json::Value to_json(const RunConfig& cfg) {
   comm.set("inner_chunk_rows",
            static_cast<std::int64_t>(cfg.comm.inner_chunk_rows));
   comm.set("transport", comm::transport_kind_name(cfg.comm.transport));
+  // Cache knobs only when enabled (back-compat byte-identity, as above).
+  if (cfg.comm.cache_mb > 0) {
+    comm.set("cache_mb", cfg.comm.cache_mb);
+    comm.set("cache_staleness", cfg.comm.cache_staleness);
+  }
   v.set("comm", std::move(comm));
 
   v.set("minibatch", minibatch_to_json(cfg.minibatch));
@@ -465,6 +502,11 @@ RunConfig run_config_from_json(const json::Value& v) {
     read_if(*c, "transport", cfg.comm.transport, [](const json::Value& f) {
       return comm::transport_kind_from_name(f.as_string());
     });
+    // Absent before the halo cache → disabled.
+    read_if(*c, "cache_mb", cfg.comm.cache_mb, [](const json::Value& f) {
+      return f.as_int64();
+    });
+    read_if(*c, "cache_staleness", cfg.comm.cache_staleness, as_i);
   }
   if (const auto* mb = v.get("minibatch"))
     cfg.minibatch = minibatch_from_json(*mb);

@@ -95,6 +95,12 @@ std::vector<NodeId> Request::take_ids() {
   return std::move(state_->payload.ids);
 }
 
+Wire Request::take_payload() {
+  wait();
+  BNSGCN_CHECK(state_ != nullptr);
+  return std::move(state_->payload);
+}
+
 void wait_all(std::span<Request> requests) {
   // First drain whatever already arrived without blocking, then block on
   // the stragglers — the usual Waitall progression.
@@ -177,7 +183,7 @@ void Endpoint::send_floats(PartId to, int tag, std::vector<float> payload,
   transport().send(rank_, to,
                    Wire{.tag = tag,
                         .hold = 0,
-                        .is_ids = false,
+                        .kind = WireKind::kFloats,
                         .floats = std::move(payload),
                         .ids = {}});
 }
@@ -200,7 +206,7 @@ void Endpoint::send_ids(PartId to, int tag, std::vector<NodeId> payload,
   transport().send(rank_, to,
                    Wire{.tag = tag,
                         .hold = 0,
-                        .is_ids = true,
+                        .kind = WireKind::kIds,
                         .floats = {},
                         .ids = std::move(payload)});
 }
@@ -230,6 +236,45 @@ Request Endpoint::isend_ids(PartId to, int tag, std::vector<NodeId> payload,
   auto state = std::make_unique<Request::State>();
   state->done = true;
   return Request(std::move(state));
+}
+
+Request Endpoint::isend_halo(PartId to, int tag, std::vector<NodeId> present,
+                             std::vector<float> rows, TrafficClass cls) {
+  BNSGCN_CHECK(to >= 0 && to < fabric_.nranks() && to != rank_);
+  const auto bytes =
+      static_cast<std::int64_t>(rows.size() * sizeof(float)) +
+      static_cast<std::int64_t>(present.size() * sizeof(NodeId));
+  stats_.tx_bytes[static_cast<int>(cls)] += bytes;
+  ++stats_.tx_msgs[static_cast<int>(cls)];
+  transport().send(rank_, to,
+                   Wire{.tag = tag,
+                        .hold = 0,
+                        .kind = WireKind::kHaloDelta,
+                        .floats = std::move(rows),
+                        .ids = std::move(present)});
+  auto state = std::make_unique<Request::State>();
+  state->done = true;
+  return Request(std::move(state));
+}
+
+std::vector<float> Endpoint::acquire_floats(std::size_t n) {
+  if (!float_pool_.empty()) {
+    std::vector<float> buf = std::move(float_pool_.back());
+    float_pool_.pop_back();
+    buf.resize(n);
+    ++pool_stats_.hits;
+    return buf;
+  }
+  ++pool_stats_.misses;
+  return std::vector<float>(n);
+}
+
+void Endpoint::release_floats(std::vector<float> buf) {
+  // Bounded so a pathological schedule cannot hoard memory; past the cap
+  // the buffer just frees as before the pool existed.
+  constexpr std::size_t kMaxPooled = 64;
+  if (buf.capacity() == 0 || float_pool_.size() >= kMaxPooled) return;
+  float_pool_.push_back(std::move(buf));
 }
 
 Request Endpoint::irecv_floats(PartId from, int tag, TrafficClass cls) {

@@ -83,8 +83,30 @@ class Endpoint {
   [[nodiscard]] Request isend_ids(PartId to, int tag,
                                   std::vector<NodeId> payload,
                                   TrafficClass cls);
+  /// Halo-cache delta frame (WireKind::kHaloDelta): the index list of the
+  /// rows actually present plus those rows' features. Both vectors are
+  /// accounted under `cls` — the index list is real overhead the cache
+  /// pays, so it must show up in the same traffic class it saves from.
+  [[nodiscard]] Request isend_halo(PartId to, int tag,
+                                   std::vector<NodeId> present,
+                                   std::vector<float> rows, TrafficClass cls);
   [[nodiscard]] Request irecv_floats(PartId from, int tag, TrafficClass cls);
   [[nodiscard]] Request irecv_ids(PartId from, int tag, TrafficClass cls);
+
+  /// Per-endpoint float-buffer pool: the trainer's per-peer staging
+  /// vectors are acquired here instead of allocated fresh every exchange,
+  /// and consumed wire payloads are released back after folding. On the
+  /// mailbox fabric the buffers circulate between rank pools (a released
+  /// receive buffer becomes a later send's staging), so steady-state
+  /// epochs allocate nothing. acquire resizes to exactly `n` and makes no
+  /// content guarantee — callers overwrite every element.
+  [[nodiscard]] std::vector<float> acquire_floats(std::size_t n);
+  void release_floats(std::vector<float> buf);
+  struct PoolStats {
+    std::int64_t hits = 0;    // acquires served from the pool
+    std::int64_t misses = 0;  // acquires that had to allocate
+  };
+  [[nodiscard]] const PoolStats& pool_stats() const { return pool_stats_; }
 
   /// Collectives.
   void barrier();
@@ -117,6 +139,8 @@ class Endpoint {
   Fabric& fabric_;
   PartId rank_;
   RankStats stats_;
+  std::vector<std::vector<float>> float_pool_;  // owner-thread only
+  PoolStats pool_stats_;
 };
 
 /// Communication fabric over `nranks` logical ranks: per-rank Endpoints
@@ -189,6 +213,9 @@ class Request {
   /// Move the received payload out (wait()s first if still pending).
   [[nodiscard]] std::vector<float> take_floats();
   [[nodiscard]] std::vector<NodeId> take_ids();
+  /// Move the whole message out — for kHaloDelta frames, whose index list
+  /// and rows are consumed together.
+  [[nodiscard]] Wire take_payload();
 
  private:
   friend class Endpoint;

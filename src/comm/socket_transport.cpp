@@ -159,7 +159,7 @@ bool FrameDecoder::pop(Frame& out) {
   const auto magic = get_pod<std::uint32_t>(h);
   BNSGCN_CHECK_MSG(magic == kFrameMagic, "corrupt frame header");
   const auto kind = get_pod<std::uint32_t>(h + 4);
-  BNSGCN_CHECK_MSG(kind <= static_cast<std::uint32_t>(FrameKind::kEmpty),
+  BNSGCN_CHECK_MSG(kind <= static_cast<std::uint32_t>(FrameKind::kHaloDelta),
                    "corrupt frame kind");
   const auto nbytes = get_pod<std::uint64_t>(h + 12);
   if (buf_.size() - pos_ < kFrameHeaderBytes + nbytes) return false;
@@ -180,16 +180,36 @@ bool FrameDecoder::pop(Frame& out) {
 Frame wire_to_frame(const Wire& msg) {
   Frame f;
   f.tag = msg.tag;
-  if (msg.is_ids) {
-    f.kind = FrameKind::kIds;
-    f.payload.resize(msg.ids.size() * sizeof(NodeId));
-    if (!f.payload.empty())
-      std::memcpy(f.payload.data(), msg.ids.data(), f.payload.size());
-  } else {
-    f.kind = FrameKind::kFloats;
-    f.payload.resize(msg.floats.size() * sizeof(float));
-    if (!f.payload.empty())
-      std::memcpy(f.payload.data(), msg.floats.data(), f.payload.size());
+  const std::size_t id_bytes = msg.ids.size() * sizeof(NodeId);
+  const std::size_t float_bytes = msg.floats.size() * sizeof(float);
+  switch (msg.kind) {
+    case WireKind::kIds:
+      f.kind = FrameKind::kIds;
+      f.payload.resize(id_bytes);
+      if (id_bytes > 0)
+        std::memcpy(f.payload.data(), msg.ids.data(), id_bytes);
+      break;
+    case WireKind::kFloats:
+      f.kind = FrameKind::kFloats;
+      f.payload.resize(float_bytes);
+      if (float_bytes > 0)
+        std::memcpy(f.payload.data(), msg.floats.data(), float_bytes);
+      break;
+    case WireKind::kHaloDelta:
+      // u64 index count, then the index list, then the rows — the only
+      // frame carrying two payload vectors, so the count makes the split
+      // explicit (the receiver must not infer it from the row width).
+      f.kind = FrameKind::kHaloDelta;
+      f.payload.reserve(sizeof(std::uint64_t) + id_bytes + float_bytes);
+      put_u64(f.payload, static_cast<std::uint64_t>(msg.ids.size()));
+      f.payload.resize(sizeof(std::uint64_t) + id_bytes + float_bytes);
+      if (id_bytes > 0)
+        std::memcpy(f.payload.data() + sizeof(std::uint64_t), msg.ids.data(),
+                    id_bytes);
+      if (float_bytes > 0)
+        std::memcpy(f.payload.data() + sizeof(std::uint64_t) + id_bytes,
+                    msg.floats.data(), float_bytes);
+      break;
   }
   return f;
 }
@@ -198,16 +218,35 @@ Wire frame_to_wire(Frame f) {
   Wire msg;
   msg.tag = f.tag;
   if (f.kind == FrameKind::kIds) {
-    msg.is_ids = true;
+    msg.kind = WireKind::kIds;
     msg.ids.resize(f.payload.size() / sizeof(NodeId));
+    if (!f.payload.empty())
+      std::memcpy(msg.ids.data(), f.payload.data(), f.payload.size());
+  } else if (f.kind == FrameKind::kHaloDelta) {
+    msg.kind = WireKind::kHaloDelta;
+    BNSGCN_CHECK(f.payload.size() >= sizeof(std::uint64_t));
+    const auto nids = get_pod<std::uint64_t>(f.payload.data());
+    const std::size_t id_bytes =
+        static_cast<std::size_t>(nids) * sizeof(NodeId);
+    BNSGCN_CHECK(f.payload.size() >= sizeof(std::uint64_t) + id_bytes);
+    const std::size_t float_bytes =
+        f.payload.size() - sizeof(std::uint64_t) - id_bytes;
+    msg.ids.resize(static_cast<std::size_t>(nids));
+    msg.floats.resize(float_bytes / sizeof(float));
+    if (id_bytes > 0)
+      std::memcpy(msg.ids.data(), f.payload.data() + sizeof(std::uint64_t),
+                  id_bytes);
+    if (float_bytes > 0)
+      std::memcpy(msg.floats.data(),
+                  f.payload.data() + sizeof(std::uint64_t) + id_bytes,
+                  float_bytes);
   } else {
     BNSGCN_CHECK(f.kind == FrameKind::kFloats);
+    msg.kind = WireKind::kFloats;
     msg.floats.resize(f.payload.size() / sizeof(float));
+    if (!f.payload.empty())
+      std::memcpy(msg.floats.data(), f.payload.data(), f.payload.size());
   }
-  if (!f.payload.empty())
-    std::memcpy(msg.is_ids ? static_cast<void*>(msg.ids.data())
-                           : static_cast<void*>(msg.floats.data()),
-                f.payload.data(), f.payload.size());
   return msg;
 }
 

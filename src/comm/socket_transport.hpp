@@ -20,11 +20,14 @@ struct SocketEndpoints {
 
 /// Payload kind carried by a frame. kEmpty frames are zero-byte control
 /// messages (barrier ping/ack); kDoubles carry collective scalars.
+/// kHaloDelta is the halo cache's miss-only frame: a u64 index count,
+/// the NodeId index list, then the float rows (docs/ARCHITECTURE.md §9).
 enum class FrameKind : std::uint32_t {
   kFloats = 0,
   kIds = 1,
   kDoubles = 2,
   kEmpty = 3,
+  kHaloDelta = 4,
 };
 
 /// One length-prefixed message as it crosses a socket. The wire layout is

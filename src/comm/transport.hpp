@@ -30,13 +30,19 @@ class ShutdownError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// One tagged message as the transport moves it. Exactly one of
-/// floats/ids is populated (`is_ids` says which); `hold` is the mailbox
-/// delivery-shuffle counter and is zero everywhere else.
+/// Payload kind of a Wire message. kFloats/kIds populate exactly one of
+/// the two vectors; kHaloDelta — the halo cache's miss-only frame
+/// (docs/ARCHITECTURE.md §9) — carries both: `ids` lists which positions
+/// of the exchange's row list are actually present, `floats` their rows.
+enum class WireKind : std::uint8_t { kFloats = 0, kIds = 1, kHaloDelta = 2 };
+
+/// One tagged message as the transport moves it. `kind` says which payload
+/// vectors are populated; `hold` is the mailbox delivery-shuffle counter
+/// and is zero everywhere else.
 struct Wire {
   int tag = 0;
   int hold = 0;
-  bool is_ids = false;
+  WireKind kind = WireKind::kFloats;
   std::vector<float> floats;
   std::vector<NodeId> ids;
 };

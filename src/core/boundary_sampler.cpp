@@ -92,11 +92,17 @@ EpochPlan BoundarySampler::plan_from_draw(const EpochDraw& draw) {
   // negotiated kept positions); full_plan fills them structurally.
   plan.send_rows.resize(static_cast<std::size_t>(lg_.nparts));
   plan.recv_slots.resize(static_cast<std::size_t>(lg_.nparts));
+  plan.send_pos.resize(static_cast<std::size_t>(lg_.nparts));
+  plan.recv_pos.resize(static_cast<std::size_t>(lg_.nparts));
   for (PartId j = 0; j < lg_.nparts; ++j) {
-    for (const NodeId h : lg_.recv_halo[static_cast<std::size_t>(j)]) {
-      const NodeId slot = compact[static_cast<std::size_t>(h)];
-      if (slot >= 0)
+    const auto& structural = lg_.recv_halo[static_cast<std::size_t>(j)];
+    for (std::size_t t = 0; t < structural.size(); ++t) {
+      const NodeId slot = compact[static_cast<std::size_t>(structural[t])];
+      if (slot >= 0) {
         plan.recv_slots[static_cast<std::size_t>(j)].push_back(slot);
+        plan.recv_pos[static_cast<std::size_t>(j)].push_back(
+            static_cast<NodeId>(t));
+      }
     }
   }
   return plan;
@@ -124,7 +130,7 @@ EpochPlan BoundarySampler::sample_epoch(comm::Endpoint& ep, int tag) {
   for (PartId j = 0; j < lg_.nparts; ++j) {
     const auto& our_rows = lg_.send_sets[static_cast<std::size_t>(j)];
     if (our_rows.empty()) continue;
-    const auto positions = ep.recv_ids(j, tag, comm::TrafficClass::kControl);
+    auto positions = ep.recv_ids(j, tag, comm::TrafficClass::kControl);
     auto& rows = plan.send_rows[static_cast<std::size_t>(j)];
     rows.reserve(positions.size());
     for (const NodeId t : positions) {
@@ -132,6 +138,10 @@ EpochPlan BoundarySampler::sample_epoch(comm::Endpoint& ep, int tag) {
                    t < static_cast<NodeId>(our_rows.size()));
       rows.push_back(our_rows[static_cast<std::size_t>(t)]);
     }
+    // The negotiated positions double as the sender-side cache key
+    // (EpochPlan::send_pos) — identical to the receiver's recv_pos for
+    // this pair, which is what keeps the two directories in lockstep.
+    plan.send_pos[static_cast<std::size_t>(j)] = std::move(positions);
   }
   return plan;
 }
@@ -152,6 +162,19 @@ EpochPlan BoundarySampler::full_plan() const {
   plan.halo_scale = 1.0f;
   plan.send_rows = lg_.send_sets;
   plan.recv_slots = lg_.recv_halo; // slot == halo index when nothing dropped
+  // Nothing dropped → every structural position is kept, in order.
+  plan.send_pos.resize(static_cast<std::size_t>(lg_.nparts));
+  plan.recv_pos.resize(static_cast<std::size_t>(lg_.nparts));
+  for (PartId j = 0; j < lg_.nparts; ++j) {
+    auto& sp = plan.send_pos[static_cast<std::size_t>(j)];
+    sp.resize(lg_.send_sets[static_cast<std::size_t>(j)].size());
+    for (std::size_t t = 0; t < sp.size(); ++t)
+      sp[t] = static_cast<NodeId>(t);
+    auto& rp = plan.recv_pos[static_cast<std::size_t>(j)];
+    rp.resize(lg_.recv_halo[static_cast<std::size_t>(j)].size());
+    for (std::size_t t = 0; t < rp.size(); ++t)
+      rp[t] = static_cast<NodeId>(t);
+  }
   plan.dropped_edges = 0;
   return plan;
 }

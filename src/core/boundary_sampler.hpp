@@ -21,6 +21,16 @@ struct EpochPlan {
   std::vector<std::vector<NodeId>> recv_slots; // per peer: halo slot in
                                                // [0, n_kept_halo), ordered to
                                                // match the sender's rows
+  /// Structural positions backing send_rows / recv_slots: element t of
+  /// send_pos[j] is the index into LocalGraph::send_sets[j] whose row is
+  /// send_rows[j][t] (and symmetrically recv_pos[j] indexes recv_halo[j]).
+  /// Both sides sort their structural lists by global id, so position t
+  /// names the SAME node on the sender and the receiver — the stable,
+  /// epoch-invariant key the halo cache directories are stepped with
+  /// (core/halo_cache.hpp). Already negotiated by sample_epoch's kControl
+  /// exchange; recording it here adds zero traffic.
+  std::vector<std::vector<NodeId>> send_pos;
+  std::vector<std::vector<NodeId>> recv_pos;
   /// Dropped (arc) count vs the full local graph — reporting for Table 9.
   EdgeId dropped_edges = 0;
 };

@@ -1,0 +1,88 @@
+#include "core/halo_cache.hpp"
+
+#include "common/check.hpp"
+
+namespace bnsgcn::core {
+
+CacheStep HaloCacheDir::step(std::span<const NodeId> positions, int epoch,
+                             int max_age) {
+  ++step_id_;
+  CacheStep out;
+  out.action.reserve(positions.size());
+  out.slot.reserve(positions.size());
+
+  // Phase 1: bump the request frequency of every position, reordering
+  // cached entries under their new count. Done before any classification
+  // so eviction comparisons within this step see consistent frequencies.
+  NodeId prev = -1;
+  for (const NodeId p : positions) {
+    BNSGCN_CHECK_MSG(p > prev, "cache step positions must strictly increase");
+    prev = p;
+    auto [fit, inserted] = freq_.try_emplace(p, 0);
+    const auto eit = entries_.find(p);
+    if (eit != entries_.end()) order_.erase({fit->second, p});
+    ++fit->second;
+    if (eit != entries_.end()) order_.insert({fit->second, p});
+  }
+
+  // Phase 2: classify in list order.
+  for (const NodeId p : positions) {
+    const std::int64_t f = freq_.at(p);
+    const auto eit = entries_.find(p);
+    if (eit != entries_.end()) {
+      Entry& ent = eit->second;
+      ent.last_step = step_id_;
+      const bool fresh = max_age < 0 || epoch - ent.stored_epoch <= max_age;
+      if (fresh) {
+        out.action.push_back(CacheAction::kHit);
+        ++out.hits;
+      } else {
+        ent.stored_epoch = epoch;  // refreshed in place, same slot
+        out.action.push_back(CacheAction::kMissStore);
+        ++out.misses;
+      }
+      out.slot.push_back(ent.slot);
+      continue;
+    }
+    // Uncached position. While below capacity, slots fill densely (used
+    // slots are exactly [0, size)); once full, evict the least-frequently
+    // requested resident — but only on a strictly higher count, and never
+    // one touched by this step (its slot is being read right now).
+    if (static_cast<NodeId>(entries_.size()) < capacity_) {
+      const auto s = static_cast<NodeId>(entries_.size());
+      entries_.emplace(p, Entry{s, epoch, step_id_});
+      order_.insert({f, p});
+      out.action.push_back(CacheAction::kMissStore);
+      out.slot.push_back(s);
+      ++out.misses;
+      continue;
+    }
+    bool stored = false;
+    if (capacity_ > 0) {
+      auto vit = order_.begin();
+      while (vit != order_.end() &&
+             entries_.at(vit->second).last_step == step_id_)
+        ++vit;
+      if (vit != order_.end() && vit->first < f) {
+        const NodeId victim = vit->second;
+        const NodeId s = entries_.at(victim).slot;
+        order_.erase(vit);
+        entries_.erase(victim);
+        entries_.emplace(p, Entry{s, epoch, step_id_});
+        order_.insert({f, p});
+        out.action.push_back(CacheAction::kMissStore);
+        out.slot.push_back(s);
+        ++out.misses;
+        stored = true;
+      }
+    }
+    if (!stored) {
+      out.action.push_back(CacheAction::kMissSend);
+      out.slot.push_back(-1);
+      ++out.misses;
+    }
+  }
+  return out;
+}
+
+} // namespace bnsgcn::core

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bnsgcn::core {
+
+/// Outcome of one position of a cache step's request list.
+enum class CacheAction : std::uint8_t {
+  kHit = 0,        // receiver already holds the row: not sent
+  kMissStore = 1,  // sent; the receiver stores (or refreshes) it
+  kMissSend = 2,   // sent; not stored (no capacity, eviction not warranted)
+};
+
+/// One exchange's classification: per request position, whether the row
+/// travels and where the receiver keeps it. `slot` is the store row for
+/// kHit/kMissStore and -1 for kMissSend. hits + misses == positions.size().
+struct CacheStep {
+  std::vector<CacheAction> action;
+  std::vector<NodeId> slot;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+};
+
+/// Frequency-ordered directory of which boundary rows the remote end of one
+/// (peer, layer) channel already holds — the FGNN-style feature cache
+/// applied to the halo exchange (docs/ARCHITECTURE.md §9).
+///
+/// The directory is a pure deterministic function of the step sequence:
+/// sender and receiver feed it the identical structural-position lists the
+/// sampler already negotiates (EpochPlan::send_pos / recv_pos), so both
+/// sides agree on every hit/miss/eviction with ZERO extra control traffic.
+/// Because steps happen at post time, the state is independent of arrival
+/// order, thread count and overlap mode — the schedule-fuzz cache axis
+/// pins exactly that.
+///
+/// Eviction: capacity-bounded, least-frequently-requested first (ties
+/// broken by position; a tie never evicts, so a marginal newcomer cannot
+/// thrash a resident row). Rows requested in the current step are pinned —
+/// a slot being read this exchange is never reused by it.
+class HaloCacheDir {
+ public:
+  explicit HaloCacheDir(NodeId capacity_rows = 0)
+      : capacity_(capacity_rows > 0 ? capacity_rows : 0) {}
+
+  /// Classify one exchange's request list (strictly increasing structural
+  /// positions). `max_age` bounds staleness for cached rows: a row stored
+  /// at epoch e hits through epoch e + max_age and is refreshed (resent
+  /// and restored) after; max_age < 0 means values never go stale
+  /// (layer-0 input features are epoch-invariant).
+  [[nodiscard]] CacheStep step(std::span<const NodeId> positions, int epoch,
+                               int max_age);
+
+  [[nodiscard]] NodeId capacity() const { return capacity_; }
+  [[nodiscard]] NodeId size() const {
+    return static_cast<NodeId>(entries_.size());
+  }
+
+ private:
+  struct Entry {
+    NodeId slot = 0;
+    int stored_epoch = 0;
+    std::int64_t last_step = 0;  // pin against same-step eviction
+  };
+
+  NodeId capacity_ = 0;
+  std::int64_t step_id_ = 0;
+  // Ordered containers only: iteration order is part of the cross-rank
+  // lockstep contract (the determinism lint's unordered-container rule
+  // polices exactly this path).
+  std::map<NodeId, Entry> entries_;      // cached position -> entry
+  std::map<NodeId, std::int64_t> freq_;  // every requested position
+  std::set<std::pair<std::int64_t, NodeId>> order_;  // (freq, pos), cached
+};
+
+} // namespace bnsgcn::core

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <exception>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "core/halo_cache.hpp"
 #include "nn/adam.hpp"
 #include "nn/gat_layer.hpp"
 #include "nn/loss.hpp"
@@ -145,6 +147,30 @@ class RankWorker {
     sampler_.emplace(lg_, so);
     full_plan_ = sampler_->full_plan();
 
+    // Halo cache (docs/ARCHITECTURE.md §9): one send/recv directory pair
+    // per (layer, peer). Layer 0 always caches when enabled (its input
+    // features are epoch-invariant); deeper layers only under a positive
+    // staleness bound. Capacity is rows per (peer, layer, direction) at
+    // that layer's feature width. The recv-side row store grows lazily —
+    // slots fill densely, so memory tracks actual use, not the budget.
+    if (cfg_.cache_mb > 0) {
+      cache_.resize(static_cast<std::size_t>(cfg_.num_layers));
+      for (int l = 0; l < cfg_.num_layers; ++l) {
+        if (l > 0 && cfg_.cache_staleness <= 0) continue;
+        const std::int64_t d = (l == 0) ? ds.feat_dim() : cfg_.hidden;
+        const std::int64_t cap =
+            cfg_.cache_mb * (1 << 20) /
+            (d * static_cast<std::int64_t>(sizeof(float)));
+        auto& per_peer = cache_[static_cast<std::size_t>(l)];
+        per_peer.resize(static_cast<std::size_t>(ep_.nranks()));
+        for (auto& pc : per_peer) {
+          pc.send_dir = HaloCacheDir(static_cast<NodeId>(
+              std::min<std::int64_t>(cap, std::numeric_limits<NodeId>::max())));
+          pc.recv_dir = HaloCacheDir(pc.send_dir.capacity());
+        }
+      }
+    }
+
     const float n_train_global = static_cast<float>(ds.train_nodes.size());
     inv_total_ = ds.multilabel
                      ? 1.0f / (n_train_global *
@@ -204,13 +230,15 @@ class RankWorker {
   /// Gather + send this layer's rows, receive the (scaled) halo block and
   /// return the assembled source-feature matrix [inner; halo]. Blocking
   /// form of the exchange, expressed through the same post/fold pair as
-  /// the pipeline so the payload layout exists exactly once.
+  /// the pipeline so the payload layout exists exactly once. `layer` is
+  /// the halo-cache channel (-1 bypasses the cache — evaluation must not
+  /// step the per-epoch directories).
   Matrix exchange_forward(const Matrix& h_inner, const EpochPlan& plan,
-                          float scale, int tag) {
+                          float scale, int tag, int layer) {
     const std::int64_t d = h_inner.cols();
     Matrix feats(lg_.n_inner() + plan.n_kept_halo, d);
     std::copy(h_inner.data(), h_inner.data() + h_inner.size(), feats.data());
-    PendingExchange px = post_forward(h_inner, plan, tag);
+    PendingExchange px = post_forward(h_inner, plan, tag, layer);
     fold_forward(px, plan, scale, feats, /*halo_row0=*/lg_.n_inner());
     return feats;
   }
@@ -248,6 +276,13 @@ class RankWorker {
     comm::RequestSet recvs;
     double sim_s = 0.0;   // simulated wire time of the whole exchange
     double tail_s = 0.0;  // slowest single recv-peer message (sim)
+    // Halo-cache state of this exchange: when `layer` names a cached
+    // channel, cache_steps[k] is peer k's recv-side classification (fixed
+    // at post time, so it is independent of arrival order — the
+    // determinism anchor of the whole cache).
+    int layer = -1;
+    bool cached = false;
+    std::vector<CacheStep> cache_steps;
     // Measured-timing capture (socket fabrics; also tracked on the mailbox
     // where it is simply unused). The Stopwatch starts when the exchange is
     // posted; span is frozen at the last receive completion — right after
@@ -257,33 +292,20 @@ class RankWorker {
     double wait_s = 0.0;       // portion of the span spent blocked in waits
   };
 
-  /// Simulated transfer time of one peer message of `rows` feature rows at
-  /// width d (one message: latency + bytes/bandwidth).
-  [[nodiscard]] double peer_msg_sim_s(std::size_t rows, std::int64_t d) const {
+  /// Simulated transfer time of one peer message of `bytes` payload bytes
+  /// (one message: latency + bytes/bandwidth).
+  [[nodiscard]] double msg_sim_s(std::int64_t bytes) const {
     return cfg_.cost.latency_s +
-           static_cast<double>(rows) * static_cast<double>(d) *
-               static_cast<double>(sizeof(float)) / cfg_.cost.bytes_per_s;
+           static_cast<double>(bytes) / cfg_.cost.bytes_per_s;
   }
 
-  /// Simulated seconds this plan's per-layer exchange occupies the wire at
-  /// feature width d (same latency+bandwidth law as RankStats::sim_seconds;
-  /// symmetric in tx/rx, so it covers the backward exchange too).
-  double plan_exchange_sim_s(const EpochPlan& plan, std::int64_t d) const {
-    std::int64_t tx_bytes = 0, rx_bytes = 0, tx_msgs = 0, rx_msgs = 0;
-    for (PartId j = 0; j < ep_.nranks(); ++j) {
-      const auto& rows = plan.send_rows[static_cast<std::size_t>(j)];
-      const auto& slots = plan.recv_slots[static_cast<std::size_t>(j)];
-      if (!rows.empty()) {
-        tx_bytes += static_cast<std::int64_t>(rows.size()) * d *
-                    static_cast<std::int64_t>(sizeof(float));
-        ++tx_msgs;
-      }
-      if (!slots.empty()) {
-        rx_bytes += static_cast<std::int64_t>(slots.size()) * d *
-                    static_cast<std::int64_t>(sizeof(float));
-        ++rx_msgs;
-      }
-    }
+  /// max(tx, rx) wire occupancy of one exchange from its accumulated byte
+  /// and message totals (same latency+bandwidth law as
+  /// RankStats::sim_seconds; full duplex, so the directions overlap).
+  [[nodiscard]] double duplex_sim_s(std::int64_t tx_bytes,
+                                    std::int64_t tx_msgs,
+                                    std::int64_t rx_bytes,
+                                    std::int64_t rx_msgs) const {
     const auto& cost = cfg_.cost;
     const double tx = static_cast<double>(tx_msgs) * cost.latency_s +
                       static_cast<double>(tx_bytes) / cost.bytes_per_s;
@@ -292,33 +314,161 @@ class RankWorker {
     return std::max(tx, rx);
   }
 
+  /// Cached layers: layer 0 whenever the cache is on (its rows are
+  /// epoch-invariant), deeper layers only under a positive staleness
+  /// bound. Backward exchanges carry gradients — never cached.
+  [[nodiscard]] bool cache_enabled(int layer) const {
+    return layer >= 0 && static_cast<std::size_t>(layer) < cache_.size() &&
+           !cache_[static_cast<std::size_t>(layer)].empty();
+  }
+
+  /// Staleness argument for a cached layer's directories: layer 0 never
+  /// goes stale; deeper layers refresh after cache_staleness epochs.
+  [[nodiscard]] int cache_max_age(int layer) const {
+    return layer == 0 ? -1 : cfg_.cache_staleness;
+  }
+
   /// Post the forward exchange: isend this layer's sampled rows of
-  /// h_inner, irecv the halo rows each owner will push to us.
+  /// h_inner (misses only on a cached channel), irecv the halo rows each
+  /// owner will push to us. Per-peer byte totals are accumulated while
+  /// posting — with the cache on, the message count is unchanged (every
+  /// peer still gets one frame, possibly empty) but miss-only payloads
+  /// shrink both the simulated exchange time and the straggler tail.
   PendingExchange post_forward(const Matrix& h_inner, const EpochPlan& plan,
-                               int tag) {
+                               int tag, int layer) {
     const std::int64_t d = h_inner.cols();
     PendingExchange px;
-    px.sim_s = plan_exchange_sim_s(plan, d);
+    px.layer = layer;
+    px.cached = cache_enabled(layer);
+    std::int64_t tx_bytes = 0, rx_bytes = 0, tx_msgs = 0, rx_msgs = 0;
     for (PartId j = 0; j < ep_.nranks(); ++j) {
       const auto& rows = plan.send_rows[static_cast<std::size_t>(j)];
       if (rows.empty()) continue;
-      std::vector<float> payload(rows.size() * static_cast<std::size_t>(d));
-      for (std::size_t t = 0; t < rows.size(); ++t) {
-        const float* s =
-            h_inner.data() + static_cast<std::int64_t>(rows[t]) * d;
-        std::copy(s, s + d, payload.data() + t * static_cast<std::size_t>(d));
+      ++tx_msgs;
+      if (!px.cached) {
+        auto payload =
+            ep_.acquire_floats(rows.size() * static_cast<std::size_t>(d));
+        for (std::size_t t = 0; t < rows.size(); ++t) {
+          const float* s =
+              h_inner.data() + static_cast<std::int64_t>(rows[t]) * d;
+          std::copy(s, s + d,
+                    payload.data() + t * static_cast<std::size_t>(d));
+        }
+        tx_bytes += static_cast<std::int64_t>(rows.size()) * d *
+                    static_cast<std::int64_t>(sizeof(float));
+        px.sends.push_back(ep_.isend_floats(j, tag, std::move(payload),
+                                            TrafficClass::kFeature));
+        continue;
       }
-      px.sends.push_back(
-          ep_.isend_floats(j, tag, std::move(payload), TrafficClass::kFeature));
+      // Cached channel: step the sender-side directory with the same
+      // structural positions the receiver steps its own with, then ship
+      // only the rows it classified as misses (index list + delta rows).
+      auto& pc = cache_[static_cast<std::size_t>(layer)]
+                       [static_cast<std::size_t>(j)];
+      const CacheStep cs = pc.send_dir.step(
+          plan.send_pos[static_cast<std::size_t>(j)], epoch_,
+          cache_max_age(layer));
+      std::vector<NodeId> present;
+      present.reserve(static_cast<std::size_t>(cs.misses));
+      for (std::size_t t = 0; t < rows.size(); ++t)
+        if (cs.action[t] != CacheAction::kHit)
+          present.push_back(static_cast<NodeId>(t));
+      auto payload = ep_.acquire_floats(present.size() *
+                                        static_cast<std::size_t>(d));
+      for (std::size_t m = 0; m < present.size(); ++m) {
+        const NodeId row = rows[static_cast<std::size_t>(present[m])];
+        const float* s = h_inner.data() + static_cast<std::int64_t>(row) * d;
+        std::copy(s, s + d, payload.data() + m * static_cast<std::size_t>(d));
+      }
+      tx_bytes += static_cast<std::int64_t>(payload.size() * sizeof(float)) +
+                  static_cast<std::int64_t>(present.size() * sizeof(NodeId));
+      px.sends.push_back(ep_.isend_halo(j, tag, std::move(present),
+                                        std::move(payload),
+                                        TrafficClass::kFeature));
     }
     for (PartId j = 0; j < ep_.nranks(); ++j) {
       const auto& slots = plan.recv_slots[static_cast<std::size_t>(j)];
       if (slots.empty()) continue;
       px.peers.push_back(j);
       (void)px.recvs.add(ep_.irecv_floats(j, tag, TrafficClass::kFeature));
-      px.tail_s = std::max(px.tail_s, peer_msg_sim_s(slots.size(), d));
+      ++rx_msgs;
+      std::int64_t peer_bytes = static_cast<std::int64_t>(slots.size()) * d *
+                                static_cast<std::int64_t>(sizeof(float));
+      if (px.cached) {
+        // Step the recv-side directory NOW (post time): the classification
+        // must not depend on when the peer's frame lands.
+        auto& pc = cache_[static_cast<std::size_t>(layer)]
+                         [static_cast<std::size_t>(j)];
+        CacheStep cs = pc.recv_dir.step(
+            plan.recv_pos[static_cast<std::size_t>(j)], epoch_,
+            cache_max_age(layer));
+        peer_bytes =
+            cs.misses * d * static_cast<std::int64_t>(sizeof(float)) +
+            cs.misses * static_cast<std::int64_t>(sizeof(NodeId));
+        ep_cache_hits_ += cs.hits;
+        ep_cache_misses_ += cs.misses;
+        ep_bytes_saved_ +=
+            cs.hits * d * static_cast<std::int64_t>(sizeof(float));
+        px.cache_steps.push_back(std::move(cs));
+      }
+      rx_bytes += peer_bytes;
+      px.tail_s = std::max(px.tail_s, msg_sim_s(peer_bytes));
     }
+    px.sim_s = duplex_sim_s(tx_bytes, tx_msgs, rx_bytes, rx_msgs);
     return px;
+  }
+
+  /// Resolve peer k's received message into this exchange's full row block
+  /// (list order, unscaled): the wire payload itself on an uncached
+  /// channel; on a cached one, hits materialize from the store and misses
+  /// are consumed from the frame in order (kMissStore rows also refresh
+  /// the store — raw wire bytes, so a later hit replays the identical
+  /// values). Returns either msg.floats or the persistent fold scratch.
+  std::span<float> slab_rows(PendingExchange& px, const EpochPlan& plan,
+                             std::size_t k, comm::Wire& msg, std::int64_t d) {
+    const auto j = static_cast<std::size_t>(px.peers[k]);
+    const auto& slots = plan.recv_slots[j];
+    if (!px.cached) {
+      BNSGCN_CHECK(msg.floats.size() ==
+                   slots.size() * static_cast<std::size_t>(d));
+      return msg.floats;
+    }
+    auto& pc = cache_[static_cast<std::size_t>(px.layer)][j];
+    const CacheStep& cs = px.cache_steps.at(k);
+    fold_scratch_.resize(slots.size() * static_cast<std::size_t>(d));
+    std::size_t next = 0;
+    for (std::size_t t = 0; t < slots.size(); ++t) {
+      float* dst = fold_scratch_.data() + t * static_cast<std::size_t>(d);
+      if (cs.action[t] == CacheAction::kHit) {
+        const float* src = pc.store.data() +
+                           static_cast<std::size_t>(cs.slot[t]) *
+                               static_cast<std::size_t>(d);
+        std::copy(src, src + d, dst);
+        continue;
+      }
+      // Divergence detector: the sender's directory must have classified
+      // exactly the same positions as misses, in the same order.
+      BNSGCN_CHECK_MSG(next < msg.ids.size() &&
+                           msg.ids[next] == static_cast<NodeId>(t),
+                       "halo cache directories diverged");
+      const float* src =
+          msg.floats.data() + next * static_cast<std::size_t>(d);
+      if (cs.action[t] == CacheAction::kMissStore) {
+        const auto need = (static_cast<std::size_t>(cs.slot[t]) + 1) *
+                          static_cast<std::size_t>(d);
+        if (pc.store.size() < need) pc.store.resize(need);
+        std::copy(src, src + d,
+                  pc.store.data() + static_cast<std::size_t>(cs.slot[t]) *
+                                        static_cast<std::size_t>(d));
+      }
+      std::copy(src, src + d, dst);
+      ++next;
+    }
+    BNSGCN_CHECK_MSG(next == msg.ids.size() &&
+                         next * static_cast<std::size_t>(d) ==
+                             msg.floats.size(),
+                     "halo delta frame size mismatch");
+    return fold_scratch_;
   }
 
   /// Complete the forward exchange: place each peer's rows into its
@@ -332,15 +482,16 @@ class RankWorker {
     for (std::size_t k = 0; k < px.recvs.size(); ++k) {
       const auto& slots =
           plan.recv_slots[static_cast<std::size_t>(px.peers[k])];
-      const auto payload = px.recvs.at(k).take_floats();
-      BNSGCN_CHECK(payload.size() == slots.size() * static_cast<std::size_t>(d));
+      comm::Wire msg = px.recvs.at(k).take_payload();
+      const auto rows = slab_rows(px, plan, k, msg, d);
       for (std::size_t t = 0; t < slots.size(); ++t) {
         float* out = dst.data() +
                      (static_cast<std::int64_t>(halo_row0) +
                       static_cast<std::int64_t>(slots[t])) * d;
-        const float* src = payload.data() + t * static_cast<std::size_t>(d);
+        const float* src = rows.data() + t * static_cast<std::size_t>(d);
         for (std::int64_t c = 0; c < d; ++c) out[c] = scale * src[c];
       }
+      ep_.release_floats(std::move(msg.floats));
     }
   }
 
@@ -351,11 +502,12 @@ class RankWorker {
                                 const EpochPlan& plan, float scale, int tag) {
     const std::int64_t d = dsrc.cols();
     PendingExchange px;
-    px.sim_s = plan_exchange_sim_s(plan, d);
+    std::int64_t tx_bytes = 0, rx_bytes = 0, tx_msgs = 0, rx_msgs = 0;
     for (PartId j = 0; j < ep_.nranks(); ++j) {
       const auto& slots = plan.recv_slots[static_cast<std::size_t>(j)];
       if (slots.empty()) continue;
-      std::vector<float> payload(slots.size() * static_cast<std::size_t>(d));
+      auto payload =
+          ep_.acquire_floats(slots.size() * static_cast<std::size_t>(d));
       for (std::size_t t = 0; t < slots.size(); ++t) {
         const float* src = dsrc.data() +
                            (static_cast<std::int64_t>(halo_row0) +
@@ -363,6 +515,9 @@ class RankWorker {
         float* dst = payload.data() + t * static_cast<std::size_t>(d);
         for (std::int64_t c = 0; c < d; ++c) dst[c] = scale * src[c];
       }
+      tx_bytes += static_cast<std::int64_t>(slots.size()) * d *
+                  static_cast<std::int64_t>(sizeof(float));
+      ++tx_msgs;
       px.sends.push_back(
           ep_.isend_floats(j, tag, std::move(payload), TrafficClass::kFeature));
     }
@@ -371,8 +526,14 @@ class RankWorker {
       if (rows.empty()) continue;
       px.peers.push_back(j);
       (void)px.recvs.add(ep_.irecv_floats(j, tag, TrafficClass::kFeature));
-      px.tail_s = std::max(px.tail_s, peer_msg_sim_s(rows.size(), d));
+      const std::int64_t peer_bytes = static_cast<std::int64_t>(rows.size()) *
+                                      d *
+                                      static_cast<std::int64_t>(sizeof(float));
+      rx_bytes += peer_bytes;
+      ++rx_msgs;
+      px.tail_s = std::max(px.tail_s, msg_sim_s(peer_bytes));
     }
+    px.sim_s = duplex_sim_s(tx_bytes, tx_msgs, rx_bytes, rx_msgs);
     return px;
   }
 
@@ -383,13 +544,15 @@ class RankWorker {
     const std::int64_t d = dinner.cols();
     for (std::size_t k = 0; k < px.recvs.size(); ++k) {
       const auto& rows = plan.send_rows[static_cast<std::size_t>(px.peers[k])];
-      const auto payload = px.recvs.at(k).take_floats();
-      BNSGCN_CHECK(payload.size() == rows.size() * static_cast<std::size_t>(d));
+      comm::Wire msg = px.recvs.at(k).take_payload();
+      BNSGCN_CHECK(msg.floats.size() ==
+                   rows.size() * static_cast<std::size_t>(d));
       for (std::size_t t = 0; t < rows.size(); ++t) {
         float* dst = dinner.data() + static_cast<std::int64_t>(rows[t]) * d;
-        const float* src = payload.data() + t * static_cast<std::size_t>(d);
+        const float* src = msg.floats.data() + t * static_cast<std::size_t>(d);
         for (std::int64_t c = 0; c < d; ++c) dst[c] += src[c];
       }
+      ep_.release_floats(std::move(msg.floats));
     }
   }
 
@@ -470,11 +633,11 @@ class RankWorker {
     void apply_ready(ApplyFn& apply, Accumulator& compute_acc) {
       const std::size_t n = arrived_.size();
       while (next_ < n && arrived_[next_]) {
-        auto payload = px_.recvs.at(next_).take_floats();
+        comm::Wire msg = px_.recvs.at(next_).take_payload();
         Stopwatch sw;
         {
           ScopedTimer t(compute_acc);
-          apply(next_, std::move(payload));
+          apply(next_, std::move(msg));
         }
         if (stream_ && next_ + 1 < n) window_s_ += sw.elapsed_s();
         ++next_;
@@ -489,36 +652,44 @@ class RankWorker {
     double window_s_ = 0.0;
   };
 
-  /// Forward fold: scale the slab and hand it to the layer's incremental
-  /// protocol. Fold work is billed to the compute accumulator by the
-  /// driver (it is compute the rank performs in every mode).
+  /// Forward fold: resolve the slab (cache-aware), scale it, and hand it
+  /// to the layer's incremental protocol. Fold work is billed to the
+  /// compute accumulator by the driver (it is compute the rank performs in
+  /// every mode). Scaling happens on the assembled slab in the same
+  /// element order as the uncached in-place scale, so the fp stream is
+  /// unchanged by the cache.
   auto make_forward_fold(PendingExchange& px, const EpochPlan& plan,
-                         nn::Layer& layer, float scale) {
-    return [&px, &plan, &layer, scale](std::size_t k,
-                                       std::vector<float> payload) {
+                         nn::Layer& layer, float scale, std::int64_t d) {
+    return [this, &px, &plan, &layer, scale, d](std::size_t k,
+                                                comm::Wire msg) {
       const auto& slots =
           plan.recv_slots[static_cast<std::size_t>(px.peers[k])];
+      const auto rows = slab_rows(px, plan, k, msg, d);
       if (scale != 1.0f)
-        for (float& v : payload) v *= scale;
-      layer.forward_halo_fold(plan.adj, slots, payload);
+        for (float& v : rows) v *= scale;
+      layer.forward_halo_fold(plan.adj, slots, rows);
+      ep_.release_floats(std::move(msg.floats));
     };
   }
 
   /// Backward fold: scatter-add the peer's gradient slab into the inner
   /// block, in fixed peer order (the accumulation order every mode shares
-  /// — fp addition is not associative, so this is load-bearing).
+  /// — fp addition is not associative, so this is load-bearing). The
+  /// backward direction is never cached, so the slab IS the wire payload.
   auto make_backward_fold(PendingExchange& px, const EpochPlan& plan,
                           Matrix& dinner) {
-    return [&px, &plan, &dinner](std::size_t k, std::vector<float> payload) {
+    return [this, &px, &plan, &dinner](std::size_t k, comm::Wire msg) {
       const std::int64_t d = dinner.cols();
       const auto& rows =
           plan.send_rows[static_cast<std::size_t>(px.peers[k])];
-      BNSGCN_CHECK(payload.size() == rows.size() * static_cast<std::size_t>(d));
+      BNSGCN_CHECK(msg.floats.size() ==
+                   rows.size() * static_cast<std::size_t>(d));
       for (std::size_t t = 0; t < rows.size(); ++t) {
         float* dst = dinner.data() + static_cast<std::int64_t>(rows[t]) * d;
-        const float* src = payload.data() + t * static_cast<std::size_t>(d);
+        const float* src = msg.floats.data() + t * static_cast<std::size_t>(d);
         for (std::int64_t c = 0; c < d; ++c) dst[c] += src[c];
       }
+      ep_.release_floats(std::move(msg.floats));
     };
   }
 
@@ -539,6 +710,13 @@ class RankWorker {
     // at epoch *start* — each delta runs from the previous epoch's end.
     const comm::RankStats before = snap_;
     Accumulator compute_acc, sample_acc;
+    // Halo-cache epoch context: the directories age entries by epoch
+    // index, and the per-epoch counters reset here and ride the breakdown
+    // allgather below.
+    epoch_ = epoch;
+    ep_cache_hits_ = 0;
+    ep_cache_misses_ = 0;
+    ep_bytes_saved_ = 0;
 
     // ---- Sampling (Algorithm 1 lines 4-7) -----------------------------
     EpochPlan sampled_plan;
@@ -595,7 +773,7 @@ class RankWorker {
       auto& layer = *layers_[static_cast<std::size_t>(l)];
       if (use_phased_) {
         Matrix& h_in = h[static_cast<std::size_t>(l)];
-        PendingExchange px = post_forward(h_in, plan, tag);
+        PendingExchange px = post_forward(h_in, plan, tag, l);
         tail_acc += px.tail_s;
         if (mode == OverlapMode::kBlocking) {
           Stopwatch w;
@@ -616,7 +794,8 @@ class RankWorker {
           layer.forward_halo_begin(plan.adj, halo_inc);
         }
         FoldDriver fold(px, stream);
-        auto apply = make_forward_fold(px, plan, layer, plan.halo_scale);
+        auto apply =
+            make_forward_fold(px, plan, layer, plan.halo_scale, h_in.cols());
         const NodeId n_dst = plan.adj.n_dst;
         const NodeId step =
             cfg_.inner_chunk_rows > 0 ? cfg_.inner_chunk_rows : n_dst;
@@ -644,7 +823,7 @@ class RankWorker {
         }
       } else {
         Matrix feats = exchange_forward(h[static_cast<std::size_t>(l)], plan,
-                                        plan.halo_scale, tag);
+                                        plan.halo_scale, tag, l);
         if (cfg_.simulate_host_swap) host_swap(h[static_cast<std::size_t>(l)]);
         ScopedTimer t(compute_acc);
         h[static_cast<std::size_t>(l) + 1] = layer.forward(
@@ -804,7 +983,10 @@ class RankWorker {
         static_cast<double>(
             delta.rx_bytes[static_cast<int>(TrafficClass::kGradient)]),
         static_cast<double>(
-            delta.rx_bytes[static_cast<int>(TrafficClass::kControl)])};
+            delta.rx_bytes[static_cast<int>(TrafficClass::kControl)]),
+        static_cast<double>(ep_cache_hits_),
+        static_cast<double>(ep_cache_misses_),
+        static_cast<double>(ep_bytes_saved_)};
     const auto slots = ep_.allgather_doubles(local);
     if (ep_.rank() == 0) {
       EpochBreakdown eb;
@@ -816,6 +998,7 @@ class RankWorker {
       // the reported hidden time is one every rank actually achieved.
       eb.overlap_s = slots[0][3];
       double feature_rx = 0.0, grad_rx = 0.0, control_rx = 0.0;
+      double cache_hits = 0.0, cache_misses = 0.0, saved = 0.0;
       for (PartId i = 0; i < m; ++i) {
         const auto& s = slots[static_cast<std::size_t>(i)];
         eb.compute_s = std::max(eb.compute_s, s[0]);
@@ -828,10 +1011,16 @@ class RankWorker {
         feature_rx += s[7];
         grad_rx += s[8];
         control_rx += s[9];
+        cache_hits += s[10];
+        cache_misses += s[11];
+        saved += s[12];
       }
       eb.feature_bytes = static_cast<std::int64_t>(feature_rx);
       eb.grad_bytes = static_cast<std::int64_t>(grad_rx);
       eb.control_bytes = static_cast<std::int64_t>(control_rx);
+      eb.cache_hit_rows = static_cast<std::int64_t>(cache_hits);
+      eb.cache_miss_rows = static_cast<std::int64_t>(cache_misses);
+      eb.bytes_saved = static_cast<std::int64_t>(saved);
       result_.epochs.push_back(eb);
     }
     return loss_total;
@@ -843,7 +1032,7 @@ class RankWorker {
     Matrix h = x_local_;
     for (int l = 0; l < L; ++l) {
       const int tag = next_tag();
-      Matrix feats = exchange_forward(h, full_plan_, 1.0f, tag);
+      Matrix feats = exchange_forward(h, full_plan_, 1.0f, tag, /*layer=*/-1);
       h = layers_[static_cast<std::size_t>(l)]->forward(
           full_plan_.adj, feats, lg_.inv_full_degree, /*training=*/false);
     }
@@ -887,6 +1076,22 @@ class RankWorker {
   std::optional<nn::Adam> adam_;
   std::optional<BoundarySampler> sampler_;
   EpochPlan full_plan_;
+  // Halo cache (docs/ARCHITECTURE.md §9). cache_[l] is empty when layer l
+  // does not cache; otherwise one entry per peer. send_dir mirrors the
+  // peer's recv_dir for the channel we send on; recv_dir classifies what
+  // we receive, with `store` holding the raw (unscaled) wire rows of
+  // hits, indexed by the directory's dense slot ids.
+  struct LayerPeerCache {
+    HaloCacheDir send_dir;
+    HaloCacheDir recv_dir;
+    std::vector<float> store;
+  };
+  std::vector<std::vector<LayerPeerCache>> cache_;
+  std::vector<float> fold_scratch_; // cached-slab assembly, reused
+  std::int64_t ep_cache_hits_ = 0;
+  std::int64_t ep_cache_misses_ = 0;
+  std::int64_t ep_bytes_saved_ = 0;
+  int epoch_ = 0;
   Matrix swap_staging_;
   bool use_phased_ = false;
   float inv_total_ = 1.0f;
@@ -917,6 +1122,9 @@ EpochBreakdown mean_breakdown(std::span<const EpochBreakdown> epochs) {
     mean.feature_bytes += e.feature_bytes;
     mean.grad_bytes += e.grad_bytes;
     mean.control_bytes += e.control_bytes;
+    mean.cache_hit_rows += e.cache_hit_rows;
+    mean.cache_miss_rows += e.cache_miss_rows;
+    mean.bytes_saved += e.bytes_saved;
   }
   const auto n = static_cast<double>(epochs.size());
   mean.compute_s /= n;
@@ -929,6 +1137,9 @@ EpochBreakdown mean_breakdown(std::span<const EpochBreakdown> epochs) {
   mean.feature_bytes = static_cast<std::int64_t>(mean.feature_bytes / n);
   mean.grad_bytes = static_cast<std::int64_t>(mean.grad_bytes / n);
   mean.control_bytes = static_cast<std::int64_t>(mean.control_bytes / n);
+  mean.cache_hit_rows = static_cast<std::int64_t>(mean.cache_hit_rows / n);
+  mean.cache_miss_rows = static_cast<std::int64_t>(mean.cache_miss_rows / n);
+  mean.bytes_saved = static_cast<std::int64_t>(mean.bytes_saved / n);
   return mean;
 }
 

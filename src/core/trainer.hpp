@@ -63,6 +63,18 @@ struct EpochBreakdown {
   std::int64_t feature_bytes = 0; // global rx over all ranks
   std::int64_t grad_bytes = 0;
   std::int64_t control_bytes = 0;
+  /// Halo-cache accounting (TrainerConfig::cache_mb; all zero when the
+  /// cache is off). Counted on the receiving side and summed over ranks:
+  /// hit rows were served from the local store instead of the wire,
+  /// miss rows actually travelled. bytes_saved is the gross feature-byte
+  /// saving (hit rows × row bytes); the index-list overhead the delta
+  /// frames add is accounted honestly inside feature_bytes, so
+  /// feature_bytes + bytes_saved equals the uncached volume plus that
+  /// overhead. Deterministic (a pure function of the sampled plans), so
+  /// replay-compared like the byte counters above.
+  std::int64_t cache_hit_rows = 0;
+  std::int64_t cache_miss_rows = 0;
+  std::int64_t bytes_saved = 0;
   /// Whether comm/overlap/tail/reduce above are simulated from byte counts
   /// via the CostModel (mailbox fabric) or measured wall-clock spans
   /// (socket fabrics). compute_s/sample_s are measured either way.
@@ -163,6 +175,25 @@ struct TrainerConfig {
   /// forked-process runtimes. RunConfig.trainer.threads is the config-file
   /// spelling (serialized as "threads", absent → 1).
   int threads = 1;
+
+  /// Hot-boundary feature cache (core/halo_cache.hpp): per (peer, layer)
+  /// row budget in MiB for caching boundary rows the remote rank already
+  /// holds. 0 (default) disables the cache entirely. When enabled,
+  /// layer-0 input features — epoch-invariant — are sent once and then
+  /// referenced by index; capacity-bounded, frequency-ordered eviction
+  /// keeps the hot rows resident. With cache_staleness == 0 results are
+  /// bit-identical to the uncached path across every overlap mode, model
+  /// and transport (only layer 0 caches, and its rows never change).
+  /// RunConfig.comm.cache_mb is the config-file spelling; serialized only
+  /// when nonzero (absent → disabled back-compat).
+  std::int64_t cache_mb = 0;
+
+  /// Staleness bound for caching the deeper layers' activations (an
+  /// accuracy-vs-bytes knob the paper doesn't explore): a cached hidden
+  /// row may be reused for up to this many epochs before it is refreshed.
+  /// 0 (default) = exact — only the epoch-invariant layer-0 features
+  /// cache, training results are untouched. Ignored unless cache_mb > 0.
+  int cache_staleness = 0;
 
   /// Test-only: skip the rank×thread hardware clamp and run exactly
   /// `threads` lanes even when that oversubscribes the machine. This is

@@ -1,0 +1,19 @@
+// Fixture: hash containers in a cache-directory path (core/). A halo-cache
+// directory's iteration order decides slab layout and eviction victims on
+// both ends of a wire (docs/ARCHITECTURE.md §9), so *owning* an unordered
+// container here must fire; the annotated twin shows the sanctioned shape.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+void fill_directory() {
+  std::unordered_map<std::int64_t, std::int64_t> slots;
+  (void)slots;
+  // lint: allow(unordered-container) — hit-count scratch; slab order comes
+  // from the sorted position list, this map is never iterated.
+  std::unordered_map<std::int64_t, std::int64_t> freq;
+  (void)freq;
+}
+
+} // namespace fixture

@@ -1,0 +1,312 @@
+// Halo-cache unit + integration coverage (docs/ARCHITECTURE.md §9):
+//  - directory determinism: scripted step sequences pin exact actions,
+//    slots and the least-(freq, position) eviction order;
+//  - capacity boundaries: 0 (everything ships), exact fit, one row short;
+//  - cold-vs-warm bit identity at staleness 0 across overlap modes, both
+//    models, mailbox and UDS — the cache must be invisible to numerics;
+//  - staleness > 0 on deeper layers: losses drift but stay bounded;
+//  - config/breakdown JSON round trips and absent-key back-compat.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/run.hpp"
+#include "api/serialize.hpp"
+#include "core/halo_cache.hpp"
+#include "partition/metis_like.hpp"
+
+namespace bnsgcn {
+namespace {
+
+using core::CacheAction;
+using core::CacheStep;
+using core::HaloCacheDir;
+
+std::vector<CacheAction> actions_of(const CacheStep& s) { return s.action; }
+
+TEST(HaloCacheDir, ColdMissesStoreDenselyThenHit) {
+  HaloCacheDir dir(/*capacity_rows=*/4);
+  const std::vector<NodeId> pos = {0, 2, 5};
+  const CacheStep cold = dir.step(pos, /*epoch=*/0, /*max_age=*/-1);
+  EXPECT_EQ(actions_of(cold),
+            (std::vector<CacheAction>{CacheAction::kMissStore,
+                                      CacheAction::kMissStore,
+                                      CacheAction::kMissStore}));
+  EXPECT_EQ(cold.slot, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(cold.hits, 0);
+  EXPECT_EQ(cold.misses, 3);
+  EXPECT_EQ(dir.size(), 3);
+
+  const CacheStep warm = dir.step(pos, /*epoch=*/1, /*max_age=*/-1);
+  EXPECT_EQ(actions_of(warm),
+            (std::vector<CacheAction>{CacheAction::kHit, CacheAction::kHit,
+                                      CacheAction::kHit}));
+  EXPECT_EQ(warm.slot, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(warm.hits, 3);
+  EXPECT_EQ(warm.misses, 0);
+}
+
+TEST(HaloCacheDir, EvictionTakesLeastFrequentAndReusesItsSlot) {
+  HaloCacheDir dir(/*capacity_rows=*/2);
+  // Epochs 0-1 establish freq(0)=freq(1)=2 in slots 0 and 1.
+  (void)dir.step(std::vector<NodeId>{0, 1}, 0, -1);
+  (void)dir.step(std::vector<NodeId>{0, 1}, 1, -1);
+  // Epoch 2: position 7 appears once (freq 1 < 2) — no eviction, ships.
+  const CacheStep s2 = dir.step(std::vector<NodeId>{0, 7}, 2, -1);
+  EXPECT_EQ(s2.action[0], CacheAction::kHit);
+  EXPECT_EQ(s2.action[1], CacheAction::kMissSend);
+  EXPECT_EQ(s2.slot[1], -1);
+  // Epochs 3-5: position 7 keeps recurring; once its frequency strictly
+  // exceeds the coldest resident (1, now at freq 2 vs 7's growing count),
+  // it evicts 1 and inherits slot 1.
+  (void)dir.step(std::vector<NodeId>{0, 7}, 3, -1);
+  const CacheStep s4 = dir.step(std::vector<NodeId>{0, 7}, 4, -1);
+  EXPECT_EQ(s4.action[1], CacheAction::kMissStore);
+  EXPECT_EQ(s4.slot[1], 1); // victim's slot, not a fresh one
+  EXPECT_EQ(dir.size(), 2);
+  // And 1 now misses while 7 hits.
+  const CacheStep s5 = dir.step(std::vector<NodeId>{1, 7}, 5, -1);
+  EXPECT_EQ(s5.action[0], CacheAction::kMissSend);
+  EXPECT_EQ(s5.action[1], CacheAction::kHit);
+}
+
+TEST(HaloCacheDir, EntriesTouchedThisStepAreNeverEvicted) {
+  HaloCacheDir dir(/*capacity_rows=*/1);
+  (void)dir.step(std::vector<NodeId>{3}, 0, -1); // 3 resident, freq 1
+  // One step where 3 hits first and 9 would otherwise evict it: the
+  // pin must hold even though freq(9) ties freq(3) after phase 1.
+  const CacheStep s = dir.step(std::vector<NodeId>{3, 9}, 1, -1);
+  EXPECT_EQ(s.action[0], CacheAction::kHit);
+  EXPECT_EQ(s.action[1], CacheAction::kMissSend);
+  const CacheStep s2 = dir.step(std::vector<NodeId>{3}, 2, -1);
+  EXPECT_EQ(s2.action[0], CacheAction::kHit);
+}
+
+TEST(HaloCacheDir, CapacityBoundaries) {
+  const std::vector<NodeId> pos = {0, 1, 2};
+  // Zero capacity: pure pass-through, nothing ever stored.
+  HaloCacheDir none(0);
+  for (int e = 0; e < 3; ++e) {
+    const CacheStep s = none.step(pos, e, -1);
+    EXPECT_EQ(actions_of(s),
+              (std::vector<CacheAction>{CacheAction::kMissSend,
+                                        CacheAction::kMissSend,
+                                        CacheAction::kMissSend}));
+    EXPECT_EQ(none.size(), 0);
+  }
+  // Exact fit: every row resident from epoch 1 on.
+  HaloCacheDir fit(3);
+  (void)fit.step(pos, 0, -1);
+  EXPECT_EQ(fit.step(pos, 1, -1).hits, 3);
+  // One row short: exactly one position keeps shipping.
+  HaloCacheDir tight(2);
+  (void)tight.step(pos, 0, -1);
+  const CacheStep s = tight.step(pos, 1, -1);
+  EXPECT_EQ(s.hits, 2);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.action[2], CacheAction::kMissSend);
+}
+
+TEST(HaloCacheDir, StalenessBoundRefreshesInPlace) {
+  HaloCacheDir dir(4);
+  const std::vector<NodeId> pos = {0, 1};
+  (void)dir.step(pos, 0, /*max_age=*/1);
+  EXPECT_EQ(dir.step(pos, 1, 1).hits, 2); // age 1 <= bound
+  const CacheStep stale = dir.step(pos, 3, 1); // age 3 > bound
+  EXPECT_EQ(actions_of(stale),
+            (std::vector<CacheAction>{CacheAction::kMissStore,
+                                      CacheAction::kMissStore}));
+  EXPECT_EQ(stale.slot, (std::vector<NodeId>{0, 1})); // same slots, refreshed
+  EXPECT_EQ(dir.step(pos, 4, 1).hits, 2);
+}
+
+// ---- Integration: the cache through the full trainer --------------------
+
+Dataset cache_dataset(std::uint64_t seed = 61) {
+  SyntheticSpec spec;
+  spec.name = "halo-cache-test";
+  spec.n = 800;
+  spec.m = 8000;
+  spec.communities = 4;
+  spec.num_classes = 4;
+  spec.feat_dim = 24;
+  spec.p_intra = 0.9;
+  spec.feature_noise = 1.0;
+  spec.seed = seed;
+  return make_synthetic(spec);
+}
+
+api::RunConfig cache_config(core::ModelKind model, core::OverlapMode mode,
+                            NodeId chunk, std::int64_t cache_mb) {
+  api::RunConfig cfg;
+  cfg.method = api::Method::kBns;
+  cfg.trainer.num_layers = 2;
+  cfg.trainer.hidden = 16;
+  cfg.trainer.epochs = 4;
+  cfg.trainer.seed = 9;
+  cfg.trainer.sample_rate = 1.0f;
+  cfg.trainer.eval_every = 2;
+  cfg.trainer.model = model;
+  cfg.trainer.gat_heads = model == core::ModelKind::kGat ? 2 : 1;
+  cfg.comm.overlap = mode;
+  cfg.comm.inner_chunk_rows = chunk;
+  cfg.comm.cache_mb = cache_mb;
+  return cfg;
+}
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void expect_same_numerics(const api::RunReport& a, const api::RunReport& b,
+                          const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(a.train_loss.size(), b.train_loss.size());
+  for (std::size_t i = 0; i < a.train_loss.size(); ++i)
+    EXPECT_TRUE(bits_equal(a.train_loss[i], b.train_loss[i]))
+        << "loss bits diverged at epoch " << i;
+  EXPECT_TRUE(bits_equal(a.final_val, b.final_val));
+  EXPECT_TRUE(bits_equal(a.final_test, b.final_test));
+}
+
+TEST(HaloCacheTrainer, Staleness0IsBitIdenticalAcrossModesAndModels) {
+  const Dataset ds = cache_dataset();
+  const auto part = metis_like(ds.graph, 4);
+  for (const core::ModelKind model :
+       {core::ModelKind::kSage, core::ModelKind::kGat}) {
+    for (const auto& [mode, chunk] :
+         {std::pair{core::OverlapMode::kBlocking, NodeId{0}},
+          std::pair{core::OverlapMode::kBulk, NodeId{0}},
+          std::pair{core::OverlapMode::kStream, NodeId{0}},
+          std::pair{core::OverlapMode::kStream, NodeId{48}}}) {
+      const std::string what =
+          std::string(model == core::ModelKind::kGat ? "gat" : "sage") +
+          " mode=" + std::to_string(static_cast<int>(mode)) +
+          " chunk=" + std::to_string(chunk);
+      const api::RunReport plain =
+          api::run(ds, part, cache_config(model, mode, chunk, 0));
+      const api::RunReport cached =
+          api::run(ds, part, cache_config(model, mode, chunk, 8));
+      expect_same_numerics(plain, cached, what);
+      // The cache must actually engage: layer-0 rows repeat every epoch.
+      EXPECT_GT(cached.cache_hit_rows(), 0) << what;
+      EXPECT_GT(cached.cache_bytes_saved(), 0) << what;
+      EXPECT_EQ(plain.cache_hit_rows(), 0) << what;
+      // Warm epochs ship strictly fewer feature bytes.
+      ASSERT_EQ(plain.epochs.size(), cached.epochs.size());
+      for (std::size_t e = 1; e < plain.epochs.size(); ++e)
+        EXPECT_LT(cached.epochs[e].feature_bytes,
+                  plain.epochs[e].feature_bytes)
+            << what << " epoch " << e;
+    }
+  }
+}
+
+TEST(HaloCacheTrainer, UdsMatchesMailboxWithCacheOn) {
+  const Dataset ds = cache_dataset(67);
+  const auto part = metis_like(ds.graph, 2);
+  auto cfg = cache_config(core::ModelKind::kSage, core::OverlapMode::kStream,
+                          0, 4);
+  cfg.comm.transport = comm::TransportKind::kMailbox;
+  const api::RunReport mbox = api::run(ds, part, cfg);
+  cfg.comm.transport = comm::TransportKind::kUds;
+  const api::RunReport sock = api::run(ds, part, cfg);
+  expect_same_numerics(mbox, sock, "cached uds vs mailbox");
+  ASSERT_EQ(mbox.epochs.size(), sock.epochs.size());
+  for (std::size_t e = 0; e < mbox.epochs.size(); ++e) {
+    EXPECT_EQ(mbox.epochs[e].feature_bytes, sock.epochs[e].feature_bytes);
+    EXPECT_EQ(mbox.epochs[e].cache_hit_rows, sock.epochs[e].cache_hit_rows);
+    EXPECT_EQ(mbox.epochs[e].bytes_saved, sock.epochs[e].bytes_saved);
+  }
+  EXPECT_GT(sock.cache_hit_rows(), 0);
+}
+
+TEST(HaloCacheTrainer, StalenessDriftStaysBounded) {
+  // Deeper-layer caching under a staleness bound replays rows up to two
+  // epochs old: losses legitimately drift off the exact run, but training
+  // must stay sane — finite losses, same downward trend, and a loose
+  // envelope against the exact run's final loss.
+  const Dataset ds = cache_dataset(71);
+  const auto part = metis_like(ds.graph, 4);
+  auto exact = cache_config(core::ModelKind::kSage,
+                            core::OverlapMode::kBlocking, 0, 0);
+  exact.trainer.epochs = 8;
+  auto stale = exact;
+  stale.comm.cache_mb = 8;
+  stale.comm.cache_staleness = 2;
+  const api::RunReport base = api::run(ds, part, exact);
+  const api::RunReport got = api::run(ds, part, stale);
+  ASSERT_EQ(base.train_loss.size(), got.train_loss.size());
+  for (const double l : got.train_loss) {
+    EXPECT_TRUE(std::isfinite(l));
+    EXPECT_GT(l, 0.0);
+  }
+  // Still learning: the stale run's final loss beats its own first epoch.
+  EXPECT_LT(got.train_loss.back(), got.train_loss.front());
+  // Loose drift envelope vs the exact trajectory.
+  EXPECT_NEAR(got.train_loss.back(), base.train_loss.back(),
+              0.5 * base.train_loss.front());
+  // Deeper layers cached → hits beyond what layer 0 alone would produce.
+  EXPECT_GT(got.cache_hit_rows(), 0);
+}
+
+// ---- JSON round trips ---------------------------------------------------
+
+TEST(HaloCacheJson, ConfigRoundTripsAndAbsentKeysDisable) {
+  api::RunConfig cfg;
+  cfg.comm.cache_mb = 6;
+  cfg.comm.cache_staleness = 1;
+  cfg.trainer.cache_mb = 6;
+  cfg.trainer.cache_staleness = 1;
+  const api::RunConfig rt =
+      api::run_config_from_json_string(api::to_json_string(cfg, 0));
+  EXPECT_EQ(rt.comm.cache_mb, 6);
+  EXPECT_EQ(rt.comm.cache_staleness, 1);
+  EXPECT_EQ(rt.trainer.cache_mb, 6);
+  EXPECT_EQ(rt.trainer.cache_staleness, 1);
+
+  // Uncached configs don't even mention the keys (old artifacts stay
+  // byte-identical), and configs written before the cache existed load
+  // with it disabled.
+  api::RunConfig plain;
+  const std::string text = api::to_json_string(plain, 0);
+  EXPECT_EQ(text.find("cache_mb"), std::string::npos);
+  const api::RunConfig old = api::run_config_from_json_string(
+      R"({"method":"bns","comm":{"overlap":"bulk"}})");
+  EXPECT_EQ(old.comm.cache_mb, 0);
+  EXPECT_EQ(old.comm.cache_staleness, 0);
+  EXPECT_EQ(old.trainer.cache_mb, 0);
+}
+
+TEST(HaloCacheJson, BreakdownCountersRoundTripAndDefaultToZero) {
+  core::EpochBreakdown eb;
+  eb.compute_s = 1.0;
+  eb.feature_bytes = 100;
+  eb.cache_hit_rows = 42;
+  eb.cache_miss_rows = 7;
+  eb.bytes_saved = 4200;
+  const core::EpochBreakdown rt =
+      api::breakdown_from_json(api::to_json(eb));
+  EXPECT_EQ(rt.cache_hit_rows, 42);
+  EXPECT_EQ(rt.cache_miss_rows, 7);
+  EXPECT_EQ(rt.bytes_saved, 4200);
+
+  // All-zero counters: keys absent (old-artifact byte identity) and the
+  // reader restores zeros.
+  core::EpochBreakdown plain;
+  plain.feature_bytes = 5;
+  const std::string text = api::to_json(plain).dump(0);
+  EXPECT_EQ(text.find("cache_hit_rows"), std::string::npos);
+  const core::EpochBreakdown back =
+      api::breakdown_from_json(json::Value::parse(text));
+  EXPECT_EQ(back.cache_hit_rows, 0);
+  EXPECT_EQ(back.bytes_saved, 0);
+}
+
+} // namespace
+} // namespace bnsgcn

@@ -33,12 +33,14 @@ std::string dump(const std::set<Key>& ks) {
 
 TEST(LintFixtures, EachRuleFiresExactlyWhereExpected) {
   const auto findings = bnsgcn::lint::lint_tree(BNSGCN_LINT_FIXTURES_DIR);
-  // One planted violation per rule. Every fixture also carries an
+  // One planted violation per rule (unordered-container gets a second,
+  // cache-directory-shaped probe in core/). Every fixture also carries an
   // allow-annotated twin (absent here == suppression works) and the
   // negative probes (std::this_thread, a for_blocks-region accumulation,
   // unordered containers outside ordering paths) must stay silent.
   const std::set<Key> expected = {
       {"comm/hash_router.cpp", 8, "unordered-container"},
+      {"core/halo_directory.cpp", 11, "unordered-container"},
       {"common/legacy.hpp", 1, "pragma-once"},
       {"common/legacy.hpp", 3, "using-namespace-std"},
       {"core/seeder.cpp", 7, "raw-random"},

@@ -60,13 +60,16 @@ struct Draw {
   int num_layers = 2;
   std::uint64_t model_seed = 7;
   int threads = 1;
+  std::int64_t cache_mb = 0;
+  int cache_staleness = 0;
 
   [[nodiscard]] std::string describe() const {
-    char buf[256];
+    char buf[320];
     std::snprintf(
         buf, sizeof(buf),
         "seed=%llu nparts=%d model=%s mode=%s chunk=%d shuffle=%llu "
-        "p=%.2f variant=%d layers=%d model_seed=%llu threads=%d",
+        "p=%.2f variant=%d layers=%d model_seed=%llu threads=%d "
+        "cache_mb=%lld staleness=%d",
         static_cast<unsigned long long>(seed), nparts,
         model == ModelKind::kGat ? "gat" : "sage",
         mode == OverlapMode::kBlocking
@@ -74,7 +77,8 @@ struct Draw {
             : (mode == OverlapMode::kBulk ? "bulk" : "stream"),
         chunk, static_cast<unsigned long long>(shuffle), sample_rate,
         static_cast<int>(variant), num_layers,
-        static_cast<unsigned long long>(model_seed), threads);
+        static_cast<unsigned long long>(model_seed), threads,
+        static_cast<long long>(cache_mb), cache_staleness);
     return buf;
   }
 };
@@ -108,6 +112,15 @@ Draw draw_from_seed(std::uint64_t seed) {
   // interleave even on a one-core CI box.
   const int thread_counts[] = {1, 2, 3, 4};
   d.threads = thread_counts[rng.next_below(4)];
+  // Halo-cache axis (docs/ARCHITECTURE.md §9): size 0 (off) half the time,
+  // else a small/large budget; staleness 0 (exact, layer-0 only) biased,
+  // with positive bounds exercising the deeper-layer refresh schedule.
+  // Both sides of a parity pair run the SAME cache config — the property
+  // under test is schedule-invariance of the cache decisions themselves.
+  const std::int64_t cache_sizes[] = {0, 0, 1, 4};
+  d.cache_mb = cache_sizes[rng.next_below(4)];
+  const int stalenesses[] = {0, 0, 1, 2};
+  d.cache_staleness = stalenesses[rng.next_below(4)];
   return d;
 }
 
@@ -155,6 +168,8 @@ TrainerConfig config_of(const Draw& d) {
   // Run the drawn lane count as-is even where nparts × threads exceeds the
   // machine: the point is schedule coverage, not speed.
   cfg.threads_oversubscribe = true;
+  cfg.cache_mb = d.cache_mb;
+  cfg.cache_staleness = d.cache_staleness;
   return cfg;
 }
 
@@ -194,7 +209,31 @@ void expect_parity(const TrainResult& base, const TrainResult& got,
     // The per-peer tail is a pure function of the sampled exchange sets.
     if (!bits_equal(base.epochs[i].comm_tail_s, got.epochs[i].comm_tail_s))
       return fail("comm_tail_s epoch " + std::to_string(i));
+    // Cache decisions step at post time from structural position lists, so
+    // hit/miss/saved counters must be schedule-invariant too.
+    if (base.epochs[i].cache_hit_rows != got.epochs[i].cache_hit_rows)
+      return fail("cache_hit_rows epoch " + std::to_string(i));
+    if (base.epochs[i].bytes_saved != got.epochs[i].bytes_saved)
+      return fail("bytes_saved epoch " + std::to_string(i));
   }
+}
+
+/// Loss-only bit parity: used to pin a staleness-0 cached run against the
+/// same draw with the cache off (bytes legitimately differ there).
+void expect_loss_parity(const TrainResult& base, const TrainResult& got,
+                        const Draw& d) {
+  const auto fail = [&d](const std::string& what) {
+    ADD_FAILURE() << "cache-vs-uncached divergence (" << what
+                  << ") — reproduce with: " << d.describe();
+  };
+  if (base.train_loss.size() != got.train_loss.size())
+    return fail("epoch count");
+  for (std::size_t e = 0; e < base.train_loss.size(); ++e) {
+    if (!bits_equal(base.train_loss[e], got.train_loss[e]))
+      return fail("train_loss epoch " + std::to_string(e));
+  }
+  if (!bits_equal(base.final_val, got.final_val)) return fail("final_val");
+  if (!bits_equal(base.final_test, got.final_test)) return fail("final_test");
 }
 
 TrainResult run_draw(const Draw& d, bool baseline) {
@@ -216,6 +255,15 @@ TEST(ScheduleFuzz, RandomizedSweep) {
     const TrainResult base = run_draw(d, /*baseline=*/true);
     const TrainResult got = run_draw(d, /*baseline=*/false);
     expect_parity(base, got, d);
+    // Exact cache (staleness 0): additionally pin the cached baseline's
+    // losses against the identical run with the cache off — the cache must
+    // be invisible to the numerics, not merely schedule-invariant.
+    if (d.cache_mb > 0 && d.cache_staleness == 0) {
+      Draw plain = d;
+      plain.cache_mb = 0;
+      const TrainResult uncached = run_draw(plain, /*baseline=*/true);
+      expect_loss_parity(uncached, base, d);
+    }
   }
 }
 
@@ -244,6 +292,38 @@ TEST(ScheduleFuzz, PinnedCornerMatrix) {
         const TrainResult got = run_draw(d, /*baseline=*/false);
         expect_parity(base, got, d);
       }
+    }
+  }
+}
+
+TEST(ScheduleFuzz, CachedCornerMatrix) {
+  // Deterministic cache corners that always run: an exact (staleness-0)
+  // cache under both pipelined modes and a mid-layer chunk, pinned against
+  // the cached blocking baseline (full parity, counters included) AND the
+  // uncached blocking run (loss bits — the cache must not touch numerics).
+  Draw d;
+  d.seed = 2;
+  d.nparts = 4;
+  d.model = ModelKind::kSage;
+  d.sample_rate = 0.5f;
+  d.num_layers = 2;
+  d.model_seed = 13;
+  d.cache_mb = 2;
+  d.cache_staleness = 0;
+  const TrainResult base = run_draw(d, /*baseline=*/true);
+  Draw plain = d;
+  plain.cache_mb = 0;
+  const TrainResult uncached = run_draw(plain, /*baseline=*/true);
+  expect_loss_parity(uncached, base, d);
+  for (const OverlapMode mode : {OverlapMode::kBulk, OverlapMode::kStream}) {
+    for (const NodeId chunk : {0, 37}) {
+      d.mode = mode;
+      d.chunk = chunk;
+      d.shuffle = 0xFADEDBEEFULL;
+      d.threads = 2;
+      SCOPED_TRACE(d.describe());
+      const TrainResult got = run_draw(d, /*baseline=*/false);
+      expect_parity(base, got, d);
     }
   }
 }

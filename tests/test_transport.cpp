@@ -121,25 +121,44 @@ TEST(FrameCodec, CorruptMagicThrows) {
 }
 
 TEST(FrameCodec, WireConversionRoundTrips) {
-  Wire floats{.tag = 9, .hold = 0, .is_ids = false,
+  Wire floats{.tag = 9, .hold = 0, .kind = comm::WireKind::kFloats,
               .floats = {1.5f, -2.0f, 3.25f}, .ids = {}};
   Wire got = comm::frame_to_wire(comm::wire_to_frame(floats));
   EXPECT_EQ(got.tag, 9);
-  EXPECT_FALSE(got.is_ids);
+  EXPECT_EQ(got.kind, comm::WireKind::kFloats);
   EXPECT_EQ(got.floats, floats.floats);
 
-  Wire ids{.tag = -7, .hold = 0, .is_ids = true, .floats = {},
+  Wire ids{.tag = -7, .hold = 0, .kind = comm::WireKind::kIds, .floats = {},
            .ids = {10, 20, 30}};
   got = comm::frame_to_wire(comm::wire_to_frame(ids));
   EXPECT_EQ(got.tag, -7);
-  EXPECT_TRUE(got.is_ids);
+  EXPECT_EQ(got.kind, comm::WireKind::kIds);
   EXPECT_EQ(got.ids, ids.ids);
 
-  Wire empty{.tag = 3, .hold = 0, .is_ids = false, .floats = {}, .ids = {}};
+  Wire empty{.tag = 3, .hold = 0, .kind = comm::WireKind::kFloats,
+             .floats = {}, .ids = {}};
   got = comm::frame_to_wire(comm::wire_to_frame(empty));
   EXPECT_EQ(got.tag, 3);
   EXPECT_TRUE(got.floats.empty());
   EXPECT_TRUE(got.ids.empty());
+
+  // The halo-delta frame is the only kind carrying both vectors: the index
+  // list of present rows plus their features must survive the round trip
+  // together, including the empty all-hits message.
+  Wire delta{.tag = 42, .hold = 0, .kind = comm::WireKind::kHaloDelta,
+             .floats = {0.5f, 1.5f, 2.5f, 3.5f}, .ids = {1, 3}};
+  got = comm::frame_to_wire(comm::wire_to_frame(delta));
+  EXPECT_EQ(got.tag, 42);
+  EXPECT_EQ(got.kind, comm::WireKind::kHaloDelta);
+  EXPECT_EQ(got.ids, delta.ids);
+  EXPECT_EQ(got.floats, delta.floats);
+
+  Wire all_hits{.tag = 5, .hold = 0, .kind = comm::WireKind::kHaloDelta,
+                .floats = {}, .ids = {}};
+  got = comm::frame_to_wire(comm::wire_to_frame(all_hits));
+  EXPECT_EQ(got.kind, comm::WireKind::kHaloDelta);
+  EXPECT_TRUE(got.ids.empty());
+  EXPECT_TRUE(got.floats.empty());
 }
 
 // ---------------------------------------------------------------------------
