@@ -92,6 +92,16 @@ rm -f "$CACHE_ARTIFACT"
 ./build/bench/bench_cache --scale 0.2 --json "$CACHE_ARTIFACT"
 ./build/bench/bench_replay "$CACHE_ARTIFACT" --rows 2
 
+# Serving smoke: bench_serve over the forked UDS runtime at 2 partitions —
+# its own gates exit non-zero if batch=32 serves below 2x the QPS of
+# batch=1 at >= 4 partitions, if socket queries/predictions/logits diverge
+# bitwise from the mailbox serve of the same config, or if a sweep point
+# drops queries (docs/ARCHITECTURE.md §10). The explicit ctest rerun calls
+# out a serve-determinism regression by name.
+ctest --test-dir build --output-on-failure -R test_serve
+./build/bench/bench_serve --transport uds --scale 0.25 --parts 2,4 \
+  --json build/serve_smoke.json
+
 # ---------------------------------------------------------------------------
 # Instrumented build matrix. One line per leg: `preset|targets|extra`.
 #   preset  — a CMakePresets.json configure preset (build dir build-$preset)
@@ -114,7 +124,7 @@ rm -f "$CACHE_ARTIFACT"
 INSTRUMENTED_LEGS=(
   "checked|test_ops test_transport test_trainer test_schedule_fuzz bench_overlap|./build-checked/bench/bench_overlap --scale 0.2 --epochs 2 --json build-checked/overlap_smoke.json"
   "tsan|test_thread_pool test_ops test_trainer test_schedule_fuzz|"
-  "asan|test_ops test_transport test_trainer test_schedule_fuzz bench_overlap|./build-asan/bench/bench_overlap --scale 0.2 --epochs 2 --json build-asan/overlap_smoke.json"
+  "asan|test_ops test_transport test_trainer test_serve test_schedule_fuzz bench_overlap|./build-asan/bench/bench_overlap --scale 0.2 --epochs 2 --json build-asan/overlap_smoke.json"
   "ubsan|test_ops test_transport test_trainer test_schedule_fuzz|"
 )
 for leg in "${INSTRUMENTED_LEGS[@]}"; do

@@ -1,5 +1,6 @@
 #include "api/cli.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -13,7 +14,10 @@ bool parse_double(const std::string& s, double& out) {
   try {
     std::size_t used = 0;
     out = std::stod(s, &used);
-    return used == s.size();
+    // Reject non-finite values at the parse: stod happily produces
+    // nan/inf, and "NaN <= 0" is false — so "--scale nan" used to pass
+    // every range check and only blow up deep inside the run.
+    return used == s.size() && std::isfinite(out);
   } catch (const std::exception&) {
     return false;
   }

@@ -5,6 +5,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -34,18 +35,12 @@ void write_fully(int fd, const std::string& payload) {
 
 } // namespace
 
-RunReport run_multiprocess(const Dataset& ds, const Partitioning& part,
-                           const RunConfig& cfg) {
-  const comm::TransportKind kind = cfg.comm.transport;
+std::string run_ranks_piped(comm::TransportKind kind, PartId nranks,
+                            const comm::CostModel& cost,
+                            const RankPayloadFn& rank_fn) {
   BNSGCN_CHECK_MSG(kind != comm::TransportKind::kMailbox,
                    "multi-process runs need a socket transport (uds or tcp)");
-  const core::TrainerConfig tcfg = engine_config(cfg);
-  const PartId m = part.nparts;
-
-  // Build the trainer — local graphs included — before forking: children
-  // inherit every read-only structure copy-on-write, so nothing crosses a
-  // serialization boundary on the way in.
-  core::BnsTrainer trainer(ds, part, tcfg);
+  const PartId m = nranks;
 
   // Every rank's listener is bound and listening before the first fork, so
   // connects cannot race the spawn order.
@@ -72,13 +67,9 @@ RunReport run_multiprocess(const Dataset& ds, const Partitioning& part,
             std::make_unique<comm::SocketTransport>(
                 r, group.endpoints,
                 group.listen_fds[static_cast<std::size_t>(r)]),
-            tcfg.cost);
-        core::TrainResult result = trainer.train_rank(fabric, r);
-        if (r == 0) {
-          write_fully(pipefd[1],
-                      to_json_string(RunReport::from_train_result(
-                          std::move(result), "bns", ds.name)));
-        }
+            cost);
+        const std::string payload = rank_fn(fabric, r);
+        if (r == 0) write_fully(pipefd[1], payload);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "[bnsgcn rank %d] %s\n", static_cast<int>(r),
                      e.what());
@@ -105,7 +96,12 @@ RunReport run_multiprocess(const Dataset& ds, const Partitioning& part,
     fd = -1;
   }
 
+  // Reports larger than PIPE_BUF arrive in several chunks, so the loop
+  // reads to EOF; only EOF ends it. A non-EINTR read error is recorded and
+  // raised after the children are reaped — silently treating it as EOF
+  // truncated the payload and misreported the failure as a missing report.
   std::string payload;
+  int read_err = 0;
   char buf[65536];
   for (;;) {
     const ssize_t n = ::read(pipefd[0], buf, sizeof buf);
@@ -113,7 +109,10 @@ RunReport run_multiprocess(const Dataset& ds, const Partitioning& part,
       payload.append(buf, static_cast<std::size_t>(n));
     } else if (n == 0) {
       break;
-    } else if (errno != EINTR) {
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      read_err = errno;
       break;
     }
   }
@@ -138,7 +137,31 @@ RunReport run_multiprocess(const Dataset& ds, const Partitioning& part,
     failed_msg += std::to_string(r);
   }
   BNSGCN_CHECK_MSG(failed.empty(), failed_msg);
+  BNSGCN_CHECK_MSG(read_err == 0,
+                   "report pipe read failed: " +
+                       std::string(std::strerror(read_err)));
   BNSGCN_CHECK_MSG(!payload.empty(), "rank 0 produced no report");
+  return payload;
+}
+
+RunReport run_multiprocess(const Dataset& ds, const Partitioning& part,
+                           const RunConfig& cfg) {
+  const core::TrainerConfig tcfg = engine_config(cfg);
+
+  // Build the trainer — local graphs included — before forking: children
+  // inherit every read-only structure copy-on-write, so nothing crosses a
+  // serialization boundary on the way in.
+  core::BnsTrainer trainer(ds, part, tcfg);
+
+  const std::string payload = run_ranks_piped(
+      cfg.comm.transport, part.nparts, tcfg.cost,
+      [&](comm::Fabric& fabric, PartId r) {
+        core::TrainResult result = trainer.train_rank(fabric, r);
+        if (r != 0) return std::string();
+        return to_json_string(RunReport::from_train_result(
+            std::move(result), "bns", ds.name));
+      });
+
   RunReport report = run_report_from_json_string(payload);
   if (report.method.empty()) report.method = "bns";
   if (report.dataset.empty()) report.dataset = ds.name;

@@ -1,8 +1,30 @@
 #pragma once
 
+#include <functional>
+#include <string>
+
 #include "api/run.hpp"
 
 namespace bnsgcn::api {
+
+/// One rank's body under the forked runtime: runs against that rank's
+/// socket fabric and returns the JSON payload to ship back to the parent
+/// (only rank 0's return value is read; other ranks return an empty
+/// string). Everything the body captures was built before the fork and is
+/// inherited copy-on-write.
+using RankPayloadFn = std::function<std::string(comm::Fabric&, PartId)>;
+
+/// Shared fork/pipe scaffolding of the multi-process runtimes (training
+/// and serving): bootstrap a socket group, fork one process per rank, run
+/// `rank_fn` in each child over its fabric, stream rank 0's payload back
+/// over a pipe, reap every child and name the failed ranks. The parent's
+/// read loop is partial-read-safe (payloads routinely exceed PIPE_BUF) and
+/// treats read errors other than EINTR as fatal — a failed read used to
+/// masquerade as EOF and surface as a bogus "produced no report".
+[[nodiscard]] std::string run_ranks_piped(comm::TransportKind kind,
+                                          PartId nranks,
+                                          const comm::CostModel& cost,
+                                          const RankPayloadFn& rank_fn);
 
 /// Multi-process BNS-GCN runtime: fork one OS process per partition, each
 /// running the unchanged core::BnsTrainer rank loop over a socket fabric

@@ -344,12 +344,14 @@ json::Value trainer_to_json(const core::TrainerConfig& t) {
   v.set("overlap", overlap_mode_name(t.overlap));
   v.set("inner_chunk_rows", static_cast<std::int64_t>(t.inner_chunk_rows));
   v.set("threads", t.threads);
-  // Halo-cache knobs: written only when the cache is on, so configs
-  // predating it (and uncached ones) round-trip byte-identical.
-  if (t.cache_mb > 0) {
-    v.set("cache_mb", t.cache_mb);
+  // Halo-cache knobs: written only when non-default, so configs predating
+  // them (and uncached ones) round-trip byte-identical. cache_staleness is
+  // keyed on its own value, not on cache_mb — gating it on the budget
+  // dropped a staleness set without a budget, so the round-tripped config
+  // silently lost the knob and a later cache_mb enable changed semantics.
+  if (t.cache_mb > 0) v.set("cache_mb", t.cache_mb);
+  if (t.cache_mb > 0 || t.cache_staleness != 0)
     v.set("cache_staleness", t.cache_staleness);
-  }
   // The per-epoch observer is a process-local callback, and the
   // fabric_shuffle_seed / threads_oversubscribe test-only knobs: not
   // serialized.
@@ -452,11 +454,11 @@ json::Value to_json(const RunConfig& cfg) {
   comm.set("inner_chunk_rows",
            static_cast<std::int64_t>(cfg.comm.inner_chunk_rows));
   comm.set("transport", comm::transport_kind_name(cfg.comm.transport));
-  // Cache knobs only when enabled (back-compat byte-identity, as above).
-  if (cfg.comm.cache_mb > 0) {
-    comm.set("cache_mb", cfg.comm.cache_mb);
+  // Cache knobs only when non-default (back-compat byte-identity, as
+  // above) — cache_staleness round-trips on its own value, not cache_mb's.
+  if (cfg.comm.cache_mb > 0) comm.set("cache_mb", cfg.comm.cache_mb);
+  if (cfg.comm.cache_mb > 0 || cfg.comm.cache_staleness != 0)
     comm.set("cache_staleness", cfg.comm.cache_staleness);
-  }
   v.set("comm", std::move(comm));
 
   v.set("minibatch", minibatch_to_json(cfg.minibatch));

@@ -1,0 +1,294 @@
+#include "core/halo_exchange.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bnsgcn::core {
+
+using comm::TrafficClass;
+
+HaloExchanger::HaloExchanger(comm::Endpoint& ep, const Options& opts)
+    : ep_(ep), opt_(opts) {
+  // Halo cache (docs/ARCHITECTURE.md §9): one send/recv directory pair
+  // per (layer, peer). Layer 0 always caches when enabled (its input
+  // features are epoch-invariant); deeper layers only under a positive
+  // staleness bound. Capacity is rows per (peer, layer, direction) at
+  // that layer's feature width. The recv-side row store grows lazily —
+  // slots fill densely, so memory tracks actual use, not the budget.
+  if (opt_.cache_mb > 0) {
+    cache_.resize(static_cast<std::size_t>(opt_.num_layers));
+    for (int l = 0; l < opt_.num_layers; ++l) {
+      if (l > 0 && opt_.cache_staleness <= 0) continue;
+      const std::int64_t d = (l == 0) ? opt_.feat_dim : opt_.hidden;
+      const std::int64_t cap =
+          opt_.cache_mb * (1 << 20) /
+          (d * static_cast<std::int64_t>(sizeof(float)));
+      auto& per_peer = cache_[static_cast<std::size_t>(l)];
+      per_peer.resize(static_cast<std::size_t>(ep_.nranks()));
+      for (auto& pc : per_peer) {
+        pc.send_dir = HaloCacheDir(static_cast<NodeId>(
+            std::min<std::int64_t>(cap, std::numeric_limits<NodeId>::max())));
+        pc.recv_dir = HaloCacheDir(pc.send_dir.capacity());
+      }
+    }
+  }
+}
+
+void HaloExchanger::begin_epoch(int epoch) {
+  epoch_ = epoch;
+  ep_cache_hits_ = 0;
+  ep_cache_misses_ = 0;
+  ep_bytes_saved_ = 0;
+}
+
+double HaloExchanger::msg_sim_s(std::int64_t bytes) const {
+  return opt_.cost.latency_s +
+         static_cast<double>(bytes) / opt_.cost.bytes_per_s;
+}
+
+double HaloExchanger::duplex_sim_s(std::int64_t tx_bytes, std::int64_t tx_msgs,
+                                   std::int64_t rx_bytes,
+                                   std::int64_t rx_msgs) const {
+  const auto& cost = opt_.cost;
+  const double tx = static_cast<double>(tx_msgs) * cost.latency_s +
+                    static_cast<double>(tx_bytes) / cost.bytes_per_s;
+  const double rx = static_cast<double>(rx_msgs) * cost.latency_s +
+                    static_cast<double>(rx_bytes) / cost.bytes_per_s;
+  return std::max(tx, rx);
+}
+
+PendingExchange HaloExchanger::post_forward(const Matrix& h_inner,
+                                            const EpochPlan& plan, int tag,
+                                            int layer) {
+  const std::int64_t d = h_inner.cols();
+  PendingExchange px;
+  px.layer = layer;
+  px.cached = cache_enabled(layer);
+  std::int64_t tx_bytes = 0, rx_bytes = 0, tx_msgs = 0, rx_msgs = 0;
+  for (PartId j = 0; j < ep_.nranks(); ++j) {
+    const auto& rows = plan.send_rows[static_cast<std::size_t>(j)];
+    if (rows.empty()) continue;
+    ++tx_msgs;
+    if (!px.cached) {
+      auto payload =
+          ep_.acquire_floats(rows.size() * static_cast<std::size_t>(d));
+      for (std::size_t t = 0; t < rows.size(); ++t) {
+        const float* s =
+            h_inner.data() + static_cast<std::int64_t>(rows[t]) * d;
+        std::copy(s, s + d,
+                  payload.data() + t * static_cast<std::size_t>(d));
+      }
+      tx_bytes += static_cast<std::int64_t>(rows.size()) * d *
+                  static_cast<std::int64_t>(sizeof(float));
+      px.sends.push_back(ep_.isend_floats(j, tag, std::move(payload),
+                                          TrafficClass::kFeature));
+      continue;
+    }
+    // Cached channel: step the sender-side directory with the same
+    // structural positions the receiver steps its own with, then ship
+    // only the rows it classified as misses (index list + delta rows).
+    auto& pc = cache_[static_cast<std::size_t>(layer)]
+                     [static_cast<std::size_t>(j)];
+    const CacheStep cs = pc.send_dir.step(
+        plan.send_pos[static_cast<std::size_t>(j)], epoch_,
+        cache_max_age(layer));
+    std::vector<NodeId> present;
+    present.reserve(static_cast<std::size_t>(cs.misses));
+    for (std::size_t t = 0; t < rows.size(); ++t)
+      if (cs.action[t] != CacheAction::kHit)
+        present.push_back(static_cast<NodeId>(t));
+    auto payload = ep_.acquire_floats(present.size() *
+                                      static_cast<std::size_t>(d));
+    for (std::size_t m = 0; m < present.size(); ++m) {
+      const NodeId row = rows[static_cast<std::size_t>(present[m])];
+      const float* s = h_inner.data() + static_cast<std::int64_t>(row) * d;
+      std::copy(s, s + d, payload.data() + m * static_cast<std::size_t>(d));
+    }
+    tx_bytes += static_cast<std::int64_t>(payload.size() * sizeof(float)) +
+                static_cast<std::int64_t>(present.size() * sizeof(NodeId));
+    px.sends.push_back(ep_.isend_halo(j, tag, std::move(present),
+                                      std::move(payload),
+                                      TrafficClass::kFeature));
+  }
+  for (PartId j = 0; j < ep_.nranks(); ++j) {
+    const auto& slots = plan.recv_slots[static_cast<std::size_t>(j)];
+    if (slots.empty()) continue;
+    px.peers.push_back(j);
+    (void)px.recvs.add(ep_.irecv_floats(j, tag, TrafficClass::kFeature));
+    ++rx_msgs;
+    std::int64_t peer_bytes = static_cast<std::int64_t>(slots.size()) * d *
+                              static_cast<std::int64_t>(sizeof(float));
+    if (px.cached) {
+      // Step the recv-side directory NOW (post time): the classification
+      // must not depend on when the peer's frame lands.
+      auto& pc = cache_[static_cast<std::size_t>(layer)]
+                       [static_cast<std::size_t>(j)];
+      CacheStep cs = pc.recv_dir.step(
+          plan.recv_pos[static_cast<std::size_t>(j)], epoch_,
+          cache_max_age(layer));
+      peer_bytes =
+          cs.misses * d * static_cast<std::int64_t>(sizeof(float)) +
+          cs.misses * static_cast<std::int64_t>(sizeof(NodeId));
+      ep_cache_hits_ += cs.hits;
+      ep_cache_misses_ += cs.misses;
+      ep_bytes_saved_ +=
+          cs.hits * d * static_cast<std::int64_t>(sizeof(float));
+      px.cache_steps.push_back(std::move(cs));
+    }
+    rx_bytes += peer_bytes;
+    px.tail_s = std::max(px.tail_s, msg_sim_s(peer_bytes));
+  }
+  px.sim_s = duplex_sim_s(tx_bytes, tx_msgs, rx_bytes, rx_msgs);
+  return px;
+}
+
+std::span<float> HaloExchanger::slab_rows(PendingExchange& px,
+                                          const EpochPlan& plan, std::size_t k,
+                                          comm::Wire& msg, std::int64_t d) {
+  const auto j = static_cast<std::size_t>(px.peers[k]);
+  const auto& slots = plan.recv_slots[j];
+  if (!px.cached) {
+    BNSGCN_CHECK(msg.floats.size() ==
+                 slots.size() * static_cast<std::size_t>(d));
+    return msg.floats;
+  }
+  auto& pc = cache_[static_cast<std::size_t>(px.layer)][j];
+  const CacheStep& cs = px.cache_steps.at(k);
+  fold_scratch_.resize(slots.size() * static_cast<std::size_t>(d));
+  std::size_t next = 0;
+  for (std::size_t t = 0; t < slots.size(); ++t) {
+    float* dst = fold_scratch_.data() + t * static_cast<std::size_t>(d);
+    if (cs.action[t] == CacheAction::kHit) {
+      const float* src = pc.store.data() +
+                         static_cast<std::size_t>(cs.slot[t]) *
+                             static_cast<std::size_t>(d);
+      std::copy(src, src + d, dst);
+      continue;
+    }
+    // Divergence detector: the sender's directory must have classified
+    // exactly the same positions as misses, in the same order.
+    BNSGCN_CHECK_MSG(next < msg.ids.size() &&
+                         msg.ids[next] == static_cast<NodeId>(t),
+                     "halo cache directories diverged");
+    const float* src =
+        msg.floats.data() + next * static_cast<std::size_t>(d);
+    if (cs.action[t] == CacheAction::kMissStore) {
+      const auto need = (static_cast<std::size_t>(cs.slot[t]) + 1) *
+                        static_cast<std::size_t>(d);
+      if (pc.store.size() < need) pc.store.resize(need);
+      std::copy(src, src + d,
+                pc.store.data() + static_cast<std::size_t>(cs.slot[t]) *
+                                      static_cast<std::size_t>(d));
+    }
+    std::copy(src, src + d, dst);
+    ++next;
+  }
+  BNSGCN_CHECK_MSG(next == msg.ids.size() &&
+                       next * static_cast<std::size_t>(d) ==
+                           msg.floats.size(),
+                   "halo delta frame size mismatch");
+  return fold_scratch_;
+}
+
+void HaloExchanger::fold_forward(PendingExchange& px, const EpochPlan& plan,
+                                 float scale, Matrix& dst, NodeId halo_row0) {
+  const std::int64_t d = dst.cols();
+  for (std::size_t k = 0; k < px.recvs.size(); ++k) {
+    const auto& slots =
+        plan.recv_slots[static_cast<std::size_t>(px.peers[k])];
+    comm::Wire msg = px.recvs.at(k).take_payload();
+    const auto rows = slab_rows(px, plan, k, msg, d);
+    for (std::size_t t = 0; t < slots.size(); ++t) {
+      float* out = dst.data() +
+                   (static_cast<std::int64_t>(halo_row0) +
+                    static_cast<std::int64_t>(slots[t])) * d;
+      const float* src = rows.data() + t * static_cast<std::size_t>(d);
+      for (std::int64_t c = 0; c < d; ++c) out[c] = scale * src[c];
+    }
+    ep_.release_floats(std::move(msg.floats));
+  }
+}
+
+PendingExchange HaloExchanger::post_backward(const Matrix& dsrc,
+                                             NodeId halo_row0,
+                                             const EpochPlan& plan,
+                                             float scale, int tag) {
+  const std::int64_t d = dsrc.cols();
+  PendingExchange px;
+  std::int64_t tx_bytes = 0, rx_bytes = 0, tx_msgs = 0, rx_msgs = 0;
+  for (PartId j = 0; j < ep_.nranks(); ++j) {
+    const auto& slots = plan.recv_slots[static_cast<std::size_t>(j)];
+    if (slots.empty()) continue;
+    auto payload =
+        ep_.acquire_floats(slots.size() * static_cast<std::size_t>(d));
+    for (std::size_t t = 0; t < slots.size(); ++t) {
+      const float* src = dsrc.data() +
+                         (static_cast<std::int64_t>(halo_row0) +
+                          static_cast<std::int64_t>(slots[t])) * d;
+      float* dst = payload.data() + t * static_cast<std::size_t>(d);
+      for (std::int64_t c = 0; c < d; ++c) dst[c] = scale * src[c];
+    }
+    tx_bytes += static_cast<std::int64_t>(slots.size()) * d *
+                static_cast<std::int64_t>(sizeof(float));
+    ++tx_msgs;
+    px.sends.push_back(
+        ep_.isend_floats(j, tag, std::move(payload), TrafficClass::kFeature));
+  }
+  for (PartId j = 0; j < ep_.nranks(); ++j) {
+    const auto& rows = plan.send_rows[static_cast<std::size_t>(j)];
+    if (rows.empty()) continue;
+    px.peers.push_back(j);
+    (void)px.recvs.add(ep_.irecv_floats(j, tag, TrafficClass::kFeature));
+    const std::int64_t peer_bytes = static_cast<std::int64_t>(rows.size()) *
+                                    d *
+                                    static_cast<std::int64_t>(sizeof(float));
+    rx_bytes += peer_bytes;
+    ++rx_msgs;
+    px.tail_s = std::max(px.tail_s, msg_sim_s(peer_bytes));
+  }
+  px.sim_s = duplex_sim_s(tx_bytes, tx_msgs, rx_bytes, rx_msgs);
+  return px;
+}
+
+void HaloExchanger::fold_backward(PendingExchange& px, const EpochPlan& plan,
+                                  Matrix& dinner) {
+  const std::int64_t d = dinner.cols();
+  for (std::size_t k = 0; k < px.recvs.size(); ++k) {
+    const auto& rows = plan.send_rows[static_cast<std::size_t>(px.peers[k])];
+    comm::Wire msg = px.recvs.at(k).take_payload();
+    BNSGCN_CHECK(msg.floats.size() ==
+                 rows.size() * static_cast<std::size_t>(d));
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      float* dst = dinner.data() + static_cast<std::int64_t>(rows[t]) * d;
+      const float* src = msg.floats.data() + t * static_cast<std::size_t>(d);
+      for (std::int64_t c = 0; c < d; ++c) dst[c] += src[c];
+    }
+    ep_.release_floats(std::move(msg.floats));
+  }
+}
+
+Matrix HaloExchanger::exchange_forward(const Matrix& h_inner, NodeId n_inner,
+                                       const EpochPlan& plan, float scale,
+                                       int tag, int layer) {
+  const std::int64_t d = h_inner.cols();
+  Matrix feats(n_inner + plan.n_kept_halo, d);
+  std::copy(h_inner.data(), h_inner.data() + h_inner.size(), feats.data());
+  PendingExchange px = post_forward(h_inner, plan, tag, layer);
+  fold_forward(px, plan, scale, feats, /*halo_row0=*/n_inner);
+  return feats;
+}
+
+Matrix HaloExchanger::exchange_backward(const Matrix& dfeats, NodeId n_inner,
+                                        const EpochPlan& plan, float scale,
+                                        int tag) {
+  const std::int64_t d = dfeats.cols();
+  PendingExchange px =
+      post_backward(dfeats, /*halo_row0=*/n_inner, plan, scale, tag);
+  Matrix dh(n_inner, d);
+  std::copy(dfeats.data(),
+            dfeats.data() + static_cast<std::int64_t>(n_inner) * d, dh.data());
+  fold_backward(px, plan, dh);
+  return dh;
+}
+
+} // namespace bnsgcn::core

@@ -1,0 +1,376 @@
+#include "core/inference.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "core/boundary_sampler.hpp"
+#include "core/halo_exchange.hpp"
+
+namespace bnsgcn::core {
+
+namespace {
+
+using comm::TrafficClass;
+
+/// Per-rank serving state and loop: the forward-only mirror of the
+/// trainer's RankWorker. One instance per rank — a thread on the mailbox
+/// fabric, a whole OS process on a socket fabric.
+class ServeWorker {
+ public:
+  ServeWorker(const Dataset& ds, const TrainerConfig& cfg,
+              const WeightSnapshot& weights, const LocalGraph& lg,
+              comm::Endpoint& ep)
+      : ds_(ds), cfg_(cfg), lg_(lg), ep_(ep) {
+    common::set_ops_threads(
+        cfg_.threads_oversubscribe
+            ? cfg_.threads
+            : common::clamp_rank_threads(cfg_.threads, ep_.nranks()));
+    x_local_ = slice_rows(ds.features, lg_.inner_global);
+
+    layers_ = build_model(cfg_, ds.feat_dim(), ds.num_classes, ep_.rank());
+    // Load the snapshot: parameters travel flattened in params() order —
+    // the same order the allreduce and Adam traverse, so the stack built
+    // here holds bit-for-bit the trained weights.
+    std::vector<Matrix*> params;
+    for (auto& l : layers_)
+      for (Matrix* p : l->params()) params.push_back(p);
+    BNSGCN_CHECK_MSG(weights.params.size() == params.size(),
+                     "weight snapshot does not match the configured stack: " +
+                         std::to_string(weights.params.size()) + " tensors vs " +
+                         std::to_string(params.size()));
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      BNSGCN_CHECK_MSG(weights.params[i].rows() == params[i]->rows() &&
+                           weights.params[i].cols() == params[i]->cols(),
+                       "weight snapshot tensor " + std::to_string(i) +
+                           " has mismatched shape");
+      *params[i] = weights.params[i];
+    }
+    // Inference mode: maskless activations (identical values), backward
+    // caches and gradient buffers freed.
+    for (auto& l : layers_) l->set_inference(true);
+    use_phased_ = std::all_of(
+        layers_.begin(), layers_.end(),
+        [](const auto& l) { return l->supports_phased(); });
+
+    // Serving always exchanges the full boundary set (the unsampled plan —
+    // queries are answered over the exact graph).
+    BoundarySampler::Options so;
+    so.seed = cfg_.seed;
+    sampler_.emplace(lg_, so);
+    full_plan_ = sampler_->full_plan();
+
+    // Staleness is a training-only knob (bounded drift on *changing*
+    // activations); weights are frozen here, so clamp it to 0 and keep
+    // served bits unconditionally identical to the cache-off forward —
+    // layer-0 rows, the batch-invariant bulk, still cache and hit.
+    hx_.emplace(ep_, HaloExchanger::Options{.cost = cfg_.cost,
+                                            .cache_mb = cfg_.cache_mb,
+                                            .cache_staleness = 0,
+                                            .num_layers = cfg_.num_layers,
+                                            .feat_dim = ds.feat_dim(),
+                                            .hidden = cfg_.hidden});
+  }
+
+  [[nodiscard]] ServeResult run(const ServeOptions& opts) {
+    BNSGCN_CHECK(opts.batch_size >= 1 && opts.num_batches >= 0);
+    ServeResult result;
+    result.num_classes = ds_.num_classes;
+    result.timing = ep_.timing();
+    record_logits_ = opts.record_logits;
+    Stopwatch wall;
+    // Every rank draws the identical flat query stream (same seed, same
+    // generator), so owners and rank 0 agree on the queries without any
+    // extra wire traffic — and the stream is independent of batching.
+    Rng query_rng(opts.seed ^ 0x5E47EFACEULL);
+    const auto n_nodes = static_cast<std::uint64_t>(ds_.num_nodes());
+
+    for (int b = 0; b < opts.num_batches; ++b) {
+      // The batch index is the halo-cache epoch: layer-0 directories never
+      // go stale (input features are immutable), deeper layers age across
+      // request batches exactly as they age across training epochs.
+      hx_->begin_epoch(b);
+      std::vector<NodeId> queries(static_cast<std::size_t>(opts.batch_size));
+      for (auto& q : queries)
+        q = static_cast<NodeId>(query_rng.next_below(n_nodes));
+
+      // Test-only fault injection (ServeOptions::fail_rank): die before
+      // batch 0's entry barrier, leaving peers mid-request-stream — the
+      // fabric's shutdown path must unwind them with ShutdownError.
+      if (b == 0 && opts.fail_rank == ep_.rank())
+        throw std::runtime_error("injected serve failure: rank " +
+                                 std::to_string(ep_.rank()));
+
+      // Latency is measured from a synchronized start: the barrier is the
+      // request batch's arrival edge, and rank 0's clock stops once the
+      // batch's predictions are assembled.
+      ep_.barrier();
+      const comm::RankStats before = ep_.stats();
+      Stopwatch latency;
+
+      const Matrix logits = forward_full_graph();
+      gather_batch(queries, logits, result);
+      ServeBatchStats stats;
+      if (ep_.rank() == 0) stats.latency_s = latency.elapsed_s();
+
+      // Byte/cache accounting rides an allgather after the latency clock
+      // stopped, so the bookkeeping never pollutes the measurement. The
+      // collective also keeps ranks batch-synchronous, so the per-batch
+      // traffic deltas are unambiguous.
+      const comm::RankStats delta = diff(ep_.stats(), before);
+      const std::vector<double> local = {
+          delta.sim_seconds(TrafficClass::kFeature, cfg_.cost),
+          static_cast<double>(
+              delta.rx_bytes[static_cast<int>(TrafficClass::kFeature)]),
+          static_cast<double>(
+              delta.rx_bytes[static_cast<int>(TrafficClass::kControl)]),
+          static_cast<double>(hx_->cache_hits()),
+          static_cast<double>(hx_->cache_misses()),
+          static_cast<double>(hx_->bytes_saved())};
+      const auto slots = ep_.allgather_doubles(local);
+      if (ep_.rank() == 0) {
+        double feature_rx = 0.0, control_rx = 0.0;
+        double hits = 0.0, misses = 0.0, saved = 0.0;
+        for (const auto& s : slots) {
+          stats.comm_s = std::max(stats.comm_s, s[0]);
+          feature_rx += s[1];
+          control_rx += s[2];
+          hits += s[3];
+          misses += s[4];
+          saved += s[5];
+        }
+        stats.feature_bytes = static_cast<std::int64_t>(feature_rx);
+        stats.control_bytes = static_cast<std::int64_t>(control_rx);
+        stats.cache_hit_rows = static_cast<std::int64_t>(hits);
+        stats.cache_miss_rows = static_cast<std::int64_t>(misses);
+        stats.bytes_saved = static_cast<std::int64_t>(saved);
+        result.batches.push_back(stats);
+      }
+    }
+    result.wall_time_s = wall.elapsed_s();
+    return result;
+  }
+
+ private:
+  int next_tag() { return tag_seq_++; }
+
+  static comm::RankStats diff(const comm::RankStats& now,
+                              const comm::RankStats& before) {
+    comm::RankStats d;
+    for (int c = 0; c < static_cast<int>(TrafficClass::kCount); ++c) {
+      d.tx_bytes[c] = now.tx_bytes[c] - before.tx_bytes[c];
+      d.rx_bytes[c] = now.rx_bytes[c] - before.rx_bytes[c];
+      d.tx_msgs[c] = now.tx_msgs[c] - before.tx_msgs[c];
+      d.rx_msgs[c] = now.rx_msgs[c] - before.rx_msgs[c];
+    }
+    return d;
+  }
+
+  /// One full-graph forward over the inner block — the trainer's phased
+  /// schedule verbatim (post → halo-independent chunks with interleaved
+  /// polls → in-order drain → finish), minus the breakdown plumbing. The
+  /// shared HaloExchanger/FoldDriver path is what makes the output
+  /// bit-identical to a training-path forward of the same weights.
+  [[nodiscard]] Matrix forward_full_graph() {
+    const EpochPlan& plan = full_plan_;
+    const OverlapMode mode = cfg_.overlap;
+    const bool stream = mode == OverlapMode::kStream;
+    const int L = cfg_.num_layers;
+    Accumulator compute_acc; // FoldDriver bookkeeping; unused further
+    Matrix h = x_local_;
+    for (int l = 0; l < L; ++l) {
+      const int tag = next_tag();
+      auto& layer = *layers_[static_cast<std::size_t>(l)];
+      if (use_phased_) {
+        PendingExchange px = hx_->post_forward(h, plan, tag, l);
+        if (mode == OverlapMode::kBlocking) px.recvs.wait_all();
+        layer.forward_inner_begin(plan.adj, h, /*training=*/false);
+        if (!inc_built_) {
+          halo_inc_.build(plan.adj, plan.adj.n_dst);
+          inc_built_ = true;
+        }
+        layer.forward_halo_begin(plan.adj, halo_inc_);
+        FoldDriver fold(px, stream);
+        auto apply =
+            hx_->make_forward_fold(px, plan, layer, /*scale=*/1.0f, h.cols());
+        const NodeId n_dst = plan.adj.n_dst;
+        const NodeId step =
+            cfg_.inner_chunk_rows > 0 ? cfg_.inner_chunk_rows : n_dst;
+        for (NodeId r0 = 0; r0 < n_dst; r0 += step) {
+          const NodeId r1 = std::min<NodeId>(r0 + step, n_dst);
+          layer.forward_inner_chunk(plan.adj, r0, r1);
+          fold.poll(apply, compute_acc);
+        }
+        fold.drain(apply, compute_acc);
+        h = layer.forward_halo_finish(plan.adj, lg_.inv_full_degree);
+      } else {
+        Matrix feats = hx_->exchange_forward(h, lg_.n_inner(), plan,
+                                             /*scale=*/1.0f, tag, l);
+        h = layer.forward(plan.adj, feats, lg_.inv_full_degree,
+                          /*training=*/false);
+      }
+    }
+    return h;
+  }
+
+  /// Route the batch's logits rows to rank 0 and assemble them in query
+  /// order. Every rank knows the full query list (shared stream), so each
+  /// owner ships (position, row) pairs over kControl and rank 0 folds the
+  /// peers in ascending rank order — the same fixed-order convention as
+  /// every other cross-rank path.
+  void gather_batch(const std::vector<NodeId>& queries, const Matrix& logits,
+                    ServeResult& result) {
+    const std::int64_t c = logits.cols();
+    std::vector<NodeId> owned_pos;
+    std::vector<float> owned_rows;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto it = std::lower_bound(lg_.inner_global.begin(),
+                                       lg_.inner_global.end(), queries[i]);
+      if (it == lg_.inner_global.end() || *it != queries[i]) continue;
+      const auto row = static_cast<std::int64_t>(
+          std::distance(lg_.inner_global.begin(), it));
+      owned_pos.push_back(static_cast<NodeId>(i));
+      const float* src = logits.data() + row * c;
+      owned_rows.insert(owned_rows.end(), src, src + c);
+    }
+
+    const int tag = next_tag();
+    if (ep_.rank() != 0) {
+      ep_.send_ids(0, tag, std::move(owned_pos), TrafficClass::kControl);
+      ep_.send_floats(0, tag, std::move(owned_rows), TrafficClass::kControl);
+      return;
+    }
+
+    Matrix batch_logits(static_cast<NodeId>(queries.size()), c);
+    const auto place = [&](std::span<const NodeId> pos,
+                           std::span<const float> rows) {
+      BNSGCN_CHECK(rows.size() ==
+                   pos.size() * static_cast<std::size_t>(c));
+      for (std::size_t t = 0; t < pos.size(); ++t) {
+        std::copy(rows.data() + t * static_cast<std::size_t>(c),
+                  rows.data() + (t + 1) * static_cast<std::size_t>(c),
+                  batch_logits.data() +
+                      static_cast<std::int64_t>(pos[t]) * c);
+      }
+    };
+    place(owned_pos, owned_rows);
+    std::size_t placed = owned_pos.size();
+    for (PartId p = 1; p < ep_.nranks(); ++p) {
+      const auto pos = ep_.recv_ids(p, tag, TrafficClass::kControl);
+      const auto rows = ep_.recv_floats(p, tag, TrafficClass::kControl);
+      place(pos, rows);
+      placed += pos.size();
+    }
+    BNSGCN_CHECK_MSG(placed == queries.size(),
+                     "serve gather lost query rows: " +
+                         std::to_string(placed) + " of " +
+                         std::to_string(queries.size()));
+
+    result.queries.insert(result.queries.end(), queries.begin(),
+                          queries.end());
+    for (NodeId q = 0; q < batch_logits.rows(); ++q) {
+      const float* row = batch_logits.data() + static_cast<std::int64_t>(q) * c;
+      int best = 0;
+      for (std::int64_t k = 1; k < c; ++k)
+        if (row[k] > row[best]) best = static_cast<int>(k);
+      result.predictions.push_back(best);
+    }
+    if (record_logits_) {
+      result.logits.insert(result.logits.end(), batch_logits.data(),
+                           batch_logits.data() + batch_logits.size());
+    }
+  }
+
+  const Dataset& ds_;
+  const TrainerConfig& cfg_;
+  const LocalGraph& lg_;
+  comm::Endpoint& ep_;
+
+  Matrix x_local_;
+  std::vector<std::unique_ptr<nn::Layer>> layers_;
+  std::optional<BoundarySampler> sampler_;
+  EpochPlan full_plan_;
+  std::optional<HaloExchanger> hx_;
+  nn::HaloIncidence halo_inc_;
+  bool inc_built_ = false;
+  bool use_phased_ = false;
+  bool record_logits_ = false;
+  int tag_seq_ = 0;
+};
+
+} // namespace
+
+InferenceEngine::InferenceEngine(const Dataset& ds, const Partitioning& part,
+                                 TrainerConfig cfg,
+                                 const WeightSnapshot& weights)
+    : ds_(ds), cfg_(std::move(cfg)), part_(part), weights_(weights) {
+  BNSGCN_CHECK(cfg_.num_layers >= 1);
+  BNSGCN_CHECK_MSG(!weights_.empty(),
+                   "api::serve needs a trained weight snapshot "
+                   "(TrainerConfig::capture_weights)");
+  local_graphs_ = build_local_graphs(ds.graph, part_);
+}
+
+ServeResult InferenceEngine::serve_rank(comm::Fabric& fabric, PartId rank,
+                                        const ServeOptions& opts) {
+  BNSGCN_CHECK(rank >= 0 && rank < part_.nparts &&
+               fabric.nranks() == part_.nparts);
+  ServeWorker worker(ds_, cfg_, weights_,
+                     local_graphs_[static_cast<std::size_t>(rank)],
+                     fabric.endpoint(rank));
+  return worker.run(opts);
+}
+
+ServeResult InferenceEngine::serve(const ServeOptions& opts) {
+  const PartId m = part_.nparts;
+  comm::Fabric fabric(m, cfg_.cost);
+  ServeResult result;
+
+  Stopwatch wall;
+  // lint: allow(raw-thread) — rank runtime, one OS thread per simulated
+  // rank, mirroring BnsTrainer::train(); kernel-level parallelism inside
+  // each rank still goes through the pool.
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(m));
+  threads.reserve(static_cast<std::size_t>(m));
+  for (PartId r = 0; r < m; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        ServeResult local = serve_rank(fabric, r, opts);
+        if (r == 0) result = std::move(local);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Tear the fabric down so peers blocked on this rank unwind with
+        // ShutdownError instead of hanging mid-request-stream.
+        fabric.shutdown(r);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Rethrow the root cause: a ShutdownError is collateral of some other
+  // rank's failure, so prefer any non-shutdown exception.
+  std::exception_ptr first, root;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    if (!first) first = e;
+    if (!root) {
+      try {
+        std::rethrow_exception(e);
+      } catch (const comm::ShutdownError&) {
+      } catch (...) {
+        root = e;
+      }
+    }
+  }
+  if (root) std::rethrow_exception(root);
+  if (first) std::rethrow_exception(first);
+  result.wall_time_s = wall.elapsed_s();
+  return result;
+}
+
+} // namespace bnsgcn::core

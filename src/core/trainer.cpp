@@ -9,7 +9,7 @@
 
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
-#include "core/halo_cache.hpp"
+#include "core/halo_exchange.hpp"
 #include "nn/adam.hpp"
 #include "nn/gat_layer.hpp"
 #include "nn/loss.hpp"
@@ -147,29 +147,16 @@ class RankWorker {
     sampler_.emplace(lg_, so);
     full_plan_ = sampler_->full_plan();
 
-    // Halo cache (docs/ARCHITECTURE.md §9): one send/recv directory pair
-    // per (layer, peer). Layer 0 always caches when enabled (its input
-    // features are epoch-invariant); deeper layers only under a positive
-    // staleness bound. Capacity is rows per (peer, layer, direction) at
-    // that layer's feature width. The recv-side row store grows lazily —
-    // slots fill densely, so memory tracks actual use, not the budget.
-    if (cfg_.cache_mb > 0) {
-      cache_.resize(static_cast<std::size_t>(cfg_.num_layers));
-      for (int l = 0; l < cfg_.num_layers; ++l) {
-        if (l > 0 && cfg_.cache_staleness <= 0) continue;
-        const std::int64_t d = (l == 0) ? ds.feat_dim() : cfg_.hidden;
-        const std::int64_t cap =
-            cfg_.cache_mb * (1 << 20) /
-            (d * static_cast<std::int64_t>(sizeof(float)));
-        auto& per_peer = cache_[static_cast<std::size_t>(l)];
-        per_peer.resize(static_cast<std::size_t>(ep_.nranks()));
-        for (auto& pc : per_peer) {
-          pc.send_dir = HaloCacheDir(static_cast<NodeId>(
-              std::min<std::int64_t>(cap, std::numeric_limits<NodeId>::max())));
-          pc.recv_dir = HaloCacheDir(pc.send_dir.capacity());
-        }
-      }
-    }
+    // The boundary-exchange engine (post/fold pair, fold driver, halo
+    // cache) is shared verbatim with the serving path — see
+    // core/halo_exchange.hpp.
+    hx_.emplace(ep_, HaloExchanger::Options{.cost = cfg_.cost,
+                                            .cache_mb = cfg_.cache_mb,
+                                            .cache_staleness =
+                                                cfg_.cache_staleness,
+                                            .num_layers = cfg_.num_layers,
+                                            .feat_dim = ds.feat_dim(),
+                                            .hidden = cfg_.hidden});
 
     const float n_train_global = static_cast<float>(ds.train_nodes.size());
     inv_total_ = ds.multilabel
@@ -222,476 +209,23 @@ class RankWorker {
         cfg_.observer(snap);
       }
     }
+
+    // Serving hook (api::serve): rank 0 snapshots the trained parameters
+    // after the last epoch. Weights are replicated and kept in sync by the
+    // gradient allreduce, so one rank's copy is every rank's copy — and
+    // they are bit-identical across transports and overlap modes, so a
+    // snapshot trained on the mailbox serves on any fabric.
+    if (ep_.rank() == 0 && cfg_.capture_weights) {
+      cfg_.capture_weights->params.clear();
+      for (auto& l : layers_)
+        for (Matrix* p : l->params())
+          cfg_.capture_weights->params.push_back(*p);
+    }
   }
 
  private:
   int next_tag() { return tag_seq_++; }
 
-  /// Gather + send this layer's rows, receive the (scaled) halo block and
-  /// return the assembled source-feature matrix [inner; halo]. Blocking
-  /// form of the exchange, expressed through the same post/fold pair as
-  /// the pipeline so the payload layout exists exactly once. `layer` is
-  /// the halo-cache channel (-1 bypasses the cache — evaluation must not
-  /// step the per-epoch directories).
-  Matrix exchange_forward(const Matrix& h_inner, const EpochPlan& plan,
-                          float scale, int tag, int layer) {
-    const std::int64_t d = h_inner.cols();
-    Matrix feats(lg_.n_inner() + plan.n_kept_halo, d);
-    std::copy(h_inner.data(), h_inner.data() + h_inner.size(), feats.data());
-    PendingExchange px = post_forward(h_inner, plan, tag, layer);
-    fold_forward(px, plan, scale, feats, /*halo_row0=*/lg_.n_inner());
-    return feats;
-  }
-
-  /// Send halo-feature gradients back to their owners; returns the inner
-  /// gradient block with remote contributions scatter-added. Blocking form
-  /// of the backward exchange, same post/fold pair as the pipeline.
-  Matrix exchange_backward(const Matrix& dfeats, const EpochPlan& plan,
-                           float scale, int tag) {
-    const std::int64_t d = dfeats.cols();
-    const NodeId n_in = lg_.n_inner();
-    PendingExchange px =
-        post_backward(dfeats, /*halo_row0=*/n_in, plan, scale, tag);
-    Matrix dh(n_in, d);
-    std::copy(dfeats.data(),
-              dfeats.data() + static_cast<std::int64_t>(n_in) * d, dh.data());
-    fold_backward(px, plan, dh);
-    return dh;
-  }
-
-  // ---- Pipelined (split-phase) exchange -------------------------------
-  // One in-flight boundary exchange: sends are posted eagerly, receives
-  // into a completion set; the caller computes the halo-independent phase
-  // and folds the payloads afterwards. The fold always applies peers in
-  // ascending index order (deterministic reduction): blocking waits for
-  // everything right after posting, bulk waits at fold time, stream polls
-  // the set and applies each peer the moment it and every earlier peer
-  // have landed — the fold itself sits at the same point of the schedule
-  // with the same order in every mode, so all three execute the identical
-  // fp instruction stream.
-
-  struct PendingExchange {
-    std::vector<comm::Request> sends;  // complete on posting (eager)
-    std::vector<PartId> peers;         // peer of recvs.at(k)
-    comm::RequestSet recvs;
-    double sim_s = 0.0;   // simulated wire time of the whole exchange
-    double tail_s = 0.0;  // slowest single recv-peer message (sim)
-    // Halo-cache state of this exchange: when `layer` names a cached
-    // channel, cache_steps[k] is peer k's recv-side classification (fixed
-    // at post time, so it is independent of arrival order — the
-    // determinism anchor of the whole cache).
-    int layer = -1;
-    bool cached = false;
-    std::vector<CacheStep> cache_steps;
-    // Measured-timing capture (socket fabrics; also tracked on the mailbox
-    // where it is simply unused). The Stopwatch starts when the exchange is
-    // posted; span is frozen at the last receive completion — right after
-    // the wait in blocking mode, inside the fold driver otherwise.
-    Stopwatch clock;
-    double meas_span_s = 0.0;  // post -> last receive completion
-    double wait_s = 0.0;       // portion of the span spent blocked in waits
-  };
-
-  /// Simulated transfer time of one peer message of `bytes` payload bytes
-  /// (one message: latency + bytes/bandwidth).
-  [[nodiscard]] double msg_sim_s(std::int64_t bytes) const {
-    return cfg_.cost.latency_s +
-           static_cast<double>(bytes) / cfg_.cost.bytes_per_s;
-  }
-
-  /// max(tx, rx) wire occupancy of one exchange from its accumulated byte
-  /// and message totals (same latency+bandwidth law as
-  /// RankStats::sim_seconds; full duplex, so the directions overlap).
-  [[nodiscard]] double duplex_sim_s(std::int64_t tx_bytes,
-                                    std::int64_t tx_msgs,
-                                    std::int64_t rx_bytes,
-                                    std::int64_t rx_msgs) const {
-    const auto& cost = cfg_.cost;
-    const double tx = static_cast<double>(tx_msgs) * cost.latency_s +
-                      static_cast<double>(tx_bytes) / cost.bytes_per_s;
-    const double rx = static_cast<double>(rx_msgs) * cost.latency_s +
-                      static_cast<double>(rx_bytes) / cost.bytes_per_s;
-    return std::max(tx, rx);
-  }
-
-  /// Cached layers: layer 0 whenever the cache is on (its rows are
-  /// epoch-invariant), deeper layers only under a positive staleness
-  /// bound. Backward exchanges carry gradients — never cached.
-  [[nodiscard]] bool cache_enabled(int layer) const {
-    return layer >= 0 && static_cast<std::size_t>(layer) < cache_.size() &&
-           !cache_[static_cast<std::size_t>(layer)].empty();
-  }
-
-  /// Staleness argument for a cached layer's directories: layer 0 never
-  /// goes stale; deeper layers refresh after cache_staleness epochs.
-  [[nodiscard]] int cache_max_age(int layer) const {
-    return layer == 0 ? -1 : cfg_.cache_staleness;
-  }
-
-  /// Post the forward exchange: isend this layer's sampled rows of
-  /// h_inner (misses only on a cached channel), irecv the halo rows each
-  /// owner will push to us. Per-peer byte totals are accumulated while
-  /// posting — with the cache on, the message count is unchanged (every
-  /// peer still gets one frame, possibly empty) but miss-only payloads
-  /// shrink both the simulated exchange time and the straggler tail.
-  PendingExchange post_forward(const Matrix& h_inner, const EpochPlan& plan,
-                               int tag, int layer) {
-    const std::int64_t d = h_inner.cols();
-    PendingExchange px;
-    px.layer = layer;
-    px.cached = cache_enabled(layer);
-    std::int64_t tx_bytes = 0, rx_bytes = 0, tx_msgs = 0, rx_msgs = 0;
-    for (PartId j = 0; j < ep_.nranks(); ++j) {
-      const auto& rows = plan.send_rows[static_cast<std::size_t>(j)];
-      if (rows.empty()) continue;
-      ++tx_msgs;
-      if (!px.cached) {
-        auto payload =
-            ep_.acquire_floats(rows.size() * static_cast<std::size_t>(d));
-        for (std::size_t t = 0; t < rows.size(); ++t) {
-          const float* s =
-              h_inner.data() + static_cast<std::int64_t>(rows[t]) * d;
-          std::copy(s, s + d,
-                    payload.data() + t * static_cast<std::size_t>(d));
-        }
-        tx_bytes += static_cast<std::int64_t>(rows.size()) * d *
-                    static_cast<std::int64_t>(sizeof(float));
-        px.sends.push_back(ep_.isend_floats(j, tag, std::move(payload),
-                                            TrafficClass::kFeature));
-        continue;
-      }
-      // Cached channel: step the sender-side directory with the same
-      // structural positions the receiver steps its own with, then ship
-      // only the rows it classified as misses (index list + delta rows).
-      auto& pc = cache_[static_cast<std::size_t>(layer)]
-                       [static_cast<std::size_t>(j)];
-      const CacheStep cs = pc.send_dir.step(
-          plan.send_pos[static_cast<std::size_t>(j)], epoch_,
-          cache_max_age(layer));
-      std::vector<NodeId> present;
-      present.reserve(static_cast<std::size_t>(cs.misses));
-      for (std::size_t t = 0; t < rows.size(); ++t)
-        if (cs.action[t] != CacheAction::kHit)
-          present.push_back(static_cast<NodeId>(t));
-      auto payload = ep_.acquire_floats(present.size() *
-                                        static_cast<std::size_t>(d));
-      for (std::size_t m = 0; m < present.size(); ++m) {
-        const NodeId row = rows[static_cast<std::size_t>(present[m])];
-        const float* s = h_inner.data() + static_cast<std::int64_t>(row) * d;
-        std::copy(s, s + d, payload.data() + m * static_cast<std::size_t>(d));
-      }
-      tx_bytes += static_cast<std::int64_t>(payload.size() * sizeof(float)) +
-                  static_cast<std::int64_t>(present.size() * sizeof(NodeId));
-      px.sends.push_back(ep_.isend_halo(j, tag, std::move(present),
-                                        std::move(payload),
-                                        TrafficClass::kFeature));
-    }
-    for (PartId j = 0; j < ep_.nranks(); ++j) {
-      const auto& slots = plan.recv_slots[static_cast<std::size_t>(j)];
-      if (slots.empty()) continue;
-      px.peers.push_back(j);
-      (void)px.recvs.add(ep_.irecv_floats(j, tag, TrafficClass::kFeature));
-      ++rx_msgs;
-      std::int64_t peer_bytes = static_cast<std::int64_t>(slots.size()) * d *
-                                static_cast<std::int64_t>(sizeof(float));
-      if (px.cached) {
-        // Step the recv-side directory NOW (post time): the classification
-        // must not depend on when the peer's frame lands.
-        auto& pc = cache_[static_cast<std::size_t>(layer)]
-                         [static_cast<std::size_t>(j)];
-        CacheStep cs = pc.recv_dir.step(
-            plan.recv_pos[static_cast<std::size_t>(j)], epoch_,
-            cache_max_age(layer));
-        peer_bytes =
-            cs.misses * d * static_cast<std::int64_t>(sizeof(float)) +
-            cs.misses * static_cast<std::int64_t>(sizeof(NodeId));
-        ep_cache_hits_ += cs.hits;
-        ep_cache_misses_ += cs.misses;
-        ep_bytes_saved_ +=
-            cs.hits * d * static_cast<std::int64_t>(sizeof(float));
-        px.cache_steps.push_back(std::move(cs));
-      }
-      rx_bytes += peer_bytes;
-      px.tail_s = std::max(px.tail_s, msg_sim_s(peer_bytes));
-    }
-    px.sim_s = duplex_sim_s(tx_bytes, tx_msgs, rx_bytes, rx_msgs);
-    return px;
-  }
-
-  /// Resolve peer k's received message into this exchange's full row block
-  /// (list order, unscaled): the wire payload itself on an uncached
-  /// channel; on a cached one, hits materialize from the store and misses
-  /// are consumed from the frame in order (kMissStore rows also refresh
-  /// the store — raw wire bytes, so a later hit replays the identical
-  /// values). Returns either msg.floats or the persistent fold scratch.
-  std::span<float> slab_rows(PendingExchange& px, const EpochPlan& plan,
-                             std::size_t k, comm::Wire& msg, std::int64_t d) {
-    const auto j = static_cast<std::size_t>(px.peers[k]);
-    const auto& slots = plan.recv_slots[j];
-    if (!px.cached) {
-      BNSGCN_CHECK(msg.floats.size() ==
-                   slots.size() * static_cast<std::size_t>(d));
-      return msg.floats;
-    }
-    auto& pc = cache_[static_cast<std::size_t>(px.layer)][j];
-    const CacheStep& cs = px.cache_steps.at(k);
-    fold_scratch_.resize(slots.size() * static_cast<std::size_t>(d));
-    std::size_t next = 0;
-    for (std::size_t t = 0; t < slots.size(); ++t) {
-      float* dst = fold_scratch_.data() + t * static_cast<std::size_t>(d);
-      if (cs.action[t] == CacheAction::kHit) {
-        const float* src = pc.store.data() +
-                           static_cast<std::size_t>(cs.slot[t]) *
-                               static_cast<std::size_t>(d);
-        std::copy(src, src + d, dst);
-        continue;
-      }
-      // Divergence detector: the sender's directory must have classified
-      // exactly the same positions as misses, in the same order.
-      BNSGCN_CHECK_MSG(next < msg.ids.size() &&
-                           msg.ids[next] == static_cast<NodeId>(t),
-                       "halo cache directories diverged");
-      const float* src =
-          msg.floats.data() + next * static_cast<std::size_t>(d);
-      if (cs.action[t] == CacheAction::kMissStore) {
-        const auto need = (static_cast<std::size_t>(cs.slot[t]) + 1) *
-                          static_cast<std::size_t>(d);
-        if (pc.store.size() < need) pc.store.resize(need);
-        std::copy(src, src + d,
-                  pc.store.data() + static_cast<std::size_t>(cs.slot[t]) *
-                                        static_cast<std::size_t>(d));
-      }
-      std::copy(src, src + d, dst);
-      ++next;
-    }
-    BNSGCN_CHECK_MSG(next == msg.ids.size() &&
-                         next * static_cast<std::size_t>(d) ==
-                             msg.floats.size(),
-                     "halo delta frame size mismatch");
-    return fold_scratch_;
-  }
-
-  /// Complete the forward exchange: place each peer's rows into its
-  /// compact halo slots of `dst` starting at row `halo_row0` (0 for a
-  /// bare halo block, n_inner for an assembled [inner; halo] matrix),
-  /// applying the 1/p scale. The fold buffer is distinct from the wire
-  /// buffers — see comm::Request.
-  void fold_forward(PendingExchange& px, const EpochPlan& plan, float scale,
-                    Matrix& dst, NodeId halo_row0) {
-    const std::int64_t d = dst.cols();
-    for (std::size_t k = 0; k < px.recvs.size(); ++k) {
-      const auto& slots =
-          plan.recv_slots[static_cast<std::size_t>(px.peers[k])];
-      comm::Wire msg = px.recvs.at(k).take_payload();
-      const auto rows = slab_rows(px, plan, k, msg, d);
-      for (std::size_t t = 0; t < slots.size(); ++t) {
-        float* out = dst.data() +
-                     (static_cast<std::int64_t>(halo_row0) +
-                      static_cast<std::int64_t>(slots[t])) * d;
-        const float* src = rows.data() + t * static_cast<std::size_t>(d);
-        for (std::int64_t c = 0; c < d; ++c) out[c] = scale * src[c];
-      }
-      ep_.release_floats(std::move(msg.floats));
-    }
-  }
-
-  /// Post the backward exchange: send each owner its halo-gradient rows
-  /// (scaled; slot s lives at row halo_row0 + s of `dsrc`), irecv the
-  /// contributions peers computed for our inner rows.
-  PendingExchange post_backward(const Matrix& dsrc, NodeId halo_row0,
-                                const EpochPlan& plan, float scale, int tag) {
-    const std::int64_t d = dsrc.cols();
-    PendingExchange px;
-    std::int64_t tx_bytes = 0, rx_bytes = 0, tx_msgs = 0, rx_msgs = 0;
-    for (PartId j = 0; j < ep_.nranks(); ++j) {
-      const auto& slots = plan.recv_slots[static_cast<std::size_t>(j)];
-      if (slots.empty()) continue;
-      auto payload =
-          ep_.acquire_floats(slots.size() * static_cast<std::size_t>(d));
-      for (std::size_t t = 0; t < slots.size(); ++t) {
-        const float* src = dsrc.data() +
-                           (static_cast<std::int64_t>(halo_row0) +
-                            static_cast<std::int64_t>(slots[t])) * d;
-        float* dst = payload.data() + t * static_cast<std::size_t>(d);
-        for (std::int64_t c = 0; c < d; ++c) dst[c] = scale * src[c];
-      }
-      tx_bytes += static_cast<std::int64_t>(slots.size()) * d *
-                  static_cast<std::int64_t>(sizeof(float));
-      ++tx_msgs;
-      px.sends.push_back(
-          ep_.isend_floats(j, tag, std::move(payload), TrafficClass::kFeature));
-    }
-    for (PartId j = 0; j < ep_.nranks(); ++j) {
-      const auto& rows = plan.send_rows[static_cast<std::size_t>(j)];
-      if (rows.empty()) continue;
-      px.peers.push_back(j);
-      (void)px.recvs.add(ep_.irecv_floats(j, tag, TrafficClass::kFeature));
-      const std::int64_t peer_bytes = static_cast<std::int64_t>(rows.size()) *
-                                      d *
-                                      static_cast<std::int64_t>(sizeof(float));
-      rx_bytes += peer_bytes;
-      ++rx_msgs;
-      px.tail_s = std::max(px.tail_s, msg_sim_s(peer_bytes));
-    }
-    px.sim_s = duplex_sim_s(tx_bytes, tx_msgs, rx_bytes, rx_msgs);
-    return px;
-  }
-
-  /// Complete the backward exchange: scatter-add remote contributions into
-  /// the inner-gradient block (same per-peer order as every other path).
-  void fold_backward(PendingExchange& px, const EpochPlan& plan,
-                     Matrix& dinner) {
-    const std::int64_t d = dinner.cols();
-    for (std::size_t k = 0; k < px.recvs.size(); ++k) {
-      const auto& rows = plan.send_rows[static_cast<std::size_t>(px.peers[k])];
-      comm::Wire msg = px.recvs.at(k).take_payload();
-      BNSGCN_CHECK(msg.floats.size() ==
-                   rows.size() * static_cast<std::size_t>(d));
-      for (std::size_t t = 0; t < rows.size(); ++t) {
-        float* dst = dinner.data() + static_cast<std::int64_t>(rows[t]) * d;
-        const float* src = msg.floats.data() + t * static_cast<std::size_t>(d);
-        for (std::int64_t c = 0; c < d; ++c) dst[c] += src[c];
-      }
-      ep_.release_floats(std::move(msg.floats));
-    }
-  }
-
-  // ---- Streaming fold engine ------------------------------------------
-  // The heart of OverlapMode::kStream: make progress on the completion set
-  // and hand each peer's slab to the layer (or the scatter-add) the moment
-  // it AND every lower-indexed peer have landed. Buffer-then-apply-in-order
-  // is what keeps the reduction deterministic: out-of-order arrivals sit
-  // completed in their Request slot (the wire buffer — see comm::Request)
-  // until their turn, so the numeric fold order is identical to a bulk
-  // wait_all, while the fold *work* of early peers overlaps the transfers
-  // still in flight. poll() is the nonblocking pass the trainer runs
-  // between F1 chunks (folds interleave mid-F1); drain() completes the
-  // remainder with wait_any progress.
-  //
-  // Accounting follows the schedule, not the in-process mailboxes (whose
-  // eager delivery reflects thread-scheduling skew, not wire time — the
-  // same convention PR 2 used for the bulk window): under the simulated
-  // wire, the fold of peer k runs while the transfers of peers k+1.. are
-  // still on the wire, so every fold except the last peer's widens the
-  // overlap window. window_s() reports that measured extra window —
-  // always 0 for bulk/blocking, whose wait_all precedes the first apply.
-
-  class FoldDriver {
-   public:
-    FoldDriver(PendingExchange& px, bool stream)
-        : px_(px), stream_(stream),
-          arrived_(px.recvs.size(), stream ? 0 : 1) {}
-
-    /// Nonblocking progress pass: mark what landed, apply every ready
-    /// in-order peer through `apply(k, payload)`. No-op outside stream
-    /// mode (bulk/blocking apply only at drain time).
-    template <typename ApplyFn>
-    void poll(ApplyFn&& apply, Accumulator& compute_acc) {
-      if (!stream_ || next_ >= arrived_.size()) return;
-      ready_.clear();
-      (void)px_.recvs.poll(ready_);
-      for (const std::size_t i : ready_) arrived_[i] = 1;
-      freeze_span();
-      apply_ready(apply, compute_acc);
-    }
-
-    /// Block until every peer has been applied.
-    template <typename ApplyFn>
-    void drain(ApplyFn&& apply, Accumulator& compute_acc) {
-      if (!stream_) {
-        Stopwatch w;
-        px_.recvs.wait_all();
-        px_.wait_s += w.elapsed_s();
-        freeze_span();
-      }
-      apply_ready(apply, compute_acc);
-      while (next_ < arrived_.size()) {
-        ready_.clear();
-        Stopwatch w;
-        (void)px_.recvs.wait_any(ready_);
-        px_.wait_s += w.elapsed_s();
-        for (const std::size_t i : ready_) arrived_[i] = 1;
-        freeze_span();
-        apply_ready(apply, compute_acc);
-      }
-      freeze_span();
-    }
-
-    /// Stream window: fold seconds of every peer but the last (the folds
-    /// that ran while at least one later transfer was still in flight).
-    [[nodiscard]] double window_s() const { return window_s_; }
-
-   private:
-    /// Measured span ends at the last receive completion; record it the
-    /// first time the set drains empty (later passes are no-ops).
-    void freeze_span() {
-      if (px_.meas_span_s == 0.0 && px_.recvs.all_done())
-        px_.meas_span_s = px_.clock.elapsed_s();
-    }
-
-    template <typename ApplyFn>
-    void apply_ready(ApplyFn& apply, Accumulator& compute_acc) {
-      const std::size_t n = arrived_.size();
-      while (next_ < n && arrived_[next_]) {
-        comm::Wire msg = px_.recvs.at(next_).take_payload();
-        Stopwatch sw;
-        {
-          ScopedTimer t(compute_acc);
-          apply(next_, std::move(msg));
-        }
-        if (stream_ && next_ + 1 < n) window_s_ += sw.elapsed_s();
-        ++next_;
-      }
-    }
-
-    PendingExchange& px_;
-    bool stream_;
-    std::vector<char> arrived_; // landed, possibly not yet applied
-    std::vector<std::size_t> ready_;
-    std::size_t next_ = 0;      // first peer not yet applied
-    double window_s_ = 0.0;
-  };
-
-  /// Forward fold: resolve the slab (cache-aware), scale it, and hand it
-  /// to the layer's incremental protocol. Fold work is billed to the
-  /// compute accumulator by the driver (it is compute the rank performs in
-  /// every mode). Scaling happens on the assembled slab in the same
-  /// element order as the uncached in-place scale, so the fp stream is
-  /// unchanged by the cache.
-  auto make_forward_fold(PendingExchange& px, const EpochPlan& plan,
-                         nn::Layer& layer, float scale, std::int64_t d) {
-    return [this, &px, &plan, &layer, scale, d](std::size_t k,
-                                                comm::Wire msg) {
-      const auto& slots =
-          plan.recv_slots[static_cast<std::size_t>(px.peers[k])];
-      const auto rows = slab_rows(px, plan, k, msg, d);
-      if (scale != 1.0f)
-        for (float& v : rows) v *= scale;
-      layer.forward_halo_fold(plan.adj, slots, rows);
-      ep_.release_floats(std::move(msg.floats));
-    };
-  }
-
-  /// Backward fold: scatter-add the peer's gradient slab into the inner
-  /// block, in fixed peer order (the accumulation order every mode shares
-  /// — fp addition is not associative, so this is load-bearing). The
-  /// backward direction is never cached, so the slab IS the wire payload.
-  auto make_backward_fold(PendingExchange& px, const EpochPlan& plan,
-                          Matrix& dinner) {
-    return [this, &px, &plan, &dinner](std::size_t k, comm::Wire msg) {
-      const std::int64_t d = dinner.cols();
-      const auto& rows =
-          plan.send_rows[static_cast<std::size_t>(px.peers[k])];
-      BNSGCN_CHECK(msg.floats.size() ==
-                   rows.size() * static_cast<std::size_t>(d));
-      for (std::size_t t = 0; t < rows.size(); ++t) {
-        float* dst = dinner.data() + static_cast<std::int64_t>(rows[t]) * d;
-        const float* src = msg.floats.data() + t * static_cast<std::size_t>(d);
-        for (std::int64_t c = 0; c < d; ++c) dst[c] += src[c];
-      }
-      ep_.release_floats(std::move(msg.floats));
-    };
-  }
 
   /// ROC proxy: stage a layer activation block through the host, paying
   /// PCIe-class traffic in both directions.
@@ -713,10 +247,7 @@ class RankWorker {
     // Halo-cache epoch context: the directories age entries by epoch
     // index, and the per-epoch counters reset here and ride the breakdown
     // allgather below.
-    epoch_ = epoch;
-    ep_cache_hits_ = 0;
-    ep_cache_misses_ = 0;
-    ep_bytes_saved_ = 0;
+    hx_->begin_epoch(epoch);
 
     // ---- Sampling (Algorithm 1 lines 4-7) -----------------------------
     EpochPlan sampled_plan;
@@ -773,7 +304,7 @@ class RankWorker {
       auto& layer = *layers_[static_cast<std::size_t>(l)];
       if (use_phased_) {
         Matrix& h_in = h[static_cast<std::size_t>(l)];
-        PendingExchange px = post_forward(h_in, plan, tag, l);
+        PendingExchange px = hx_->post_forward(h_in, plan, tag, l);
         tail_acc += px.tail_s;
         if (mode == OverlapMode::kBlocking) {
           Stopwatch w;
@@ -794,8 +325,8 @@ class RankWorker {
           layer.forward_halo_begin(plan.adj, halo_inc);
         }
         FoldDriver fold(px, stream);
-        auto apply =
-            make_forward_fold(px, plan, layer, plan.halo_scale, h_in.cols());
+        auto apply = hx_->make_forward_fold(px, plan, layer, plan.halo_scale,
+                                            h_in.cols());
         const NodeId n_dst = plan.adj.n_dst;
         const NodeId step =
             cfg_.inner_chunk_rows > 0 ? cfg_.inner_chunk_rows : n_dst;
@@ -822,8 +353,9 @@ class RankWorker {
               layer.forward_halo_finish(plan.adj, lg_.inv_full_degree);
         }
       } else {
-        Matrix feats = exchange_forward(h[static_cast<std::size_t>(l)], plan,
-                                        plan.halo_scale, tag, l);
+        Matrix feats =
+            hx_->exchange_forward(h[static_cast<std::size_t>(l)],
+                                  lg_.n_inner(), plan, plan.halo_scale, tag, l);
         if (cfg_.simulate_host_swap) host_swap(h[static_cast<std::size_t>(l)]);
         ScopedTimer t(compute_acc);
         h[static_cast<std::size_t>(l) + 1] = layer.forward(
@@ -886,8 +418,8 @@ class RankWorker {
           ScopedTimer t(compute_acc);
           dhalo = layer.backward_halo(plan.adj, grad, lg_.inv_full_degree);
         }
-        PendingExchange px =
-            post_backward(dhalo, /*halo_row0=*/0, plan, plan.halo_scale, tag);
+        PendingExchange px = hx_->post_backward(dhalo, /*halo_row0=*/0, plan,
+                                                plan.halo_scale, tag);
         tail_acc += px.tail_s;
         if (mode == OverlapMode::kBlocking) {
           Stopwatch w;
@@ -903,7 +435,7 @@ class RankWorker {
           dinner = layer.backward_inner(plan.adj, lg_.inv_full_degree);
         }
         FoldDriver fold(px, stream);
-        auto apply = make_backward_fold(px, plan, dinner);
+        auto apply = hx_->make_backward_fold(px, plan, dinner);
         fold.poll(apply, compute_acc);
         if (deferred_params >= 0) {
           ScopedTimer t(compute_acc);
@@ -927,7 +459,8 @@ class RankWorker {
           ScopedTimer t(compute_acc);
           dfeats = layer.backward(plan.adj, grad, lg_.inv_full_degree);
         }
-        grad = exchange_backward(dfeats, plan, plan.halo_scale, tag);
+        grad = hx_->exchange_backward(dfeats, lg_.n_inner(), plan,
+                                      plan.halo_scale, tag);
       }
     }
 
@@ -984,9 +517,9 @@ class RankWorker {
             delta.rx_bytes[static_cast<int>(TrafficClass::kGradient)]),
         static_cast<double>(
             delta.rx_bytes[static_cast<int>(TrafficClass::kControl)]),
-        static_cast<double>(ep_cache_hits_),
-        static_cast<double>(ep_cache_misses_),
-        static_cast<double>(ep_bytes_saved_)};
+        static_cast<double>(hx_->cache_hits()),
+        static_cast<double>(hx_->cache_misses()),
+        static_cast<double>(hx_->bytes_saved())};
     const auto slots = ep_.allgather_doubles(local);
     if (ep_.rank() == 0) {
       EpochBreakdown eb;
@@ -1032,7 +565,8 @@ class RankWorker {
     Matrix h = x_local_;
     for (int l = 0; l < L; ++l) {
       const int tag = next_tag();
-      Matrix feats = exchange_forward(h, full_plan_, 1.0f, tag, /*layer=*/-1);
+      Matrix feats = hx_->exchange_forward(h, lg_.n_inner(), full_plan_, 1.0f,
+                                           tag, /*layer=*/-1);
       h = layers_[static_cast<std::size_t>(l)]->forward(
           full_plan_.adj, feats, lg_.inv_full_degree, /*training=*/false);
     }
@@ -1076,22 +610,7 @@ class RankWorker {
   std::optional<nn::Adam> adam_;
   std::optional<BoundarySampler> sampler_;
   EpochPlan full_plan_;
-  // Halo cache (docs/ARCHITECTURE.md §9). cache_[l] is empty when layer l
-  // does not cache; otherwise one entry per peer. send_dir mirrors the
-  // peer's recv_dir for the channel we send on; recv_dir classifies what
-  // we receive, with `store` holding the raw (unscaled) wire rows of
-  // hits, indexed by the directory's dense slot ids.
-  struct LayerPeerCache {
-    HaloCacheDir send_dir;
-    HaloCacheDir recv_dir;
-    std::vector<float> store;
-  };
-  std::vector<std::vector<LayerPeerCache>> cache_;
-  std::vector<float> fold_scratch_; // cached-slab assembly, reused
-  std::int64_t ep_cache_hits_ = 0;
-  std::int64_t ep_cache_misses_ = 0;
-  std::int64_t ep_bytes_saved_ = 0;
-  int epoch_ = 0;
+  std::optional<HaloExchanger> hx_; // shared boundary-exchange engine
   Matrix swap_staging_;
   bool use_phased_ = false;
   float inv_total_ = 1.0f;

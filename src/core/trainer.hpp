@@ -115,6 +115,17 @@ using EpochObserver = std::function<void(const EpochSnapshot&)>;
 /// Fig. 4 quantity under the cost model: epochs per simulated second.
 [[nodiscard]] double throughput_eps(std::span<const EpochBreakdown> epochs);
 
+/// Trained parameters of a layer stack, flattened in params() order (the
+/// order build_model constructs and Adam/allreduce traverse). Captured by
+/// TrainerConfig::capture_weights at the end of training and loaded back by
+/// the serving engine (core/inference.hpp) — weights are replicated and
+/// allreduce-synced, so one rank's snapshot is the whole model.
+struct WeightSnapshot {
+  std::vector<Matrix> params;
+
+  [[nodiscard]] bool empty() const { return params.empty(); }
+};
+
 /// Configuration of a partition-parallel training run (Algorithm 1).
 struct TrainerConfig {
   int num_layers = 2;
@@ -222,6 +233,11 @@ struct TrainerConfig {
 
   /// Optional per-epoch callback (see EpochSnapshot).
   EpochObserver observer;
+
+  /// When set, rank 0 copies the trained parameters here after the last
+  /// epoch (see WeightSnapshot) — the handoff from api::run to api::serve.
+  /// Not serialized.
+  WeightSnapshot* capture_weights = nullptr;
 };
 
 struct TrainResult {

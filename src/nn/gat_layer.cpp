@@ -93,7 +93,9 @@ Matrix GatLayer::attention_forward(const BipartiteCsr& adj, bool training) {
   for (std::size_t hi = 0; hi < heads_.size(); ++hi) {
     Head& h = heads_[hi];
     h.alpha.assign(n_entries, 0.0f);
-    h.slope.assign(n_entries, 0.0f);
+    // The LeakyReLU slopes feed only the attention backward; inference
+    // skips the whole per-entry array.
+    if (!inference_) h.slope.assign(n_entries, 0.0f);
 
     for (NodeId v = 0; v < adj.n_dst; ++v) {
       const auto nb = adj.neighbors(v);
@@ -105,12 +107,12 @@ Matrix GatLayer::attention_forward(const BipartiteCsr& adj, bool training) {
         const NodeId u = (i < nb.size()) ? nb[i] : v;
         float e = h.s_src[static_cast<std::size_t>(u)] +
                   h.s_dst[static_cast<std::size_t>(v)];
-        if (e > 0.0f) {
-          h.slope[base + i] = 1.0f;
-        } else {
+        float slope = 1.0f;
+        if (e <= 0.0f) {
           e *= opts_.leaky_slope;
-          h.slope[base + i] = opts_.leaky_slope;
+          slope = opts_.leaky_slope;
         }
+        if (!inference_) h.slope[base + i] = slope;
         h.alpha[base + i] = e;
         mx = std::max(mx, e);
       }
@@ -134,7 +136,13 @@ Matrix GatLayer::attention_forward(const BipartiteCsr& adj, bool training) {
     }
   }
 
-  if (opts_.relu) ops::relu_forward(out, relu_mask_);
+  if (opts_.relu) {
+    if (inference_) {
+      ops::relu_forward(out);
+    } else {
+      ops::relu_forward(out, relu_mask_);
+    }
+  }
   if (training && opts_.dropout > 0.0f) {
     ops::dropout_forward(out, dropout_mask_, opts_.dropout, dropout_rng_);
   } else {
@@ -199,12 +207,17 @@ void GatLayer::forward_halo_fold(const BipartiteCsr& adj,
   // still in flight — and scatter rows to their halo positions.
   Matrix slab(static_cast<NodeId>(slots.size()), d_in_);
   std::copy(rows.begin(), rows.end(), slab.data());
-  for (std::size_t t = 0; t < slots.size(); ++t) {
-    const NodeId u = adj.n_dst + slots[t];
-    BNSGCN_CHECK(u >= adj.n_dst && u < adj.n_src);
-    std::copy(rows.data() + t * static_cast<std::size_t>(d_in_),
-              rows.data() + (t + 1) * static_cast<std::size_t>(d_in_),
-              feats_cache_.data() + static_cast<std::int64_t>(u) * d_in_);
+  // The halo rows of feats_cache_ exist only for backward_params' fused
+  // dW GEMM; the forward reads wh/s_src instead, so inference skips the
+  // scatter (the forward output is untouched).
+  if (!inference_) {
+    for (std::size_t t = 0; t < slots.size(); ++t) {
+      const NodeId u = adj.n_dst + slots[t];
+      BNSGCN_CHECK(u >= adj.n_dst && u < adj.n_src);
+      std::copy(rows.data() + t * static_cast<std::size_t>(d_in_),
+                rows.data() + (t + 1) * static_cast<std::size_t>(d_in_),
+                feats_cache_.data() + static_cast<std::int64_t>(u) * d_in_);
+    }
   }
   for (auto& h : heads_) {
     Matrix tmp(slab.rows(), d_head_);
@@ -224,6 +237,19 @@ Matrix GatLayer::forward_halo_finish(const BipartiteCsr& adj,
   phase_check_.on_halo_finish();
   (void)inv_deg; // attention renormalizes; see class comment
   return attention_forward(adj, cached_training_);
+}
+
+void GatLayer::release_training_state() {
+  for (auto& h : heads_) {
+    h.dw.resize(0, 0);
+    h.da_src.resize(0, 0);
+    h.da_dst.resize(0, 0);
+    h.dwh.resize(0, 0);
+    h.slope.clear();
+    h.slope.shrink_to_fit();
+  }
+  relu_mask_.resize(0, 0);
+  dropout_mask_.resize(0, 0);
 }
 
 Matrix GatLayer::backward(const BipartiteCsr& adj, const Matrix& dout,

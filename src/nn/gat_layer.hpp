@@ -70,6 +70,9 @@ class GatLayer final : public Layer {
 
   void set_dropout_rng(Rng rng) { dropout_rng_ = rng; }
 
+ protected:
+  void release_training_state() override;
+
  private:
   struct Head {
     Matrix w;      // (d_in, d_head)

@@ -312,6 +312,19 @@ class Layer {
   [[nodiscard]] virtual std::vector<Matrix*> grads() = 0;
   void zero_grads();
 
+  /// Serving mode (docs/ARCHITECTURE.md §10): forward-only execution. The
+  /// forward fp instruction stream is unchanged — outputs stay bit-identical
+  /// to a training=false forward — but the layer skips the pure-backward
+  /// caches (activation masks, the concat/feature caches backward_params
+  /// reads) and releases its gradient buffers. One-way in practice: after
+  /// switching, backward() must not be called until the next training
+  /// forward rebuilds the caches.
+  void set_inference(bool on) {
+    inference_ = on;
+    if (on) release_training_state();
+  }
+  [[nodiscard]] bool inference_mode() const { return inference_; }
+
   [[nodiscard]] std::int64_t d_in() const { return d_in_; }
   [[nodiscard]] std::int64_t d_out() const { return d_out_; }
 
@@ -320,8 +333,12 @@ class Layer {
 
  protected:
   Layer(std::int64_t d_in, std::int64_t d_out) : d_in_(d_in), d_out_(d_out) {}
+  /// Free backward-only state (gradients, masks, backward caches) on entry
+  /// to inference mode. Must not touch anything the forward reads.
+  virtual void release_training_state() {}
   std::int64_t d_in_;
   std::int64_t d_out_;
+  bool inference_ = false;
   /// Phased implementations report each phase entry here (checked builds
   /// verify the protocol; release builds compile the calls away).
   PhaseChecker phase_check_;

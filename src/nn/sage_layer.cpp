@@ -31,7 +31,11 @@ Matrix SageLayer::forward(const BipartiteCsr& adj, const Matrix& feats,
   ops::add_row_bias(out, b_);
 
   if (opts_.relu) {
-    ops::relu_forward(out, relu_mask_);
+    if (inference_) {
+      ops::relu_forward(out);
+    } else {
+      ops::relu_forward(out, relu_mask_);
+    }
   }
   if (training && opts_.dropout > 0.0f) {
     ops::dropout_forward(out, dropout_mask_, opts_.dropout, dropout_rng_);
@@ -105,10 +109,18 @@ Matrix SageLayer::forward_halo_finish(const BipartiteCsr& adj,
   std::copy(w_.data(), w_.data() + d_in_ * d_out_, w_half_.data());
   ops::gemm_nn(z_partial_, w_half_, out, 1.0f, 1.0f);
 
-  // Backward consumes the assembled concat exactly as the fused path does.
-  ops::concat_cols(z_partial_, self_cache_, u_cache_);
+  // Backward consumes the assembled concat exactly as the fused path does;
+  // inference has no backward, so the cache (and the ReLU mask) are skipped
+  // — the output values are untouched by either skip.
+  if (!inference_) {
+    ops::concat_cols(z_partial_, self_cache_, u_cache_);
+  }
   if (opts_.relu) {
-    ops::relu_forward(out, relu_mask_);
+    if (inference_) {
+      ops::relu_forward(out);
+    } else {
+      ops::relu_forward(out, relu_mask_);
+    }
   }
   if (cached_training_ && opts_.dropout > 0.0f) {
     ops::dropout_forward(out, dropout_mask_, opts_.dropout, dropout_rng_);
@@ -157,6 +169,17 @@ void SageLayer::backward_params(const BipartiteCsr&) {
   // and g_cache_ stay untouched until the next forward.
   ops::gemm_tn(u_cache_, g_cache_, dw_, 1.0f, 1.0f);
   ops::col_sum(g_cache_, db_);
+}
+
+void SageLayer::release_training_state() {
+  dw_.resize(0, 0);
+  db_.resize(0, 0);
+  u_cache_.resize(0, 0);
+  relu_mask_.resize(0, 0);
+  dropout_mask_.resize(0, 0);
+  dz_cache_.resize(0, 0);
+  dself_cache_.resize(0, 0);
+  g_cache_.resize(0, 0);
 }
 
 Matrix SageLayer::backward(const BipartiteCsr& adj, const Matrix& dout,

@@ -57,6 +57,9 @@ class SageLayer final : public Layer {
   /// RNG used for dropout masks; reseeded per rank by the trainer.
   void set_dropout_rng(Rng rng) { dropout_rng_ = rng; }
 
+ protected:
+  void release_training_state() override;
+
  private:
   Options opts_;
   Matrix w_;  // (2*d_in, d_out)

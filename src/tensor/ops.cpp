@@ -206,6 +206,14 @@ void relu_backward(Matrix& grad, const Matrix& mask) {
   for (std::int64_t i = 0; i < n; ++i) pg[i] *= pm[i];
 }
 
+void relu_forward(Matrix& x) {
+  float* px = x.data();
+  const std::int64_t n = x.size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (px[i] <= 0.0f) px[i] = 0.0f;
+  }
+}
+
 void leaky_relu_forward(Matrix& x, Matrix& mask, float slope) {
   mask.resize(x.rows(), x.cols());
   float* px = x.data();

@@ -65,6 +65,10 @@ void col_sum(const Matrix& grad, Matrix& out);
 /// ReLU forward in place; mask receives 1/0 for backward.
 void relu_forward(Matrix& x, Matrix& mask);
 
+/// Maskless ReLU for forward-only (inference) passes: identical outputs,
+/// no backward mask allocated.
+void relu_forward(Matrix& x);
+
 /// grad *= mask (backward through ReLU).
 void relu_backward(Matrix& grad, const Matrix& mask);
 

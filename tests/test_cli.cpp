@@ -1,0 +1,124 @@
+// Bench CLI parsing: try_parse_bench_args is the exit-free core of
+// parse_bench_args, so rejection paths are testable without spawning a
+// process. The non-finite cases pin the --scale fix: std::stod accepts
+// "nan"/"inf", and "NaN <= 0" is false, so both used to sail through the
+// positivity check and only blow up deep inside a run.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/cli.hpp"
+
+namespace bnsgcn::api {
+namespace {
+
+std::optional<BenchOptions> parse(std::vector<std::string> args,
+                                  std::string* error_out = nullptr) {
+  std::string error;
+  auto opts = try_parse_bench_args(args, error);
+  if (error_out != nullptr) *error_out = error;
+  return opts;
+}
+
+void expect_rejected(std::vector<std::string> args,
+                     const std::string& error_substr) {
+  std::string error;
+  const auto opts = parse(args, &error);
+  std::string joined;
+  for (const auto& a : args) joined += a + ' ';
+  SCOPED_TRACE(joined);
+  EXPECT_FALSE(opts.has_value());
+  EXPECT_NE(error.find(error_substr), std::string::npos) << error;
+}
+
+TEST(Cli, DefaultsWhenNoArgs) {
+  const auto opts = parse({});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->scale, 1.0);
+  EXPECT_FALSE(opts->epochs.has_value());
+  EXPECT_EQ(opts->epochs_or(7), 7);
+  EXPECT_TRUE(opts->json_path.empty());
+  EXPECT_TRUE(opts->part_cache_dir.empty());
+  EXPECT_EQ(opts->transport, comm::TransportKind::kMailbox);
+  EXPECT_TRUE(opts->parts.empty());
+  EXPECT_EQ(opts->threads, 1);
+}
+
+TEST(Cli, FullSurfaceParses) {
+  const auto opts = parse({"--scale", "2.5", "--epochs", "12", "--json",
+                           "out.json", "--part-cache", "/tmp/pc",
+                           "--transport", "uds", "--parts", "2,4,8",
+                           "--threads", "3"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->scale, 2.5);
+  ASSERT_TRUE(opts->epochs.has_value());
+  EXPECT_EQ(*opts->epochs, 12);
+  EXPECT_EQ(opts->epochs_or(7), 12);
+  EXPECT_EQ(opts->json_path, "out.json");
+  EXPECT_EQ(opts->part_cache_dir, "/tmp/pc");
+  EXPECT_EQ(opts->transport, comm::TransportKind::kUds);
+  EXPECT_EQ(opts->parts, (std::vector<int>{2, 4, 8}));
+  EXPECT_EQ(opts->threads, 3);
+}
+
+TEST(Cli, TransportSpellings) {
+  EXPECT_EQ(parse({"--transport", "mailbox"})->transport,
+            comm::TransportKind::kMailbox);
+  EXPECT_EQ(parse({"--transport", "tcp"})->transport,
+            comm::TransportKind::kTcp);
+  expect_rejected({"--transport", "carrier-pigeon"}, "--transport");
+}
+
+TEST(Cli, RejectsNonFiniteScale) {
+  // The regression: each of these parses as a double, is not <= 0, and
+  // previously produced a "valid" BenchOptions with a poisoned scale.
+  expect_rejected({"--scale", "nan"}, "--scale");
+  expect_rejected({"--scale", "NaN"}, "--scale");
+  expect_rejected({"--scale", "inf"}, "--scale");
+  expect_rejected({"--scale", "+inf"}, "--scale");
+  expect_rejected({"--scale", "infinity"}, "--scale");
+}
+
+TEST(Cli, RejectsOutOfRangeOrMalformedValues) {
+  expect_rejected({"--scale", "0"}, "--scale");
+  expect_rejected({"--scale", "-1.5"}, "--scale");
+  expect_rejected({"--scale", "2x"}, "--scale");
+  expect_rejected({"--epochs", "0"}, "--epochs");
+  expect_rejected({"--epochs", "-3"}, "--epochs");
+  expect_rejected({"--epochs", "many"}, "--epochs");
+  expect_rejected({"--threads", "0"}, "--threads");
+  expect_rejected({"--threads", "-2"}, "--threads");
+  expect_rejected({"--parts", "0"}, "--parts");
+  expect_rejected({"--parts", "2,,4"}, "--parts");
+  expect_rejected({"--parts", "2,4,"}, "--parts");
+  expect_rejected({"--parts", ""}, "--parts");
+  expect_rejected({"--part-cache", ""}, "--part-cache");
+}
+
+TEST(Cli, RejectsMissingValuesAndUnknownFlags) {
+  expect_rejected({"--scale"}, "needs a value");
+  expect_rejected({"--epochs"}, "needs a value");
+  expect_rejected({"--json"}, "needs a value");
+  expect_rejected({"--transport"}, "needs a value");
+  expect_rejected({"--parts"}, "needs a value");
+  expect_rejected({"--threads"}, "needs a value");
+  expect_rejected({"--frobnicate"}, "unknown argument");
+}
+
+TEST(Cli, HelpIsSignalledViaErrorSentinel) {
+  std::string error;
+  EXPECT_FALSE(parse({"--help"}, &error).has_value());
+  EXPECT_EQ(error, "help");
+  EXPECT_FALSE(parse({"-h"}, &error).has_value());
+  EXPECT_EQ(error, "help");
+  // Usage text names every flag it parses.
+  const std::string usage = bench_usage("bench_x");
+  for (const char* flag : {"--scale", "--epochs", "--json", "--part-cache",
+                           "--transport", "--parts", "--threads"})
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+}
+
+} // namespace
+} // namespace bnsgcn::api

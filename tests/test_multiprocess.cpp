@@ -14,6 +14,7 @@
 #include <string>
 
 #include "api/run.hpp"
+#include "api/serialize.hpp"
 #include "partition/metis_like.hpp"
 
 namespace bnsgcn {
@@ -151,6 +152,31 @@ TEST(Multiprocess, DeadRankSurfacesCleanErrorNotHang) {
         << e.what();
   }
   alarm(0);
+}
+
+TEST(Multiprocess, ReportLargerThanPipeCapacitySurvivesTheReportPipe) {
+  // Regression for the parent's report-pipe read loop: a rank-0 report
+  // bigger than the kernel pipe capacity (64 KiB on Linux) arrives in
+  // several read() chunks while rank 0 is still alive and blocked in
+  // write(). A single-read parent would truncate the JSON mid-token and
+  // deadlock rank 0; the loop must drain to EOF and parse the whole
+  // document. An epoch sweep inflates the per-epoch rows well past the
+  // pipe capacity without meaningful extra compute (tiny graph).
+  const Dataset ds = small_dataset(61);
+  const auto part = metis_like(ds.graph, 2);
+  auto cfg = base_config(core::ModelKind::kSage, 0);
+  cfg.comm.transport = TransportKind::kUds;
+  cfg.trainer.epochs = 400;
+  cfg.trainer.eval_every = 0;  // keep the sweep cheap: no eval forwards
+  alarm(180);
+  const api::RunReport report = api::run(ds, part, cfg);
+  alarm(0);
+  ASSERT_EQ(report.epochs.size(), 400u);
+  // The fix matters only if this report genuinely exceeds the pipe
+  // capacity — assert it so dataset shrinkage cannot quietly defang the
+  // test.
+  EXPECT_GT(api::to_json_string(report).size(), 65536u);
+  EXPECT_EQ(report.epochs.back().timing, TimingSource::kMeasured);
 }
 
 TEST(Multiprocess, MailboxThreadPathAlsoUnwindsOnDeadRank) {

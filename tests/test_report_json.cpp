@@ -256,8 +256,12 @@ void expect_configs_equal(const api::RunConfig& a, const api::RunConfig& b) {
   EXPECT_EQ(a.trainer.overlap, b.trainer.overlap);
   EXPECT_EQ(a.trainer.inner_chunk_rows, b.trainer.inner_chunk_rows);
   EXPECT_EQ(a.trainer.threads, b.trainer.threads);
+  EXPECT_EQ(a.trainer.cache_mb, b.trainer.cache_mb);
+  EXPECT_EQ(a.trainer.cache_staleness, b.trainer.cache_staleness);
   EXPECT_EQ(a.comm.overlap, b.comm.overlap);
   EXPECT_EQ(a.comm.inner_chunk_rows, b.comm.inner_chunk_rows);
+  EXPECT_EQ(a.comm.cache_mb, b.comm.cache_mb);
+  EXPECT_EQ(a.comm.cache_staleness, b.comm.cache_staleness);
   EXPECT_EQ(a.minibatch.lr, b.minibatch.lr);
   EXPECT_EQ(a.minibatch.batch_size, b.minibatch.batch_size);
   EXPECT_EQ(a.minibatch.batches_per_epoch, b.minibatch.batches_per_epoch);
@@ -341,6 +345,30 @@ TEST(ConfigJson, ThreadsKnobRoundTripsAndAbsentMeansSerial) {
   const api::RunConfig legacy = api::run_config_from_json_string(
       R"({"trainer": {"epochs": 2, "inner_chunk_rows": 8}})");
   EXPECT_EQ(legacy.trainer.threads, 1);
+}
+
+TEST(ConfigJson, CacheStalenessSurvivesRoundTripWithoutCacheMb) {
+  // Regression: the writer gated cache_staleness on cache_mb > 0, so a
+  // config staging staleness ahead of enabling the cache (cache_mb == 0,
+  // cache_staleness != 0) silently lost the staleness on round-trip —
+  // replaying the artifact with the cache turned on then ran a different
+  // (always-fresh) policy than the original config described.
+  api::RunConfig cfg;
+  cfg.comm.cache_staleness = 3;
+  cfg.trainer.cache_staleness = 5;
+  const api::RunConfig parsed =
+      api::run_config_from_json_string(api::to_json_string(cfg));
+  EXPECT_EQ(parsed.comm.cache_mb, 0);
+  EXPECT_EQ(parsed.comm.cache_staleness, 3);
+  EXPECT_EQ(parsed.trainer.cache_mb, 0);
+  EXPECT_EQ(parsed.trainer.cache_staleness, 5);
+
+  // And with the cache enabled both knobs still round-trip.
+  cfg.comm.cache_mb = 8;
+  cfg.trainer.cache_mb = 16;
+  const api::RunConfig enabled =
+      api::run_config_from_json_string(api::to_json_string(cfg));
+  expect_configs_equal(cfg, enabled);
 }
 
 TEST(ConfigJson, LegacyOverlapBoolStillParses) {
